@@ -1,0 +1,58 @@
+//! # tsp-arch — architectural model of the Groq Tensor Streaming Processor
+//!
+//! This crate defines the *architecturally visible* state of the TSP described in
+//! "Think Fast: A Tensor Streaming Processor (TSP) for Accelerating Deep Learning
+//! Workloads" (Abts et al., ISCA 2020): the chip geometry (superlanes, lanes,
+//! functional slices and their spatial order), the stream abstraction, the
+//! deterministic timing model (Eq. 4 of the paper), and the silicon constants used
+//! for derived metrics such as ops/transistor.
+//!
+//! Everything else in the workspace — the ISA, the memory system, the simulator and
+//! the scheduling compiler — is built on the types in this crate, so that the
+//! compiler and the simulator share one definition of space (slice positions) and
+//! time (cycles) and the paper's central property, *determinism*, holds by
+//! construction.
+//!
+//! ## Geometry at a glance
+//!
+//! ```text
+//!  west edge                                                      east edge
+//!  MXM_W | SXM_W | MEM_W43 .. MEM_W0 | VXM | MEM_E0 .. MEM_E43 | SXM_E | MXM_E
+//!    0       1       2  ..  45         46     47  ..  90          91      92
+//! ```
+//!
+//! Streams flow east or west, advancing one stream-register hop (one position)
+//! per clock cycle. A vector is 320 bytes: 20 superlanes × 16 lanes, one byte
+//! per lane.
+//!
+//! ## Example
+//!
+//! ```
+//! use tsp_arch::{Slice, Hemisphere, transit_delay, instruction_time};
+//!
+//! let mem5_east = Slice::mem(Hemisphere::East, 5);
+//! let vxm = Slice::Vxm;
+//! // Operand read from MEM_E5 reaches the VXM after 6 stream-register hops
+//! // (MEM_E0 is adjacent to the VXM, one hop away):
+//! assert_eq!(transit_delay(mem5_east.position(), vxm.position()), 6);
+//! // Eq. 4: T = N + d_func + delta(j, i)
+//! assert_eq!(instruction_time(5, mem5_east.position(), vxm.position()), 20 + 5 + 6);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod config;
+pub mod geometry;
+pub mod silicon;
+pub mod stream;
+pub mod timing;
+pub mod vector;
+
+pub use config::ChipConfig;
+pub use geometry::{
+    Hemisphere, Position, Slice, MEM_SLICES_PER_HEMISPHERE, NUM_POSITIONS, VXM_POSITION,
+};
+pub use stream::{Direction, StreamGroup, StreamId, StreamRange, STREAMS_PER_DIRECTION};
+pub use timing::{instruction_time, transit_delay, Cycle, TimeModel};
+pub use vector::{Vector, LANES, LANES_PER_SUPERLANE, MAX_VL, MIN_VL, SUPERLANES};

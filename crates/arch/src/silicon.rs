@@ -1,0 +1,79 @@
+//! Silicon implementation constants of the first-generation TSP ASIC and the
+//! comparator parts cited in the paper (§VII), used for derived metrics such as
+//! ops/second/transistor and computational density.
+
+/// Physical description of a fabricated part, as reported in the literature.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SiliconPart {
+    /// Marketing / paper name.
+    pub name: &'static str,
+    /// Process node label.
+    pub process: &'static str,
+    /// Transistor count.
+    pub transistors: f64,
+    /// Die area in mm².
+    pub die_area_mm2: f64,
+    /// Peak throughput in ops/second at the datatype the vendor headlines
+    /// (int8 MACs×2 for the TSP, mixed-precision FLOPs for Volta).
+    pub peak_ops: f64,
+}
+
+impl SiliconPart {
+    /// Deep-learning ops per second per transistor — the paper's "conversion
+    /// rate" for how well an architecture extracts value from CMOS (§VII).
+    #[must_use]
+    pub fn ops_per_transistor(&self) -> f64 {
+        self.peak_ops / self.transistors
+    }
+
+    /// Computational density in ops/second per mm² of die.
+    #[must_use]
+    pub fn ops_per_mm2(&self) -> f64 {
+        self.peak_ops / self.die_area_mm2
+    }
+}
+
+/// The first-generation Groq TSP: 14 nm, 25×29 mm die, 26.8 B transistors,
+/// 820 TeraOps/s peak at 1 GHz (§VII).
+pub const TSP_GEN1: SiliconPart = SiliconPart {
+    name: "Groq TSP (gen 1)",
+    process: "14nm",
+    transistors: 26.8e9,
+    die_area_mm2: 25.0 * 29.0,
+    peak_ops: 820.0e12,
+};
+
+/// NVIDIA Volta V100 as cited in §VII: 21.1 B transistors, 815 mm², 12 nm,
+/// 130 TeraFlops mixed precision.
+pub const VOLTA_V100: SiliconPart = SiliconPart {
+    name: "NVIDIA V100",
+    process: "12nm",
+    transistors: 21.1e9,
+    die_area_mm2: 815.0,
+    peak_ops: 130.0e12,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsp_conversion_rate_is_30k() {
+        // §VII: "30K deep learning Ops/sec/transistor".
+        let r = TSP_GEN1.ops_per_transistor();
+        assert!((r / 1e3 - 30.6).abs() < 0.2, "got {r}");
+    }
+
+    #[test]
+    fn v100_conversion_rate_is_6_2k() {
+        // §VII: "yielding 6.2K" ops/sec/transistor.
+        let r = VOLTA_V100.ops_per_transistor();
+        assert!((r / 1e3 - 6.16).abs() < 0.1, "got {r}");
+    }
+
+    #[test]
+    fn tsp_density_exceeds_1_teraop_per_mm2() {
+        // Abstract: "more than 1 TeraOp/s per square mm".
+        assert!(TSP_GEN1.ops_per_mm2() > 1.0e12);
+    }
+}

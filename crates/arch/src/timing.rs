@@ -1,0 +1,152 @@
+//! The deterministic timing model (paper §III, Eq. 4).
+//!
+//! The TSP exposes temporal information about each instruction through the ISA
+//! so the compiler can schedule in both time and space. The execution time of
+//! an instruction whose result is consumed at another slice is
+//!
+//! ```text
+//! T = N + d_func + δ(j, i)          (Eq. 4)
+//! ```
+//!
+//! where `N` is the number of tiles in the slice (20 — the staggered SIMD
+//! pipeline), `d_func` the functional delay of the instruction, and `δ(j, i)`
+//! the stream-register transit distance between producer and consumer.
+//!
+//! The same functions here are used by *both* the compiler (to predict) and the
+//! simulator (to enact), so Eq. 4 holds by construction and is verified by
+//! cross-checking tests in `tests/integration_timing_model.rs`.
+
+use crate::geometry::Position;
+use crate::vector::SUPERLANES;
+
+/// A point in logical time, measured in core clock cycles since program start.
+///
+/// The compiler tracks one logical time shared by all 144 instruction queues
+/// (paper §III-A2); because the hardware has no reactive elements, logical time
+/// and physical time coincide.
+pub type Cycle = u64;
+
+/// Number of pipeline tiles in a functional slice (`N` in Eq. 4).
+pub const SLICE_TILES: u32 = SUPERLANES as u32;
+
+/// Cycles for a chip-wide barrier synchronization: from `Notify` issue to the
+/// last `Sync` retiring (paper §III-A2: "can be accomplished in 35 clock cycles").
+pub const BARRIER_SYNC_CYCLES: u32 = 35;
+
+/// Stream-register transit delay `δ(j, i)`: the distance in cycles between two
+/// slice positions (one hop per core clock).
+#[must_use]
+pub fn transit_delay(from: Position, to: Position) -> u32 {
+    u32::from(from.0.abs_diff(to.0))
+}
+
+/// Eq. 4 of the paper: total execution time `T = N + d_func + δ(j, i)` for an
+/// instruction with functional delay `d_func` issued at a slice at `producer`,
+/// whose full 320-element result has been delivered at `consumer`.
+#[must_use]
+pub fn instruction_time(d_func: u32, producer: Position, consumer: Position) -> u32 {
+    SLICE_TILES + d_func + transit_delay(producer, consumer)
+}
+
+/// Per-instruction temporal parameters exposed across the static–dynamic
+/// interface (paper §III): the compiler reads these from the ISA; the simulator
+/// enacts them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimeModel {
+    /// Functional delay: cycles from dispatch until the (head superlane of the)
+    /// output appears on the producer's stream register.
+    pub d_func: u32,
+    /// Instruction–operand skew: cycles between instruction dispatch and when
+    /// its stream operands must be present at the slice.
+    pub d_skew: u32,
+}
+
+impl TimeModel {
+    /// A purely combinational single-cycle operation.
+    pub const UNIT: TimeModel = TimeModel {
+        d_func: 1,
+        d_skew: 0,
+    };
+
+    /// Creates a timing descriptor.
+    #[must_use]
+    pub const fn new(d_func: u32, d_skew: u32) -> TimeModel {
+        TimeModel { d_func, d_skew }
+    }
+
+    /// Cycle at which the output appears on the producer's stream register,
+    /// for an instruction dispatched at `dispatch`.
+    #[must_use]
+    pub fn output_at(self, dispatch: Cycle) -> Cycle {
+        dispatch + Cycle::from(self.d_func)
+    }
+
+    /// Cycle at which operands must be present at the slice for an instruction
+    /// dispatched at `dispatch`.
+    #[must_use]
+    pub fn operands_at(self, dispatch: Cycle) -> Cycle {
+        dispatch + Cycle::from(self.d_skew)
+    }
+
+    /// Cycle at which the output value arrives at a downstream consumer
+    /// position, ignoring the tile stagger (head superlane).
+    #[must_use]
+    pub fn arrival_at(self, dispatch: Cycle, producer: Position, consumer: Position) -> Cycle {
+        self.output_at(dispatch) + Cycle::from(transit_delay(producer, consumer))
+    }
+
+    /// Full Eq. 4 completion time: cycle at which the *last* superlane of the
+    /// result has been delivered at `consumer`.
+    #[must_use]
+    pub fn completion_at(self, dispatch: Cycle, producer: Position, consumer: Position) -> Cycle {
+        dispatch + Cycle::from(instruction_time(self.d_func, producer, consumer))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::{Hemisphere, Slice};
+
+    #[test]
+    fn transit_is_symmetric_hop_count() {
+        // MEM_E10 is 11 hops from the VXM (MEM_E0 is adjacent, one hop away).
+        let a = Slice::mem(Hemisphere::East, 10).position();
+        let b = Slice::Vxm.position();
+        assert_eq!(transit_delay(a, b), 11);
+        assert_eq!(transit_delay(b, a), 11);
+        assert_eq!(transit_delay(a, a), 0);
+    }
+
+    #[test]
+    fn eq4_composition() {
+        let producer = Slice::mem(Hemisphere::West, 3).position();
+        let consumer = Slice::Vxm.position();
+        // N=20 tiles + d_func + 4 hops (MEM_W3 is index+1 = 4 hops from the VXM).
+        assert_eq!(instruction_time(5, producer, consumer), 20 + 5 + 4);
+    }
+
+    #[test]
+    fn time_model_arithmetic() {
+        let t = TimeModel::new(5, 2);
+        assert_eq!(t.output_at(100), 105);
+        assert_eq!(t.operands_at(100), 102);
+        let p = Position(10);
+        let c = Position(17);
+        assert_eq!(t.arrival_at(100, p, c), 112);
+        assert_eq!(t.completion_at(100, p, c), 100 + 20 + 5 + 7);
+        // The last superlane lags the head by exactly the tile count.
+        assert_eq!(
+            t.completion_at(100, p, c) - t.arrival_at(100, p, c),
+            u64::from(SLICE_TILES)
+        );
+    }
+
+    #[test]
+    fn cross_chip_transit_bound() {
+        use crate::geometry::NUM_POSITIONS;
+        let west_edge = Position(0);
+        let east_edge = Position(NUM_POSITIONS - 1);
+        assert_eq!(transit_delay(west_edge, east_edge), 92);
+    }
+}

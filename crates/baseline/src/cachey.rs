@@ -1,0 +1,109 @@
+//! A cache-based core whose latency depends on run-varying cache state — the
+//! "reactive element" the TSP removes (paper §I: caches "do not bound
+//! worst-case performance"; §IV-F: the TSP is "precisely predictable from
+//! run-to-run"). Used as the contrast case in the determinism experiment.
+
+use std::num::Wrapping;
+
+/// A direct-mapped cache model with run-dependent initial contents.
+#[derive(Debug, Clone)]
+pub struct CacheyCore {
+    /// Cache lines (tags), possibly warm from "previous tenants".
+    tags: Vec<Option<u64>>,
+    line_bytes: u64,
+    hit_cycles: u64,
+    miss_cycles: u64,
+    rng: Wrapping<u64>,
+}
+
+impl CacheyCore {
+    /// Creates a core whose cache starts in a state derived from `run_seed` —
+    /// modeling context-switch and co-tenant pollution that differs between
+    /// otherwise identical runs.
+    #[must_use]
+    pub fn new(lines: usize, line_bytes: u64, run_seed: u64) -> CacheyCore {
+        let mut rng = Wrapping(run_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1);
+        let mut next = || {
+            rng *= Wrapping(6364136223846793005);
+            rng += Wrapping(1442695040888963407);
+            rng.0
+        };
+        let tags = (0..lines)
+            .map(|_| {
+                let r = next();
+                // ~half the lines start holding someone else's data.
+                if r & 1 == 0 {
+                    Some(r >> 1)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        CacheyCore {
+            tags,
+            line_bytes,
+            hit_cycles: 2,
+            miss_cycles: 60,
+            rng: Wrapping(next()),
+        }
+    }
+
+    fn access(&mut self, addr: u64) -> u64 {
+        let line = (addr / self.line_bytes) as usize % self.tags.len();
+        let tag = addr / self.line_bytes / self.tags.len() as u64;
+        if self.tags[line] == Some(tag) {
+            self.hit_cycles
+        } else {
+            self.tags[line] = Some(tag);
+            // Memory latency itself jitters with "bank conflicts".
+            self.rng *= Wrapping(6364136223846793005);
+            self.rng += Wrapping(1442695040888963407);
+            self.miss_cycles + (self.rng.0 >> 60)
+        }
+    }
+
+    /// Runs the Fig. 3 vector-add over `n` byte elements at the given base
+    /// addresses, returning total cycles (data accesses only).
+    pub fn vector_add(&mut self, n: u64, x_base: u64, y_base: u64, z_base: u64) -> u64 {
+        let mut cycles = 0;
+        for i in 0..n {
+            cycles += self.access(x_base + i);
+            cycles += self.access(y_base + i);
+            cycles += 1; // the add
+            cycles += self.access(z_base + i);
+        }
+        cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn different_run_seeds_give_different_latencies() {
+        let runs: Vec<u64> = (0..8)
+            .map(|seed| {
+                CacheyCore::new(512, 64, seed).vector_add(10_000, 0, 1 << 20, 2 << 20)
+            })
+            .collect();
+        let min = *runs.iter().min().unwrap();
+        let max = *runs.iter().max().unwrap();
+        assert!(max > min, "cachey core should jitter: {runs:?}");
+    }
+
+    #[test]
+    fn same_seed_reproduces() {
+        let a = CacheyCore::new(512, 64, 7).vector_add(5_000, 0, 1 << 20, 2 << 20);
+        let b = CacheyCore::new(512, 64, 7).vector_add(5_000, 0, 1 << 20, 2 << 20);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_cache_is_faster_than_cold() {
+        let mut core = CacheyCore::new(4096, 64, 3);
+        let cold = core.vector_add(4_000, 0, 1 << 20, 2 << 20);
+        let warm = core.vector_add(4_000, 0, 1 << 20, 2 << 20);
+        assert!(warm < cold);
+    }
+}

@@ -1,0 +1,39 @@
+//! E13 / §IV-C — the memory-overlap optimization: letting a layer start
+//! wherever its resources are free (reading a previous pipeline's output
+//! while it is still draining) vs fencing every layer. The paper credits
+//! this optimization with ~5,500 cycles on their ResNet-50.
+
+use tsp::nn::compile::{compile, CompileOptions};
+use tsp::nn::data::synthetic;
+use tsp::nn::quant::quantize;
+use tsp::nn::resnet::{resnet, resnet_tiny, Widths};
+
+fn main() {
+    println!("# E13: layer-overlap scheduling ablation");
+    println!();
+    println!("{:<12} {:>12} {:>12} {:>10}", "model", "fenced", "overlapped", "saved");
+    let cases: Vec<(&str, tsp::nn::graph::Graph, tsp::nn::graph::Params, u32)> = vec![
+        {
+            let (g, p) = resnet_tiny(10, 3);
+            ("tiny-resnet", g, p, 32)
+        },
+        {
+            let (g, p) = resnet(50, 224, 1000, &Widths::standard(), 7);
+            ("resnet50", g, p, 224)
+        },
+    ];
+    for (name, g, params, hw) in cases {
+        let data = synthetic(3, hw, hw, 3, 2, 1);
+        let q = quantize(&g, &params, &data.images[..1]);
+        let fenced = compile(&q, &CompileOptions { overlap: false }).cycles;
+        let overlapped = compile(&q, &CompileOptions { overlap: true }).cycles;
+        println!(
+            "{name:<12} {fenced:>12} {overlapped:>12} {:>10}",
+            fenced.saturating_sub(overlapped)
+        );
+    }
+    println!();
+    println!("paper: adjusting memory allocation so pipelines overlap saved ~5,500");
+    println!("cycles on their ResNet-50; same direction here, magnitude depends on");
+    println!("how much latency the fences were hiding.");
+}

@@ -1,0 +1,50 @@
+//! Ablation: how many of the 32-per-direction streams does a conv pipeline
+//! actually need? We artificially disable stream ids and re-schedule; fewer
+//! streams serialize the weight/activation/result traffic.
+
+use tsp::compiler::kernels::conv::alloc_feature_map;
+use tsp::compiler::kernels::{conv2d, emplace_conv_weights, Conv2dParams};
+use tsp::compiler::Resource;
+use tsp::prelude::*;
+
+fn measure(streams_available: u8) -> u64 {
+    let mut sched = Scheduler::new();
+    // Park the disabled stream ids forever.
+    for dir in [Direction::East, Direction::West] {
+        for id in streams_available..32 {
+            sched.pool.occupy(Resource::Stream(dir, id), u64::MAX / 2);
+        }
+    }
+    let input = alloc_feature_map(&mut sched, 14, 14, 64, 1, Hemisphere::East, 4);
+    let w: Vec<Vec<Vec<Vec<i8>>>> =
+        vec![vec![vec![vec![1i8; 3]; 3]; 64]; 64];
+    let weights = emplace_conv_weights(&mut sched, &w, 1);
+    let params = Conv2dParams {
+        stride: 1,
+        pad: 1,
+        requant_shift: 6,
+        relu: true,
+        out_hemisphere: Hemisphere::West,
+        ..Conv2dParams::default()
+    };
+    let (_, done) = conv2d(&mut sched, &input, &weights, &params);
+    done
+}
+
+fn main() {
+    println!("# ablation: schedule length of a 3x3x64->64 conv vs streams per direction");
+    println!("{:>18} {:>12}", "streams/direction", "cycles");
+    for &streams in &[32u8, 28, 24, 22, 20] {
+        match std::panic::catch_unwind(|| measure(streams)) {
+            Ok(c) => println!("{streams:>18} {:>12}", c),
+            Err(_) => println!(
+                "{streams:>18} {:>12}",
+                "infeasible" // the compiler cannot find conflict-free ports
+            ),
+        }
+    }
+    println!();
+    println!("the MXM needs a 16-wide aligned group for LW plus activation and SG4");
+    println!("result streams per concurrent plane; starving the pool serializes the");
+    println!("plane-parallel offset passes — why the TSP provisions 32 each way.");
+}

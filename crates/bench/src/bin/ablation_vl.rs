@@ -1,0 +1,44 @@
+//! Ablation (paper §II-F): scalable vector length — powering down unused
+//! superlanes shrinks minVL..maxVL in 16-lane steps and scales dynamic
+//! energy proportionally ("a more energy-proportional system").
+
+use tsp::prelude::*;
+use tsp_power::EnergyModel;
+use tsp_sim::{Activity, ActivityKind};
+
+fn main() {
+    println!("# ablation: energy proportionality of scalable vector length");
+    println!("{:>10} {:>8} {:>12} {:>14}", "superlanes", "VL", "peak TOp/s", "rel. energy");
+    let energy = EnergyModel::default();
+    let full: f64 = (0..1000u64)
+        .map(|t| {
+            energy.event_pj(&Activity {
+                cycle: t,
+                kind: ActivityKind::MxmMacc,
+                lanes: 320,
+            })
+        })
+        .sum();
+    for &lanes in &[20usize, 16, 12, 8, 4, 1] {
+        let mut cfg = ChipConfig::paper_1ghz();
+        cfg.superlanes_enabled = lanes;
+        let e: f64 = (0..1000u64)
+            .map(|t| {
+                energy.event_pj(&Activity {
+                    cycle: t,
+                    kind: ActivityKind::MxmMacc,
+                    lanes: (lanes * 16) as u16,
+                })
+            })
+            .sum();
+        println!(
+            "{lanes:>10} {:>8} {:>12.1} {:>13.0}%",
+            cfg.vector_length(),
+            cfg.peak_int8_ops() / 1e12,
+            e / full * 100.0
+        );
+    }
+    println!();
+    println!("dynamic energy tracks the powered vector length 1:1 — the Config");
+    println!("instruction's low-power mode buys energy proportionality (paper II-F).");
+}

@@ -1,0 +1,41 @@
+//! E5 / Fig. 11 — the instruction schedule of a 3×3 max pool: concurrent
+//! reads feeding a chained VXM max tree, one output row per cycle, writes
+//! committing downstream. (The paper's figure uses transpose/rotate; our
+//! lowering uses the shifted-row-stream equivalent — same dataflow shape:
+//! read fan-in → switch/combine → write.)
+
+use tsp::compiler::kernels::conv::alloc_feature_map;
+use tsp::compiler::kernels::{max_pool, MaxPoolParams};
+use tsp::compiler::viz;
+use tsp::prelude::*;
+
+fn main() {
+    let mut sched = Scheduler::new();
+    let input = alloc_feature_map(&mut sched, 12, 12, 32, 1, Hemisphere::East, 9);
+    let params = MaxPoolParams {
+        kernel: 3,
+        stride: 2,
+        pad: 1,
+        out_pad: 0,
+        out_hemisphere: Hemisphere::West,
+        out_replicas: 1,
+        not_before: 0,
+    };
+    let (out, done) = max_pool(&mut sched, &input, &params);
+    let program = sched.into_program().expect("schedule");
+
+    let mut chip = Chip::new(ChipConfig::asic());
+    let report = chip.run(&program, &RunOptions::default()).expect("clean run");
+
+    println!("# E5 (Fig. 11): 3x3/2 max pool schedule, 12x12x32 -> {}x{}x{}", out.h, out.w, out.c);
+    println!("# {} instructions, completed at cycle {} (sim: {})", program.len(), done, report.cycles);
+    println!();
+    println!("first 36 dispatches (NOP timing glue elided):");
+    print!("{}", viz::render_listing(&program, 0, 24));
+    println!();
+    println!("queue occupancy (1 column = 4 cycles): solid read fan-in, staggered");
+    println!("max tree on the VXM, writes trailing by the pipeline depth:");
+    print!("{}", viz::render_gantt(&program, 0, done + 16, 4));
+    println!();
+    println!("steady state: one pooled output row per cycle — the paper's full-bandwidth claim.");
+}

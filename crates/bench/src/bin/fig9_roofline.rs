@@ -1,0 +1,76 @@
+//! E3 / Fig. 9 — the roofline: achieved arithmetic throughput vs operational
+//! intensity, sweeping the weight-reuse factor of a 320×320 matmul. Low
+//! reuse is bound by weight (memory) traffic — the sloped region; high reuse
+//! saturates toward the 820 TeraOp/s MXM peak (one plane = 205 TeraOp/s).
+
+use tsp::compiler::kernels::matmul::{schedule_plane_chain, Pass};
+use tsp::prelude::*;
+use tsp_isa::Plane;
+
+/// Cycles to install one plane's weights and stream `rows` activations.
+fn measure(rows: u32, planes: u8) -> u64 {
+    let mut sched = Scheduler::new();
+    let row_ids: Vec<u32> = (0..rows).collect();
+    for p in 0..planes {
+        let w = sched
+            .alloc
+            .alloc(320, 320, BankPolicy::Low, 20)
+            .expect("weights");
+        let x = sched
+            .alloc
+            .alloc(rows, 320, BankPolicy::High, 4096)
+            .expect("acts");
+        let _ = schedule_plane_chain(
+            &mut sched,
+            Plane::new(p),
+            &[Pass {
+                weights: &w,
+                acts: &x,
+                rows: &row_ids,
+            }],
+            0,
+        );
+    }
+    let program = sched.into_program().expect("schedule");
+    let mut chip = Chip::new(ChipConfig::paper_1ghz());
+    let report = chip
+        .run(
+            &program,
+            &RunOptions {
+                functional: false,
+                ..RunOptions::default()
+            },
+        )
+        .expect("clean run");
+    report.cycles
+}
+
+fn main() {
+    println!("# E3 (Fig. 9): roofline at 1 GHz — ops/byte vs achieved TeraOps/s");
+    println!("# one 320x320 weight set per plane, reused over `rows` activation rows");
+    println!();
+    println!(
+        "{:>6} {:>7} | {:>10} {:>12} {:>12} {:>10}",
+        "rows", "planes", "ops/byte", "cycles", "TeraOps/s", "% of peak"
+    );
+    let peak = ChipConfig::paper_1ghz().peak_int8_ops();
+    for &planes in &[1u8, 4] {
+        for &rows in &[4u32, 16, 64, 256, 1024, 4096] {
+            let cycles = measure(rows, planes);
+            let ops = f64::from(planes) * f64::from(rows) * 320.0 * 320.0 * 2.0;
+            let bytes =
+                f64::from(planes) * (320.0 * 320.0 + f64::from(rows) * 320.0 + f64::from(rows) * 1280.0);
+            let tput = ops / (cycles as f64 / 1e9);
+            println!(
+                "{rows:>6} {planes:>7} | {:>10.2} {cycles:>12} {:>12.1} {:>9.1}%",
+                ops / bytes,
+                tput / 1e12,
+                tput / peak * 100.0
+            );
+        }
+    }
+    println!();
+    println!("peak (4 planes, Eq. in §VII): {:.1} TeraOps/s", peak / 1e12);
+    println!("the knee sits where activation streaming (1 row/cycle/plane) overtakes");
+    println!("the fixed weight-install cost — the paper's memory-bound slope.");
+}

@@ -1,0 +1,30 @@
+//! E14 / §VII — the "conversion rate": deep-learning ops per second per
+//! transistor, TSP vs V100, plus computational density per mm².
+
+use tsp::arch::silicon::{SiliconPart, TSP_GEN1, VOLTA_V100};
+
+fn row(p: &SiliconPart) {
+    println!(
+        "{:<18} {:>8} {:>12.1}B {:>10.0} {:>14.1}K {:>14.2}",
+        p.name,
+        p.process,
+        p.transistors / 1e9,
+        p.peak_ops / 1e12,
+        p.ops_per_transistor() / 1e3,
+        p.ops_per_mm2() / 1e12,
+    );
+}
+
+fn main() {
+    println!("# E14 (§VII): silicon conversion rate");
+    println!(
+        "{:<18} {:>8} {:>13} {:>10} {:>15} {:>14}",
+        "part", "node", "transistors", "TeraOps/s", "Ops/s/xtor", "TeraOps/s/mm2"
+    );
+    row(&TSP_GEN1);
+    row(&VOLTA_V100);
+    println!();
+    let ratio = TSP_GEN1.ops_per_transistor() / VOLTA_V100.ops_per_transistor();
+    println!("TSP / V100 conversion-rate ratio: {ratio:.1}x  (paper: 30K vs 6.2K ~= 4.8x)");
+    println!("TSP computational density: {:.2} TeraOps/s/mm2 (paper abstract: > 1)", TSP_GEN1.ops_per_mm2() / 1e12);
+}

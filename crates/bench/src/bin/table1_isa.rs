@@ -1,0 +1,11 @@
+//! E6 / Table I — the ISA summary, regenerated from the instruction
+//! definitions themselves so documentation cannot drift.
+
+fn main() {
+    println!("# Table I: Summary of instructions for each functional slice");
+    println!();
+    print!("{}", tsp_isa::table::isa_summary_markdown());
+    println!();
+    println!("({} instruction rows across 6 functional areas)",
+             tsp_isa::table::isa_summary().len());
+}

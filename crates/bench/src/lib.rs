@@ -1,0 +1,7 @@
+//! # tsp-bench — the experiment harness
+//!
+//! One binary per paper table/figure (see DESIGN.md §3 for the experiment
+//! index), plus ablation studies and Criterion micro-benchmarks. Binaries
+//! print the same rows/series the paper reports, ready for EXPERIMENTS.md.
+
+#![warn(missing_docs)]

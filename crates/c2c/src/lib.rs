@@ -1,0 +1,290 @@
+//! # tsp-c2c — chip-to-chip fabric
+//!
+//! Couples several simulated TSPs through their C2C links (paper §II item 6:
+//! sixteen ×4 links at 30 Gb/s, 3.84 Tb/s of pin bandwidth, flexibly
+//! partitionable into high-radix interconnects for large-scale systems).
+//!
+//! Because each chip is fully deterministic and links are made deterministic
+//! by `Deskew` (the paper's answer to plesiochronous link clocks), a
+//! multi-chip system can be simulated as a **feed-forward cascade**: run each
+//! chip in dependency order, moving its egress vectors onto its neighbours'
+//! ingress queues with the link's fixed wire latency. The compiler-visible
+//! contract is unchanged: a `Receive` must be scheduled no earlier than the
+//! vector's deterministic arrival.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tsp_arch::Cycle;
+use tsp_isa::LinkId;
+use tsp_sim::chip::{RunOptions, RunReport};
+use tsp_sim::{Chip, Program, SimError};
+
+/// A fixed-latency, deterministic point-to-point link between two chips.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Wire {
+    /// Sending chip index.
+    pub from_chip: usize,
+    /// Sending chip's link.
+    pub from_link: LinkId,
+    /// Receiving chip index.
+    pub to_chip: usize,
+    /// Receiving chip's link.
+    pub to_link: LinkId,
+    /// Wire latency in core-clock cycles (serialization + flight; ≈21 cycles
+    /// for a 320-byte vector at 4×30 Gb/s against a 1 GHz core, plus skew
+    /// absorbed by `Deskew`).
+    pub latency: u32,
+}
+
+/// A multi-chip system: chips plus the wires between them.
+#[derive(Debug, Default)]
+pub struct Fabric {
+    chips: Vec<Chip>,
+    wires: Vec<Wire>,
+}
+
+/// Per-chip run results of a fabric execution.
+#[derive(Debug)]
+pub struct FabricReport {
+    /// One report per chip, in chip order.
+    pub reports: Vec<RunReport>,
+}
+
+impl Fabric {
+    /// Creates an empty fabric.
+    #[must_use]
+    pub fn new() -> Fabric {
+        Fabric::default()
+    }
+
+    /// Adds a chip; returns its index.
+    pub fn add_chip(&mut self, chip: Chip) -> usize {
+        self.chips.push(chip);
+        self.chips.len() - 1
+    }
+
+    /// Borrow a chip.
+    #[must_use]
+    pub fn chip(&self, index: usize) -> &Chip {
+        &self.chips[index]
+    }
+
+    /// Mutably borrow a chip (loading memory, injecting inputs).
+    #[must_use]
+    pub fn chip_mut(&mut self, index: usize) -> &mut Chip {
+        &mut self.chips[index]
+    }
+
+    /// Connects two chips with a wire.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either chip index is out of range, if the wire would form a
+    /// cycle in chip order (the cascade runs chips in ascending index order),
+    /// or if the receiving (chip, link) is already wired.
+    pub fn connect(&mut self, wire: Wire) {
+        assert!(wire.from_chip < self.chips.len(), "from_chip out of range");
+        assert!(wire.to_chip < self.chips.len(), "to_chip out of range");
+        assert!(
+            wire.from_chip < wire.to_chip,
+            "wires must go from a lower to a higher chip index (feed-forward cascade)"
+        );
+        assert!(
+            !self
+                .wires
+                .iter()
+                .any(|w| w.to_chip == wire.to_chip && w.to_link == wire.to_link),
+            "receiving link already wired"
+        );
+        self.wires.push(wire);
+    }
+
+    /// Runs one program per chip (index-aligned), cascading egress vectors
+    /// across the wires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from any chip.
+    pub fn run(
+        &mut self,
+        programs: &[Program],
+        options: &RunOptions,
+    ) -> Result<FabricReport, SimError> {
+        assert_eq!(programs.len(), self.chips.len(), "one program per chip");
+        let mut reports = Vec::with_capacity(self.chips.len());
+        // Pending deliveries per receiving chip.
+        let mut inbox: BTreeMap<usize, Vec<(LinkId, Cycle, Arc<tsp_sim::StreamWord>)>> =
+            BTreeMap::new();
+
+        for (i, program) in programs.iter().enumerate() {
+            if let Some(deliveries) = inbox.remove(&i) {
+                for (link, arrival, word) in deliveries {
+                    self.chips[i].inject_ingress(link, arrival, word);
+                }
+            }
+            let report = self.chips[i].run(program, options)?;
+            for (link, departed, word) in &report.egress {
+                for wire in self.wires.iter().filter(|w| {
+                    w.from_chip == i && w.from_link.index() == *link
+                }) {
+                    inbox.entry(wire.to_chip).or_default().push((
+                        wire.to_link,
+                        departed + Cycle::from(wire.latency),
+                        word.clone(),
+                    ));
+                }
+            }
+            reports.push(report);
+        }
+        Ok(FabricReport { reports })
+    }
+
+    /// Aggregate off-chip bandwidth of the fabric's wires in bits/second,
+    /// assuming each is a ×4 link at 30 Gb/s (paper: 16 such links per chip
+    /// give 3.84 Tb/s including both directions).
+    #[must_use]
+    pub fn wire_bandwidth_bps(&self) -> f64 {
+        self.wires.len() as f64 * tsp_arch::config::C2C_LINK_GBPS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_arch::{ChipConfig, Hemisphere, Slice, StreamId, Vector};
+    use tsp_isa::{C2cOp, MemAddr, MemOp};
+    use tsp_mem::GlobalAddress;
+    use tsp_sim::IcuId;
+
+    fn ga(h: Hemisphere, s: u8, w: u16) -> GlobalAddress {
+        GlobalAddress::new(h, s, MemAddr::new(w))
+    }
+
+    /// Chip 0 reads a vector and sends it on link 3; chip 1 receives it and
+    /// writes it to memory. The paper's Send/Receive primitives end to end.
+    #[test]
+    fn two_chip_send_receive() {
+        let mut fabric = Fabric::new();
+        let c0 = fabric.add_chip(Chip::new(ChipConfig::asic()));
+        let c1 = fabric.add_chip(Chip::new(ChipConfig::asic()));
+        fabric.connect(Wire {
+            from_chip: c0,
+            from_link: tsp_isa::LinkId::new(3),
+            to_chip: c1,
+            to_link: tsp_isa::LinkId::new(5),
+            latency: 21,
+        });
+
+        let payload = Vector::from_fn(|i| (i * 3) as u8);
+        fabric
+            .chip_mut(c0)
+            .memory
+            .write(ga(Hemisphere::East, 10, 0), payload.clone());
+
+        // Chip 0: read MEM_E10 → S0.E toward the east edge; Send on link 3
+        // (C2C port 1 sits at the east MXM edge, position 92).
+        let mut p0 = Program::new();
+        p0.builder(IcuId::Mem {
+            hemisphere: Hemisphere::East,
+            index: 10,
+        })
+        .push(MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(0),
+        });
+        let mem10 = Slice::mem(Hemisphere::East, 10).position();
+        let edge = Slice::Mxm(Hemisphere::East).position();
+        let t_send = 5 + u64::from(edge.0 - mem10.0);
+        p0.builder(IcuId::C2c { port: 1 }).push_at(
+            t_send,
+            C2cOp::Send {
+                link: tsp_isa::LinkId::new(3),
+                stream: StreamId::east(0),
+            },
+        );
+
+        // Chip 1: Receive on link 5 at the east edge well after arrival, then
+        // a MEM slice writes the stream as it flows west.
+        let t_recv = 200u64;
+        let mut p1 = Program::new();
+        p1.builder(IcuId::C2c { port: 1 }).push_at(
+            t_recv,
+            C2cOp::Receive {
+                link: tsp_isa::LinkId::new(5),
+                stream: StreamId::west(7),
+            },
+        );
+        // Value appears at the edge (92) at t_recv + 2, reaching MEM_E20
+        // (pos 67) 25 hops later.
+        let mem20 = Slice::mem(Hemisphere::East, 20).position();
+        let t_write = t_recv + 2 + u64::from(edge.0 - mem20.0);
+        p1.builder(IcuId::Mem {
+            hemisphere: Hemisphere::East,
+            index: 20,
+        })
+        .push_at(
+            t_write,
+            MemOp::Write {
+                addr: MemAddr::new(9),
+                stream: StreamId::west(7),
+            },
+        );
+
+        let report = fabric
+            .run(&[p0, p1], &RunOptions::default())
+            .expect("fabric runs");
+        assert_eq!(report.reports.len(), 2);
+        let got = fabric
+            .chip(c1)
+            .memory
+            .read_unchecked(ga(Hemisphere::East, 20, 9));
+        assert_eq!(got, payload);
+    }
+
+    /// Receiving before the vector's deterministic arrival is a scheduling
+    /// fault, exactly like a mistimed stream read on chip.
+    #[test]
+    fn early_receive_faults() {
+        let mut fabric = Fabric::new();
+        let c0 = fabric.add_chip(Chip::new(ChipConfig::asic()));
+        let _c1 = fabric.add_chip(Chip::new(ChipConfig::asic()));
+        fabric.connect(Wire {
+            from_chip: c0,
+            from_link: tsp_isa::LinkId::new(0),
+            to_chip: 1,
+            to_link: tsp_isa::LinkId::new(0),
+            latency: 21,
+        });
+        let mut p1 = Program::new();
+        p1.builder(IcuId::C2c { port: 1 }).push_at(
+            0, // nothing can have arrived at cycle 0
+            C2cOp::Receive {
+                link: tsp_isa::LinkId::new(0),
+                stream: StreamId::west(0),
+            },
+        );
+        let err = fabric
+            .run(&[Program::new(), p1], &RunOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, SimError::LinkEmpty { link: 0, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "feed-forward")]
+    fn backward_wires_are_rejected() {
+        let mut fabric = Fabric::new();
+        let _ = fabric.add_chip(Chip::new(ChipConfig::asic()));
+        let _ = fabric.add_chip(Chip::new(ChipConfig::asic()));
+        fabric.connect(Wire {
+            from_chip: 1,
+            from_link: tsp_isa::LinkId::new(0),
+            to_chip: 0,
+            to_link: tsp_isa::LinkId::new(0),
+            latency: 21,
+        });
+    }
+}

@@ -1,0 +1,768 @@
+//! 2-D convolution by offset accumulation (paper §IV: conv2d is lowered onto
+//! the same MXM pass machinery as matmul).
+//!
+//! A `k×k` convolution is the sum over the k² spatial offsets of an ordinary
+//! `[N, C_in] × [C_in, C_out]` matmul whose activation rows are *shifted*
+//! pixel rows:
+//!
+//! ```text
+//! y[p, co] = Σ_{δ} Σ_{ci} x[p·s + δ, ci] · w[δ, ci, co]
+//! ```
+//!
+//! Feature maps are stored with their padding border materialized (border
+//! rows stay zero), so every shifted row index is valid and each offset pass
+//! is a plain strided row sequence — `Read`+`Repeat` bursts for stride 1,
+//! per-row reads otherwise. Passes accumulate in the plane's int32
+//! accumulators (`ACC` accumulate mode).
+//!
+//! When there are fewer M-splits than planes, the offset passes are split
+//! *across* planes (the paper's "four simultaneous conv2d" regime); each
+//! plane's int32 partial is spilled to scratch SRAM byte-planes, then a merge
+//! stage streams the partials back through the VXM — saturating int32 adds,
+//! requantize, ReLU — and writes the finished rows into the output feature
+//! map (and its replicas) in one pipelined pass.
+//!
+//! Output and scratch tensors are allocated **after** their write times are
+//! known, on slices whose ports are free by then (see
+//! [`Scheduler::alloc_for_write`]): stream-dictated writes can then never
+//! collide with already-scheduled bursts.
+
+use tsp_arch::{Direction, Hemisphere, Slice, StreamGroup, StreamId, Vector};
+use tsp_isa::Plane;
+
+use crate::alloc::BankPolicy;
+use crate::kernels::matmul::{
+    schedule_requant_write, Int32Stream, OutSpec, Pass, PlaneChainBuilder,
+};
+use crate::sched::{Scheduler, D_READ};
+use crate::tensor::TensorHandle;
+
+/// A feature map: `h×w` pixels of `c` channels, stored row-major over a
+/// materialized padding border of `pad` pixels. Channels are split into
+/// ≤320-wide parts; each part may have several replicas for concurrent
+/// streaming.
+#[derive(Debug, Clone)]
+pub struct FeatureMap {
+    /// Height in (unpadded) pixels.
+    pub h: u32,
+    /// Width in (unpadded) pixels.
+    pub w: u32,
+    /// Channels.
+    pub c: u32,
+    /// Materialized border width in pixels.
+    pub pad: u32,
+    /// `parts[kpart][replica]`: tensors of `(h+2pad)·(w+2pad)` rows.
+    pub parts: Vec<Vec<TensorHandle>>,
+}
+
+impl FeatureMap {
+    /// Padded width.
+    #[must_use]
+    pub fn pw(&self) -> u32 {
+        self.w + 2 * self.pad
+    }
+
+    /// Padded height.
+    #[must_use]
+    pub fn ph(&self) -> u32 {
+        self.h + 2 * self.pad
+    }
+
+    /// Total stored rows per part (padded pixels).
+    #[must_use]
+    pub fn rows_total(&self) -> u32 {
+        self.ph() * self.pw()
+    }
+
+    /// Row index of (unpadded) pixel `(y, x)`.
+    #[must_use]
+    pub fn row_index(&self, y: u32, x: u32) -> u32 {
+        (y + self.pad) * self.pw() + (x + self.pad)
+    }
+
+    /// Number of channel parts.
+    #[must_use]
+    pub fn kparts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// The interior as write segments: one `(first_row, w)` run per pixel row.
+    #[must_use]
+    pub fn interior_segments(&self) -> Vec<(u32, u32)> {
+        (0..self.h).map(|y| (self.row_index(y, 0), self.w)).collect()
+    }
+
+    /// The row sequence an offset pass streams: for every output pixel
+    /// `(oy, ox)` of an `oh×ow` output with stride `s`, the input row at
+    /// `(oy·s + dy − off, ox·s + dx − off)` in padded coordinates, where
+    /// `off` is the conv's logical padding (≤ the materialized `pad`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset walks outside the materialized border.
+    #[must_use]
+    pub fn offset_rows(
+        &self,
+        oh: u32,
+        ow: u32,
+        stride: u32,
+        dy: u32,
+        dx: u32,
+        logical_pad: u32,
+    ) -> Vec<u32> {
+        assert!(
+            logical_pad <= self.pad,
+            "conv needs pad {logical_pad} but only {} materialized",
+            self.pad
+        );
+        let shift = self.pad - logical_pad;
+        let mut rows = Vec::with_capacity((oh * ow) as usize);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let py = oy * stride + dy + shift;
+                let px = ox * stride + dx + shift;
+                assert!(py < self.ph() && px < self.pw(), "offset outside border");
+                rows.push(py * self.pw() + px);
+            }
+        }
+        rows
+    }
+}
+
+/// Convolution weights: one LW-order handle per (offset, kpart, mpart),
+/// with optional replicas.
+#[derive(Debug, Clone)]
+pub struct ConvWeights {
+    /// Kernel size `k` (k×k window).
+    pub kernel: u32,
+    /// Input channels.
+    pub c_in: u32,
+    /// Output channels.
+    pub c_out: u32,
+    /// `passes[offset][kpart][mpart][replica]`; offsets ordered `dy·k + dx`.
+    pub passes: Vec<Vec<Vec<Vec<TensorHandle>>>>,
+}
+
+/// Parameters of a [`conv2d`].
+#[derive(Debug, Clone)]
+pub struct Conv2dParams {
+    /// Stride.
+    pub stride: u32,
+    /// Logical zero padding (must be materialized in the input's border).
+    pub pad: u32,
+    /// Power-of-two requantization shift for the int32→int8 conversion.
+    pub requant_shift: i8,
+    /// Fused ReLU.
+    pub relu: bool,
+    /// Border to materialize around the *output* (what downstream convs need).
+    pub out_pad: u32,
+    /// Output hemisphere.
+    pub out_hemisphere: Hemisphere,
+    /// Replicas per output part.
+    pub out_replicas: u8,
+    /// Schedule nothing before this cycle.
+    pub not_before: u64,
+}
+
+impl Default for Conv2dParams {
+    fn default() -> Conv2dParams {
+        Conv2dParams {
+            stride: 1,
+            pad: 0,
+            requant_shift: 0,
+            relu: false,
+            out_pad: 0,
+            out_hemisphere: Hemisphere::West,
+            out_replicas: 1,
+            not_before: 0,
+        }
+    }
+}
+
+/// Spills an int32 stream (SG4 at the VXM) into four byte-plane scratch
+/// tensors allocated on slices free by the spill's write time.
+fn spill_int32(
+    s: &mut Scheduler,
+    src: &Int32Stream,
+    n: u32,
+    avoid: &mut Vec<(Hemisphere, u8)>,
+) -> Result<([TensorHandle; 4], u64), crate::kernels::matmul::OutOfPorts> {
+    let vxm = Slice::Vxm.position();
+    // Spill slices must be downstream of the VXM in the stream's direction.
+    let hem = match src.group.base.direction {
+        Direction::East => Hemisphere::East,
+        Direction::West => Hemisphere::West,
+    };
+    let mut tensors: Vec<TensorHandle> = Vec::with_capacity(4);
+    for _ in 0..4 {
+        let Some(t) = s.try_alloc_for_write(
+            Some(hem),
+            n,
+            320,
+            BankPolicy::High,
+            4096,
+            src.t_at_vxm,
+            avoid,
+        ) else {
+            for t in &tensors {
+                s.alloc.free(t);
+            }
+            return Err(crate::kernels::matmul::OutOfPorts {
+                t_write: src.t_at_vxm,
+            });
+        };
+        avoid.extend(t.layout.slices());
+        tensors.push(t);
+    }
+    let tensors: [TensorHandle; 4] = tensors.try_into().expect("exactly four byte planes");
+    let mut landed = 0u64;
+    for (i, t) in tensors.iter().enumerate() {
+        let stream = StreamId::new(src.group.base.id + i as u8, src.group.base.direction);
+        s.write_rows(t, 0, n, stream, vxm, src.t_at_vxm);
+        // Last row committed: value n−1 at the VXM at t+n−1, plus transit to
+        // the farthest destination slice, plus the write's d_func.
+        let max_hops = t
+            .layout
+            .slices()
+            .map(|(h, sl)| {
+                u64::from(
+                    src.group
+                        .base
+                        .direction
+                        .hops(vxm, Slice::mem(h, sl).position())
+                        .expect("spill is downstream"),
+                )
+            })
+            .max()
+            .unwrap_or(0);
+        landed = landed.max(src.t_at_vxm + u64::from(n) + max_hops + 1);
+    }
+    Ok((tensors, landed))
+}
+
+/// Schedules a 2-D convolution, returning the output feature map and the
+/// completion cycle.
+///
+/// # Panics
+///
+/// Panics on inconsistent shapes or insufficient materialized padding.
+pub fn conv2d(
+    s: &mut Scheduler,
+    input: &FeatureMap,
+    weights: &ConvWeights,
+    params: &Conv2dParams,
+) -> (FeatureMap, u64) {
+    let k = weights.kernel;
+    assert_eq!(weights.passes.len(), (k * k) as usize, "offset count");
+    assert_eq!(input.c, weights.c_in, "channel mismatch");
+    let oh = (input.h + 2 * params.pad - k) / params.stride + 1;
+    let ow = (input.w + 2 * params.pad - k) / params.stride + 1;
+    let n = oh * ow;
+    let kparts = input.kparts();
+    let mparts = weights.c_out.div_ceil(320) as usize;
+    let rows_total = (oh + 2 * params.out_pad) * (ow + 2 * params.out_pad);
+
+    // Output geometry; part tensors are added as their write times are known.
+    let mut out = FeatureMap {
+        h: oh,
+        w: ow,
+        c: weights.c_out,
+        pad: params.out_pad,
+        parts: Vec::new(),
+    };
+    let segments = out.interior_segments();
+
+    // Row sequences per offset (shared across kparts and mparts).
+    let offset_rows: Vec<Vec<u32>> = (0..k)
+        .flat_map(|dy| (0..k).map(move |dx| (dy, dx)))
+        .map(|(dy, dx)| input.offset_rows(oh, ow, params.stride, dy, dx, params.pad))
+        .collect();
+
+    // All (offset, kpart) pass descriptors for one mpart.
+    let pass_ids: Vec<(usize, usize)> = (0..(k * k) as usize)
+        .flat_map(|o| (0..kparts).map(move |kp| (o, kp)))
+        .collect();
+
+    let planes_per_mpart = (4 / mparts.max(1)).clamp(1, pass_ids.len().max(1));
+    let mut done = params.not_before;
+    // Replicas across all mparts stay slice-disjoint (consumers stream the
+    // parts concurrently).
+    let mut out_avoid: Vec<(Hemisphere, u8)> = Vec::new();
+
+    for mpart in 0..mparts {
+        let mcols = (weights.c_out - mpart as u32 * 320).min(320) as u16;
+        let chunks: Vec<&[(usize, usize)]> = pass_ids
+            .chunks(pass_ids.len().div_ceil(planes_per_mpart))
+            .collect();
+        let spill = chunks.len() > 1;
+        let mut attempt_result = None;
+        // Escalation ladder: quantile floors first, then absolute floors
+        // derived from the failing write time (tight stream pools need the
+        // whole chain pushed past the congestion, not just past the ports).
+        let mut abs_floor = 0u64;
+        for try_idx in 0u32..8 {
+        let quantile = [0.5, 0.9, 1.0][(try_idx as usize).min(2)];
+        let snap = s.snapshot();
+        let mut sources: Vec<[TensorHandle; 4]> = Vec::new();
+        let mut scratch_avoid: Vec<(Hemisphere, u8)> = Vec::new();
+        let mut direct: Option<Int32Stream> = None;
+        let mut spills_landed = 0u64;
+        let mut spill_failed: Option<crate::kernels::matmul::OutOfPorts> = None;
+
+        // Floor so that by the chains' write times enough of the output
+        // hemisphere's ports are free (escalates on retry).
+        let floor = params
+            .not_before
+            .max(s.port_quantile(params.out_hemisphere, quantile));
+        // Schedule the chunks' chains INTERLEAVED, pass by pass, so they run
+        // plane-parallel instead of serializing on stream reservations.
+        let mut builders: Vec<PlaneChainBuilder> = (0..chunks.len())
+            .map(|ci| {
+                let plane = Plane::new(((mpart * planes_per_mpart + ci) % 4) as u8);
+                PlaneChainBuilder::new(s, plane, u64::from(n), floor)
+            })
+            .collect();
+        let max_passes = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+        for p in 0..max_passes {
+            for (ci, chunk) in chunks.iter().enumerate() {
+                let Some(&(o, kp)) = chunk.get(p) else { continue };
+                let wreps = &weights.passes[o][kp][mpart];
+                let areps = &input.parts[kp];
+                let pass = Pass {
+                    weights: &wreps[ci % wreps.len()],
+                    acts: &areps[ci % areps.len()],
+                    rows: &offset_rows[o],
+                };
+                builders[ci].add_pass(s, &pass);
+            }
+        }
+        for builder in builders {
+            let int32 = builder.finish();
+            if spill {
+                match spill_int32(s, &int32, n, &mut scratch_avoid) {
+                    Ok((tensors, landed)) => {
+                        sources.push(tensors);
+                        spills_landed = spills_landed.max(landed);
+                    }
+                    Err(e) => {
+                        spill_failed = Some(e);
+                        break;
+                    }
+                }
+            } else {
+                direct = Some(int32);
+            }
+        }
+
+        let spec = OutSpec {
+            rows_total,
+            cols: mcols,
+            segments: segments.clone(),
+            hemisphere: params.out_hemisphere,
+            policy: BankPolicy::High,
+            replicas: params.out_replicas,
+            max_block: 4096,
+        };
+        let attempt = if let Some(e) = spill_failed {
+            Err(e)
+        } else if let Some(int32) = direct {
+            schedule_requant_write(
+                s,
+                &[int32],
+                u64::from(n),
+                params.requant_shift,
+                params.relu,
+                &spec,
+            )
+        } else {
+            // Merge stage: stream every partial's four byte-planes back so
+            // partial p arrives at the VXM exactly when its adder stage runs.
+            let rows: Vec<u32> = (0..n).collect();
+            let mut t0 = s.pool.floor().max(params.not_before);
+            let mut groups: Vec<(u8, Direction)> = Vec::new();
+            for part in &sources {
+                let hem = crate::kernels::elementwise::tensor_hemisphere(&part[0]);
+                let dir = Direction::inward_from(hem);
+                let claimed: Vec<u8> = groups
+                    .iter()
+                    .filter(|(_, d)| *d == dir)
+                    .map(|(b, _)| *b)
+                    .collect();
+                let (base, ready) = s.take_aligned_group_excluding(dir, 4, t0, &claimed);
+                t0 = t0.max(ready);
+                groups.push((base, dir));
+            }
+            for (part, (_, dir)) in sources.iter().zip(&groups) {
+                for t in part.iter() {
+                    t0 = s.earliest_read_arrival(t, &rows, *dir, Slice::Vxm.position(), t0);
+                }
+            }
+            // The spilled rows must be in SRAM before they are read back,
+            // and the merge's adder/convert stream picks must clear the
+            // chains' own reservation tails (which end ≤ 128 cycles after
+            // the last spill lands) — bound on both, locally.
+            t0 = t0.max(spills_landed + D_READ + 128);
+            let stagger = |p: usize| (p.max(1) as u64 - 1) * crate::sched::D_VXM;
+            for (p, (part, (base, dir))) in sources.iter().zip(&groups).enumerate() {
+                for (i, t) in part.iter().enumerate() {
+                    s.read_rows(
+                        t,
+                        &rows,
+                        StreamId::new(base + i as u8, *dir),
+                        Slice::Vxm.position(),
+                        t0 + stagger(p),
+                    );
+                }
+            }
+            let aligned: Vec<Int32Stream> = groups
+                .iter()
+                .enumerate()
+                .map(|(p, &(base, dir))| Int32Stream {
+                    group: StreamGroup::new(StreamId::new(base, dir), 4),
+                    t_at_vxm: t0 + stagger(p),
+                })
+                .collect();
+            let r = schedule_requant_write(
+                s,
+                &aligned,
+                u64::from(n),
+                params.requant_shift,
+                params.relu,
+                &spec,
+            );
+            if r.is_ok() {
+                // The spill scratch is dead once the merge is scheduled.
+                for part in &sources {
+                    for t in part.iter() {
+                        s.alloc.free(t);
+                    }
+                }
+            }
+            r
+        };
+        match attempt {
+            Ok(r) => {
+                out_avoid.extend(r.0.iter().flat_map(|t| t.layout.slices()));
+                attempt_result = Some(r);
+                break;
+            }
+            Err(e) => {
+                abs_floor = abs_floor.max(e.t_write + (256u64 << try_idx.min(4)));
+                s.restore(&snap);
+            }
+        }
+        } // retry loop
+        let (reps, end) = attempt_result.unwrap_or_else(|| {
+            panic!(
+                "conv2d mpart {mpart}: no port/space after retries                  (n={n}, spill={spill}, free_words={}, largest High block={})",
+                s.alloc.free_words(),
+                s.alloc.largest_block(BankPolicy::High),
+            )
+        });
+        let _ = &out_avoid;
+        done = done.max(end);
+        out.parts.push(reps);
+    }
+    (out, done)
+}
+
+/// Builds a zero-initialized feature-map *input* allocation the host fills
+/// with image data (used by graph compilation for the network input).
+pub fn alloc_feature_map(
+    s: &mut Scheduler,
+    h: u32,
+    w: u32,
+    c: u32,
+    pad: u32,
+    hemisphere: Hemisphere,
+    replicas: u8,
+) -> FeatureMap {
+    let kparts = c.div_ceil(320) as usize;
+    let mut avoid: Vec<(Hemisphere, u8)> = Vec::new();
+    FeatureMap {
+        h,
+        w,
+        c,
+        pad,
+        parts: (0..kparts)
+            .map(|kp| {
+                let cols = (c - kp as u32 * 320).min(320) as u16;
+                (0..replicas.max(1))
+                    .map(|_| {
+                        let t = s
+                            .alloc
+                            .alloc_avoiding(
+                                Some(hemisphere),
+                                (h + 2 * pad) * (w + 2 * pad),
+                                cols,
+                                BankPolicy::High,
+                                4096,
+                                &avoid,
+                            )
+                            .expect("SRAM exhausted for input feature map");
+                        avoid.extend(t.layout.slices());
+                        t
+                    })
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Serializes a conv weight tensor `w[c_out][c_in][k][k]` (as nested vecs)
+/// into the per-(offset, kpart, mpart) LW-order constant handles.
+///
+/// # Panics
+///
+/// Panics on inconsistent nesting.
+pub fn emplace_conv_weights(
+    s: &mut Scheduler,
+    w: &[Vec<Vec<Vec<i8>>>],
+    replicas: u8,
+) -> ConvWeights {
+    let c_out = w.len() as u32;
+    let c_in = w[0].len() as u32;
+    let k = w[0][0].len() as u32;
+    let kparts = c_in.div_ceil(320) as usize;
+    let mparts = c_out.div_ceil(320) as usize;
+    let mut passes = Vec::with_capacity((k * k) as usize);
+    for dy in 0..k {
+        for dx in 0..k {
+            let mut per_kpart = Vec::with_capacity(kparts);
+            for kp in 0..kparts {
+                let kcols = (c_in - kp as u32 * 320).min(320);
+                let mut per_mpart = Vec::with_capacity(mparts);
+                for mp in 0..mparts {
+                    let mrows = (c_out - mp as u32 * 320).min(320);
+                    // LW order: handle row j*20 + r = array row 16r + j.
+                    let mut rows = Vec::with_capacity(320);
+                    for j in 0..16u32 {
+                        for r in 0..20u32 {
+                            let m = 16 * r + j; // output channel within mpart
+                            let mut v = Vector::ZERO;
+                            if m < mrows {
+                                let co = (mp as u32 * 320 + m) as usize;
+                                for lane in 0..kcols {
+                                    let ci = (kp as u32 * 320 + lane) as usize;
+                                    v.set_lane(
+                                        lane as usize,
+                                        w[co][ci][dy as usize][dx as usize] as u8,
+                                    );
+                                }
+                            }
+                            rows.push(v);
+                        }
+                    }
+                    let reps: Vec<TensorHandle> = (0..replicas.max(1))
+                        .map(|_| {
+                            s.add_constant(rows.clone(), kcols as u16, BankPolicy::Low, 20)
+                        })
+                        .collect();
+                    per_mpart.push(reps);
+                }
+                per_kpart.push(per_mpart);
+            }
+            passes.push(per_kpart);
+        }
+    }
+    ConvWeights {
+        kernel: k,
+        c_in,
+        c_out,
+        passes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_arch::ChipConfig;
+    use tsp_sim::chip::RunOptions;
+    use tsp_sim::Chip;
+
+    /// Reference conv2d on i8 with power-of-two requant.
+    fn reference_conv(
+        x: &[Vec<Vec<i8>>], // [h][w][c]
+        w: &[Vec<Vec<Vec<i8>>>], // [co][ci][ky][kx]
+        stride: u32,
+        pad: u32,
+        shift: i8,
+        relu: bool,
+    ) -> Vec<Vec<Vec<i8>>> {
+        let h = x.len() as i64;
+        let wdt = x[0].len() as i64;
+        let cin = x[0][0].len();
+        let cout = w.len();
+        let k = w[0][0].len() as i64;
+        let oh = ((h + 2 * i64::from(pad) - k) / i64::from(stride) + 1) as usize;
+        let ow = ((wdt + 2 * i64::from(pad) - k) / i64::from(stride) + 1) as usize;
+        let mut out = vec![vec![vec![0i8; cout]; ow]; oh];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                for co in 0..cout {
+                    let mut acc = 0i64;
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = oy as i64 * i64::from(stride) + ky - i64::from(pad);
+                            let ix = ox as i64 * i64::from(stride) + kx - i64::from(pad);
+                            if iy < 0 || ix < 0 || iy >= h || ix >= wdt {
+                                continue;
+                            }
+                            for ci in 0..cin {
+                                acc += i64::from(x[iy as usize][ix as usize][ci])
+                                    * i64::from(w[co][ci][ky as usize][kx as usize]);
+                            }
+                        }
+                    }
+                    let scaled = if shift > 0 {
+                        let half = 1i64 << (shift - 1);
+                        if acc >= 0 {
+                            (acc + half) >> shift
+                        } else {
+                            -((-acc + half) >> shift)
+                        }
+                    } else {
+                        acc
+                    };
+                    let mut v = scaled.clamp(-128, 127) as i8;
+                    if relu {
+                        v = v.max(0);
+                    }
+                    out[oy][ox][co] = v;
+                }
+            }
+        }
+        out
+    }
+
+    fn run_conv_case(h: u32, w: u32, cin: u32, cout: u32, k: u32, stride: u32, pad: u32, relu: bool) {
+        let mut s = Scheduler::new();
+
+        // Deterministic pseudo-random data.
+        let mut seed = 42u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) % 7) as i8 - 3
+        };
+        let x_data: Vec<Vec<Vec<i8>>> = (0..h)
+            .map(|_| (0..w).map(|_| (0..cin).map(|_| next()).collect()).collect())
+            .collect();
+        let w_data: Vec<Vec<Vec<Vec<i8>>>> = (0..cout)
+            .map(|_| {
+                (0..cin)
+                    .map(|_| (0..k).map(|_| (0..k).map(|_| next()).collect()).collect())
+                    .collect()
+            })
+            .collect();
+
+        let input = alloc_feature_map(&mut s, h, w, cin, pad, Hemisphere::East, 4);
+        let weights = emplace_conv_weights(&mut s, &w_data, 1);
+        let params = Conv2dParams {
+            stride,
+            pad,
+            requant_shift: 4,
+            relu,
+            out_hemisphere: Hemisphere::West,
+            ..Conv2dParams::default()
+        };
+        let (out, _) = conv2d(&mut s, &input, &weights, &params);
+
+        let constants = s.take_constants();
+        let program = s.into_program().expect("valid schedule");
+        let mut chip = Chip::new(ChipConfig::asic());
+        for (handle, rows) in &constants {
+            for (r, v) in rows.iter().enumerate() {
+                chip.memory.write(handle.row(r as u32), v.clone());
+            }
+        }
+        // Fill every input replica with the image.
+        for reps in &input.parts {
+            for rep in reps {
+                for y in 0..h {
+                    for xp in 0..w {
+                        let mut v = Vector::ZERO;
+                        for c in 0..cin as usize {
+                            v.set_lane(c, x_data[y as usize][xp as usize][c] as u8);
+                        }
+                        chip.memory.write(rep.row(input.row_index(y, xp)), v);
+                    }
+                }
+            }
+        }
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+
+        let expect = reference_conv(&x_data, &w_data, stride, pad, 4, relu);
+        for oy in 0..out.h {
+            for ox in 0..out.w {
+                let got = chip
+                    .memory
+                    .read_unchecked(out.parts[0][0].row(out.row_index(oy, ox)));
+                for c in 0..cout as usize {
+                    assert_eq!(
+                        got.lane(c) as i8,
+                        expect[oy as usize][ox as usize][c],
+                        "pixel ({oy},{ox}) ch {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv3x3_stride1_pad1_matches_reference() {
+        run_conv_case(6, 6, 8, 5, 3, 1, 1, false);
+    }
+
+    #[test]
+    fn conv3x3_stride2_matches_reference() {
+        run_conv_case(7, 7, 4, 6, 3, 2, 1, true);
+    }
+
+    #[test]
+    fn conv1x1_is_a_matmul() {
+        run_conv_case(5, 5, 10, 12, 1, 1, 0, false);
+    }
+
+    #[test]
+    fn conv_with_output_border_keeps_border_zero() {
+        let mut s = Scheduler::new();
+        let x_data = vec![vec![vec![1i8; 3]; 4]; 4];
+        let w_data = vec![vec![vec![vec![1i8]]; 3]; 2];
+        let input = alloc_feature_map(&mut s, 4, 4, 3, 0, Hemisphere::East, 4);
+        let weights = emplace_conv_weights(&mut s, &w_data, 1);
+        let params = Conv2dParams {
+            out_pad: 1,
+            out_hemisphere: Hemisphere::West,
+            ..Conv2dParams::default()
+        };
+        let (out, _) = conv2d(&mut s, &input, &weights, &params);
+        let constants = s.take_constants();
+        let program = s.into_program().unwrap();
+        let mut chip = Chip::new(ChipConfig::asic());
+        for (handle, rows) in &constants {
+            for (r, v) in rows.iter().enumerate() {
+                chip.memory.write(handle.row(r as u32), v.clone());
+            }
+        }
+        for rep in &input.parts[0] {
+            for y in 0..4 {
+                for x in 0..4 {
+                    let mut v = Vector::ZERO;
+                    for c in 0..3 {
+                        v.set_lane(c, x_data[y as usize][x as usize][c] as u8);
+                    }
+                    chip.memory.write(rep.row(input.row_index(y, x)), v);
+                }
+            }
+        }
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+        // Interior: 1×1 conv of all-ones on 3 channels of 1 = 3.
+        let got = chip
+            .memory
+            .read_unchecked(out.parts[0][0].row(out.row_index(0, 0)));
+        assert_eq!(got.lane(0) as i8, 3);
+        // Border row 0 of the padded output is untouched (zero).
+        let border = chip.memory.read_unchecked(out.parts[0][0].row(0));
+        assert!(border.is_zero());
+    }
+}

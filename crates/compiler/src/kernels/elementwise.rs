@@ -1,0 +1,491 @@
+//! Element-wise kernels: streamed copies and point-wise VXM chains.
+//!
+//! Every kernel follows the paper's assembly-line discipline: operands are
+//! read from MEM onto streams, intercepted at the VXM, and the results
+//! written to MEM on the far side — one row per cycle at steady state, no
+//! intermediate spills (paper §II-E).
+
+use tsp_arch::{Direction, Hemisphere, Slice, StreamGroup};
+use tsp_isa::{AluIndex, BinaryAluOp, DataType, IcuOp, UnaryAluOp, VxmOp};
+use tsp_sim::IcuId;
+
+use crate::alloc::BankPolicy;
+use crate::resource::Resource;
+use crate::sched::{Scheduler, D_VXM};
+use crate::tensor::TensorHandle;
+
+/// The hemisphere a tensor lives in.
+///
+/// # Panics
+///
+/// Panics if the tensor spans both hemispheres (kernels require one-side
+/// allocation for single-stream bursts; allocate with `alloc_in`).
+#[must_use]
+pub fn tensor_hemisphere(t: &TensorHandle) -> Hemisphere {
+    let mut it = t.layout.slices();
+    let (h, _) = it.next().expect("tensor has at least one block");
+    for (h2, _) in it {
+        assert_eq!(h, h2, "tensor spans both hemispheres");
+    }
+    h
+}
+
+/// Picks the least-busy VXM ALU at-or-after `at`.
+#[must_use]
+pub fn pick_alu(s: &Scheduler, at: u64) -> (AluIndex, u64) {
+    let (alu, free) = (0..AluIndex::COUNT)
+        .map(|a| (a, s.pool.free_at(Resource::VxmAlu(a))))
+        .min_by_key(|&(a, f)| (f, a))
+        .expect("16 ALUs exist");
+    (AluIndex::new(alu), free.max(at))
+}
+
+/// Schedules a point-wise VXM chain over every row of the `inputs` (all the
+/// same row count), producing a fresh output tensor in `out_hemisphere`.
+///
+/// `make_op` receives the chosen operand stream groups, the result group and
+/// the ALU, and returns the VXM instruction to repeat row by row.
+#[allow(clippy::too_many_arguments)]
+fn ew_chain(
+    s: &mut Scheduler,
+    inputs: &[&TensorHandle],
+    cols: u16,
+    out_hemisphere: Hemisphere,
+    out_policy: BankPolicy,
+    not_before: u64,
+    out_replicas: u8,
+    post_relu: bool,
+    make_op: impl FnOnce(&[StreamGroup], StreamGroup, AluIndex) -> VxmOp,
+) -> (Vec<TensorHandle>, u64) {
+    let n = inputs[0].rows;
+    assert!(inputs.iter().all(|t| t.rows == n), "row count mismatch");
+    let rows: Vec<u32> = (0..n).collect();
+    let vxm = Slice::Vxm.position();
+
+    // Choose operand streams (one per input, inward from its hemisphere),
+    // excluding ids already claimed in the same direction.
+    let mut t0 = not_before;
+    let mut groups = Vec::new();
+    let mut claimed_e: Vec<u8> = Vec::new();
+    let mut claimed_w: Vec<u8> = Vec::new();
+    let claim = |dir: Direction, id: u8, e: &mut Vec<u8>, w: &mut Vec<u8>| match dir {
+        Direction::East => e.push(id),
+        Direction::West => w.push(id),
+    };
+    for input in inputs {
+        let dir = Direction::inward_from(tensor_hemisphere(input));
+        let exclude = match dir {
+            Direction::East => claimed_e.clone(),
+            Direction::West => claimed_w.clone(),
+        };
+        let (streams, ready) = s.take_streams_excluding(dir, 1, t0, &exclude);
+        t0 = ready;
+        claim(dir, streams[0].id, &mut claimed_e, &mut claimed_w);
+        groups.push(StreamGroup::new(streams[0], 1));
+    }
+    // Result stream flows outward into the output hemisphere; a chained
+    // post-ReLU needs a second stream in the same direction.
+    let out_dir = Direction::inward_from(out_hemisphere).opposite();
+    let mut exclude = match out_dir {
+        Direction::East => claimed_e.clone(),
+        Direction::West => claimed_w.clone(),
+    };
+    let (out_streams, ready) = s.take_streams_excluding(out_dir, 1, t0, &exclude);
+    t0 = ready;
+    let dst_group = StreamGroup::new(out_streams[0], 1);
+    exclude.push(dst_group.base.id);
+    let relu_group = if post_relu {
+        let (streams, ready) = s.take_streams_excluding(out_dir, 1, t0, &exclude);
+        t0 = ready;
+        Some(StreamGroup::new(streams[0], 1))
+    } else {
+        None
+    };
+    let write_delay = if post_relu { 2 * D_VXM } else { D_VXM };
+
+    let (alu, ready) = pick_alu(s, t0);
+    t0 = ready;
+    for input in inputs {
+        let dir = Direction::inward_from(tensor_hemisphere(input));
+        t0 = s.earliest_read_arrival(input, &rows, dir, vxm, t0);
+    }
+
+    // Allocate outputs before placing anything: if no slices have free
+    // write ports by t0 + D_VXM, push the whole chain later and retry.
+    // The kernel's *own* operand reads are scheduled after this allocation,
+    // so their slices must be excluded explicitly (the write lands only
+    // D_VXM + transit cycles behind the reads on any shared slice).
+    let input_slices: Vec<(Hemisphere, u8)> = inputs
+        .iter()
+        .flat_map(|t| t.layout.slices())
+        .collect();
+    let mut dsts: Vec<TensorHandle> = Vec::new();
+    let mut avoid: Vec<(Hemisphere, u8)> = input_slices.clone();
+    'alloc: loop {
+        for _ in dsts.len()..usize::from(out_replicas.max(1)) {
+            match s.try_alloc_for_write(
+                Some(out_hemisphere),
+                n,
+                cols,
+                out_policy,
+                4096,
+                t0 + write_delay,
+                &avoid,
+            ) {
+                Some(t) => {
+                    avoid.extend(t.layout.slices());
+                    dsts.push(t);
+                }
+                None => {
+                    // Wait for the soonest eligible port and retry.
+                    t0 = s.port_quantile(out_hemisphere, 0.25).max(t0 + 1);
+                    for d in dsts.drain(..) {
+                        s.alloc.free(&d);
+                    }
+                    avoid = input_slices.clone();
+                    for input in inputs {
+                        let dir = Direction::inward_from(tensor_hemisphere(input));
+                        t0 = s.earliest_read_arrival(input, &rows, dir, vxm, t0);
+                    }
+                    continue 'alloc;
+                }
+            }
+        }
+        break;
+    }
+
+    // Stream operands in.
+    for (input, group) in inputs.iter().zip(&groups) {
+        s.read_rows(input, &rows, group.base, vxm, t0);
+    }
+    // The repeated ALU op.
+    let op = make_op(&groups, dst_group, alu);
+    let icu = IcuId::Vxm { alu };
+    s.place(icu, t0, op);
+    if n > 1 {
+        s.place(
+            icu,
+            t0 + 1,
+            IcuOp::Repeat {
+                n: (n - 1) as u16,
+                d: 1,
+            },
+        );
+    }
+    s.pool.occupy(Resource::VxmAlu(alu.0), t0 + u64::from(n));
+
+    // Optional chained ReLU: consumes the result stream at its birth
+    // position (the VXM) on a second ALU — no memory round trip (§II-E).
+    let final_group = if let Some(rg) = relu_group {
+        let (relu_alu, _) = pick_alu(s, t0 + D_VXM);
+        s.pool
+            .occupy(Resource::VxmAlu(relu_alu.0), t0 + D_VXM + u64::from(n));
+        let icu = IcuId::Vxm { alu: relu_alu };
+        s.place(
+            icu,
+            t0 + D_VXM,
+            VxmOp::Unary {
+                op: UnaryAluOp::Relu,
+                dtype: DataType::Int8,
+                src: dst_group,
+                dst: rg,
+                alu: relu_alu,
+            },
+        );
+        if n > 1 {
+            s.place(
+                icu,
+                t0 + D_VXM + 1,
+                IcuOp::Repeat {
+                    n: (n - 1) as u16,
+                    d: 1,
+                },
+            );
+        }
+        s.pool.occupy(
+            Resource::Stream(out_dir, rg.base.id),
+            t0 + 2 * D_VXM + u64::from(n) + 64,
+        );
+        rg
+    } else {
+        dst_group
+    };
+
+    // Results out: each replica taps the same flowing stream.
+    for dst in &dsts {
+        s.write_rows(dst, 0, n, final_group.base, vxm, t0 + write_delay);
+    }
+    let done = t0 + write_delay + u64::from(n);
+    s.note_completion(done);
+    (dsts, done)
+}
+
+/// Copies a tensor into `out_hemisphere` (through a VXM `mask` pass-through —
+/// one row per cycle). Used for replication so several consumers can stream
+/// the same data concurrently from different read ports.
+pub fn copy(
+    s: &mut Scheduler,
+    src: &TensorHandle,
+    out_hemisphere: Hemisphere,
+    out_policy: BankPolicy,
+    not_before: u64,
+) -> (TensorHandle, u64) {
+    let (mut v, t) = copy_replicated(s, src, out_hemisphere, out_policy, not_before, 1);
+    (v.remove(0), t)
+}
+
+/// [`copy`] with several identical output replicas (free: each taps the same
+/// stream).
+pub fn copy_replicated(
+    s: &mut Scheduler,
+    src: &TensorHandle,
+    out_hemisphere: Hemisphere,
+    out_policy: BankPolicy,
+    not_before: u64,
+    replicas: u8,
+) -> (Vec<TensorHandle>, u64) {
+    let cols = src.cols;
+    ew_chain(
+        s,
+        &[src],
+        cols,
+        out_hemisphere,
+        out_policy,
+        not_before,
+        replicas,
+        false,
+        |srcs, dst, alu| VxmOp::Unary {
+            op: UnaryAluOp::Mask,
+            dtype: DataType::Int8,
+            src: srcs[0],
+            dst,
+            alu,
+        },
+    )
+}
+
+/// Point-wise unary op over a tensor (`ReLU`, `negate`, …), int8.
+pub fn unary_ew(
+    s: &mut Scheduler,
+    op: UnaryAluOp,
+    src: &TensorHandle,
+    out_hemisphere: Hemisphere,
+    out_policy: BankPolicy,
+    not_before: u64,
+) -> (TensorHandle, u64) {
+    let cols = src.cols;
+    let (mut v, t) = ew_chain(
+        s,
+        &[src],
+        cols,
+        out_hemisphere,
+        out_policy,
+        not_before,
+        1,
+        false,
+        |srcs, dst, alu| VxmOp::Unary {
+            op,
+            dtype: DataType::Int8,
+            src: srcs[0],
+            dst,
+            alu,
+        },
+    );
+    (v.remove(0), t)
+}
+
+/// Point-wise binary op over two tensors (residual adds etc.), int8.
+pub fn binary_ew(
+    s: &mut Scheduler,
+    op: BinaryAluOp,
+    a: &TensorHandle,
+    b: &TensorHandle,
+    out_hemisphere: Hemisphere,
+    out_policy: BankPolicy,
+    not_before: u64,
+) -> (TensorHandle, u64) {
+    let (mut v, t) =
+        binary_ew_replicated(s, op, a, b, out_hemisphere, out_policy, not_before, 1);
+    (v.remove(0), t)
+}
+
+/// [`binary_ew`] with several identical output replicas.
+#[allow(clippy::too_many_arguments)]
+pub fn binary_ew_replicated(
+    s: &mut Scheduler,
+    op: BinaryAluOp,
+    a: &TensorHandle,
+    b: &TensorHandle,
+    out_hemisphere: Hemisphere,
+    out_policy: BankPolicy,
+    not_before: u64,
+    replicas: u8,
+) -> (Vec<TensorHandle>, u64) {
+    binary_ew_fused(
+        s,
+        op,
+        a,
+        b,
+        out_hemisphere,
+        out_policy,
+        not_before,
+        replicas,
+        false,
+    )
+}
+
+/// [`binary_ew_replicated`] with an optional **chained ReLU** on a second
+/// ALU — the residual `add + relu` of a ResNet block as one pipelined pass
+/// (paper §II-E chaining; no intermediate memory round trip).
+#[allow(clippy::too_many_arguments)]
+pub fn binary_ew_fused(
+    s: &mut Scheduler,
+    op: BinaryAluOp,
+    a: &TensorHandle,
+    b: &TensorHandle,
+    out_hemisphere: Hemisphere,
+    out_policy: BankPolicy,
+    not_before: u64,
+    replicas: u8,
+    post_relu: bool,
+) -> (Vec<TensorHandle>, u64) {
+    let cols = a.cols.max(b.cols);
+    ew_chain(
+        s,
+        &[a, b],
+        cols,
+        out_hemisphere,
+        out_policy,
+        not_before,
+        replicas,
+        post_relu,
+        |srcs, dst, alu| VxmOp::Binary {
+            op,
+            dtype: DataType::Int8,
+            a: srcs[0],
+            b: srcs[1],
+            dst,
+            alu,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_arch::{ChipConfig, Vector};
+    use tsp_sim::chip::RunOptions;
+    use tsp_sim::Chip;
+
+    fn fill(chip: &mut Chip, t: &TensorHandle, f: impl Fn(u32, usize) -> u8) {
+        for r in 0..t.rows {
+            chip.memory.write(t.row(r), Vector::from_fn(|l| f(r, l)));
+        }
+    }
+
+    #[test]
+    fn copy_roundtrips_through_vxm() {
+        let mut s = Scheduler::new();
+        let src = s
+            .alloc
+            .alloc_in(Some(Hemisphere::East), 12, 320, BankPolicy::Low, 4096)
+            .unwrap();
+        let (dst, _) = copy(&mut s, &src, Hemisphere::West, BankPolicy::High, 0);
+        let program = s.into_program().unwrap();
+
+        let mut chip = Chip::new(ChipConfig::asic());
+        fill(&mut chip, &src, |r, l| (r as u8).wrapping_add(l as u8));
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+        for r in 0..12 {
+            assert_eq!(
+                chip.memory.read_unchecked(dst.row(r)),
+                Vector::from_fn(|l| (r as u8).wrapping_add(l as u8)),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let mut s = Scheduler::new();
+        let src = s
+            .alloc
+            .alloc_in(Some(Hemisphere::West), 4, 320, BankPolicy::Low, 4096)
+            .unwrap();
+        let (dst, _) = unary_ew(
+            &mut s,
+            UnaryAluOp::Relu,
+            &src,
+            Hemisphere::East,
+            BankPolicy::High,
+            0,
+        );
+        let program = s.into_program().unwrap();
+        let mut chip = Chip::new(ChipConfig::asic());
+        fill(&mut chip, &src, |_, l| (l as i16 - 160) as i8 as u8);
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+        for r in 0..4 {
+            let got = chip.memory.read_unchecked(dst.row(r));
+            for l in 0..320 {
+                let x = (l as i16 - 160) as i8;
+                assert_eq!(got.lane(l) as i8, x.max(0), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn residual_add_two_tensors() {
+        let mut s = Scheduler::new();
+        let a = s
+            .alloc
+            .alloc_in(Some(Hemisphere::East), 6, 320, BankPolicy::Low, 4096)
+            .unwrap();
+        let b = s
+            .alloc
+            .alloc_in(Some(Hemisphere::West), 6, 320, BankPolicy::Low, 4096)
+            .unwrap();
+        let (dst, _) = binary_ew(
+            &mut s,
+            BinaryAluOp::AddSat,
+            &a,
+            &b,
+            Hemisphere::East,
+            BankPolicy::High,
+            0,
+        );
+        let program = s.into_program().unwrap();
+        let mut chip = Chip::new(ChipConfig::asic());
+        fill(&mut chip, &a, |r, _| 10 + r as u8);
+        fill(&mut chip, &b, |r, _| 100 + r as u8);
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+        for r in 0..6 {
+            assert_eq!(
+                chip.memory.read_unchecked(dst.row(r)),
+                Vector::splat(110 + 2 * r as u8),
+                "row {r}"
+            );
+        }
+    }
+
+    #[test]
+    fn successive_kernels_share_the_chip_without_conflicts() {
+        // Two copies back-to-back reuse streams/ALUs via the resource pool.
+        let mut s = Scheduler::new();
+        let src = s
+            .alloc
+            .alloc_in(Some(Hemisphere::East), 5, 320, BankPolicy::Low, 4096)
+            .unwrap();
+        let (mid, t1) = copy(&mut s, &src, Hemisphere::West, BankPolicy::High, 0);
+        let (dst, _) = copy(&mut s, &mid, Hemisphere::East, BankPolicy::High, t1);
+        let program = s.into_program().unwrap();
+        let mut chip = Chip::new(ChipConfig::asic());
+        fill(&mut chip, &src, |r, _| 7 * (r as u8 + 1));
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+        for r in 0..5 {
+            assert_eq!(
+                chip.memory.read_unchecked(dst.row(r)),
+                Vector::splat(7 * (r as u8 + 1))
+            );
+        }
+    }
+}

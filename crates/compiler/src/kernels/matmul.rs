@@ -1,0 +1,913 @@
+//! Dense matmul on the MXM: the machine's workhorse (paper §III-D, §IV).
+//!
+//! A matrix multiply `Y[N,M] = X[N,K] · Wᵀ` is decomposed into 320×320
+//! *passes*: K is split into ≤320-wide input blocks, M into ≤320-wide output
+//! blocks. For each (kpart, mpart) the weight sub-matrix is streamed into a
+//! plane (`LW`), installed (`IW`), the N activation rows streamed through
+//! (`ABC`), and the int32 results read out (`ACC`) — accumulating across
+//! kparts in the plane's accumulators. The final results chain through the
+//! VXM (requantize to int8, optional ReLU) and stream straight to MEM: the
+//! paper's `Read → Conv2D → Requantize → ReLU → Write` pattern with no
+//! intermediate spills.
+//!
+//! The building blocks are deliberately composable:
+//! [`schedule_plane_chain`] runs a sequence of accumulate-passes on one plane
+//! and hands back the int32 result stream; [`schedule_requant_write`] merges
+//! 1–4 such streams with int32 adds at the VXM (conv's plane-parallel offset
+//! split — the paper's "four simultaneous conv2d" regime), requantizes, and
+//! fans the int8 rows out to any number of replica tensors (replicas are free:
+//! extra `Write`s tap the same stream as it flows past).
+//!
+//! ## Weight layout ("LW order")
+//!
+//! A weight handle has 320 rows: row `j·20 + r` is what stream `j` of the
+//! `SG16` group must carry on install cycle `r`, i.e. array row `16·r + j`
+//! (output channel), with lanes = input channels of the kpart. The host-side
+//! serializer (`tsp-nn`) performs this shuffle; each 20-row block then lands
+//! in its own slice so all 16 streams run concurrently at one row per cycle.
+
+use tsp_arch::{Direction, Hemisphere, Slice, StreamGroup, StreamId};
+use tsp_isa::{
+    AccumulateMode, BinaryAluOp, DataType, IcuOp, MxmOp, Plane, UnaryAluOp, VxmOp,
+    MXM_ARRAY_DELAY,
+};
+use tsp_sim::IcuId;
+
+use crate::alloc::BankPolicy;
+use crate::kernels::elementwise::{pick_alu, tensor_hemisphere};
+use crate::resource::Resource;
+use crate::sched::{Scheduler, D_VXM};
+use crate::tensor::TensorHandle;
+
+/// Delay from `IW` dispatch until the array is usable.
+const D_IW: u64 = 4;
+/// Cycles of an `LW` burst filling a full plane.
+const LW_ROWS: u64 = 20;
+
+/// The weights of one matmul, pre-split and serialized for the MXM.
+#[derive(Debug, Clone)]
+pub struct WeightSet {
+    /// Input features (K).
+    pub k: u32,
+    /// Output features (M).
+    pub m: u32,
+    /// `parts[kpart][mpart]` = replica handles (≥1) of the 320-row LW-order
+    /// weight block; replicas let several planes install the same weights
+    /// concurrently.
+    pub parts: Vec<Vec<Vec<TensorHandle>>>,
+}
+
+impl WeightSet {
+    /// Number of K splits.
+    #[must_use]
+    pub fn kparts(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Number of M splits.
+    #[must_use]
+    pub fn mparts(&self) -> usize {
+        self.parts.first().map_or(0, Vec::len)
+    }
+}
+
+/// One MXM pass: install `weights`, stream activation rows `rows` of `acts`.
+#[derive(Debug, Clone)]
+pub struct Pass<'a> {
+    /// 320-row LW-order weight handle.
+    pub weights: &'a TensorHandle,
+    /// Activation tensor ([N, k_cols]).
+    pub acts: &'a TensorHandle,
+    /// Row indices streamed through the array, in order.
+    pub rows: &'a [u32],
+}
+
+/// Where output rows land: `(first_row, count)` segments of a destination
+/// tensor, totalling N rows (lets conv write into padded feature maps whose
+/// interior rows are not contiguous).
+pub type DstSegments = Vec<(u32, u32)>;
+
+/// An int32 result stream awaiting the requant epilogue: the quad-stream
+/// group and the cycle its first row is present **at the VXM**.
+#[derive(Debug, Clone, Copy)]
+pub struct Int32Stream {
+    /// Quad-stream group carrying the int32 rows.
+    pub group: StreamGroup,
+    /// Cycle row 0 is readable at the VXM; row `i` follows at `+i`.
+    pub t_at_vxm: u64,
+}
+
+/// A resumable MXM plane chain: schedules one accumulate-pass at a time so
+/// several planes' chains can be **interleaved** by the caller — without
+/// interleaving, one chain's long activation burst holds stream reservations
+/// that push the next chain's start past the whole burst (the resource pool
+/// tracks a single busy horizon per stream, not gaps).
+#[derive(Debug)]
+pub struct PlaneChainBuilder {
+    plane: Plane,
+    passes_done: usize,
+    prev_iw_done: u64,
+    prev_abc_end: u64,
+    n: u64,
+    result: Option<Int32Stream>,
+}
+
+impl PlaneChainBuilder {
+    /// Starts a chain of passes of `n` rows each on `plane`.
+    #[must_use]
+    pub fn new(s: &Scheduler, plane: Plane, n: u64, not_before: u64) -> PlaneChainBuilder {
+        let start = s
+            .pool
+            .free_at(Resource::MxmPlane(plane.index()))
+            .max(not_before);
+        PlaneChainBuilder {
+            plane,
+            passes_done: 0,
+            prev_iw_done: start,
+            prev_abc_end: start,
+            n,
+            result: None,
+        }
+    }
+
+    /// Schedules the next pass (pass 0 overwrites the accumulators; later
+    /// passes add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pass's row count differs from the chain's `n`.
+    pub fn add_pass(&mut self, s: &mut Scheduler, pass: &Pass<'_>) {
+        let plane = self.plane;
+        let n = self.n;
+        assert_eq!(pass.rows.len() as u64, n, "pass row count mismatch");
+        let mxm = Slice::Mxm(plane.hemisphere()).position();
+        let to_mxm = match plane.hemisphere() {
+            Hemisphere::East => Direction::East,
+            Hemisphere::West => Direction::West,
+        };
+        let from_mxm = to_mxm.opposite();
+        let plane_res = Resource::MxmPlane(plane.index());
+
+        // ---- weights: 16 streams, 20 rows each ---------------------------
+        let (wbase, ready) = s.take_aligned_group(to_mxm, 16, self.prev_iw_done);
+        let mut t_lw = ready;
+        let weight_rows: Vec<Vec<u32>> = (0..16u32)
+            .map(|j| (j * 20..(j + 1) * 20).collect())
+            .collect();
+        for rows in &weight_rows {
+            t_lw = s.earliest_read_arrival(pass.weights, rows, to_mxm, mxm, t_lw);
+        }
+        for (j, rows) in weight_rows.iter().enumerate() {
+            s.read_rows(
+                pass.weights,
+                rows,
+                StreamId::new(wbase + j as u8, to_mxm),
+                mxm,
+                t_lw,
+            );
+        }
+        let wgroup = StreamGroup::new(StreamId::new(wbase, to_mxm), 16);
+        s.place(
+            IcuId::Mxm { plane, port: 0 },
+            t_lw,
+            MxmOp::LoadWeights {
+                plane,
+                streams: wgroup,
+                rows: LW_ROWS as u8,
+            },
+        );
+        // IW waits for the buffer to fill and the array to drain pass p−1.
+        let t_iw = (t_lw + LW_ROWS).max(self.prev_abc_end);
+        s.place(
+            IcuId::Mxm { plane, port: 3 },
+            t_iw,
+            MxmOp::InstallWeights {
+                plane,
+                dtype: DataType::Int8,
+            },
+        );
+        self.prev_iw_done = t_iw + D_IW;
+
+        // ---- activations --------------------------------------------------
+        // The ACC emission time is t_abc + MXM_ARRAY_DELAY and cannot move,
+        // so t_abc must also wait until an output quad-stream group is free:
+        // iterate to the fixed point (monotone, converges in a few steps).
+        let (acts_stream, ready) = s.take_streams(to_mxm, 1, self.prev_iw_done);
+        let mut t_abc = s.earliest_read_arrival(pass.acts, pass.rows, to_mxm, mxm, ready);
+        let (acc_base, acc_group) = loop {
+            let (base, group_ready) =
+                s.take_aligned_group(from_mxm, 4, t_abc + u64::from(MXM_ARRAY_DELAY));
+            if group_ready <= t_abc + u64::from(MXM_ARRAY_DELAY) {
+                break (base, StreamGroup::new(StreamId::new(base, from_mxm), 4));
+            }
+            t_abc = s.earliest_read_arrival(
+                pass.acts,
+                pass.rows,
+                to_mxm,
+                mxm,
+                group_ready - u64::from(MXM_ARRAY_DELAY),
+            );
+        };
+        s.read_rows(pass.acts, pass.rows, acts_stream[0], mxm, t_abc);
+        s.place(
+            IcuId::Mxm { plane, port: 1 },
+            t_abc,
+            MxmOp::ActivationBuffer {
+                plane,
+                stream: acts_stream[0],
+                rows: n as u16,
+            },
+        );
+        self.prev_abc_end = t_abc + n;
+
+        // ---- accumulate ----------------------------------------------------
+        let t_acc = t_abc + u64::from(MXM_ARRAY_DELAY);
+        let mode = if self.passes_done == 0 {
+            AccumulateMode::Overwrite
+        } else {
+            AccumulateMode::Accumulate
+        };
+        s.place(
+            IcuId::Mxm { plane, port: 2 },
+            t_acc,
+            MxmOp::Accumulate {
+                plane,
+                dst: acc_group,
+                rows: n as u16,
+                mode,
+            },
+        );
+        for id in acc_base..acc_base + 4 {
+            s.pool
+                .occupy(Resource::Stream(from_mxm, id), t_acc + n + 128);
+        }
+        s.pool.occupy(plane_res, t_acc + n);
+        self.passes_done += 1;
+
+        let vxm = Slice::Vxm.position();
+        let transit = u64::from(from_mxm.hops(mxm, vxm).expect("VXM inward of MXM"));
+        self.result = Some(Int32Stream {
+            group: acc_group,
+            // Row r is emitted at t_acc + r + 1, arriving `transit` later.
+            t_at_vxm: t_acc + 1 + transit,
+        });
+    }
+
+    /// Finishes the chain, returning the final int32 stream at the VXM.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no pass was scheduled.
+    #[must_use]
+    pub fn finish(self) -> Int32Stream {
+        self.result.expect("at least one pass")
+    }
+}
+
+/// Runs `passes` back-to-back on `plane`, accumulating into the plane's
+/// accumulators (pass 0 overwrites; later passes add). Returns the final
+/// int32 output stream positioned at the VXM.
+///
+/// # Panics
+///
+/// Panics on empty or inconsistent passes.
+pub fn schedule_plane_chain(
+    s: &mut Scheduler,
+    plane: Plane,
+    passes: &[Pass<'_>],
+    not_before: u64,
+) -> Int32Stream {
+    assert!(!passes.is_empty(), "no passes");
+    let n = passes[0].rows.len() as u64;
+    let mut builder = PlaneChainBuilder::new(s, plane, n, not_before);
+    for pass in passes {
+        builder.add_pass(s, pass);
+    }
+    builder.finish()
+}
+
+/// Where requantized output rows should be materialized.
+#[derive(Debug, Clone)]
+pub struct OutSpec {
+    /// Total rows of each output tensor (≥ n when segments skip borders).
+    pub rows_total: u32,
+    /// Meaningful lanes.
+    pub cols: u16,
+    /// `(first_row, count)` segments covering the N produced rows.
+    pub segments: DstSegments,
+    /// Output hemisphere (single-stream write requires one side).
+    pub hemisphere: Hemisphere,
+    /// Bank policy.
+    pub policy: BankPolicy,
+    /// Identical replicas to materialize.
+    pub replicas: u8,
+    /// Max rows per block (block-chunked outputs pass their chunk size).
+    pub max_block: u32,
+}
+
+/// Merges 1–4 int32 row streams at the VXM with saturating int32 adds,
+/// requantizes to int8 (`2^-shift`, round-to-nearest, saturate), optionally
+/// applies ReLU, and writes the rows into freshly allocated replica tensors.
+/// Output tensors are allocated *after* the write time is known, on slices
+/// whose ports are free by then — so stream-dictated writes can never collide
+/// with earlier bursts. Returns the replicas and the completion cycle.
+///
+/// # Errors
+///
+/// Returns [`OutOfPorts`] when no slices with write ports free by the chain's
+/// write time have room — the caller should roll back (via
+/// [`Scheduler::snapshot`]) and retry the chain with a later floor.
+///
+/// # Panics
+///
+/// Panics if `sources` is empty or the segments don't cover N rows.
+pub fn schedule_requant_write(
+    s: &mut Scheduler,
+    sources: &[Int32Stream],
+    n: u64,
+    requant_shift: i8,
+    relu: bool,
+    out: &OutSpec,
+) -> Result<(Vec<TensorHandle>, u64), OutOfPorts> {
+    let out_hem = out.hemisphere;
+    let (out_group, t_out) = requant_chain(s, sources, n, requant_shift, relu, out_hem)?;
+    let vxm = Slice::Vxm.position();
+
+    // Allocate the replicas now that the write time is known, then fan out:
+    // extra Writes tap the same flowing stream.
+    assert_eq!(
+        out.segments.iter().map(|&(_, c)| u64::from(c)).sum::<u64>(),
+        n,
+        "segments must cover N rows"
+    );
+    let mut replicas: Vec<TensorHandle> = Vec::with_capacity(usize::from(out.replicas.max(1)));
+    let mut avoid: Vec<(Hemisphere, u8)> = Vec::new();
+    for _ in 0..out.replicas.max(1) {
+        let Some(t) = s.try_alloc_for_write(
+            Some(out_hem),
+            out.rows_total,
+            out.cols,
+            out.policy,
+            out.max_block,
+            t_out,
+            &avoid,
+        ) else {
+            for t in &replicas {
+                s.alloc.free(t);
+            }
+            return Err(OutOfPorts { t_write: t_out });
+        };
+        avoid.extend(t.layout.slices());
+        replicas.push(t);
+    }
+    let done = write_segments(s, &replicas, &out.segments, out_group, t_out, n, vxm);
+    Ok((replicas, done))
+}
+
+/// No slice had both room and a write port free by `t_write`.
+#[derive(Debug, Clone, Copy)]
+pub struct OutOfPorts {
+    /// The write time that could not be satisfied.
+    pub t_write: u64,
+}
+
+impl std::fmt::Display for OutOfPorts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no slice with a write port free by cycle {}", self.t_write)
+    }
+}
+
+impl std::error::Error for OutOfPorts {}
+
+/// The adder-tree + convert + optional-ReLU head shared by the requant entry
+/// points: merges the int32 sources at the VXM and returns the final int8
+/// output stream group and the cycle its first row is readable at the VXM.
+fn requant_chain(
+    s: &mut Scheduler,
+    sources: &[Int32Stream],
+    n: u64,
+    requant_shift: i8,
+    relu: bool,
+    out_hem: Hemisphere,
+) -> Result<(StreamGroup, u64), OutOfPorts> {
+    assert!(!sources.is_empty());
+
+    // Adder tree (sequential chain is fine: ≤3 adds, each D_VXM apart).
+    let mut current = sources[0];
+    for next in &sources[1..] {
+        let t = current.t_at_vxm.max(next.t_at_vxm);
+        assert_eq!(
+            current.t_at_vxm, next.t_at_vxm,
+            "partial stream must arrive when its adder stage runs (stagger by D_VXM per stage)"
+        );
+        let (alu, alu_ready) = pick_alu(s, t);
+        s.pool.occupy(Resource::VxmAlu(alu.0), t + n);
+        // Result continues in the first source's direction.
+        let dir = current.group.base.direction;
+        let (base, group_ready) = s.take_aligned_group(dir, 4, t);
+        if alu_ready > t || group_ready > t {
+            return Err(OutOfPorts { t_write: t });
+        }
+        let out = StreamGroup::new(StreamId::new(base, dir), 4);
+        let op = VxmOp::Binary {
+            op: BinaryAluOp::AddSat,
+            dtype: DataType::Int32,
+            a: current.group,
+            b: next.group,
+            dst: out,
+            alu,
+        };
+        place_repeated(s, IcuId::Vxm { alu }, t, n, op);
+        for id in base..base + 4 {
+            s.pool.occupy(Resource::Stream(dir, id), t + D_VXM + n + 128);
+        }
+        current = Int32Stream {
+            group: out,
+            t_at_vxm: t + D_VXM,
+        };
+    }
+
+    // Requantize.
+    let t_cvt = current.t_at_vxm;
+    let (cvt_alu, alu_ready) = pick_alu(s, t_cvt);
+    s.pool.occupy(Resource::VxmAlu(cvt_alu.0), t_cvt + n);
+    let out_dir = Direction::inward_from(out_hem).opposite();
+    let (mid_id, mid_ready) = s.take_aligned_group(out_dir, 1, t_cvt);
+    if alu_ready > t_cvt || mid_ready > t_cvt {
+        return Err(OutOfPorts { t_write: t_cvt });
+    }
+    let mid = StreamGroup::new(StreamId::new(mid_id, out_dir), 1);
+    place_repeated(
+        s,
+        IcuId::Vxm { alu: cvt_alu },
+        t_cvt,
+        n,
+        VxmOp::Convert {
+            from: DataType::Int32,
+            to: DataType::Int8,
+            src: current.group,
+            dst: mid,
+            shift: requant_shift,
+            alu: cvt_alu,
+        },
+    );
+    s.pool
+        .occupy(Resource::Stream(out_dir, mid_id), t_cvt + D_VXM + n + 128);
+
+    let (mut out_group, mut t_out) = (mid, t_cvt + D_VXM);
+    if relu {
+        let (relu_alu, alu_ready) = pick_alu(s, t_out);
+        s.pool.occupy(Resource::VxmAlu(relu_alu.0), t_out + n);
+        let (fin_id, fin_ready) = s.take_aligned_group(out_dir, 1, t_out);
+        if alu_ready > t_out || fin_ready > t_out {
+            return Err(OutOfPorts { t_write: t_out });
+        }
+        let fin = StreamGroup::new(StreamId::new(fin_id, out_dir), 1);
+        place_repeated(
+            s,
+            IcuId::Vxm { alu: relu_alu },
+            t_out,
+            n,
+            VxmOp::Unary {
+                op: UnaryAluOp::Relu,
+                dtype: DataType::Int8,
+                src: mid,
+                dst: fin,
+                alu: relu_alu,
+            },
+        );
+        s.pool
+            .occupy(Resource::Stream(out_dir, fin_id), t_out + D_VXM + n + 128);
+        out_group = fin;
+        t_out += D_VXM;
+    }
+    Ok((out_group, t_out))
+}
+
+/// Writes the output stream's rows into every replica's segments, starting at
+/// `t_out`. The caller guarantees the destination ports are free over the
+/// write window (true by construction for tensors from
+/// [`Scheduler::alloc_for_write`]; pre-allocated block-chunked destinations
+/// must guarantee it themselves).
+pub fn write_segments(
+    s: &mut Scheduler,
+    replicas: &[TensorHandle],
+    segments: &DstSegments,
+    out_group: StreamGroup,
+    t_out: u64,
+    n: u64,
+    vxm: tsp_arch::Position,
+) -> u64 {
+    for tensor in replicas {
+        let mut offset = 0u64;
+        for &(first, count) in segments {
+            s.write_rows(tensor, first, count, out_group.base, vxm, t_out + offset);
+            offset += u64::from(count);
+        }
+    }
+    let done = t_out + n;
+    s.note_completion(done);
+    done
+}
+
+/// Variant of [`schedule_requant_write`] that writes into **pre-allocated**
+/// destinations (e.g. the block-chunked first-layer output, where each chunk
+/// owns its slices). Returns the completion cycle; the caller is responsible
+/// for destination-port freedom.
+pub fn schedule_requant_write_into(
+    s: &mut Scheduler,
+    sources: &[Int32Stream],
+    n: u64,
+    requant_shift: i8,
+    relu: bool,
+    replicas: &[TensorHandle],
+    segments: &DstSegments,
+) -> u64 {
+    let spec_hem = tensor_hemisphere(&replicas[0]);
+    let (out_group, t_out) = requant_chain(s, sources, n, requant_shift, relu, spec_hem)
+        .expect("requant ports free (pre-allocated destination path)");
+    write_segments(s, replicas, segments, out_group, t_out, n, Slice::Vxm.position())
+}
+
+/// Places `op` at `t` and repeats it for `n − 1` further rows.
+pub fn place_repeated(
+    s: &mut Scheduler,
+    icu: IcuId,
+    t: u64,
+    n: u64,
+    op: impl Into<tsp_isa::Instruction>,
+) {
+    s.place(icu, t, op);
+    if n > 1 {
+        s.place(
+            icu,
+            t + 1,
+            IcuOp::Repeat {
+                n: (n - 1) as u16,
+                d: 1,
+            },
+        );
+    }
+}
+
+/// Options for [`matmul`].
+#[derive(Debug, Clone)]
+pub struct MatmulOpts {
+    /// Power-of-two requantization: int32 accumulators scaled by `2^-shift`.
+    pub requant_shift: i8,
+    /// Apply ReLU after requantization.
+    pub relu: bool,
+    /// Bank for the output tensor.
+    pub out_policy: BankPolicy,
+    /// Hemisphere for the output tensor.
+    pub out_hemisphere: Hemisphere,
+    /// Number of output replicas to materialize (for downstream concurrency).
+    pub out_replicas: u8,
+    /// Schedule nothing before this cycle.
+    pub not_before: u64,
+}
+
+impl Default for MatmulOpts {
+    fn default() -> MatmulOpts {
+        MatmulOpts {
+            requant_shift: 0,
+            relu: false,
+            out_policy: BankPolicy::High,
+            out_hemisphere: Hemisphere::West,
+            out_replicas: 1,
+            not_before: 0,
+        }
+    }
+}
+
+/// Full matmul: `x_parts[kpart]` are the K-split activation tensors (each
+/// `[N, ≤320]`), with optional extra replicas per part
+/// (`x_parts[kpart][replica]`) enabling plane parallelism. Returns the
+/// M-split output tensors (`outputs[mpart][replica]`) and the completion
+/// cycle.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent.
+pub fn matmul(
+    s: &mut Scheduler,
+    x_parts: &[Vec<TensorHandle>],
+    w: &WeightSet,
+    opts: &MatmulOpts,
+) -> (Vec<Vec<TensorHandle>>, u64) {
+    assert_eq!(x_parts.len(), w.kparts(), "K split mismatch");
+    let n = x_parts[0][0].rows;
+    let rows: Vec<u32> = (0..n).collect();
+    let mparts = w.mparts();
+    let mut outputs = Vec::with_capacity(mparts);
+    let mut done = opts.not_before;
+
+    for mpart in 0..mparts {
+        let plane = Plane::new((mpart % 4) as u8);
+        let mcols = (w.m - mpart as u32 * 320).min(320) as u16;
+        let passes: Vec<Pass<'_>> = (0..w.kparts())
+            .map(|kpart| {
+                let reps = &x_parts[kpart];
+                let wreps = &w.parts[kpart][mpart];
+                Pass {
+                    weights: &wreps[mpart % wreps.len()],
+                    acts: &reps[mpart % reps.len()],
+                    rows: &rows,
+                }
+            })
+            .collect();
+        let spec = OutSpec {
+            rows_total: n,
+            cols: mcols,
+            segments: vec![(0, n)],
+            hemisphere: opts.out_hemisphere,
+            policy: opts.out_policy,
+            replicas: opts.out_replicas,
+            max_block: 4096,
+        };
+        let mut result = None;
+        let mut abs_floor = 0u64;
+        for try_idx in 0u32..8 {
+            let quantile = [0.5, 0.9, 1.0][(try_idx as usize).min(2)];
+            let snap = s.snapshot();
+            let floor = opts
+                .not_before
+                .max(s.port_quantile(opts.out_hemisphere, quantile))
+                .max(abs_floor);
+            let int32 = schedule_plane_chain(s, plane, &passes, floor);
+            match schedule_requant_write(
+                s,
+                &[int32],
+                u64::from(n),
+                opts.requant_shift,
+                opts.relu,
+                &spec,
+            ) {
+                Ok(r) => {
+                    result = Some(r);
+                    break;
+                }
+                Err(e) => {
+                    abs_floor = abs_floor.max(e.t_write + (256u64 << try_idx.min(4)));
+                    s.restore(&snap);
+                }
+            }
+        }
+        let (reps, end) = result.expect("even a fully-drained chip must have ports");
+        done = done.max(end);
+        outputs.push(reps);
+    }
+    (outputs, done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_arch::{ChipConfig, Vector};
+    use tsp_sim::chip::RunOptions;
+    use tsp_sim::Chip;
+
+    /// Serializes a weight matrix `w[m][k]` (m, k ≤ 320) into LW order:
+    /// handle row j*20+r = array row 16r+j.
+    pub(crate) fn emplace_weights(
+        s: &mut Scheduler,
+        chip: &mut Chip,
+        w: &[Vec<i8>],
+    ) -> TensorHandle {
+        let cols = w.first().map_or(1, |r| r.len() as u16).max(1);
+        let handle = s.alloc.alloc(320, cols, BankPolicy::Low, 20).unwrap();
+        for j in 0..16u32 {
+            for r in 0..20u32 {
+                let array_row = (16 * r + j) as usize;
+                let mut v = Vector::ZERO;
+                if let Some(row) = w.get(array_row) {
+                    for (lane, &x) in row.iter().enumerate() {
+                        v.set_lane(lane, x as u8);
+                    }
+                }
+                chip.memory.write(handle.row(j * 20 + r), v);
+            }
+        }
+        handle
+    }
+
+    pub(crate) fn fill_acts(chip: &mut Chip, t: &TensorHandle, x: &[Vec<i8>]) {
+        for (r, row) in x.iter().enumerate() {
+            let mut v = Vector::ZERO;
+            for (lane, &val) in row.iter().enumerate() {
+                v.set_lane(lane, val as u8);
+            }
+            chip.memory.write(t.row(r as u32), v);
+        }
+    }
+
+    /// Reference: y[n][m] = clamp(round(Σ_k x[n][k]·w[m][k] / 2^shift)).
+    pub(crate) fn reference(
+        x: &[Vec<i8>],
+        w: &[Vec<i8>],
+        shift: i8,
+        relu: bool,
+    ) -> Vec<Vec<i8>> {
+        x.iter()
+            .map(|row| {
+                (0..w.len())
+                    .map(|m| {
+                        let acc: i64 = row
+                            .iter()
+                            .zip(&w[m])
+                            .map(|(&a, &b)| i64::from(a) * i64::from(b))
+                            .sum();
+                        let scaled = if shift > 0 {
+                            let half = 1i64 << (shift - 1);
+                            if acc >= 0 {
+                                (acc + half) >> shift
+                            } else {
+                                -((-acc + half) >> shift)
+                            }
+                        } else {
+                            acc << u32::from((-shift) as u8)
+                        };
+                        let mut v = scaled.clamp(-128, 127) as i8;
+                        if relu {
+                            v = v.max(0);
+                        }
+                        v
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn small_matmul_matches_reference() {
+        let mut s = Scheduler::new();
+        let mut chip = Chip::new(ChipConfig::asic());
+
+        let n = 8usize;
+        let k = 12usize;
+        let m = 10usize;
+        let x_data: Vec<Vec<i8>> = (0..n)
+            .map(|r| (0..k).map(|c| ((r * 7 + c * 3) % 11) as i8 - 5).collect())
+            .collect();
+        let w_data: Vec<Vec<i8>> = (0..m)
+            .map(|r| (0..k).map(|c| ((r * 5 + c) % 7) as i8 - 3).collect())
+            .collect();
+
+        let x = s
+            .alloc
+            .alloc_in(Some(Hemisphere::East), n as u32, k as u16, BankPolicy::High, 4096)
+            .unwrap();
+        fill_acts(&mut chip, &x, &x_data);
+        let wh = emplace_weights(&mut s, &mut chip, &w_data);
+
+        let wset = WeightSet {
+            k: k as u32,
+            m: m as u32,
+            parts: vec![vec![vec![wh]]],
+        };
+        let opts = MatmulOpts {
+            requant_shift: 3,
+            out_hemisphere: Hemisphere::West,
+            ..MatmulOpts::default()
+        };
+        let (outs, _) = matmul(&mut s, &[vec![x]], &wset, &opts);
+        let program = s.into_program().expect("valid schedule");
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+
+        let expect = reference(&x_data, &w_data, 3, false);
+        for r in 0..n {
+            let got = chip.memory.read_unchecked(outs[0][0].row(r as u32));
+            for c in 0..m {
+                assert_eq!(got.lane(c) as i8, expect[r][c], "y[{r}][{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_with_relu_chains_through_vxm() {
+        let mut s = Scheduler::new();
+        let mut chip = Chip::new(ChipConfig::asic());
+        let n = 4;
+        let x_data: Vec<Vec<i8>> = (0..n).map(|r| vec![r as i8 + 1, -(r as i8) - 1]).collect();
+        let w_data: Vec<Vec<i8>> = vec![vec![1, 1], vec![-1, -1], vec![2, 0]];
+
+        let x = s
+            .alloc
+            .alloc_in(Some(Hemisphere::West), n as u32, 2, BankPolicy::High, 4096)
+            .unwrap();
+        fill_acts(&mut chip, &x, &x_data);
+        let wh = emplace_weights(&mut s, &mut chip, &w_data);
+        let wset = WeightSet {
+            k: 2,
+            m: 3,
+            parts: vec![vec![vec![wh]]],
+        };
+        let opts = MatmulOpts {
+            relu: true,
+            out_hemisphere: Hemisphere::East,
+            ..MatmulOpts::default()
+        };
+        let (outs, _) = matmul(&mut s, &[vec![x]], &wset, &opts);
+        let program = s.into_program().unwrap();
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+
+        let expect = reference(&x_data, &w_data, 0, true);
+        for r in 0..n {
+            let got = chip.memory.read_unchecked(outs[0][0].row(r as u32));
+            for c in 0..3 {
+                assert_eq!(got.lane(c) as i8, expect[r][c], "y[{r}][{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn k_split_accumulates_across_passes() {
+        // K = 400 → two kparts (320 + 80); verify the accumulated result.
+        let mut s = Scheduler::new();
+        let mut chip = Chip::new(ChipConfig::asic());
+        let n = 3usize;
+        let k = 400usize;
+        let m = 5usize;
+        let x_data: Vec<Vec<i8>> = (0..n)
+            .map(|r| (0..k).map(|c| (((r + 1) * c) % 5) as i8 - 2).collect())
+            .collect();
+        let w_data: Vec<Vec<i8>> = (0..m)
+            .map(|r| (0..k).map(|c| ((r + c) % 3) as i8 - 1).collect())
+            .collect();
+
+        let split = 320usize;
+        let x0_data: Vec<Vec<i8>> = x_data.iter().map(|r| r[..split].to_vec()).collect();
+        let x1_data: Vec<Vec<i8>> = x_data.iter().map(|r| r[split..].to_vec()).collect();
+        let w0: Vec<Vec<i8>> = w_data.iter().map(|r| r[..split].to_vec()).collect();
+        let w1: Vec<Vec<i8>> = w_data.iter().map(|r| r[split..].to_vec()).collect();
+
+        let x0 = s
+            .alloc
+            .alloc_in(Some(Hemisphere::East), n as u32, 320, BankPolicy::High, 4096)
+            .unwrap();
+        let x1 = s
+            .alloc
+            .alloc_in(Some(Hemisphere::East), n as u32, 80, BankPolicy::High, 4096)
+            .unwrap();
+        fill_acts(&mut chip, &x0, &x0_data);
+        fill_acts(&mut chip, &x1, &x1_data);
+        let wh0 = emplace_weights(&mut s, &mut chip, &w0);
+        let wh1 = emplace_weights(&mut s, &mut chip, &w1);
+        let wset = WeightSet {
+            k: k as u32,
+            m: m as u32,
+            parts: vec![vec![vec![wh0]], vec![vec![wh1]]],
+        };
+        let opts = MatmulOpts {
+            requant_shift: 4,
+            out_hemisphere: Hemisphere::West,
+            ..MatmulOpts::default()
+        };
+        let (outs, _) = matmul(&mut s, &[vec![x0], vec![x1]], &wset, &opts);
+        let program = s.into_program().unwrap();
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+
+        let expect = reference(&x_data, &w_data, 4, false);
+        for r in 0..n {
+            let got = chip.memory.read_unchecked(outs[0][0].row(r as u32));
+            for c in 0..m {
+                assert_eq!(got.lane(c) as i8, expect[r][c], "y[{r}][{c}]");
+            }
+        }
+    }
+
+    #[test]
+    fn output_replicas_are_identical() {
+        let mut s = Scheduler::new();
+        let mut chip = Chip::new(ChipConfig::asic());
+        let x_data: Vec<Vec<i8>> = vec![vec![1, 2], vec![3, 4]];
+        let w_data: Vec<Vec<i8>> = vec![vec![1, 0], vec![0, 1]];
+        let x = s
+            .alloc
+            .alloc_in(Some(Hemisphere::East), 2, 2, BankPolicy::High, 4096)
+            .unwrap();
+        fill_acts(&mut chip, &x, &x_data);
+        let wh = emplace_weights(&mut s, &mut chip, &w_data);
+        let wset = WeightSet {
+            k: 2,
+            m: 2,
+            parts: vec![vec![vec![wh]]],
+        };
+        let opts = MatmulOpts {
+            out_replicas: 3,
+            out_hemisphere: Hemisphere::West,
+            ..MatmulOpts::default()
+        };
+        let (outs, _) = matmul(&mut s, &[vec![x]], &wset, &opts);
+        let program = s.into_program().unwrap();
+        chip.run(&program, &RunOptions::default()).expect("clean run");
+        assert_eq!(outs[0].len(), 3);
+        for rep in &outs[0] {
+            for r in 0..2u32 {
+                let got = chip.memory.read_unchecked(rep.row(r));
+                assert_eq!(got.lane(0) as i8, x_data[r as usize][0]);
+                assert_eq!(got.lane(1) as i8, x_data[r as usize][1]);
+            }
+        }
+    }
+}

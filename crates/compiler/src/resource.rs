@@ -1,0 +1,237 @@
+//! Interval bookkeeping for every contended hardware unit.
+//!
+//! The compiler, not the hardware, resolves contention (paper §II). Each
+//! schedulable unit is a [`Resource`]; the [`ResourcePool`] tracks when each
+//! becomes free. Kernels acquire resources for an interval; later kernels
+//! naturally overlap with earlier ones wherever their resource sets are
+//! disjoint — which is exactly the paper's §IV-C memory-overlap optimization
+//! when enabled, or strict layer-serialization when the pool is fenced.
+
+use std::collections::BTreeMap;
+
+use tsp_arch::{Direction, Hemisphere, StreamId, STREAMS_PER_DIRECTION};
+
+/// A contended hardware unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Resource {
+    /// One MEM slice's SRAM read port.
+    MemRead(Hemisphere, u8),
+    /// One MEM slice's SRAM write port.
+    MemWrite(Hemisphere, u8),
+    /// One logical stream (id + direction), chip-wide.
+    Stream(Direction, u8),
+    /// One of the 16 per-lane VXM ALUs (by mesh index).
+    VxmAlu(u8),
+    /// One MXM plane.
+    MxmPlane(u8),
+    /// One SXM sub-unit.
+    SxmUnit(Hemisphere, u8),
+    /// One C2C queue.
+    C2cPort(u8),
+}
+
+/// Tracks when each resource is next free.
+#[derive(Debug, Clone, Default)]
+pub struct ResourcePool {
+    free_at: BTreeMap<Resource, u64>,
+    /// Highest fence applied; resources never touched still respect it.
+    floor: u64,
+}
+
+impl ResourcePool {
+    /// A pool where everything is free at cycle 0.
+    #[must_use]
+    pub fn new() -> ResourcePool {
+        ResourcePool::default()
+    }
+
+    /// The first cycle at which `r` is free.
+    #[must_use]
+    pub fn free_at(&self, r: Resource) -> u64 {
+        self.free_at.get(&r).copied().unwrap_or(0).max(self.floor)
+    }
+
+    /// The first cycle ≥ `not_before` at which *all* of `rs` are free.
+    #[must_use]
+    pub fn free_all(&self, rs: impl IntoIterator<Item = Resource>, not_before: u64) -> u64 {
+        rs.into_iter()
+            .map(|r| self.free_at(r))
+            .fold(not_before, u64::max)
+    }
+
+    /// Marks `r` busy until `until` (exclusive).
+    pub fn occupy(&mut self, r: Resource, until: u64) {
+        let slot = self.free_at.entry(r).or_insert(0);
+        *slot = (*slot).max(until);
+    }
+
+    /// Fences every resource to `cycle`: nothing schedules before it
+    /// (strict layer-sequential mode; the E13 ablation baseline).
+    pub fn fence(&mut self, cycle: u64) {
+        self.floor = self.floor.max(cycle);
+    }
+
+    /// Picks `count` streams in `direction` free at-or-before `at`, preferring
+    /// the lowest free time; returns the chosen ids and the cycle at which
+    /// all are free.
+    #[must_use]
+    pub fn pick_streams(&self, direction: Direction, count: u8, at: u64) -> (Vec<StreamId>, u64) {
+        self.pick_streams_excluding(direction, count, at, &[])
+    }
+
+    /// [`ResourcePool::pick_streams`] with a hard exclusion set — ids a kernel
+    /// has already claimed for other roles in the same time window (free-time
+    /// preference alone cannot guarantee distinctness).
+    #[must_use]
+    pub fn pick_streams_excluding(
+        &self,
+        direction: Direction,
+        count: u8,
+        at: u64,
+        exclude: &[u8],
+    ) -> (Vec<StreamId>, u64) {
+        // Prefer the HIGHEST free id: single operand/result streams then pool
+        // at the top of the id space, keeping the low aligned bases available
+        // for the MXM's 16-wide weight groups — otherwise one long activation
+        // burst inside a group window serializes entire plane chains.
+        let mut scored: Vec<(u64, std::cmp::Reverse<u8>)> = (0..STREAMS_PER_DIRECTION)
+            .filter(|id| !exclude.contains(id))
+            .map(|id| {
+                (
+                    self.free_at(Resource::Stream(direction, id)),
+                    std::cmp::Reverse(id),
+                )
+            })
+            .collect();
+        scored.sort_unstable();
+        let chosen: Vec<(u64, std::cmp::Reverse<u8>)> =
+            scored.into_iter().take(count as usize).collect();
+        let ready = chosen
+            .iter()
+            .map(|(t, _)| *t)
+            .fold(at, u64::max);
+        let mut ids: Vec<u8> = chosen.into_iter().map(|(_, id)| id.0).collect();
+        ids.sort_unstable();
+        (
+            ids.into_iter()
+                .map(|id| StreamId::new(id, direction))
+                .collect(),
+            ready,
+        )
+    }
+
+    /// Picks an aligned group of `width` streams (for `SG4`/`SG16` operands):
+    /// the aligned base whose group frees earliest.
+    #[must_use]
+    pub fn pick_aligned_group(&self, direction: Direction, width: u8, at: u64) -> (u8, u64) {
+        self.pick_aligned_group_excluding(direction, width, at, &[])
+    }
+
+    /// [`ResourcePool::pick_aligned_group`] refusing the bases in `exclude`
+    /// (groups a kernel already claimed for the same time window).
+    ///
+    /// # Panics
+    ///
+    /// Panics if every base is excluded.
+    #[must_use]
+    pub fn pick_aligned_group_excluding(
+        &self,
+        direction: Direction,
+        width: u8,
+        at: u64,
+        exclude: &[u8],
+    ) -> (u8, u64) {
+        let mut best: Option<(u64, u8)> = None;
+        let mut base = 0u8;
+        while base + width <= STREAMS_PER_DIRECTION {
+            if !exclude.contains(&base) {
+                let free = (base..base + width)
+                    .map(|id| self.free_at(Resource::Stream(direction, id)))
+                    .max()
+                    .unwrap_or(0);
+                if best.is_none_or(|(b, _)| free < b) {
+                    best = Some((free, base));
+                }
+            }
+            base += width;
+        }
+        let (free, base) = best.expect("at least one eligible aligned base");
+        (base, free.max(at))
+    }
+}
+
+impl ResourcePool {
+    /// The highest fence applied so far.
+    #[must_use]
+    pub fn floor(&self) -> u64 {
+        self.floor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_resources_are_free_at_zero() {
+        let p = ResourcePool::new();
+        assert_eq!(p.free_at(Resource::MxmPlane(2)), 0);
+    }
+
+    #[test]
+    fn occupy_and_query() {
+        let mut p = ResourcePool::new();
+        p.occupy(Resource::VxmAlu(3), 100);
+        p.occupy(Resource::VxmAlu(3), 50); // never moves backwards
+        assert_eq!(p.free_at(Resource::VxmAlu(3)), 100);
+        assert_eq!(p.free_at(Resource::VxmAlu(4)), 0);
+    }
+
+    #[test]
+    fn free_all_takes_max() {
+        let mut p = ResourcePool::new();
+        p.occupy(Resource::MemRead(Hemisphere::East, 0), 30);
+        p.occupy(Resource::Stream(Direction::East, 1), 70);
+        let t = p.free_all(
+            [
+                Resource::MemRead(Hemisphere::East, 0),
+                Resource::Stream(Direction::East, 1),
+            ],
+            10,
+        );
+        assert_eq!(t, 70);
+    }
+
+    #[test]
+    fn pick_streams_prefers_free_ones() {
+        let mut p = ResourcePool::new();
+        for id in 0..4 {
+            p.occupy(Resource::Stream(Direction::East, id), 1000);
+        }
+        let (streams, ready) = p.pick_streams(Direction::East, 2, 5);
+        assert_eq!(ready, 5);
+        assert!(streams.iter().all(|s| s.id >= 4), "{streams:?}");
+    }
+
+    #[test]
+    fn fence_floors_everything() {
+        let mut p = ResourcePool::new();
+        p.occupy(Resource::MxmPlane(0), 10);
+        p.fence(100);
+        assert_eq!(p.free_at(Resource::MxmPlane(0)), 100);
+        assert_eq!(p.free_at(Resource::MxmPlane(3)), 100);
+        let (_, ready) = p.pick_streams(Direction::East, 1, 0);
+        assert_eq!(ready, 100);
+    }
+
+    #[test]
+    fn pick_aligned_group_respects_alignment() {
+        let mut p = ResourcePool::new();
+        // Make group base 0 busy; base 4 should win for width 4.
+        p.occupy(Resource::Stream(Direction::West, 2), 500);
+        let (base, ready) = p.pick_aligned_group(Direction::West, 4, 0);
+        assert_eq!(base % 4, 0);
+        assert_ne!(base, 0);
+        assert_eq!(ready, 0);
+    }
+}

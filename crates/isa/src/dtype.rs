@@ -1,0 +1,104 @@
+//! Hardware-supported element data types and their stream widths.
+//!
+//! Each stream element is one byte; wider types span naturally-aligned groups
+//! of streams (paper §I-B): `int16`/`fp16` a stream pair, `int32`/`fp32` an
+//! aligned quad-stream group.
+
+use core::fmt;
+
+/// An element data type supported by the TSP datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 8-bit signed integer — the MXM's native multiply type.
+    Int8,
+    /// 16-bit signed integer (stream pair).
+    Int16,
+    /// 32-bit signed integer (quad-stream group) — MXM accumulator type.
+    Int32,
+    /// IEEE 754 half precision (stream pair) — MXM's floating multiply type.
+    Fp16,
+    /// IEEE 754 single precision (quad-stream group) — VXM arithmetic and MXM
+    /// floating accumulator type.
+    Fp32,
+}
+
+impl DataType {
+    /// All supported data types.
+    pub const ALL: [DataType; 5] = [
+        DataType::Int8,
+        DataType::Int16,
+        DataType::Int32,
+        DataType::Fp16,
+        DataType::Fp32,
+    ];
+
+    /// Number of streams an element of this type occupies (its byte width).
+    #[must_use]
+    pub fn stream_width(self) -> u8 {
+        match self {
+            DataType::Int8 => 1,
+            DataType::Int16 | DataType::Fp16 => 2,
+            DataType::Int32 | DataType::Fp32 => 4,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    #[must_use]
+    pub fn is_float(self) -> bool {
+        matches!(self, DataType::Fp16 | DataType::Fp32)
+    }
+
+    /// Encoding tag used by the binary instruction format.
+    #[must_use]
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            DataType::Int8 => 0,
+            DataType::Int16 => 1,
+            DataType::Int32 => 2,
+            DataType::Fp16 => 3,
+            DataType::Fp32 => 4,
+        }
+    }
+
+    /// Inverse of [`DataType::tag`].
+    #[must_use]
+    pub(crate) fn from_tag(tag: u8) -> Option<DataType> {
+        DataType::ALL.into_iter().find(|d| d.tag() == tag)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int8 => "int8",
+            DataType::Int16 => "int16",
+            DataType::Int32 => "int32",
+            DataType::Fp16 => "fp16",
+            DataType::Fp32 => "fp32",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_match_paper() {
+        // "int16 ... from several streams (2, 4, and 4 respectively)" for
+        // int16, int32, fp32.
+        assert_eq!(DataType::Int8.stream_width(), 1);
+        assert_eq!(DataType::Int16.stream_width(), 2);
+        assert_eq!(DataType::Int32.stream_width(), 4);
+        assert_eq!(DataType::Fp32.stream_width(), 4);
+    }
+
+    #[test]
+    fn tag_roundtrip() {
+        for d in DataType::ALL {
+            assert_eq!(DataType::from_tag(d.tag()), Some(d));
+        }
+        assert_eq!(DataType::from_tag(99), None);
+    }
+}

@@ -1,0 +1,836 @@
+//! Binary instruction encoding.
+//!
+//! Instruction text lives in ordinary MEM slices and reaches each ICU over
+//! streams via `Ifetch` (640 bytes — a pair of 320-byte vectors — per fetch,
+//! paper §III-A3), so every instruction must serialize to bytes. The format is
+//! a one-byte opcode followed by little-endian operand fields; large operands
+//! (the permute map) are carried inline.
+//!
+//! [`Instruction::encode`] and [`Instruction::decode`] round-trip exactly;
+//! this is property-tested over the whole ISA.
+
+use core::fmt;
+
+use tsp_arch::{Direction, StreamGroup, StreamId, StreamRange};
+
+use crate::c2c::LinkId;
+use crate::dtype::DataType;
+use crate::mem::MemAddr;
+use crate::mxm::{AccumulateMode, Plane};
+use crate::sxm::PermuteMap;
+use crate::vxm::{AluIndex, BinaryAluOp, UnaryAluOp};
+use crate::{C2cOp, IcuOp, Instruction, MemOp, MxmOp, SxmOp, VxmOp};
+
+/// Padding byte used to fill the fixed 640-byte `Ifetch` window past the last
+/// real instruction; the fetch decoder stops at the first pad byte.
+pub const FETCH_PAD: u8 = 0xFF;
+
+/// Decodes one `Ifetch` window: instructions until the first [`FETCH_PAD`]
+/// byte (or the end of the block).
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_fetch_block(mut bytes: &[u8]) -> Result<Vec<crate::Instruction>, DecodeError> {
+    let mut out = Vec::new();
+    while let Some(&first) = bytes.first() {
+        if first == FETCH_PAD {
+            break;
+        }
+        let (insn, used) = crate::Instruction::decode(bytes)?;
+        out.push(insn);
+        bytes = &bytes[used..];
+    }
+    Ok(out)
+}
+
+/// Error produced when decoding malformed instruction text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The byte stream ended inside an instruction.
+    Truncated,
+    /// Unknown opcode byte.
+    BadOpcode(u8),
+    /// An operand field held an out-of-range value.
+    BadOperand(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated => write!(f, "instruction text truncated"),
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+            DecodeError::BadOperand(what) => write!(f, "bad operand field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode space, grouped by functional area nibble.
+const OP_NOP: u8 = 0x00;
+const OP_IFETCH: u8 = 0x01;
+const OP_SYNC: u8 = 0x02;
+const OP_NOTIFY: u8 = 0x03;
+const OP_CONFIG: u8 = 0x04;
+const OP_REPEAT: u8 = 0x05;
+const OP_READ: u8 = 0x10;
+const OP_WRITE: u8 = 0x11;
+const OP_GATHER: u8 = 0x12;
+const OP_SCATTER: u8 = 0x13;
+const OP_VXM_UNARY: u8 = 0x20;
+const OP_VXM_BINARY: u8 = 0x21;
+const OP_VXM_CONVERT: u8 = 0x22;
+const OP_LW: u8 = 0x30;
+const OP_IW: u8 = 0x31;
+const OP_ABC: u8 = 0x32;
+const OP_ACC: u8 = 0x33;
+const OP_SHIFT_UP: u8 = 0x40;
+const OP_SHIFT_DOWN: u8 = 0x41;
+const OP_SELECT: u8 = 0x42;
+const OP_PERMUTE: u8 = 0x43;
+const OP_DISTRIBUTE: u8 = 0x44;
+const OP_ROTATE: u8 = 0x45;
+const OP_TRANSPOSE: u8 = 0x46;
+const OP_DESKEW: u8 = 0x50;
+const OP_SEND: u8 = 0x51;
+const OP_RECEIVE: u8 = 0x52;
+
+fn put_stream(buf: &mut Vec<u8>, s: StreamId) {
+    let dir = match s.direction {
+        Direction::East => 0u8,
+        Direction::West => 0x80,
+    };
+    buf.push(s.id | dir);
+}
+
+fn get_stream(bytes: &[u8], at: &mut usize) -> Result<StreamId, DecodeError> {
+    let b = *bytes.get(*at).ok_or(DecodeError::Truncated)?;
+    *at += 1;
+    let dir = if b & 0x80 != 0 {
+        Direction::West
+    } else {
+        Direction::East
+    };
+    let id = b & 0x7f;
+    if id >= 32 {
+        return Err(DecodeError::BadOperand("stream id"));
+    }
+    Ok(StreamId::new(id, dir))
+}
+
+fn put_group(buf: &mut Vec<u8>, g: StreamGroup) {
+    put_stream(buf, g.base);
+    buf.push(g.width);
+}
+
+fn get_group(bytes: &[u8], at: &mut usize) -> Result<StreamGroup, DecodeError> {
+    let base = get_stream(bytes, at)?;
+    let w = *bytes.get(*at).ok_or(DecodeError::Truncated)?;
+    *at += 1;
+    if !matches!(w, 1 | 2 | 4 | 8 | 16) || base.id % w != 0 || base.id + w > 32 {
+        return Err(DecodeError::BadOperand("stream group"));
+    }
+    Ok(StreamGroup::new(base, w))
+}
+
+fn put_range(buf: &mut Vec<u8>, r: StreamRange) {
+    put_stream(buf, r.base);
+    buf.push(r.len);
+}
+
+fn get_range(bytes: &[u8], at: &mut usize) -> Result<StreamRange, DecodeError> {
+    let base = get_stream(bytes, at)?;
+    let len = *bytes.get(*at).ok_or(DecodeError::Truncated)?;
+    *at += 1;
+    if base.id + len > 32 {
+        return Err(DecodeError::BadOperand("stream range"));
+    }
+    Ok(StreamRange::new(base, len))
+}
+
+fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(bytes: &[u8], at: &mut usize) -> Result<u16, DecodeError> {
+    let b = bytes
+        .get(*at..*at + 2)
+        .ok_or(DecodeError::Truncated)?;
+    *at += 2;
+    Ok(u16::from_le_bytes([b[0], b[1]]))
+}
+
+fn get_u8(bytes: &[u8], at: &mut usize) -> Result<u8, DecodeError> {
+    let b = *bytes.get(*at).ok_or(DecodeError::Truncated)?;
+    *at += 1;
+    Ok(b)
+}
+
+fn put_addr(buf: &mut Vec<u8>, a: MemAddr) {
+    put_u16(buf, a.word());
+}
+
+fn get_addr(bytes: &[u8], at: &mut usize) -> Result<MemAddr, DecodeError> {
+    let w = get_u16(bytes, at)?;
+    if w >= 8192 {
+        return Err(DecodeError::BadOperand("word address"));
+    }
+    Ok(MemAddr::new(w))
+}
+
+fn get_dtype(bytes: &[u8], at: &mut usize) -> Result<DataType, DecodeError> {
+    let t = get_u8(bytes, at)?;
+    DataType::from_tag(t).ok_or(DecodeError::BadOperand("data type"))
+}
+
+fn unary_tag(op: UnaryAluOp) -> u8 {
+    UnaryAluOp::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn binary_tag(op: BinaryAluOp) -> u8 {
+    BinaryAluOp::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+impl Instruction {
+    /// Serializes the instruction to its binary form.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(8);
+        match self {
+            Instruction::Icu(op) => match *op {
+                IcuOp::Nop { count } => {
+                    b.push(OP_NOP);
+                    put_u16(&mut b, count);
+                }
+                IcuOp::Ifetch { stream } => {
+                    b.push(OP_IFETCH);
+                    put_stream(&mut b, stream);
+                }
+                IcuOp::Sync => b.push(OP_SYNC),
+                IcuOp::Notify => b.push(OP_NOTIFY),
+                IcuOp::Config { superlanes } => {
+                    b.push(OP_CONFIG);
+                    b.push(superlanes);
+                }
+                IcuOp::Repeat { n, d } => {
+                    b.push(OP_REPEAT);
+                    put_u16(&mut b, n);
+                    put_u16(&mut b, d);
+                }
+            },
+            Instruction::Mem(op) => match *op {
+                MemOp::Read { addr, stream } => {
+                    b.push(OP_READ);
+                    put_addr(&mut b, addr);
+                    put_stream(&mut b, stream);
+                }
+                MemOp::Write { addr, stream } => {
+                    b.push(OP_WRITE);
+                    put_addr(&mut b, addr);
+                    put_stream(&mut b, stream);
+                }
+                MemOp::Gather { stream, map } => {
+                    b.push(OP_GATHER);
+                    put_stream(&mut b, stream);
+                    put_stream(&mut b, map);
+                }
+                MemOp::Scatter { stream, map } => {
+                    b.push(OP_SCATTER);
+                    put_stream(&mut b, stream);
+                    put_stream(&mut b, map);
+                }
+            },
+            Instruction::Vxm(op) => match *op {
+                VxmOp::Unary {
+                    op,
+                    dtype,
+                    src,
+                    dst,
+                    alu,
+                } => {
+                    b.push(OP_VXM_UNARY);
+                    b.push(unary_tag(op));
+                    b.push(dtype.tag());
+                    put_group(&mut b, src);
+                    put_group(&mut b, dst);
+                    b.push(alu.0);
+                }
+                VxmOp::Binary {
+                    op,
+                    dtype,
+                    a,
+                    b: rhs,
+                    dst,
+                    alu,
+                } => {
+                    b.push(OP_VXM_BINARY);
+                    b.push(binary_tag(op));
+                    b.push(dtype.tag());
+                    put_group(&mut b, a);
+                    put_group(&mut b, rhs);
+                    put_group(&mut b, dst);
+                    b.push(alu.0);
+                }
+                VxmOp::Convert {
+                    from,
+                    to,
+                    src,
+                    dst,
+                    shift,
+                    alu,
+                } => {
+                    b.push(OP_VXM_CONVERT);
+                    b.push(from.tag());
+                    b.push(to.tag());
+                    put_group(&mut b, src);
+                    put_group(&mut b, dst);
+                    b.push(shift as u8);
+                    b.push(alu.0);
+                }
+            },
+            Instruction::Mxm(op) => match *op {
+                MxmOp::LoadWeights {
+                    plane,
+                    streams,
+                    rows,
+                } => {
+                    b.push(OP_LW);
+                    b.push(plane.index());
+                    put_group(&mut b, streams);
+                    b.push(rows);
+                }
+                MxmOp::InstallWeights { plane, dtype } => {
+                    b.push(OP_IW);
+                    b.push(plane.index());
+                    b.push(dtype.tag());
+                }
+                MxmOp::ActivationBuffer {
+                    plane,
+                    stream,
+                    rows,
+                } => {
+                    b.push(OP_ABC);
+                    b.push(plane.index());
+                    put_stream(&mut b, stream);
+                    put_u16(&mut b, rows);
+                }
+                MxmOp::Accumulate {
+                    plane,
+                    dst,
+                    rows,
+                    mode,
+                } => {
+                    b.push(OP_ACC);
+                    b.push(plane.index());
+                    put_group(&mut b, dst);
+                    put_u16(&mut b, rows);
+                    b.push(match mode {
+                        AccumulateMode::Overwrite => 0,
+                        AccumulateMode::Accumulate => 1,
+                    });
+                }
+            },
+            Instruction::Sxm(op) => match op {
+                SxmOp::ShiftUp { n, src, dst } => {
+                    b.push(OP_SHIFT_UP);
+                    put_u16(&mut b, *n);
+                    put_stream(&mut b, *src);
+                    put_stream(&mut b, *dst);
+                }
+                SxmOp::ShiftDown { n, src, dst } => {
+                    b.push(OP_SHIFT_DOWN);
+                    put_u16(&mut b, *n);
+                    put_stream(&mut b, *src);
+                    put_stream(&mut b, *dst);
+                }
+                SxmOp::Select {
+                    north,
+                    south,
+                    boundary,
+                    dst,
+                } => {
+                    b.push(OP_SELECT);
+                    put_stream(&mut b, *north);
+                    put_stream(&mut b, *south);
+                    put_u16(&mut b, *boundary);
+                    put_stream(&mut b, *dst);
+                }
+                SxmOp::Permute { map, src, dst } => {
+                    b.push(OP_PERMUTE);
+                    put_stream(&mut b, *src);
+                    put_stream(&mut b, *dst);
+                    for &m in map.as_array() {
+                        put_u16(&mut b, m);
+                    }
+                }
+                SxmOp::Distribute { map, src, dst } => {
+                    b.push(OP_DISTRIBUTE);
+                    put_stream(&mut b, *src);
+                    put_stream(&mut b, *dst);
+                    for &m in map {
+                        b.push(m.unwrap_or(0xFF));
+                    }
+                }
+                SxmOp::Rotate { n, src, dst } => {
+                    b.push(OP_ROTATE);
+                    b.push(*n);
+                    put_range(&mut b, *src);
+                    put_range(&mut b, *dst);
+                }
+                SxmOp::Transpose { src, dst } => {
+                    b.push(OP_TRANSPOSE);
+                    put_range(&mut b, *src);
+                    put_range(&mut b, *dst);
+                }
+            },
+            Instruction::C2c(op) => match *op {
+                C2cOp::Deskew { link } => {
+                    b.push(OP_DESKEW);
+                    b.push(link.index());
+                }
+                C2cOp::Send { link, stream } => {
+                    b.push(OP_SEND);
+                    b.push(link.index());
+                    put_stream(&mut b, stream);
+                }
+                C2cOp::Receive { link, stream } => {
+                    b.push(OP_RECEIVE);
+                    b.push(link.index());
+                    put_stream(&mut b, stream);
+                }
+            },
+        }
+        b
+    }
+
+    /// Decodes one instruction from the head of `bytes`, returning it and the
+    /// number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] on truncated text, unknown opcodes or
+    /// out-of-range operands.
+    pub fn decode(bytes: &[u8]) -> Result<(Instruction, usize), DecodeError> {
+        let mut at = 0usize;
+        let opcode = get_u8(bytes, &mut at)?;
+        let insn = match opcode {
+            OP_NOP => Instruction::Icu(IcuOp::Nop {
+                count: get_u16(bytes, &mut at)?,
+            }),
+            OP_IFETCH => Instruction::Icu(IcuOp::Ifetch {
+                stream: get_stream(bytes, &mut at)?,
+            }),
+            OP_SYNC => Instruction::Icu(IcuOp::Sync),
+            OP_NOTIFY => Instruction::Icu(IcuOp::Notify),
+            OP_CONFIG => {
+                let superlanes = get_u8(bytes, &mut at)?;
+                if superlanes == 0 || superlanes > 20 {
+                    return Err(DecodeError::BadOperand("superlane count"));
+                }
+                Instruction::Icu(IcuOp::Config { superlanes })
+            }
+            OP_REPEAT => Instruction::Icu(IcuOp::Repeat {
+                n: get_u16(bytes, &mut at)?,
+                d: get_u16(bytes, &mut at)?,
+            }),
+            OP_READ => Instruction::Mem(MemOp::Read {
+                addr: get_addr(bytes, &mut at)?,
+                stream: get_stream(bytes, &mut at)?,
+            }),
+            OP_WRITE => Instruction::Mem(MemOp::Write {
+                addr: get_addr(bytes, &mut at)?,
+                stream: get_stream(bytes, &mut at)?,
+            }),
+            OP_GATHER => Instruction::Mem(MemOp::Gather {
+                stream: get_stream(bytes, &mut at)?,
+                map: get_stream(bytes, &mut at)?,
+            }),
+            OP_SCATTER => Instruction::Mem(MemOp::Scatter {
+                stream: get_stream(bytes, &mut at)?,
+                map: get_stream(bytes, &mut at)?,
+            }),
+            OP_VXM_UNARY => {
+                let tag = get_u8(bytes, &mut at)?;
+                let op = *UnaryAluOp::ALL
+                    .get(tag as usize)
+                    .ok_or(DecodeError::BadOperand("unary op"))?;
+                Instruction::Vxm(VxmOp::Unary {
+                    op,
+                    dtype: get_dtype(bytes, &mut at)?,
+                    src: get_group(bytes, &mut at)?,
+                    dst: get_group(bytes, &mut at)?,
+                    alu: decode_alu(bytes, &mut at)?,
+                })
+            }
+            OP_VXM_BINARY => {
+                let tag = get_u8(bytes, &mut at)?;
+                let op = *BinaryAluOp::ALL
+                    .get(tag as usize)
+                    .ok_or(DecodeError::BadOperand("binary op"))?;
+                Instruction::Vxm(VxmOp::Binary {
+                    op,
+                    dtype: get_dtype(bytes, &mut at)?,
+                    a: get_group(bytes, &mut at)?,
+                    b: get_group(bytes, &mut at)?,
+                    dst: get_group(bytes, &mut at)?,
+                    alu: decode_alu(bytes, &mut at)?,
+                })
+            }
+            OP_VXM_CONVERT => Instruction::Vxm(VxmOp::Convert {
+                from: get_dtype(bytes, &mut at)?,
+                to: get_dtype(bytes, &mut at)?,
+                src: get_group(bytes, &mut at)?,
+                dst: get_group(bytes, &mut at)?,
+                shift: get_u8(bytes, &mut at)? as i8,
+                alu: decode_alu(bytes, &mut at)?,
+            }),
+            OP_LW => Instruction::Mxm(MxmOp::LoadWeights {
+                plane: decode_plane(bytes, &mut at)?,
+                streams: get_group(bytes, &mut at)?,
+                rows: get_u8(bytes, &mut at)?,
+            }),
+            OP_IW => Instruction::Mxm(MxmOp::InstallWeights {
+                plane: decode_plane(bytes, &mut at)?,
+                dtype: get_dtype(bytes, &mut at)?,
+            }),
+            OP_ABC => Instruction::Mxm(MxmOp::ActivationBuffer {
+                plane: decode_plane(bytes, &mut at)?,
+                stream: get_stream(bytes, &mut at)?,
+                rows: get_u16(bytes, &mut at)?,
+            }),
+            OP_ACC => Instruction::Mxm(MxmOp::Accumulate {
+                plane: decode_plane(bytes, &mut at)?,
+                dst: get_group(bytes, &mut at)?,
+                rows: get_u16(bytes, &mut at)?,
+                mode: match get_u8(bytes, &mut at)? {
+                    0 => AccumulateMode::Overwrite,
+                    1 => AccumulateMode::Accumulate,
+                    _ => return Err(DecodeError::BadOperand("accumulate mode")),
+                },
+            }),
+            OP_SHIFT_UP => Instruction::Sxm(SxmOp::ShiftUp {
+                n: get_u16(bytes, &mut at)?,
+                src: get_stream(bytes, &mut at)?,
+                dst: get_stream(bytes, &mut at)?,
+            }),
+            OP_SHIFT_DOWN => Instruction::Sxm(SxmOp::ShiftDown {
+                n: get_u16(bytes, &mut at)?,
+                src: get_stream(bytes, &mut at)?,
+                dst: get_stream(bytes, &mut at)?,
+            }),
+            OP_SELECT => Instruction::Sxm(SxmOp::Select {
+                north: get_stream(bytes, &mut at)?,
+                south: get_stream(bytes, &mut at)?,
+                boundary: get_u16(bytes, &mut at)?,
+                dst: get_stream(bytes, &mut at)?,
+            }),
+            OP_PERMUTE => {
+                let src = get_stream(bytes, &mut at)?;
+                let dst = get_stream(bytes, &mut at)?;
+                let mut map = [0u16; tsp_arch::LANES];
+                for m in &mut map {
+                    *m = get_u16(bytes, &mut at)?;
+                }
+                let mut seen = [false; tsp_arch::LANES];
+                for &m in &map {
+                    if m as usize >= tsp_arch::LANES || seen[m as usize] {
+                        return Err(DecodeError::BadOperand("permute map"));
+                    }
+                    seen[m as usize] = true;
+                }
+                Instruction::Sxm(SxmOp::Permute {
+                    map: PermuteMap::new(map),
+                    src,
+                    dst,
+                })
+            }
+            OP_DISTRIBUTE => {
+                let src = get_stream(bytes, &mut at)?;
+                let dst = get_stream(bytes, &mut at)?;
+                let mut map = [None; 16];
+                for m in &mut map {
+                    let b = get_u8(bytes, &mut at)?;
+                    *m = if b == 0xFF {
+                        None
+                    } else if b < 16 {
+                        Some(b)
+                    } else {
+                        return Err(DecodeError::BadOperand("distribute map"));
+                    };
+                }
+                Instruction::Sxm(SxmOp::Distribute { map, src, dst })
+            }
+            OP_ROTATE => Instruction::Sxm(SxmOp::Rotate {
+                n: get_u8(bytes, &mut at)?,
+                src: get_range(bytes, &mut at)?,
+                dst: get_range(bytes, &mut at)?,
+            }),
+            OP_TRANSPOSE => Instruction::Sxm(SxmOp::Transpose {
+                src: get_range(bytes, &mut at)?,
+                dst: get_range(bytes, &mut at)?,
+            }),
+            OP_DESKEW => Instruction::C2c(C2cOp::Deskew {
+                link: decode_link(bytes, &mut at)?,
+            }),
+            OP_SEND => Instruction::C2c(C2cOp::Send {
+                link: decode_link(bytes, &mut at)?,
+                stream: get_stream(bytes, &mut at)?,
+            }),
+            OP_RECEIVE => Instruction::C2c(C2cOp::Receive {
+                link: decode_link(bytes, &mut at)?,
+                stream: get_stream(bytes, &mut at)?,
+            }),
+            other => return Err(DecodeError::BadOpcode(other)),
+        };
+        Ok((insn, at))
+    }
+}
+
+fn decode_alu(bytes: &[u8], at: &mut usize) -> Result<AluIndex, DecodeError> {
+    let a = get_u8(bytes, at)?;
+    if a >= AluIndex::COUNT {
+        return Err(DecodeError::BadOperand("alu index"));
+    }
+    Ok(AluIndex::new(a))
+}
+
+fn decode_plane(bytes: &[u8], at: &mut usize) -> Result<Plane, DecodeError> {
+    let p = get_u8(bytes, at)?;
+    if p >= Plane::COUNT {
+        return Err(DecodeError::BadOperand("plane"));
+    }
+    Ok(Plane::new(p))
+}
+
+fn decode_link(bytes: &[u8], at: &mut usize) -> Result<LinkId, DecodeError> {
+    let l = get_u8(bytes, at)?;
+    if l >= crate::c2c::NUM_LINKS {
+        return Err(DecodeError::BadOperand("link"));
+    }
+    Ok(LinkId::new(l))
+}
+
+/// Encodes a whole program-order sequence into a flat byte image (the form
+/// stored in "instruction dispatch" MEM slices and pulled by `Ifetch`).
+#[must_use]
+pub fn encode_sequence(instructions: &[Instruction]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for i in instructions {
+        out.extend_from_slice(&i.encode());
+    }
+    out
+}
+
+/// Decodes a flat byte image back into instructions (inverse of
+/// [`encode_sequence`]).
+///
+/// # Errors
+///
+/// Returns the first [`DecodeError`] encountered.
+pub fn decode_sequence(mut bytes: &[u8]) -> Result<Vec<Instruction>, DecodeError> {
+    let mut out = Vec::new();
+    while !bytes.is_empty() {
+        let (insn, used) = Instruction::decode(bytes)?;
+        out.push(insn);
+        bytes = &bytes[used..];
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Instruction> {
+        use tsp_arch::Direction;
+        vec![
+            IcuOp::Nop { count: 1234 }.into(),
+            IcuOp::Ifetch {
+                stream: StreamId::west(9),
+            }
+            .into(),
+            IcuOp::Sync.into(),
+            IcuOp::Notify.into(),
+            IcuOp::Config { superlanes: 10 }.into(),
+            IcuOp::Repeat { n: 64, d: 3 }.into(),
+            MemOp::Read {
+                addr: MemAddr::new(8191),
+                stream: StreamId::east(31),
+            }
+            .into(),
+            MemOp::Write {
+                addr: MemAddr::new(4096),
+                stream: StreamId::west(0),
+            }
+            .into(),
+            MemOp::Gather {
+                stream: StreamId::east(2),
+                map: StreamId::east(3),
+            }
+            .into(),
+            MemOp::Scatter {
+                stream: StreamId::west(4),
+                map: StreamId::west(5),
+            }
+            .into(),
+            VxmOp::Binary {
+                op: BinaryAluOp::MulSat,
+                dtype: DataType::Int8,
+                a: StreamGroup::new(StreamId::east(0), 1),
+                b: StreamGroup::new(StreamId::east(1), 1),
+                dst: StreamGroup::new(StreamId::west(2), 1),
+                alu: AluIndex::new(7),
+            }
+            .into(),
+            VxmOp::Unary {
+                op: UnaryAluOp::Rsqrt,
+                dtype: DataType::Fp32,
+                src: StreamGroup::sg4(0, Direction::East),
+                dst: StreamGroup::sg4(1, Direction::East),
+                alu: AluIndex::new(15),
+            }
+            .into(),
+            VxmOp::Convert {
+                from: DataType::Int32,
+                to: DataType::Int8,
+                src: StreamGroup::sg4(2, Direction::West),
+                dst: StreamGroup::new(StreamId::west(1), 1),
+                shift: -5,
+                alu: AluIndex::new(3),
+            }
+            .into(),
+            MxmOp::LoadWeights {
+                plane: Plane::new(1),
+                streams: StreamGroup::new(StreamId::east(16), 16),
+                rows: 20,
+            }
+            .into(),
+            MxmOp::InstallWeights {
+                plane: Plane::new(3),
+                dtype: DataType::Fp16,
+            }
+            .into(),
+            MxmOp::ActivationBuffer {
+                plane: Plane::new(0),
+                stream: StreamId::west(12),
+                rows: 320,
+            }
+            .into(),
+            MxmOp::Accumulate {
+                plane: Plane::new(2),
+                dst: StreamGroup::sg4(3, Direction::East),
+                rows: 320,
+                mode: AccumulateMode::Accumulate,
+            }
+            .into(),
+            SxmOp::ShiftUp {
+                n: 16,
+                src: StreamId::east(1),
+                dst: StreamId::east(2),
+            }
+            .into(),
+            SxmOp::Select {
+                north: StreamId::east(1),
+                south: StreamId::east(2),
+                boundary: 160,
+                dst: StreamId::east(3),
+            }
+            .into(),
+            SxmOp::Permute {
+                map: PermuteMap::rotation(17),
+                src: StreamId::west(7),
+                dst: StreamId::west(8),
+            }
+            .into(),
+            SxmOp::Distribute {
+                map: {
+                    let mut m = [None; 16];
+                    m[0] = Some(3);
+                    m[15] = Some(0);
+                    m
+                },
+                src: StreamId::east(9),
+                dst: StreamId::east(10),
+            }
+            .into(),
+            SxmOp::Rotate {
+                n: 3,
+                src: StreamRange::new(StreamId::east(0), 3),
+                dst: StreamRange::new(StreamId::east(3), 9),
+            }
+            .into(),
+            SxmOp::Transpose {
+                src: StreamRange::new(StreamId::east(0), 16),
+                dst: StreamRange::new(StreamId::east(16), 16),
+            }
+            .into(),
+            C2cOp::Deskew {
+                link: LinkId::new(15),
+            }
+            .into(),
+            C2cOp::Send {
+                link: LinkId::new(0),
+                stream: StreamId::east(31),
+            }
+            .into(),
+            C2cOp::Receive {
+                link: LinkId::new(7),
+                stream: StreamId::west(30),
+            }
+            .into(),
+        ]
+    }
+
+    #[test]
+    fn every_instruction_roundtrips() {
+        for insn in samples() {
+            let bytes = insn.encode();
+            let (decoded, used) = Instruction::decode(&bytes)
+                .unwrap_or_else(|e| panic!("decode of {insn}: {e}"));
+            assert_eq!(decoded, insn);
+            assert_eq!(used, bytes.len(), "trailing bytes for {insn}");
+        }
+    }
+
+    #[test]
+    fn sequence_roundtrips() {
+        let seq = samples();
+        let image = encode_sequence(&seq);
+        assert_eq!(decode_sequence(&image).unwrap(), seq);
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        for insn in samples() {
+            let bytes = insn.encode();
+            for cut in 0..bytes.len() {
+                match Instruction::decode(&bytes[..cut]) {
+                    Err(_) => {}
+                    // A prefix may decode as a shorter valid instruction only
+                    // if it consumed the whole prefix; anything else is a bug.
+                    Ok((_, used)) => assert_eq!(used, cut, "for {insn} cut at {cut}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(
+            Instruction::decode(&[0xEE]),
+            Err(DecodeError::BadOpcode(0xEE))
+        );
+        assert_eq!(Instruction::decode(&[]), Err(DecodeError::Truncated));
+    }
+
+    #[test]
+    fn bad_stream_id_rejected() {
+        // Read with stream id 33.
+        let bytes = [OP_READ, 0x00, 0x00, 33u8];
+        assert!(matches!(
+            Instruction::decode(&bytes),
+            Err(DecodeError::BadOperand(_))
+        ));
+    }
+}

@@ -1,0 +1,205 @@
+//! The top-level [`Instruction`] type spanning all six functional areas.
+
+use core::fmt;
+
+use tsp_arch::TimeModel;
+
+use crate::{C2cOp, IcuOp, MemOp, MxmOp, SxmOp, VxmOp};
+
+/// The six functional areas the ISA spans (paper §II: "The TSP's instruction
+/// set architecture defines instructions spanning five different functional
+/// areas" — ICU, VXM, MXM, SXM, MEM — plus the C2C module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FunctionalArea {
+    /// Instruction control unit.
+    Icu,
+    /// Memory slices.
+    Mem,
+    /// Vector execution module.
+    Vxm,
+    /// Matrix execution module.
+    Mxm,
+    /// Switch execution module.
+    Sxm,
+    /// Chip-to-chip module.
+    C2c,
+}
+
+impl FunctionalArea {
+    /// All areas in Table I order.
+    pub const ALL: [FunctionalArea; 6] = [
+        FunctionalArea::Icu,
+        FunctionalArea::Mem,
+        FunctionalArea::Vxm,
+        FunctionalArea::Mxm,
+        FunctionalArea::Sxm,
+        FunctionalArea::C2c,
+    ];
+}
+
+impl fmt::Display for FunctionalArea {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FunctionalArea::Icu => "ICU",
+            FunctionalArea::Mem => "MEM",
+            FunctionalArea::Vxm => "VXM",
+            FunctionalArea::Mxm => "MXM",
+            FunctionalArea::Sxm => "SXM",
+            FunctionalArea::C2c => "C2C",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A TSP instruction: one of the per-area operations.
+///
+/// ICU instructions (`NOP`, `Ifetch`, `Sync`, …) are common to every slice;
+/// the rest execute only on slices of the matching function.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// Instruction-control operation (valid on any slice's queue).
+    Icu(IcuOp),
+    /// Memory-slice operation.
+    Mem(MemOp),
+    /// Vector ALU operation.
+    Vxm(VxmOp),
+    /// Matrix unit operation.
+    Mxm(MxmOp),
+    /// Switch/permute operation.
+    Sxm(SxmOp),
+    /// Chip-to-chip operation.
+    C2c(C2cOp),
+}
+
+impl Instruction {
+    /// The functional area whose slices can execute this instruction.
+    #[must_use]
+    pub fn area(&self) -> FunctionalArea {
+        match self {
+            Instruction::Icu(_) => FunctionalArea::Icu,
+            Instruction::Mem(_) => FunctionalArea::Mem,
+            Instruction::Vxm(_) => FunctionalArea::Vxm,
+            Instruction::Mxm(_) => FunctionalArea::Mxm,
+            Instruction::Sxm(_) => FunctionalArea::Sxm,
+            Instruction::C2c(_) => FunctionalArea::C2c,
+        }
+    }
+
+    /// Temporal metadata exposed across the static–dynamic interface
+    /// (paper §III): the same values drive the compiler's schedule and the
+    /// simulator's behaviour.
+    #[must_use]
+    pub fn time_model(&self) -> TimeModel {
+        match self {
+            Instruction::Icu(op) => op.time_model(),
+            Instruction::Mem(op) => op.time_model(),
+            Instruction::Vxm(op) => op.time_model(),
+            Instruction::Mxm(op) => op.time_model(),
+            Instruction::Sxm(op) => op.time_model(),
+            Instruction::C2c(op) => op.time_model(),
+        }
+    }
+
+    /// Number of dispatch-queue cycles this instruction occupies. `1` for
+    /// everything except repeated `NOP`s and multi-row MXM bursts, whose
+    /// issue occupies the queue for the duration of the burst.
+    #[must_use]
+    pub fn queue_cycles(&self) -> u64 {
+        match self {
+            Instruction::Icu(op) => op.queue_cycles(),
+            Instruction::Mxm(MxmOp::LoadWeights { rows, .. }) => u64::from(*rows).max(1),
+            Instruction::Mxm(MxmOp::ActivationBuffer { rows, .. })
+            | Instruction::Mxm(MxmOp::Accumulate { rows, .. }) => u64::from(*rows).max(1),
+            _ => 1,
+        }
+    }
+
+    /// Table I mnemonic.
+    #[must_use]
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            Instruction::Icu(op) => op.mnemonic(),
+            Instruction::Mem(op) => op.mnemonic(),
+            Instruction::Vxm(op) => op.mnemonic(),
+            Instruction::Mxm(op) => op.mnemonic(),
+            Instruction::Sxm(op) => op.mnemonic(),
+            Instruction::C2c(op) => op.mnemonic(),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Icu(op) => op.fmt(f),
+            Instruction::Mem(op) => op.fmt(f),
+            Instruction::Vxm(op) => op.fmt(f),
+            Instruction::Mxm(op) => op.fmt(f),
+            Instruction::Sxm(op) => op.fmt(f),
+            Instruction::C2c(op) => op.fmt(f),
+        }
+    }
+}
+
+impl From<IcuOp> for Instruction {
+    fn from(op: IcuOp) -> Instruction {
+        Instruction::Icu(op)
+    }
+}
+impl From<MemOp> for Instruction {
+    fn from(op: MemOp) -> Instruction {
+        Instruction::Mem(op)
+    }
+}
+impl From<VxmOp> for Instruction {
+    fn from(op: VxmOp) -> Instruction {
+        Instruction::Vxm(op)
+    }
+}
+impl From<MxmOp> for Instruction {
+    fn from(op: MxmOp) -> Instruction {
+        Instruction::Mxm(op)
+    }
+}
+impl From<SxmOp> for Instruction {
+    fn from(op: SxmOp) -> Instruction {
+        Instruction::Sxm(op)
+    }
+}
+impl From<C2cOp> for Instruction {
+    fn from(op: C2cOp) -> Instruction {
+        Instruction::C2c(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemAddr;
+    use tsp_arch::StreamId;
+
+    #[test]
+    fn area_dispatch() {
+        let i: Instruction = IcuOp::Sync.into();
+        assert_eq!(i.area(), FunctionalArea::Icu);
+        let i: Instruction = MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(0),
+        }
+        .into();
+        assert_eq!(i.area(), FunctionalArea::Mem);
+    }
+
+    #[test]
+    fn burst_instructions_occupy_queue() {
+        let i: Instruction = MxmOp::ActivationBuffer {
+            plane: crate::Plane::new(0),
+            stream: StreamId::east(0),
+            rows: 100,
+        }
+        .into();
+        assert_eq!(i.queue_cycles(), 100);
+        let nop: Instruction = IcuOp::Nop { count: 7 }.into();
+        assert_eq!(nop.queue_cycles(), 7);
+    }
+}

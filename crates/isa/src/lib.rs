@@ -1,0 +1,52 @@
+//! # tsp-isa — the Tensor Streaming Processor instruction set
+//!
+//! Defines every instruction of paper Table I across the six functional areas
+//! (ICU, MEM, VXM, MXM, SXM, C2C), together with:
+//!
+//! * the **temporal metadata** (`d_func`, `d_skew`) each instruction exposes
+//!   across the static–dynamic interface so the compiler can schedule in time
+//!   and space (paper §III);
+//! * a **binary encoding** ([`encode`]) — instruction text lives in ordinary
+//!   MEM slices and is fetched onto streams by `Ifetch`, so instructions must
+//!   serialize to bytes;
+//! * an **assembly text** rendering (`Display`) matching the paper's notation
+//!   (`Read a,s` / `Add S1,S2,S3` / `NOP(N)` …);
+//! * a generator for the paper's **Table I** from the definitions themselves
+//!   ([`table::isa_summary`]), so documentation cannot drift from the ISA.
+//!
+//! The top-level type is [`Instruction`]; per-area operation enums are
+//! [`IcuOp`], [`MemOp`], [`VxmOp`], [`MxmOp`], [`SxmOp`] and [`C2cOp`].
+//!
+//! ```
+//! use tsp_isa::{Instruction, MemOp, MemAddr};
+//! use tsp_arch::StreamId;
+//!
+//! let read = Instruction::Mem(MemOp::Read { addr: MemAddr::new(0x40), stream: StreamId::east(1) });
+//! assert_eq!(read.to_string(), "Read 0x0040,S1.E");
+//! // Every instruction round-trips through its binary encoding:
+//! let bytes = read.encode();
+//! assert_eq!(Instruction::decode(&bytes).unwrap().0, read);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod c2c;
+pub mod dtype;
+pub mod encode;
+pub mod icu;
+pub mod instruction;
+pub mod mem;
+pub mod mxm;
+pub mod sxm;
+pub mod table;
+pub mod vxm;
+
+pub use c2c::{C2cOp, LinkId};
+pub use dtype::DataType;
+pub use icu::IcuOp;
+pub use instruction::{FunctionalArea, Instruction};
+pub use mem::{MemAddr, MemOp};
+pub use mxm::{AccumulateMode, MxmOp, Plane, MXM_ARRAY_DELAY};
+pub use sxm::{PermuteMap, SxmOp};
+pub use vxm::{AluIndex, BinaryAluOp, UnaryAluOp, VxmOp};

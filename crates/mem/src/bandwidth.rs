@@ -1,0 +1,119 @@
+//! Bandwidth accounting, used to demonstrate the paper's Eq. 1/Eq. 2 claims
+//! (20 TiB/s stream bandwidth, 55 TiB/s SRAM bandwidth, 2.25 TiB/s maximum
+//! instruction-fetch bandwidth) on the simulator rather than just asserting
+//! them.
+
+/// Traffic categories the paper's §II-B budget distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Traffic {
+    /// Operand bytes read from SRAM onto streams.
+    SramRead,
+    /// Result bytes written from streams into SRAM.
+    SramWrite,
+    /// Bytes moved on stream registers (per hop).
+    Stream,
+    /// Instruction text fetched by `Ifetch`.
+    InstructionFetch,
+}
+
+/// Accumulates bytes moved per category over a simulated interval.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BandwidthMeter {
+    sram_read: u64,
+    sram_write: u64,
+    stream: u64,
+    ifetch: u64,
+}
+
+impl BandwidthMeter {
+    /// Creates a zeroed meter.
+    #[must_use]
+    pub fn new() -> BandwidthMeter {
+        BandwidthMeter::default()
+    }
+
+    /// Records `bytes` of traffic in a category.
+    pub fn record(&mut self, traffic: Traffic, bytes: u64) {
+        match traffic {
+            Traffic::SramRead => self.sram_read += bytes,
+            Traffic::SramWrite => self.sram_write += bytes,
+            Traffic::Stream => self.stream += bytes,
+            Traffic::InstructionFetch => self.ifetch += bytes,
+        }
+    }
+
+    /// Total bytes in a category.
+    #[must_use]
+    pub fn total(&self, traffic: Traffic) -> u64 {
+        match traffic {
+            Traffic::SramRead => self.sram_read,
+            Traffic::SramWrite => self.sram_write,
+            Traffic::Stream => self.stream,
+            Traffic::InstructionFetch => self.ifetch,
+        }
+    }
+
+    /// Total SRAM traffic (reads + writes).
+    #[must_use]
+    pub fn sram_total(&self) -> u64 {
+        self.sram_read + self.sram_write
+    }
+
+    /// Achieved bandwidth in bytes/second for a category over `cycles` at
+    /// `clock_hz`.
+    #[must_use]
+    pub fn achieved(&self, traffic: Traffic, cycles: u64, clock_hz: f64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.total(traffic) as f64 * clock_hz / cycles as f64
+    }
+
+    /// Merges another meter's counts into this one.
+    pub fn merge(&mut self, other: &BandwidthMeter) {
+        self.sram_read += other.sram_read;
+        self.sram_write += other.sram_write;
+        self.stream += other.stream;
+        self.ifetch += other.ifetch;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports() {
+        let mut m = BandwidthMeter::new();
+        m.record(Traffic::SramRead, 320);
+        m.record(Traffic::SramRead, 320);
+        m.record(Traffic::SramWrite, 320);
+        assert_eq!(m.total(Traffic::SramRead), 640);
+        assert_eq!(m.sram_total(), 960);
+    }
+
+    #[test]
+    fn achieved_bandwidth_math() {
+        let mut m = BandwidthMeter::new();
+        // 64 streams × 320 B for 100 cycles at 1 GHz = 20.48 TB/s.
+        m.record(Traffic::Stream, 64 * 320 * 100);
+        let bw = m.achieved(Traffic::Stream, 100, 1e9);
+        assert!((bw / 1e12 - 20.48).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_cycles_is_zero_bandwidth() {
+        let m = BandwidthMeter::new();
+        assert_eq!(m.achieved(Traffic::Stream, 0, 1e9), 0.0);
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = BandwidthMeter::new();
+        let mut b = BandwidthMeter::new();
+        a.record(Traffic::InstructionFetch, 100);
+        b.record(Traffic::InstructionFetch, 28);
+        a.merge(&b);
+        assert_eq!(a.total(Traffic::InstructionFetch), 128);
+    }
+}

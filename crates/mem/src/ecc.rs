@@ -1,0 +1,372 @@
+//! SECDED error protection (paper §II-D).
+//!
+//! Each 128-bit (16-byte) memory word — one superlane's share of a 320-byte
+//! vector — is protected by 9 ECC check bits, 137 bits in total: an extended
+//! Hamming code giving single-error correction with double-error detection.
+//!
+//! The TSP generates check bits **once at the producer** and carries them
+//! alongside the data as it flows on stream registers; the consumer checks
+//! before operating. One code therefore covers both SRAM soft errors and
+//! stream-datapath upsets, without replicating the XOR tree at every bank.
+//! Corrected errors are recorded in a control-and-status register
+//! ([`ErrorLog`]) that an error handler interrogates later — an early signal
+//! of wear-out used to identify marginal chips.
+
+use core::fmt;
+use std::sync::OnceLock;
+
+/// Number of data bits per protected word.
+pub const DATA_BITS: usize = 128;
+/// Number of ECC check bits per word (8 Hamming + 1 overall parity).
+pub const CHECK_BITS: usize = 9;
+/// Total encoded width (the paper's "137-bits in total").
+pub const CODEWORD_BITS: usize = DATA_BITS + CHECK_BITS;
+
+/// Hamming codeword length excluding the overall parity bit: 8 parity
+/// positions (powers of two) + 128 data positions = 136.
+const HAMMING_LEN: usize = 136;
+
+/// Maps data-bit index (0..128) to its codeword position (1..=136, skipping
+/// power-of-two parity positions).
+fn data_positions() -> &'static [u16; DATA_BITS] {
+    static TABLE: OnceLock<[u16; DATA_BITS]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u16; DATA_BITS];
+        let mut pos = 1u16;
+        for slot in &mut table {
+            while pos.is_power_of_two() {
+                pos += 1;
+            }
+            *slot = pos;
+            pos += 1;
+        }
+        debug_assert!(table[DATA_BITS - 1] as usize <= HAMMING_LEN);
+        table
+    })
+}
+
+fn get_bit(data: &[u8; 16], bit: usize) -> bool {
+    data[bit / 8] >> (bit % 8) & 1 == 1
+}
+
+fn flip_bit(data: &mut [u8; 16], bit: usize) {
+    data[bit / 8] ^= 1 << (bit % 8);
+}
+
+/// Computes the 9 check bits for a 16-byte word: bits 0–7 are the Hamming
+/// parity bits, bit 8 the overall parity over the whole 137-bit codeword.
+#[must_use]
+pub fn encode(data: &[u8; 16]) -> u16 {
+    let positions = data_positions();
+    let mut syndrome_acc: u16 = 0; // XOR of positions of set data bits
+    let mut ones = 0u32;
+    for (bit, &pos) in positions.iter().enumerate() {
+        if get_bit(data, bit) {
+            syndrome_acc ^= pos;
+            ones += 1;
+        }
+    }
+    // Parity bit i (position 2^i) makes the parity over its coverage even, so
+    // its value equals bit i of the XOR-of-positions accumulator.
+    let hamming = syndrome_acc & 0xFF;
+    // Overall parity over data bits + the 8 Hamming bits, making the full
+    // codeword even-parity.
+    let parity = (ones + hamming.count_ones()) & 1;
+    hamming | ((parity as u16) << 8)
+}
+
+/// Outcome of an ECC check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccOutcome {
+    /// Data and check bits are consistent.
+    Clean,
+    /// A single-bit error was corrected in place (data or check bits).
+    Corrected {
+        /// Which data bit was repaired, or `None` if the flip was in the
+        /// check bits themselves.
+        data_bit: Option<u8>,
+    },
+}
+
+/// An uncorrectable (double-bit) error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccError;
+
+impl fmt::Display for EccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "uncorrectable multi-bit ECC error")
+    }
+}
+
+impl std::error::Error for EccError {}
+
+/// Checks (and if needed corrects) a word against its stored check bits.
+///
+/// # Errors
+///
+/// Returns [`EccError`] when a double-bit error is detected; `data` is left
+/// unmodified in that case (the paper's SECDED guarantee: correct any single
+/// flip, detect any double flip).
+pub fn check_and_correct(data: &mut [u8; 16], stored_check: u16) -> Result<EccOutcome, EccError> {
+    let fresh = encode(data);
+    let syndrome = (fresh ^ stored_check) & 0xFF;
+    // Overall parity of the *received* 137-bit codeword (data + stored check
+    // bits). A clean codeword is even-parity by construction; odd total
+    // parity means an odd number of flips (i.e. a single error somewhere).
+    let data_ones: u32 = data.iter().map(|b| b.count_ones()).sum();
+    let parity_odd = (data_ones + (stored_check & 0x1FF).count_ones()) % 2 == 1;
+
+    match (syndrome, parity_odd) {
+        (0, false) => Ok(EccOutcome::Clean),
+        (0, true) => {
+            // Flip was in the overall parity bit itself; data is intact.
+            Ok(EccOutcome::Corrected { data_bit: None })
+        }
+        (s, true) => {
+            // Single-bit error at codeword position `s`.
+            let positions = data_positions();
+            if let Some(bit) = positions.iter().position(|&p| p == s) {
+                flip_bit(data, bit);
+                Ok(EccOutcome::Corrected {
+                    data_bit: Some(bit as u8),
+                })
+            } else {
+                // Position is a parity position: a check-bit flip; data intact.
+                Ok(EccOutcome::Corrected { data_bit: None })
+            }
+        }
+        (_, false) => Err(EccError),
+    }
+}
+
+/// Where an error was observed, for the CSR log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorSite {
+    /// While reading a word out of an SRAM bank.
+    Sram {
+        /// Flat slice index, `0..88`.
+        slice: u8,
+        /// Word address within the slice.
+        word: u16,
+    },
+    /// While a consumer checked a stream operand.
+    Stream {
+        /// Stream id (0..32).
+        stream: u8,
+    },
+}
+
+/// One CSR entry: a soft-error event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorEvent {
+    /// Cycle at which the check ran.
+    pub cycle: u64,
+    /// Where the error was seen.
+    pub site: ErrorSite,
+    /// Whether it was corrected (single-bit) or only detected (double-bit).
+    pub corrected: bool,
+}
+
+/// The control-and-status register accumulating soft-error events
+/// (paper §II-D: "automatically corrected and recorded in a CSR for an error
+/// handler to interrogate later").
+#[derive(Debug, Clone, Default)]
+pub struct ErrorLog {
+    events: Vec<ErrorEvent>,
+    corrected: u64,
+    detected_uncorrectable: u64,
+}
+
+impl ErrorLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> ErrorLog {
+        ErrorLog::default()
+    }
+
+    /// Records a corrected single-bit error.
+    pub fn record_corrected(&mut self, cycle: u64, site: ErrorSite) {
+        self.corrected += 1;
+        self.events.push(ErrorEvent {
+            cycle,
+            site,
+            corrected: true,
+        });
+    }
+
+    /// Records a detected-but-uncorrectable error.
+    pub fn record_uncorrectable(&mut self, cycle: u64, site: ErrorSite) {
+        self.detected_uncorrectable += 1;
+        self.events.push(ErrorEvent {
+            cycle,
+            site,
+            corrected: false,
+        });
+    }
+
+    /// Number of corrected single-bit errors.
+    #[must_use]
+    pub fn corrected(&self) -> u64 {
+        self.corrected
+    }
+
+    /// Number of detected uncorrectable errors (would interrupt the host).
+    #[must_use]
+    pub fn uncorrectable(&self) -> u64 {
+        self.detected_uncorrectable
+    }
+
+    /// The recorded events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &[ErrorEvent] {
+        &self.events
+    }
+}
+
+/// A 16-byte word with its check bits, as stored in SRAM and carried on
+/// stream registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SecdedWord {
+    /// The data bytes.
+    pub data: [u8; 16],
+    /// The 9 check bits (low 9 bits used).
+    pub check: u16,
+}
+
+impl SecdedWord {
+    /// Encodes a word at the producer.
+    #[must_use]
+    pub fn protect(data: [u8; 16]) -> SecdedWord {
+        SecdedWord {
+            check: encode(&data),
+            data,
+        }
+    }
+
+    /// Consumer-side check; corrects in place if possible.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EccError`] on a double-bit error.
+    pub fn verify(&mut self) -> Result<EccOutcome, EccError> {
+        check_and_correct(&mut self.data, self.check)
+    }
+
+    /// Flips one bit of the data (fault injection for tests/benches).
+    pub fn inject_data_flip(&mut self, bit: usize) {
+        flip_bit(&mut self.data, bit);
+    }
+
+    /// Flips one of the 9 check bits (fault injection).
+    pub fn inject_check_flip(&mut self, bit: usize) {
+        assert!(bit < CHECK_BITS, "check bit {bit} out of range");
+        self.check ^= 1 << bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_words() -> Vec<[u8; 16]> {
+        let mut v = vec![[0u8; 16], [0xFF; 16]];
+        let mut w = [0u8; 16];
+        for (i, b) in w.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        v.push(w);
+        // A few pseudo-random words (deterministic LCG; no rand dependency).
+        let mut state = 0x1234_5678_9abc_def0u64;
+        for _ in 0..16 {
+            let mut w = [0u8; 16];
+            for b in &mut w {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                *b = (state >> 56) as u8;
+            }
+            v.push(w);
+        }
+        v
+    }
+
+    #[test]
+    fn clean_words_verify_clean() {
+        for data in sample_words() {
+            let mut w = SecdedWord::protect(data);
+            assert_eq!(w.verify(), Ok(EccOutcome::Clean));
+            assert_eq!(w.data, data);
+        }
+    }
+
+    #[test]
+    fn every_single_data_bit_flip_is_corrected() {
+        for data in sample_words().into_iter().take(4) {
+            for bit in 0..DATA_BITS {
+                let mut w = SecdedWord::protect(data);
+                w.inject_data_flip(bit);
+                let out = w.verify().unwrap_or_else(|e| panic!("bit {bit}: {e}"));
+                assert_eq!(
+                    out,
+                    EccOutcome::Corrected {
+                        data_bit: Some(bit as u8)
+                    }
+                );
+                assert_eq!(w.data, data, "bit {bit} not repaired");
+            }
+        }
+    }
+
+    #[test]
+    fn every_single_check_bit_flip_is_tolerated() {
+        for data in sample_words().into_iter().take(4) {
+            for bit in 0..CHECK_BITS {
+                let mut w = SecdedWord::protect(data);
+                w.inject_check_flip(bit);
+                let out = w.verify().unwrap_or_else(|e| panic!("check bit {bit}: {e}"));
+                assert_eq!(out, EccOutcome::Corrected { data_bit: None });
+                assert_eq!(w.data, data);
+            }
+        }
+    }
+
+    #[test]
+    fn every_double_data_bit_flip_is_detected() {
+        let data = sample_words()[2];
+        for a in (0..DATA_BITS).step_by(7) {
+            for b in (a + 1..DATA_BITS).step_by(13) {
+                let mut w = SecdedWord::protect(data);
+                w.inject_data_flip(a);
+                w.inject_data_flip(b);
+                assert_eq!(w.verify(), Err(EccError), "flips {a},{b} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn data_plus_check_flip_detected() {
+        let data = sample_words()[3];
+        for db in (0..DATA_BITS).step_by(17) {
+            for cb in 0..CHECK_BITS {
+                let mut w = SecdedWord::protect(data);
+                w.inject_data_flip(db);
+                w.inject_check_flip(cb);
+                assert_eq!(w.verify(), Err(EccError), "flips d{db},c{cb} undetected");
+            }
+        }
+    }
+
+    #[test]
+    fn codeword_is_137_bits() {
+        assert_eq!(CODEWORD_BITS, 137);
+    }
+
+    #[test]
+    fn error_log_counts() {
+        let mut log = ErrorLog::new();
+        log.record_corrected(10, ErrorSite::Sram { slice: 3, word: 99 });
+        log.record_corrected(11, ErrorSite::Stream { stream: 4 });
+        log.record_uncorrectable(12, ErrorSite::Sram { slice: 0, word: 0 });
+        assert_eq!(log.corrected(), 2);
+        assert_eq!(log.uncorrectable(), 1);
+        assert_eq!(log.events().len(), 3);
+    }
+}

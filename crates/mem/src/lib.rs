@@ -1,0 +1,28 @@
+//! # tsp-mem — the TSP on-chip memory system
+//!
+//! Models the MEM subsystem of paper §II-B and §III-B:
+//!
+//! * 2 hemispheres × 44 slices × 20 tiles of pseudo-dual-port SRAM — 220 MiB
+//!   total, addressed as 13-bit word addresses naming 320-byte vectors (one
+//!   16-byte word per superlane tile, one byte per lane);
+//! * two banks per slice with the bank bit architecturally exposed, allowing
+//!   one read **and** one write per cycle when they target different banks
+//!   ([`MemSlice::access`] enforces the conflict rule);
+//! * the partitioned global address space ([`GlobalAddress`]) the compiler's
+//!   allocator works in;
+//! * SECDED ECC ([`ecc`]) generated at the producer and checked at the
+//!   consumer, covering both SRAM soft errors and stream-path upsets, with a
+//!   control-and-status register ([`ecc::ErrorLog`]) recording corrections;
+//! * bandwidth accounting ([`bandwidth`]) used to reproduce the paper's
+//!   Eq. 1 / Eq. 2 bandwidth claims.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bandwidth;
+pub mod ecc;
+pub mod slice;
+
+pub use bandwidth::BandwidthMeter;
+pub use ecc::{EccError, ErrorLog, SecdedWord};
+pub use slice::{AccessError, GlobalAddress, MemSlice, Memory};

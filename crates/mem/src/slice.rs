@@ -1,0 +1,441 @@
+//! MEM slices: pseudo-dual-port SRAM organized as the paper's partitioned
+//! global address space (§II-B, §III-B, §IV-A).
+//!
+//! Each of the 88 slices stores 8,192 words; a word is a 320-byte vector
+//! (16 bytes per superlane tile) plus per-superlane SECDED check bits. Two
+//! banks per slice allow one read and one write in the same cycle **iff**
+//! they target different banks — [`MemSlice::access`] enforces this, because
+//! the compiler (not hardware arbitration) is responsible for avoiding
+//! conflicts; a violation is a compiler bug, surfaced as an error rather than
+//! a stall.
+
+use core::fmt;
+
+use tsp_arch::{Hemisphere, Slice, Vector, MEM_SLICES_PER_HEMISPHERE, SUPERLANES};
+use tsp_isa::MemAddr;
+
+use crate::ecc::{self, ErrorLog, ErrorSite};
+
+/// Words per bank (the bank bit is address bit 12).
+const WORDS_PER_BANK: usize = 4096;
+
+/// A vector as stored in SRAM: data plus per-superlane ECC check bits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredVector {
+    /// The 320 data bytes.
+    pub data: Vector,
+    /// 9 check bits per 16-byte superlane word.
+    pub check: [u16; SUPERLANES],
+}
+
+impl StoredVector {
+    /// Protects a vector with freshly computed ECC (producer side).
+    #[must_use]
+    pub fn protect(data: Vector) -> StoredVector {
+        let mut check = [0u16; SUPERLANES];
+        for (s, c) in check.iter_mut().enumerate() {
+            let mut word = [0u8; 16];
+            word.copy_from_slice(data.superlane(s));
+            *c = ecc::encode(&word);
+        }
+        StoredVector { data, check }
+    }
+}
+
+/// An illegal access the compiler should never have scheduled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessError {
+    /// A read and a write in the same cycle hit the same bank.
+    BankConflict {
+        /// The contended bank.
+        bank: u8,
+        /// Cycle of the conflict.
+        cycle: u64,
+    },
+    /// Two reads (or two writes) were issued to one slice in the same cycle.
+    PortConflict {
+        /// Cycle of the conflict.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for AccessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessError::BankConflict { bank, cycle } => {
+                write!(f, "read/write bank conflict on bank {bank} at cycle {cycle}")
+            }
+            AccessError::PortConflict { cycle } => {
+                write!(f, "more than one read or write port used at cycle {cycle}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AccessError {}
+
+/// One MEM slice: 2 banks × 4,096 words of 320-byte vectors.
+///
+/// Storage is allocated lazily per bank half to keep an idle full-chip model
+/// cheap (88 slices × 8,192 words × 360 B ≈ 250 MB if fully touched).
+#[derive(Debug, Clone)]
+pub struct MemSlice {
+    banks: [Vec<Option<StoredVector>>; 2],
+    /// Port-use tracking for the current cycle: (cycle, read_bank, write_bank).
+    last_access: Option<(u64, Option<u8>, Option<u8>)>,
+}
+
+impl MemSlice {
+    /// Creates an empty slice.
+    #[must_use]
+    pub fn new() -> MemSlice {
+        MemSlice {
+            banks: [Vec::new(), Vec::new()],
+            last_access: None,
+        }
+    }
+
+    fn slot(&mut self, addr: MemAddr) -> &mut Option<StoredVector> {
+        let bank = addr.bank() as usize;
+        let index = (addr.word() as usize) % WORDS_PER_BANK;
+        let v = &mut self.banks[bank];
+        if v.is_empty() {
+            v.resize(WORDS_PER_BANK, None);
+        }
+        &mut v[index]
+    }
+
+    /// Raw read of the stored word (zero vector if never written). Does not
+    /// model ports; use [`MemSlice::access`] from timed code.
+    #[must_use]
+    pub fn peek(&self, addr: MemAddr) -> StoredVector {
+        let bank = addr.bank() as usize;
+        let index = (addr.word() as usize) % WORDS_PER_BANK;
+        self.banks[bank]
+            .get(index)
+            .and_then(|s| s.clone())
+            .unwrap_or_else(|| StoredVector::protect(Vector::ZERO))
+    }
+
+    /// Raw write (producer-side ECC is computed here).
+    pub fn poke(&mut self, addr: MemAddr, data: Vector) {
+        *self.slot(addr) = Some(StoredVector::protect(data));
+    }
+
+    /// Stores a word that already carries check bits (e.g. travelled on a
+    /// stream); preserves any latent error for the eventual consumer.
+    pub fn poke_stored(&mut self, addr: MemAddr, word: StoredVector) {
+        *self.slot(addr) = Some(word);
+    }
+
+    /// Flips a single data bit (fault injection).
+    pub fn inject_fault(&mut self, addr: MemAddr, lane: usize, bit: u8) {
+        let slot = self.slot(addr);
+        let mut word = slot
+            .clone()
+            .unwrap_or_else(|| StoredVector::protect(Vector::ZERO));
+        let byte = word.data.lane(lane);
+        word.data.set_lane(lane, byte ^ (1 << bit));
+        *slot = Some(word);
+    }
+
+    /// A timed access: registers port/bank usage for `cycle` and returns the
+    /// word (for reads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccessError`] if this access conflicts with another access
+    /// to the same slice in the same cycle (same bank, or same port).
+    pub fn access(
+        &mut self,
+        cycle: u64,
+        addr: MemAddr,
+        is_write: bool,
+    ) -> Result<(), AccessError> {
+        let bank = addr.bank();
+        let (read_bank, write_bank) = match self.last_access {
+            Some((c, r, w)) if c == cycle => (r, w),
+            _ => (None, None),
+        };
+        if is_write {
+            if write_bank.is_some() {
+                return Err(AccessError::PortConflict { cycle });
+            }
+            if read_bank == Some(bank) {
+                return Err(AccessError::BankConflict { bank, cycle });
+            }
+            self.last_access = Some((cycle, read_bank, Some(bank)));
+        } else {
+            if read_bank.is_some() {
+                return Err(AccessError::PortConflict { cycle });
+            }
+            if write_bank == Some(bank) {
+                return Err(AccessError::BankConflict { bank, cycle });
+            }
+            self.last_access = Some((cycle, Some(bank), write_bank));
+        }
+        Ok(())
+    }
+}
+
+impl Default for MemSlice {
+    fn default() -> MemSlice {
+        MemSlice::new()
+    }
+}
+
+/// A global (PGAS) address: hemisphere + slice + word (paper §III-B: "the
+/// address space laid out uniformly across the 88 slices").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalAddress {
+    /// Hemisphere holding the slice.
+    pub hemisphere: Hemisphere,
+    /// MEM slice index within the hemisphere, `0..44`.
+    pub slice: u8,
+    /// Word address within the slice.
+    pub word: MemAddr,
+}
+
+impl GlobalAddress {
+    /// Creates a global address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slice >= 44`.
+    #[must_use]
+    pub fn new(hemisphere: Hemisphere, slice: u8, word: MemAddr) -> GlobalAddress {
+        assert!(
+            slice < MEM_SLICES_PER_HEMISPHERE,
+            "MEM slice {slice} out of range"
+        );
+        GlobalAddress {
+            hemisphere,
+            slice,
+            word,
+        }
+    }
+
+    /// The functional slice holding this address.
+    #[must_use]
+    pub fn slice_id(self) -> Slice {
+        Slice::mem(self.hemisphere, self.slice)
+    }
+
+    /// Flat slice index `0..88` (west slices first).
+    #[must_use]
+    pub fn flat_slice(self) -> u8 {
+        self.hemisphere.index() as u8 * MEM_SLICES_PER_HEMISPHERE + self.slice
+    }
+
+    /// Linear byte offset in the uniform PGAS layout (for allocator math).
+    #[must_use]
+    pub fn linear(self) -> usize {
+        (self.flat_slice() as usize * crate::slice::WORDS_PER_BANK * 2
+            + self.word.word() as usize)
+            * 320
+    }
+}
+
+impl fmt::Display for GlobalAddress {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MEM_{}{}[{}]", self.hemisphere, self.slice, self.word)
+    }
+}
+
+/// The full 88-slice on-chip memory, with the shared ECC error log.
+#[derive(Debug, Clone, Default)]
+pub struct Memory {
+    slices: [Vec<MemSlice>; 2],
+    /// CSR error log shared by the whole memory system.
+    pub errors: ErrorLog,
+}
+
+impl Memory {
+    /// Creates an empty memory system.
+    #[must_use]
+    pub fn new() -> Memory {
+        Memory {
+            slices: [
+                (0..MEM_SLICES_PER_HEMISPHERE).map(|_| MemSlice::new()).collect(),
+                (0..MEM_SLICES_PER_HEMISPHERE).map(|_| MemSlice::new()).collect(),
+            ],
+            errors: ErrorLog::new(),
+        }
+    }
+
+    /// Borrows one slice.
+    #[must_use]
+    pub fn slice(&self, hemisphere: Hemisphere, index: u8) -> &MemSlice {
+        &self.slices[hemisphere.index()][index as usize]
+    }
+
+    /// Mutably borrows one slice.
+    #[must_use]
+    pub fn slice_mut(&mut self, hemisphere: Hemisphere, index: u8) -> &mut MemSlice {
+        &mut self.slices[hemisphere.index()][index as usize]
+    }
+
+    /// Writes a vector (producer-side ECC) at a global address.
+    pub fn write(&mut self, addr: GlobalAddress, data: Vector) {
+        self.slice_mut(addr.hemisphere, addr.slice)
+            .poke(addr.word, data);
+    }
+
+    /// Reads a vector, performing the consumer-side ECC check and recording
+    /// any events in the CSR.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ecc::EccError`] on an uncorrectable (double-bit) error.
+    pub fn read_checked(
+        &mut self,
+        cycle: u64,
+        addr: GlobalAddress,
+    ) -> Result<Vector, ecc::EccError> {
+        let stored = self.slice(addr.hemisphere, addr.slice).peek(addr.word);
+        let mut data = stored.data.clone();
+        for s in 0..SUPERLANES {
+            let mut word = [0u8; 16];
+            word.copy_from_slice(data.superlane(s));
+            match ecc::check_and_correct(&mut word, stored.check[s]) {
+                Ok(ecc::EccOutcome::Clean) => {}
+                Ok(ecc::EccOutcome::Corrected { .. }) => {
+                    data.superlane_mut(s).copy_from_slice(&word);
+                    self.errors.record_corrected(
+                        cycle,
+                        ErrorSite::Sram {
+                            slice: addr.flat_slice(),
+                            word: addr.word.word(),
+                        },
+                    );
+                }
+                Err(e) => {
+                    self.errors.record_uncorrectable(
+                        cycle,
+                        ErrorSite::Sram {
+                            slice: addr.flat_slice(),
+                            word: addr.word.word(),
+                        },
+                    );
+                    return Err(e);
+                }
+            }
+        }
+        Ok(data)
+    }
+
+    /// Reads without an ECC check (fast path when ECC is disabled).
+    #[must_use]
+    pub fn read_unchecked(&self, addr: GlobalAddress) -> Vector {
+        self.slice(addr.hemisphere, addr.slice).peek(addr.word).data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_isa::mem::WORDS_PER_SLICE;
+
+    fn addr(w: u16) -> MemAddr {
+        MemAddr::new(w)
+    }
+
+    #[test]
+    fn unwritten_memory_reads_zero() {
+        let m = MemSlice::new();
+        assert!(m.peek(addr(100)).data.is_zero());
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut mem = Memory::new();
+        let a = GlobalAddress::new(Hemisphere::East, 7, addr(42));
+        let v = Vector::from_fn(|i| i as u8);
+        mem.write(a, v.clone());
+        assert_eq!(mem.read_checked(0, a).unwrap(), v);
+        assert_eq!(mem.errors.corrected(), 0);
+    }
+
+    #[test]
+    fn single_bit_fault_is_corrected_and_logged() {
+        let mut mem = Memory::new();
+        let a = GlobalAddress::new(Hemisphere::West, 3, addr(7));
+        let v = Vector::from_fn(|i| (i * 3) as u8);
+        mem.write(a, v.clone());
+        mem.slice_mut(Hemisphere::West, 3).inject_fault(addr(7), 17, 4);
+        assert_eq!(mem.read_checked(5, a).unwrap(), v);
+        assert_eq!(mem.errors.corrected(), 1);
+        assert_eq!(mem.errors.events()[0].cycle, 5);
+    }
+
+    #[test]
+    fn double_bit_fault_is_detected() {
+        let mut mem = Memory::new();
+        let a = GlobalAddress::new(Hemisphere::West, 0, addr(0));
+        mem.write(a, Vector::splat(0xA5));
+        // Two flips within the same superlane word.
+        mem.slice_mut(Hemisphere::West, 0).inject_fault(addr(0), 0, 0);
+        mem.slice_mut(Hemisphere::West, 0).inject_fault(addr(0), 1, 3);
+        assert!(mem.read_checked(9, a).is_err());
+        assert_eq!(mem.errors.uncorrectable(), 1);
+    }
+
+    #[test]
+    fn faults_in_different_superlanes_both_corrected() {
+        let mut mem = Memory::new();
+        let a = GlobalAddress::new(Hemisphere::East, 1, addr(1));
+        let v = Vector::splat(0x3C);
+        mem.write(a, v.clone());
+        mem.slice_mut(Hemisphere::East, 1).inject_fault(addr(1), 5, 1); // superlane 0
+        mem.slice_mut(Hemisphere::East, 1).inject_fault(addr(1), 300, 7); // superlane 18
+        assert_eq!(mem.read_checked(0, a).unwrap(), v);
+        assert_eq!(mem.errors.corrected(), 2);
+    }
+
+    #[test]
+    fn dual_port_same_bank_conflicts() {
+        let mut s = MemSlice::new();
+        s.access(10, addr(5), false).unwrap();
+        // Write to same bank (bank 0) same cycle: conflict.
+        assert!(matches!(
+            s.access(10, addr(9), true),
+            Err(AccessError::BankConflict { bank: 0, .. })
+        ));
+        // Write to other bank same cycle: allowed.
+        let mut s = MemSlice::new();
+        s.access(10, addr(5), false).unwrap();
+        s.access(10, addr(5).opposite_bank(), true).unwrap();
+    }
+
+    #[test]
+    fn two_reads_same_cycle_conflict() {
+        let mut s = MemSlice::new();
+        s.access(3, addr(0), false).unwrap();
+        assert!(matches!(
+            s.access(3, addr(4096), false),
+            Err(AccessError::PortConflict { .. })
+        ));
+        // Next cycle is fine.
+        s.access(4, addr(4096), false).unwrap();
+    }
+
+    #[test]
+    fn global_address_linearizes_uniquely() {
+        let a = GlobalAddress::new(Hemisphere::West, 0, addr(0));
+        let b = GlobalAddress::new(Hemisphere::West, 0, addr(1));
+        let c = GlobalAddress::new(Hemisphere::West, 1, addr(0));
+        let d = GlobalAddress::new(Hemisphere::East, 0, addr(0));
+        let lins = [a, b, c, d].map(GlobalAddress::linear);
+        let mut sorted = lins.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4, "linear addresses collide: {lins:?}");
+    }
+
+    #[test]
+    fn capacity_math() {
+        // 88 slices × 8192 words × 320 B = 220 MiB.
+        let total = 88usize * usize::from(WORDS_PER_SLICE) * 320;
+        assert_eq!(total, 220 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,55 @@
+//! Property tests for the SECDED guarantee of paper §II-D: every single-bit
+//! flip anywhere in the 137-bit codeword is corrected, and every double-bit
+//! flip is detected.
+
+use proptest::prelude::*;
+use tsp_mem::ecc::{SecdedWord, CHECK_BITS, CODEWORD_BITS, DATA_BITS};
+
+fn arb_word() -> impl Strategy<Value = [u8; 16]> {
+    any::<[u8; 16]>()
+}
+
+/// Flip codeword bit `i`, where bits `0..128` are data and `128..137` check.
+fn flip(word: &mut SecdedWord, i: usize) {
+    if i < DATA_BITS {
+        word.inject_data_flip(i);
+    } else {
+        word.inject_check_flip(i - DATA_BITS);
+    }
+}
+
+proptest! {
+    #[test]
+    fn clean_words_verify_clean(data in arb_word()) {
+        let mut w = SecdedWord::protect(data);
+        prop_assert_eq!(w.verify().is_ok(), true);
+        prop_assert_eq!(w.data, data);
+    }
+
+    #[test]
+    fn any_single_flip_corrected(data in arb_word(), bit in 0usize..CODEWORD_BITS) {
+        let mut w = SecdedWord::protect(data);
+        flip(&mut w, bit);
+        prop_assert!(w.verify().is_ok(), "bit {} not correctable", bit);
+        prop_assert_eq!(w.data, data, "data not restored after flip of bit {}", bit);
+    }
+
+    #[test]
+    fn any_double_flip_detected(
+        data in arb_word(),
+        a in 0usize..CODEWORD_BITS,
+        b in 0usize..CODEWORD_BITS,
+    ) {
+        prop_assume!(a != b);
+        let mut w = SecdedWord::protect(data);
+        flip(&mut w, a);
+        flip(&mut w, b);
+        prop_assert!(w.verify().is_err(), "double flip {},{} undetected", a, b);
+    }
+
+    #[test]
+    fn check_bits_use_only_9_bits(data in arb_word()) {
+        let w = SecdedWord::protect(data);
+        prop_assert_eq!(w.check >> CHECK_BITS, 0);
+    }
+}

@@ -1,0 +1,743 @@
+//! Lowering a quantized graph onto the TSP.
+//!
+//! Walks the layer DAG in topological order, invoking `tsp-compiler` kernels
+//! and tracking where every activation lives. Policies implemented here:
+//!
+//! * **Padding materialization** — each feature map is allocated with the
+//!   border its downstream consumers need (computed by a reverse pass), so
+//!   conv offset passes never index out of bounds and residual adds see
+//!   identical padded geometries.
+//! * **Replication** — a producer writes as many copies of its output as its
+//!   consumers will stream concurrently (extra `Write`s tapping one stream;
+//!   see the kernels' docs). Max pool wants k² copies, plane-parallel convs
+//!   up to 4.
+//! * **First-layer im2col** — a conv whose input is the network input and
+//!   whose patch (`k²·c_in`) fits one 320-lane pass is lowered as a dense
+//!   matmul over host-prepared im2col rows, N-split across all four planes
+//!   (the host DMA "emplaces the model and bootstraps execution", paper §II;
+//!   DESIGN.md §2 records this substitution).
+//! * **Layer overlap** — with [`CompileOptions::overlap`] the resource pool
+//!   lets a layer start as soon as its own resources free up (paper §IV-C);
+//!   otherwise every layer is fenced behind its predecessor (the E13
+//!   baseline).
+
+use tsp_arch::{Hemisphere, Vector};
+use tsp_compiler::alloc::BankPolicy;
+use tsp_compiler::kernels::matmul::schedule_requant_write_into;
+use tsp_compiler::kernels::{
+    conv2d, global_avg_pool, matmul, max_pool, schedule_plane_chain, Conv2dParams, ConvWeights,
+    FeatureMap, MatmulOpts, MaxPoolParams, Pass, WeightSet,
+};
+use tsp_compiler::kernels::conv::alloc_feature_map;
+use tsp_compiler::{Scheduler, TensorHandle};
+use tsp_isa::{BinaryAluOp, Plane};
+use tsp_sim::{Chip, Program};
+
+use crate::graph::{Op, Shape};
+use crate::quant::{QConv, QDense, QuantGraph};
+
+/// Compilation options.
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Allow layers to overlap wherever their resources are disjoint
+    /// (paper §IV-C). `false` fences every layer (the E13 baseline).
+    pub overlap: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions { overlap: true }
+    }
+}
+
+/// How the host feeds the network input.
+#[derive(Debug, Clone)]
+pub enum InputKind {
+    /// Write the quantized image into every replica of this feature map.
+    Map(FeatureMap),
+    /// Host-side im2col: chunk `c` holds the patches of `pixels[c]`
+    /// (output-pixel ordinals `oy·ow + ox`), one patch row per tensor row,
+    /// lanes ordered `(ky·k + kx)·c_in + ci`.
+    Im2col {
+        /// Per-chunk patch tensors.
+        chunks: Vec<TensorHandle>,
+        /// Per-chunk output-pixel ordinals.
+        pixels: Vec<Vec<u32>>,
+        /// Conv geometry: (k, stride, pad, input h, input w, input c, ow).
+        geometry: (u32, u32, u32, u32, u32, u32, u32),
+    },
+}
+
+/// Span of one layer in the schedule (for the per-layer power figure).
+#[derive(Debug, Clone)]
+pub struct LayerSpan {
+    /// Layer name.
+    pub name: String,
+    /// First cycle of the layer's work.
+    pub start: u64,
+    /// Completion cycle.
+    pub end: u64,
+}
+
+/// Where one node's activation can be inspected after a run (debugging aid:
+/// compare any layer against the host int8 reference).
+#[derive(Debug, Clone)]
+pub enum Probe {
+    /// A feature map: geometry plus one tensor per channel part.
+    Map {
+        /// Height.
+        h: u32,
+        /// Width.
+        w: u32,
+        /// Channels.
+        c: u32,
+        /// Materialized border.
+        pad: u32,
+        /// First replica of each channel part.
+        parts: Vec<TensorHandle>,
+    },
+    /// A flat vector: one tensor per feature part.
+    Flat(Vec<TensorHandle>),
+    /// Not materialized (e.g. the im2col input).
+    None,
+}
+
+/// A compiled model: program, constants, and the I/O locations.
+#[derive(Debug)]
+pub struct CompiledModel {
+    /// The per-ICU instruction queues.
+    pub program: Program,
+    /// Host-DMA constants (weights, identity matrices, …).
+    pub constants: Vec<(TensorHandle, Vec<Vector>)>,
+    /// Where the host writes the input.
+    pub input: InputKind,
+    /// The logits tensors (feature parts of the final flat value).
+    pub output: Vec<TensorHandle>,
+    /// Compiler-predicted completion cycle (incl. the 20-tile drain).
+    pub cycles: u64,
+    /// Per-layer schedule spans.
+    pub layer_spans: Vec<LayerSpan>,
+    /// Per-node activation locations (same order as the graph's nodes).
+    pub probes: Vec<Probe>,
+}
+
+impl CompiledModel {
+    /// Writes the constants into chip memory (the PCIe DMA model-emplace).
+    pub fn load_constants(&self, chip: &mut Chip) {
+        for (handle, rows) in &self.constants {
+            for (r, v) in rows.iter().enumerate() {
+                chip.memory.write(handle.row(r as u32), v.clone());
+            }
+        }
+    }
+
+    /// Writes a quantized `[y][x][c]` image into the input location(s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image size mismatches the input shape.
+    pub fn write_input(&self, chip: &mut Chip, image: &[i8]) {
+        match &self.input {
+            InputKind::Map(fm) => {
+                assert_eq!(image.len() as u32, fm.h * fm.w * fm.c, "image size");
+                for (kp, reps) in fm.parts.iter().enumerate() {
+                    let c0 = kp as u32 * 320;
+                    let cols = reps[0].cols as u32;
+                    for rep in reps {
+                        for y in 0..fm.h {
+                            for x in 0..fm.w {
+                                let mut v = Vector::ZERO;
+                                for c in 0..cols {
+                                    v.set_lane(
+                                        c as usize,
+                                        image[((y * fm.w + x) * fm.c + c0 + c) as usize] as u8,
+                                    );
+                                }
+                                chip.memory.write(rep.row(fm.row_index(y, x)), v);
+                            }
+                        }
+                    }
+                }
+            }
+            InputKind::Im2col {
+                chunks,
+                pixels,
+                geometry,
+            } => {
+                let (k, stride, pad, h, w, c, ow) = *geometry;
+                assert_eq!(image.len() as u32, h * w * c, "image size");
+                for (chunk, pix) in chunks.iter().zip(pixels) {
+                    for (r, &p) in pix.iter().enumerate() {
+                        let (oy, ox) = (p / ow, p % ow);
+                        let mut v = Vector::ZERO;
+                        for ky in 0..k {
+                            for kx in 0..k {
+                                let iy = (oy * stride + ky) as i64 - i64::from(pad);
+                                let ix = (ox * stride + kx) as i64 - i64::from(pad);
+                                if iy < 0 || ix < 0 || iy >= i64::from(h) || ix >= i64::from(w) {
+                                    continue;
+                                }
+                                for ci in 0..c {
+                                    let lane = ((ky * k + kx) * c + ci) as usize;
+                                    v.set_lane(
+                                        lane,
+                                        image[((iy as u32 * w + ix as u32) * c + ci) as usize]
+                                            as u8,
+                                    );
+                                }
+                            }
+                        }
+                        chip.memory.write(chunk.row(r as u32), v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reads the final logits back from chip memory.
+    #[must_use]
+    pub fn read_logits(&self, chip: &Chip) -> Vec<i8> {
+        let mut out = Vec::new();
+        for part in &self.output {
+            let v = chip.memory.read_unchecked(part.row(0));
+            for lane in 0..usize::from(part.cols) {
+                out.push(v.lane(lane) as i8);
+            }
+        }
+        out
+    }
+}
+
+/// One lowered node's storage.
+enum Lowered {
+    Map(FeatureMap),
+    Flat(Vec<TensorHandle>),
+}
+
+fn hemi(i: usize) -> Hemisphere {
+    if i.is_multiple_of(2) {
+        Hemisphere::West
+    } else {
+        Hemisphere::East
+    }
+}
+
+/// LW-order serialization of a `[m ≤ 320] × [k ≤ 320]` int8 block.
+fn lw_rows(get: impl Fn(u32, u32) -> i8, mrows: u32, kcols: u32) -> Vec<Vector> {
+    let mut rows = Vec::with_capacity(320);
+    for j in 0..16u32 {
+        for r in 0..20u32 {
+            let m = 16 * r + j;
+            let mut v = Vector::ZERO;
+            if m < mrows {
+                for lane in 0..kcols {
+                    v.set_lane(lane as usize, get(m, lane) as u8);
+                }
+            }
+            rows.push(v);
+        }
+    }
+    rows
+}
+
+/// Emplaces dense weights (`w[out][in]`) as a [`WeightSet`].
+fn emplace_dense(s: &mut Scheduler, q: &QDense, replicas: u8) -> WeightSet {
+    let kparts = q.inp.div_ceil(320) as usize;
+    let mparts = q.out.div_ceil(320) as usize;
+    let mut parts = Vec::with_capacity(kparts);
+    for kp in 0..kparts {
+        let k0 = kp as u32 * 320;
+        let kcols = (q.inp - k0).min(320);
+        let mut per_m = Vec::with_capacity(mparts);
+        for mp in 0..mparts {
+            let m0 = mp as u32 * 320;
+            let mrows = (q.out - m0).min(320);
+            let rows = lw_rows(
+                |m, lane| q.w[((m0 + m) * q.inp + k0 + lane) as usize],
+                mrows,
+                kcols,
+            );
+            let reps: Vec<TensorHandle> = (0..replicas.max(1))
+                .map(|_| s.add_constant(rows.clone(), kcols as u16, BankPolicy::Low, 20))
+                .collect();
+            per_m.push(reps);
+        }
+        parts.push(per_m);
+    }
+    WeightSet {
+        k: q.inp,
+        m: q.out,
+        parts,
+    }
+}
+
+/// Emplaces conv weights as per-(offset, kpart, mpart) handles.
+fn emplace_conv(s: &mut Scheduler, q: &QConv) -> ConvWeights {
+    let kparts = q.ci.div_ceil(320) as usize;
+    let mparts = q.co.div_ceil(320) as usize;
+    let mut passes = Vec::with_capacity((q.k * q.k) as usize);
+    for dy in 0..q.k {
+        for dx in 0..q.k {
+            let mut per_kpart = Vec::with_capacity(kparts);
+            for kp in 0..kparts {
+                let k0 = kp as u32 * 320;
+                let kcols = (q.ci - k0).min(320);
+                let mut per_mpart = Vec::with_capacity(mparts);
+                for mp in 0..mparts {
+                    let m0 = mp as u32 * 320;
+                    let mrows = (q.co - m0).min(320);
+                    let rows = lw_rows(
+                        |m, lane| {
+                            q.w[((((m0 + m) * q.ci + k0 + lane) * q.k + dy) * q.k + dx)
+                                as usize]
+                        },
+                        mrows,
+                        kcols,
+                    );
+                    per_mpart.push(vec![s.add_constant(rows, kcols as u16, BankPolicy::Low, 20)]);
+                }
+                per_kpart.push(per_mpart);
+            }
+            passes.push(per_kpart);
+        }
+    }
+    ConvWeights {
+        kernel: q.k,
+        c_in: q.ci,
+        c_out: q.co,
+        passes,
+    }
+}
+
+/// Replicas each node's output needs, from its consumers.
+fn replica_plan(q: &QuantGraph) -> Vec<u8> {
+    let n = q.graph.nodes.len();
+    let mut reps = vec![1u8; n];
+    for node in &q.graph.nodes {
+        let need: u8 = match &node.op {
+            Op::Conv(spec) => {
+                let mparts = spec.c_out.div_ceil(320) as usize;
+                (4 / mparts.max(1)).clamp(1, 4) as u8
+            }
+            Op::MaxPool { k, .. } => (k * k).min(9) as u8,
+            _ => 1,
+        };
+        for &inp in &node.inputs {
+            reps[inp] = reps[inp].max(need);
+        }
+    }
+    reps
+}
+
+/// The materialized border each node's output needs, from its consumers.
+fn pad_plan(q: &QuantGraph) -> Vec<u32> {
+    let n = q.graph.nodes.len();
+    let mut pads = vec![0u32; n];
+    for i in (0..n).rev() {
+        let node = &q.graph.nodes[i];
+        let need = match &node.op {
+            Op::Conv(spec) => spec.pad,
+            Op::MaxPool { pad, .. } => *pad,
+            Op::Add { .. } => pads[i],
+            _ => 0,
+        };
+        for &inp in &node.inputs {
+            pads[inp] = pads[inp].max(need);
+        }
+    }
+    pads
+}
+
+/// Compiles a quantized graph to a TSP program.
+///
+/// # Panics
+///
+/// Panics on graphs the lowering does not support (e.g. dense on a map).
+#[must_use]
+pub fn compile(q: &QuantGraph, options: &CompileOptions) -> CompiledModel {
+    let mut s = Scheduler::new();
+    let shapes = q.graph.shapes();
+    let pads = pad_plan(q);
+    let reps = replica_plan(q);
+    let mut lowered: Vec<Option<Lowered>> = Vec::with_capacity(q.graph.nodes.len());
+    // Remaining-consumer counts, for freeing dead activations.
+    let mut remaining: Vec<usize> = vec![0; q.graph.nodes.len()];
+    for node in &q.graph.nodes {
+        for &inp in &node.inputs {
+            remaining[inp] += 1;
+        }
+    }
+    let last = q.graph.nodes.len() - 1;
+    let mut input_kind: Option<InputKind> = None;
+    let mut output: Vec<TensorHandle> = Vec::new();
+    let mut spans = Vec::new();
+
+    // Does the first conv qualify for host-side im2col?
+    let first_conv_im2col = q.graph.nodes.iter().enumerate().find_map(|(i, n)| {
+        if let Op::Conv(spec) = &n.op {
+            if n.inputs == [0] {
+                let Shape::Map { c, .. } = shapes[0] else {
+                    return None;
+                };
+                if spec.k * spec.k * c <= 320 {
+                    return Some(i);
+                }
+            }
+        }
+        None
+    });
+
+    for (i, node) in q.graph.nodes.iter().enumerate() {
+        let start = s.completion();
+        let low: Option<Lowered> = match &node.op {
+            Op::Input { h, w, c } => {
+                if first_conv_im2col.is_some() {
+                    None // materialized by the im2col conv below
+                } else {
+                    let fm =
+                        alloc_feature_map(&mut s, *h, *w, *c, pads[i], Hemisphere::East, reps[i]);
+                    input_kind = Some(InputKind::Map(fm.clone()));
+                    Some(Lowered::Map(fm))
+                }
+            }
+            Op::Conv(spec) if Some(i) == first_conv_im2col => {
+                let Shape::Map { h, w, c } = shapes[0] else {
+                    panic!()
+                };
+                let (fm, kind) = compile_im2col_conv(
+                    &mut s,
+                    &q.conv[&i],
+                    spec,
+                    (h, w, c),
+                    pads[i],
+                    hemi(i),
+                    reps[i],
+                );
+                input_kind = Some(kind);
+                Some(Lowered::Map(fm))
+            }
+            Op::Conv(spec) => {
+                let Some(Lowered::Map(input)) = &lowered[node.inputs[0]] else {
+                    panic!("conv input not a map at {}", node.name)
+                };
+                let weights = emplace_conv(&mut s, &q.conv[&i]);
+                let params = Conv2dParams {
+                    stride: spec.stride,
+                    pad: spec.pad,
+                    requant_shift: q.conv[&i].shift,
+                    relu: spec.relu,
+                    out_pad: pads[i],
+                    out_hemisphere: hemi(i),
+                    out_replicas: reps[i],
+                    not_before: 0,
+                };
+                let (fm, _) = conv2d(&mut s, input, &weights, &params);
+                Some(Lowered::Map(fm))
+            }
+            Op::MaxPool { k, stride, pad } => {
+                let Some(Lowered::Map(input)) = &lowered[node.inputs[0]] else {
+                    panic!("pool input not a map")
+                };
+                let params = MaxPoolParams {
+                    kernel: *k,
+                    stride: *stride,
+                    pad: *pad,
+                    out_pad: pads[i],
+                    out_hemisphere: hemi(i),
+                    out_replicas: reps[i],
+                    not_before: 0,
+                };
+                let (fm, _) = max_pool(&mut s, input, &params);
+                Some(Lowered::Map(fm))
+            }
+            Op::GlobalAvgPool => {
+                let Some(Lowered::Map(input)) = &lowered[node.inputs[0]] else {
+                    panic!("gap input not a map")
+                };
+                let (parts, _) =
+                    global_avg_pool(&mut s, input, q.gap_shift[&i], hemi(i), 0);
+                Some(Lowered::Flat(parts))
+            }
+            Op::Dense { relu, .. } => {
+                let Some(Lowered::Flat(parts)) = &lowered[node.inputs[0]] else {
+                    panic!("dense input not flat")
+                };
+                let w = emplace_dense(&mut s, &q.dense[&i], 1);
+                let x_parts: Vec<Vec<TensorHandle>> =
+                    parts.iter().map(|t| vec![t.clone()]).collect();
+                let opts = MatmulOpts {
+                    requant_shift: q.dense[&i].shift,
+                    relu: *relu,
+                    out_hemisphere: hemi(i),
+                    ..MatmulOpts::default()
+                };
+                let (outs, _) = matmul(&mut s, &x_parts, &w, &opts);
+                let flat: Vec<TensorHandle> =
+                    outs.into_iter().map(|mut v| v.remove(0)).collect();
+                Some(Lowered::Flat(flat))
+            }
+            Op::Add { relu } => {
+                let (Some(Lowered::Map(a)), Some(Lowered::Map(b))) =
+                    (&lowered[node.inputs[0]], &lowered[node.inputs[1]])
+                else {
+                    panic!("add inputs not maps")
+                };
+                assert_eq!(a.pad, b.pad, "residual pads must match at {}", node.name);
+                assert_eq!(pads[i], a.pad, "add output pad mismatch");
+                let op = if *relu {
+                    BinaryAluOp::Max // placeholder replaced below
+                } else {
+                    BinaryAluOp::AddSat
+                };
+                let _ = op;
+                let mut parts = Vec::with_capacity(a.parts.len());
+                for (pa, pb) in a.parts.iter().zip(&b.parts) {
+                    // One pipelined pass: add on one ALU, chained ReLU on a
+                    // second, replicas tapping the final stream (§II-E).
+                    let (sum, _) = tsp_compiler::kernels::elementwise::binary_ew_fused(
+                        &mut s,
+                        BinaryAluOp::AddSat,
+                        &pa[0],
+                        &pb[0],
+                        hemi(i),
+                        BankPolicy::High,
+                        0,
+                        reps[i],
+                        *relu,
+                    );
+                    parts.push(sum);
+                }
+                Some(Lowered::Map(FeatureMap {
+                    h: match shapes[i] {
+                        Shape::Map { h, .. } => h,
+                        Shape::Flat { .. } => unreachable!(),
+                    },
+                    w: match shapes[i] {
+                        Shape::Map { w, .. } => w,
+                        Shape::Flat { .. } => unreachable!(),
+                    },
+                    c: match shapes[i] {
+                        Shape::Map { c, .. } => c,
+                        Shape::Flat { .. } => unreachable!(),
+                    },
+                    pad: a.pad,
+                    parts,
+                }))
+            }
+        };
+        if let Some(Lowered::Flat(parts)) = &low {
+            output = parts.clone();
+        }
+        spans.push(LayerSpan {
+            name: node.name.clone(),
+            start,
+            end: s.completion(),
+        });
+        lowered.push(low);
+        // Free inputs whose last consumer this node was (never the output,
+        // and never the network input — the host owns it).
+        for &inp in &q.graph.nodes[i].inputs.clone() {
+            remaining[inp] -= 1;
+            if remaining[inp] == 0 && inp != 0 && inp != last {
+                if let Some(l) = &lowered[inp] {
+                    match l {
+                        Lowered::Map(fm) => {
+                            for reps_ in &fm.parts {
+                                for t in reps_ {
+                                    s.alloc.free(t);
+                                }
+                            }
+                        }
+                        Lowered::Flat(parts) => {
+                            for t in parts {
+                                s.alloc.free(t);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !options.overlap {
+            let c = s.completion();
+            s.pool.fence(c);
+        }
+    }
+
+    let probes: Vec<Probe> = lowered
+        .iter()
+        .map(|l| match l {
+            Some(Lowered::Map(fm)) => Probe::Map {
+                h: fm.h,
+                w: fm.w,
+                c: fm.c,
+                pad: fm.pad,
+                parts: fm.parts.iter().map(|r| r[0].clone()).collect(),
+            },
+            Some(Lowered::Flat(parts)) => Probe::Flat(parts.clone()),
+            None => Probe::None,
+        })
+        .collect();
+    let cycles = s.completion() + u64::from(tsp_arch::timing::SLICE_TILES);
+    let constants = s.take_constants();
+    if let Some(e) = s.check() {
+        eprintln!("SCHEDULE ERROR: {e}");
+        eprintln!("insertion-order dump of {}:", e.icu);
+        for (idx, (c, i)) in s.dump_queue(e.icu).iter().enumerate() {
+            if c.abs_diff(e.cycle) < 400 {
+                eprintln!("  [{idx}] @{c}: {i}");
+            }
+        }
+        panic!("schedule must be consistent: {e}");
+    }
+    let program = s.into_program().expect("checked above");
+    CompiledModel {
+        program,
+        constants,
+        input: input_kind.expect("graph has an input"),
+        output,
+        cycles,
+        layer_spans: spans,
+        probes,
+    }
+}
+
+/// Lowers the first conv as a dense matmul over host-im2col'ed patches,
+/// N-split across the four planes (chunked by the output's block layout so
+/// every chunk owns its write slices and its own patch tensor — no port
+/// contention between the four concurrent plane chains).
+fn compile_im2col_conv(
+    s: &mut Scheduler,
+    qc: &QConv,
+    spec: &crate::graph::ConvSpec,
+    (h, w, c): (u32, u32, u32),
+    out_pad: u32,
+    out_hemisphere: Hemisphere,
+    out_replicas: u8,
+) -> (FeatureMap, InputKind) {
+    let k = qc.k;
+    let oh = (h + 2 * spec.pad - k) / spec.stride + 1;
+    let ow = (w + 2 * spec.pad - k) / spec.stride + 1;
+    let kdim = k * k * c; // ≤ 320, checked by the caller
+    let mparts = qc.co.div_ceil(320) as usize;
+    assert_eq!(mparts, 1, "im2col path currently supports c_out ≤ 320");
+
+    // The padded output, block-chunked so each of 4 chunks owns its slices.
+    let rows_total = (oh + 2 * out_pad) * (ow + 2 * out_pad);
+    let rpb = rows_total.div_ceil(4).max(1);
+    let mut avoid: Vec<(Hemisphere, u8)> = Vec::new();
+    let out_parts: Vec<TensorHandle> = (0..out_replicas.max(1))
+        .map(|_| {
+            let t = s
+                .alloc
+                .alloc_avoiding(
+                    Some(out_hemisphere),
+                    rows_total,
+                    qc.co.min(320) as u16,
+                    BankPolicy::High,
+                    rpb,
+                    &avoid,
+                )
+                .expect("SRAM exhausted for im2col conv output");
+            avoid.extend(t.layout.slices());
+            t
+        })
+        .collect();
+    let fm = FeatureMap {
+        h: oh,
+        w: ow,
+        c: qc.co,
+        pad: out_pad,
+        parts: vec![out_parts],
+    };
+
+    // LW-order weights: one block, replicated per chunk (each plane installs
+    // its own copy concurrently). K lanes ordered (ky·k + kx)·c_in + ci.
+    let wrows = lw_rows(
+        |m, lane| {
+            let off = lane / c;
+            let ci = lane % c;
+            let (ky, kx) = (off / k, off % k);
+            qc.w[(((m * qc.ci + ci) * qc.k + ky) * qc.k + kx) as usize]
+        },
+        qc.co.min(320),
+        kdim,
+    );
+
+    // Split the interior write segments at chunk (block) boundaries, and
+    // collect each chunk's output-pixel ordinals.
+    let mut chunk_segs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); 4];
+    let mut chunk_pixels: Vec<Vec<u32>> = vec![Vec::new(); 4];
+    for oy in 0..oh {
+        let mut seg_start = fm.row_index(oy, 0);
+        let mut seg_px = oy * ow; // first pixel ordinal of the pending run
+        let mut len = 0u32;
+        for ox in 0..ow {
+            let row = fm.row_index(oy, ox);
+            let chunk = (seg_start / rpb) as usize;
+            if row / rpb != seg_start / rpb && len > 0 {
+                chunk_segs[chunk].push((seg_start, len));
+                chunk_pixels[chunk].extend(seg_px..seg_px + len);
+                seg_start = row;
+                seg_px = oy * ow + ox;
+                len = 0;
+            }
+            len += 1;
+        }
+        if len > 0 {
+            let chunk = (seg_start / rpb) as usize;
+            chunk_segs[chunk].push((seg_start, len));
+            chunk_pixels[chunk].extend(seg_px..seg_px + len);
+        }
+    }
+
+    // One plane chain per non-empty chunk.
+    let mut chunks = Vec::new();
+    let mut pixels = Vec::new();
+    for (ci_, (segs, pix)) in chunk_segs.iter().zip(&chunk_pixels).enumerate() {
+        if pix.is_empty() {
+            continue;
+        }
+        let n = pix.len() as u32;
+        let patches = s
+            .alloc
+            .alloc_avoiding(None, n, kdim as u16, BankPolicy::High, 4096, &avoid)
+            .expect("SRAM exhausted for im2col patches");
+        avoid.extend(patches.layout.slices());
+        let weights = s.add_constant(wrows.clone(), kdim as u16, BankPolicy::Low, 20);
+        let rows: Vec<u32> = (0..n).collect();
+        let plane = Plane::new((ci_ % 4) as u8);
+        let floor = fm.parts[0]
+            .iter()
+            .map(|t| s.mem_free_tensor(t))
+            .max()
+            .unwrap_or(0);
+        let int32 = schedule_plane_chain(
+            s,
+            plane,
+            &[Pass {
+                weights: &weights,
+                acts: &patches,
+                rows: &rows,
+            }],
+            floor,
+        );
+        schedule_requant_write_into(
+            s,
+            &[int32],
+            u64::from(n),
+            qc.shift,
+            spec.relu,
+            &fm.parts[0],
+            segs,
+        );
+        chunks.push(patches);
+        pixels.push(pix.clone());
+    }
+
+    let kind = InputKind::Im2col {
+        chunks,
+        pixels,
+        geometry: (k, spec.stride, spec.pad, h, w, c, ow),
+    };
+    (fm, kind)
+}

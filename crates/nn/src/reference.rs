@@ -1,0 +1,457 @@
+//! Host-side reference executors.
+//!
+//! * [`run_fp32`] — floating-point forward pass, used for training-side
+//!   accuracy and quantization calibration.
+//! * [`run_int8`] — **bit-exact mirror of the TSP kernels' arithmetic**
+//!   (int32 accumulation, power-of-two round-half-away-from-zero
+//!   requantization, int8 saturation, zero-padded pooling), so a compiled
+//!   model run on the simulator must reproduce this executor exactly; any
+//!   divergence is a compiler or simulator bug, not "numerics".
+
+use crate::graph::{Graph, Op};
+use crate::quant::QuantGraph;
+
+/// A node value during fp32 execution: `Map` data is `[y][x][c]` row-major.
+#[derive(Debug, Clone)]
+pub enum ValueF {
+    /// Spatial map.
+    Map {
+        /// Height.
+        h: u32,
+        /// Width.
+        w: u32,
+        /// Channels.
+        c: u32,
+        /// `[y][x][c]` data.
+        data: Vec<f32>,
+    },
+    /// Flat vector.
+    Flat(Vec<f32>),
+}
+
+/// A node value during int8 execution.
+#[derive(Debug, Clone)]
+pub enum ValueQ {
+    /// Spatial map, `[y][x][c]`.
+    Map {
+        /// Height.
+        h: u32,
+        /// Width.
+        w: u32,
+        /// Channels.
+        c: u32,
+        /// `[y][x][c]` data.
+        data: Vec<i8>,
+    },
+    /// Flat vector.
+    Flat(Vec<i8>),
+}
+
+/// `v × 2^-shift`, round-half-away-from-zero (identical to the VXM convert).
+#[must_use]
+pub fn shift_round(v: i64, shift: i8) -> i64 {
+    if shift > 0 {
+        let s = u32::from(shift as u8);
+        let half = 1i64 << (s - 1);
+        if v >= 0 {
+            (v + half) >> s
+        } else {
+            -((-v + half) >> s)
+        }
+    } else {
+        v << u32::from((-shift) as u8)
+    }
+}
+
+/// Saturate to int8 after requantization.
+#[must_use]
+pub fn sat8(v: i64) -> i8 {
+    v.clamp(-128, 127) as i8
+}
+
+/// Runs the fp32 forward pass on an `[y][x][c]` image; returns per-node values.
+///
+/// # Panics
+///
+/// Panics if the image does not match the input shape or params are missing.
+#[must_use]
+pub fn run_fp32(graph: &Graph, params: &crate::graph::Params, image: &[f32]) -> Vec<ValueF> {
+    let mut values: Vec<ValueF> = Vec::with_capacity(graph.nodes.len());
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let v = match &node.op {
+            Op::Input { h, w, c } => {
+                assert_eq!(image.len(), (h * w * c) as usize, "image size");
+                ValueF::Map {
+                    h: *h,
+                    w: *w,
+                    c: *c,
+                    data: image.to_vec(),
+                }
+            }
+            Op::Conv(spec) => {
+                let ValueF::Map { h, w, c, data } = &values[node.inputs[0]] else {
+                    panic!("conv on flat")
+                };
+                let cw = &params.conv[&i];
+                let (oh, ow) = out_hw(*h, *w, spec.k, spec.stride, spec.pad);
+                let mut out = vec![0f32; (oh * ow * spec.c_out) as usize];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        for co in 0..spec.c_out {
+                            let mut acc = 0f32;
+                            for ky in 0..spec.k {
+                                for kx in 0..spec.k {
+                                    let iy = (oy * spec.stride + ky) as i64 - i64::from(spec.pad);
+                                    let ix = (ox * spec.stride + kx) as i64 - i64::from(spec.pad);
+                                    if iy < 0 || ix < 0 || iy >= i64::from(*h) || ix >= i64::from(*w) {
+                                        continue;
+                                    }
+                                    for ci in 0..*c {
+                                        acc += data
+                                            [((iy as u32 * *w + ix as u32) * *c + ci) as usize]
+                                            * cw.at(co, ci, ky, kx);
+                                    }
+                                }
+                            }
+                            if spec.relu {
+                                acc = acc.max(0.0);
+                            }
+                            out[((oy * ow + ox) * spec.c_out + co) as usize] = acc;
+                        }
+                    }
+                }
+                ValueF::Map {
+                    h: oh,
+                    w: ow,
+                    c: spec.c_out,
+                    data: out,
+                }
+            }
+            Op::MaxPool { k, stride, pad } => {
+                let ValueF::Map { h, w, c, data } = &values[node.inputs[0]] else {
+                    panic!("pool on flat")
+                };
+                let (oh, ow) = out_hw(*h, *w, *k, *stride, *pad);
+                let mut out = vec![0f32; (oh * ow * c) as usize];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        for ch in 0..*c {
+                            // Zero-padded max (matches the kernel: the
+                            // materialized border is zero).
+                            let mut m = f32::MIN;
+                            for ky in 0..*k {
+                                for kx in 0..*k {
+                                    let iy = (oy * stride + ky) as i64 - i64::from(*pad);
+                                    let ix = (ox * stride + kx) as i64 - i64::from(*pad);
+                                    let v = if iy < 0
+                                        || ix < 0
+                                        || iy >= i64::from(*h)
+                                        || ix >= i64::from(*w)
+                                    {
+                                        0.0
+                                    } else {
+                                        data[((iy as u32 * *w + ix as u32) * *c + ch) as usize]
+                                    };
+                                    m = m.max(v);
+                                }
+                            }
+                            out[((oy * ow + ox) * c + ch) as usize] = m;
+                        }
+                    }
+                }
+                ValueF::Map {
+                    h: oh,
+                    w: ow,
+                    c: *c,
+                    data: out,
+                }
+            }
+            Op::GlobalAvgPool => {
+                let ValueF::Map { h, w, c, data } = &values[node.inputs[0]] else {
+                    panic!("gap on flat")
+                };
+                let n = (*h * *w) as f32;
+                let out: Vec<f32> = (0..*c)
+                    .map(|ch| {
+                        (0..*h * *w)
+                            .map(|p| data[(p * *c + ch) as usize])
+                            .sum::<f32>()
+                            / n
+                    })
+                    .collect();
+                ValueF::Flat(out)
+            }
+            Op::Dense { out: o, relu } => {
+                let x: &[f32] = match &values[node.inputs[0]] {
+                    ValueF::Flat(v) => v,
+                    ValueF::Map { .. } => panic!("dense on map"),
+                };
+                let dw = &params.dense[&i];
+                let out: Vec<f32> = (0..*o)
+                    .map(|oi| {
+                        let mut acc = 0f32;
+                        for (ii, &xv) in x.iter().enumerate() {
+                            acc += xv * dw.at(oi, ii as u32);
+                        }
+                        if *relu {
+                            acc.max(0.0)
+                        } else {
+                            acc
+                        }
+                    })
+                    .collect();
+                ValueF::Flat(out)
+            }
+            Op::Add { relu } => match (&values[node.inputs[0]], &values[node.inputs[1]]) {
+                (
+                    ValueF::Map { h, w, c, data: a },
+                    ValueF::Map { data: b, .. },
+                ) => ValueF::Map {
+                    h: *h,
+                    w: *w,
+                    c: *c,
+                    data: a
+                        .iter()
+                        .zip(b)
+                        .map(|(x, y)| {
+                            let s = x + y;
+                            if *relu {
+                                s.max(0.0)
+                            } else {
+                                s
+                            }
+                        })
+                        .collect(),
+                },
+                _ => panic!("add on flats"),
+            },
+        };
+        values.push(v);
+    }
+    values
+}
+
+/// Runs the bit-exact int8 forward pass on a pre-quantized `[y][x][c]` image.
+///
+/// # Panics
+///
+/// Panics on shape mismatches.
+#[must_use]
+pub fn run_int8(q: &QuantGraph, image: &[i8]) -> Vec<ValueQ> {
+    let graph = &q.graph;
+    let mut values: Vec<ValueQ> = Vec::with_capacity(graph.nodes.len());
+    for (i, node) in graph.nodes.iter().enumerate() {
+        let v = match &node.op {
+            Op::Input { h, w, c } => {
+                assert_eq!(image.len(), (h * w * c) as usize, "image size");
+                ValueQ::Map {
+                    h: *h,
+                    w: *w,
+                    c: *c,
+                    data: image.to_vec(),
+                }
+            }
+            Op::Conv(spec) => {
+                let ValueQ::Map { h, w, c, data } = &values[node.inputs[0]] else {
+                    panic!("conv on flat")
+                };
+                let qc = &q.conv[&i];
+                let (oh, ow) = out_hw(*h, *w, spec.k, spec.stride, spec.pad);
+                let mut out = vec![0i8; (oh * ow * spec.c_out) as usize];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        for co in 0..spec.c_out {
+                            let mut acc = 0i64;
+                            for ky in 0..spec.k {
+                                for kx in 0..spec.k {
+                                    let iy = (oy * spec.stride + ky) as i64 - i64::from(spec.pad);
+                                    let ix = (ox * spec.stride + kx) as i64 - i64::from(spec.pad);
+                                    if iy < 0 || ix < 0 || iy >= i64::from(*h) || ix >= i64::from(*w) {
+                                        continue;
+                                    }
+                                    for ci in 0..*c {
+                                        let x = data
+                                            [((iy as u32 * *w + ix as u32) * *c + ci) as usize];
+                                        let wv = qc.w[(((co * qc.ci + ci) * qc.k + ky) * qc.k
+                                            + kx)
+                                            as usize];
+                                        acc += i64::from(x) * i64::from(wv);
+                                    }
+                                }
+                            }
+                            let mut y = sat8(shift_round(acc, qc.shift));
+                            if spec.relu {
+                                y = y.max(0);
+                            }
+                            out[((oy * ow + ox) * spec.c_out + co) as usize] = y;
+                        }
+                    }
+                }
+                ValueQ::Map {
+                    h: oh,
+                    w: ow,
+                    c: spec.c_out,
+                    data: out,
+                }
+            }
+            Op::MaxPool { k, stride, pad } => {
+                let ValueQ::Map { h, w, c, data } = &values[node.inputs[0]] else {
+                    panic!("pool on flat")
+                };
+                let (oh, ow) = out_hw(*h, *w, *k, *stride, *pad);
+                let mut out = vec![0i8; (oh * ow * c) as usize];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        for ch in 0..*c {
+                            let mut m = i8::MIN;
+                            for ky in 0..*k {
+                                for kx in 0..*k {
+                                    let iy = (oy * stride + ky) as i64 - i64::from(*pad);
+                                    let ix = (ox * stride + kx) as i64 - i64::from(*pad);
+                                    let v = if iy < 0
+                                        || ix < 0
+                                        || iy >= i64::from(*h)
+                                        || ix >= i64::from(*w)
+                                    {
+                                        0
+                                    } else {
+                                        data[((iy as u32 * *w + ix as u32) * *c + ch) as usize]
+                                    };
+                                    m = m.max(v);
+                                }
+                            }
+                            out[((oy * ow + ox) * c + ch) as usize] = m;
+                        }
+                    }
+                }
+                ValueQ::Map {
+                    h: oh,
+                    w: ow,
+                    c: *c,
+                    data: out,
+                }
+            }
+            Op::GlobalAvgPool => {
+                let ValueQ::Map { h, w, c, data } = &values[node.inputs[0]] else {
+                    panic!("gap on flat")
+                };
+                let shift = q.gap_shift[&i];
+                let out: Vec<i8> = (0..*c)
+                    .map(|ch| {
+                        let sum: i64 = (0..*h * *w)
+                            .map(|p| i64::from(data[(p * *c + ch) as usize]))
+                            .sum();
+                        sat8(shift_round(sum, shift))
+                    })
+                    .collect();
+                ValueQ::Flat(out)
+            }
+            Op::Dense { out: o, relu } => {
+                let x: &[i8] = match &values[node.inputs[0]] {
+                    ValueQ::Flat(v) => v,
+                    ValueQ::Map { .. } => panic!("dense on map"),
+                };
+                let qd = &q.dense[&i];
+                let out: Vec<i8> = (0..*o)
+                    .map(|oi| {
+                        let acc: i64 = x
+                            .iter()
+                            .enumerate()
+                            .map(|(ii, &xv)| {
+                                i64::from(xv) * i64::from(qd.w[(oi * qd.inp + ii as u32) as usize])
+                            })
+                            .sum();
+                        let mut y = sat8(shift_round(acc, qd.shift));
+                        if *relu {
+                            y = y.max(0);
+                        }
+                        y
+                    })
+                    .collect();
+                ValueQ::Flat(out)
+            }
+            Op::Add { relu } => match (&values[node.inputs[0]], &values[node.inputs[1]]) {
+                (
+                    ValueQ::Map { h, w, c, data: a },
+                    ValueQ::Map { data: b, .. },
+                ) => ValueQ::Map {
+                    h: *h,
+                    w: *w,
+                    c: *c,
+                    data: a
+                        .iter()
+                        .zip(b)
+                        .map(|(x, y)| {
+                            let mut s = x.saturating_add(*y);
+                            if *relu {
+                                s = s.max(0);
+                            }
+                            s
+                        })
+                        .collect(),
+                },
+                _ => panic!("add on flats"),
+            },
+        };
+        values.push(v);
+    }
+    values
+}
+
+fn out_hw(h: u32, w: u32, k: u32, stride: u32, pad: u32) -> (u32, u32) {
+    ((h + 2 * pad - k) / stride + 1, (w + 2 * pad - k) / stride + 1)
+}
+
+/// The index of the largest element (argmax for classification).
+#[must_use]
+pub fn argmax_f(v: &[f32]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map_or(0, |(i, _)| i)
+}
+
+/// The index of the largest element of an int8 vector.
+#[must_use]
+pub fn argmax_q(v: &[i8]) -> usize {
+    let mut best = 0usize;
+    for (i, &x) in v.iter().enumerate() {
+        if x > v[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Extracts the final flat value of a run.
+///
+/// # Panics
+///
+/// Panics if the last node is not flat.
+#[must_use]
+pub fn final_flat_q(values: &[ValueQ]) -> &[i8] {
+    match values.last().expect("nonempty") {
+        ValueQ::Flat(v) => v,
+        ValueQ::Map { .. } => panic!("final node is a map"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_round_matches_vxm_semantics() {
+        assert_eq!(shift_round(100, 7), 1);
+        assert_eq!(shift_round(-100, 7), -1);
+        assert_eq!(shift_round(3, 1), 2);
+        assert_eq!(shift_round(-3, 1), -2);
+        assert_eq!(shift_round(2, -3), 16);
+    }
+
+    #[test]
+    fn argmax_helpers() {
+        assert_eq!(argmax_f(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax_q(&[-5, 3, 3]), 1);
+    }
+}

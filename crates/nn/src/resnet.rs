@@ -1,0 +1,374 @@
+//! ResNet graph builders (paper §IV: ResNet-50 v2 is the evaluation model;
+//! §IV-F projects ResNet-101/152 from the same structure).
+//!
+//! Weights are deterministically seeded (He-init scale): the TSP's
+//! throughput, latency and power are **data independent** — the paper's
+//! determinism claim — so performance experiments need the real structure,
+//! not real ImageNet weights (DESIGN.md §2).
+
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::graph::{ConvSpec, ConvW, DenseW, Graph, Op, Params};
+
+/// Stage block counts per depth.
+#[must_use]
+pub fn stage_blocks(depth: u32) -> [usize; 4] {
+    match depth {
+        50 => [3, 4, 6, 3],
+        101 => [3, 4, 23, 3],
+        152 => [3, 8, 36, 3],
+        other => panic!("unsupported ResNet depth {other}"),
+    }
+}
+
+/// Channel configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Widths {
+    /// Stem output channels (conv1).
+    pub stem: u32,
+    /// Bottleneck mid channels per stage.
+    pub mid: [u32; 4],
+    /// Stage output channels.
+    pub out: [u32; 4],
+}
+
+impl Widths {
+    /// The standard ResNet widths (64 → 2048).
+    #[must_use]
+    pub fn standard() -> Widths {
+        Widths {
+            stem: 64,
+            mid: [64, 128, 256, 512],
+            out: [256, 512, 1024, 2048],
+        }
+    }
+
+    /// The paper's §IV-E variant with channel depths raised to exploit the
+    /// full 320-element vector length (powers of 2 → multiples of 320).
+    #[must_use]
+    pub fn wide320() -> Widths {
+        Widths {
+            stem: 80,
+            mid: [80, 160, 320, 640],
+            out: [320, 640, 1280, 2560],
+        }
+    }
+}
+
+struct Weighter {
+    rng: ChaCha8Rng,
+}
+
+impl Weighter {
+    fn conv(&mut self, co: u32, ci: u32, k: u32) -> ConvW {
+        let fan_in = (ci * k * k) as f32;
+        let std = (2.0 / fan_in).sqrt();
+        let w: Vec<f32> = (0..(co * ci * k * k) as usize)
+            .map(|_| self.rng.gen_range(-1.0f32..1.0) * std)
+            .collect();
+        ConvW { w, co, ci, k }
+    }
+
+    fn dense(&mut self, out: u32, inp: u32) -> DenseW {
+        let std = (2.0 / inp as f32).sqrt();
+        let w: Vec<f32> = (0..(out * inp) as usize)
+            .map(|_| self.rng.gen_range(-1.0f32..1.0) * std)
+            .collect();
+        DenseW { w, out, inp }
+    }
+}
+
+/// Builds a ResNet of the given depth on an `hw×hw×3` input.
+///
+/// # Panics
+///
+/// Panics on unsupported depths.
+#[must_use]
+pub fn resnet(depth: u32, hw: u32, classes: u32, widths: &Widths, seed: u64) -> (Graph, Params) {
+    let blocks = stage_blocks(depth);
+    let mut g = Graph::with_input(hw, hw, 3);
+    let mut params = Params::default();
+    let mut wgen = Weighter {
+        rng: ChaCha8Rng::seed_from_u64(seed),
+    };
+
+    let push_conv = |g: &mut Graph,
+                         params: &mut Params,
+                         wgen: &mut Weighter,
+                         input: usize,
+                         ci: u32,
+                         spec: ConvSpec,
+                         name: String| {
+        let id = g.push(Op::Conv(spec), vec![input], name);
+        params.conv.insert(id, wgen.conv(spec.c_out, ci, spec.k));
+        id
+    };
+
+    // Stem: 7×7/2 conv + 3×3/2 max pool.
+    let c1 = push_conv(
+        &mut g,
+        &mut params,
+        &mut wgen,
+        0,
+        3,
+        ConvSpec {
+            c_out: widths.stem,
+            k: 7,
+            stride: 2,
+            pad: 3,
+            relu: true,
+        },
+        "conv1".into(),
+    );
+    let mut x = g.push(
+        Op::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 1,
+        },
+        vec![c1],
+        "pool1",
+    );
+    let mut c_in = widths.stem;
+
+    for (stage, &nblocks) in blocks.iter().enumerate() {
+        let mid = widths.mid[stage];
+        let out = widths.out[stage];
+        for b in 0..nblocks {
+            let stride = if stage > 0 && b == 0 { 2 } else { 1 };
+            let name = |part: &str| format!("s{}b{}_{}", stage + 2, b, part);
+
+            // Shortcut: identity, or a projection when shape changes.
+            let shortcut = if c_in != out || stride != 1 {
+                push_conv(
+                    &mut g,
+                    &mut params,
+                    &mut wgen,
+                    x,
+                    c_in,
+                    ConvSpec {
+                        c_out: out,
+                        k: 1,
+                        stride,
+                        pad: 0,
+                        relu: false,
+                    },
+                    name("proj"),
+                )
+            } else {
+                x
+            };
+            let a = push_conv(
+                &mut g,
+                &mut params,
+                &mut wgen,
+                x,
+                c_in,
+                ConvSpec {
+                    c_out: mid,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                    relu: true,
+                },
+                name("a"),
+            );
+            let bb = push_conv(
+                &mut g,
+                &mut params,
+                &mut wgen,
+                a,
+                mid,
+                ConvSpec {
+                    c_out: mid,
+                    k: 3,
+                    stride,
+                    pad: 1,
+                    relu: true,
+                },
+                name("b"),
+            );
+            let cc = push_conv(
+                &mut g,
+                &mut params,
+                &mut wgen,
+                bb,
+                mid,
+                ConvSpec {
+                    c_out: out,
+                    k: 1,
+                    stride: 1,
+                    pad: 0,
+                    relu: false,
+                },
+                name("c"),
+            );
+            x = g.push(Op::Add { relu: true }, vec![shortcut, cc], name("add"));
+            c_in = out;
+        }
+    }
+
+    let gap = g.push(Op::GlobalAvgPool, vec![x], "gap");
+    let fc = g.push(
+        Op::Dense {
+            out: classes,
+            relu: false,
+        },
+        vec![gap],
+        "fc",
+    );
+    params.dense.insert(fc, wgen.dense(classes, c_in));
+    (g, params)
+}
+
+/// The paper's evaluation model: ResNet-50 on 224×224×3, 1000 classes.
+#[must_use]
+pub fn resnet50_paper() -> (Graph, Params) {
+    resnet(50, 224, 1000, &Widths::standard(), 0xC0FFEE)
+}
+
+/// A reduced ResNet (two stages of one bottleneck each, 32×32 input) for
+/// functional end-to-end tests: same structure, minutes-not-hours to
+/// simulate functionally in debug builds.
+#[must_use]
+pub fn resnet_tiny(classes: u32, seed: u64) -> (Graph, Params) {
+    let mut g = Graph::with_input(32, 32, 3);
+    let mut params = Params::default();
+    let mut wgen = Weighter {
+        rng: ChaCha8Rng::seed_from_u64(seed),
+    };
+
+    let c1 = g.push(
+        Op::Conv(ConvSpec {
+            c_out: 16,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        }),
+        vec![0],
+        "conv1",
+    );
+    params.conv.insert(c1, wgen.conv(16, 3, 3));
+    let pool = g.push(
+        Op::MaxPool {
+            k: 3,
+            stride: 2,
+            pad: 1,
+        },
+        vec![c1],
+        "pool1",
+    );
+
+    // One bottleneck with projection.
+    let proj = g.push(
+        Op::Conv(ConvSpec {
+            c_out: 32,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            relu: false,
+        }),
+        vec![pool],
+        "proj",
+    );
+    params.conv.insert(proj, wgen.conv(32, 16, 1));
+    let a = g.push(
+        Op::Conv(ConvSpec {
+            c_out: 8,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            relu: true,
+        }),
+        vec![pool],
+        "b1a",
+    );
+    params.conv.insert(a, wgen.conv(8, 16, 1));
+    let b = g.push(
+        Op::Conv(ConvSpec {
+            c_out: 8,
+            k: 3,
+            stride: 1,
+            pad: 1,
+            relu: true,
+        }),
+        vec![a],
+        "b1b",
+    );
+    params.conv.insert(b, wgen.conv(8, 8, 3));
+    let c = g.push(
+        Op::Conv(ConvSpec {
+            c_out: 32,
+            k: 1,
+            stride: 1,
+            pad: 0,
+            relu: false,
+        }),
+        vec![b],
+        "b1c",
+    );
+    params.conv.insert(c, wgen.conv(32, 8, 1));
+    let add = g.push(Op::Add { relu: true }, vec![proj, c], "b1add");
+
+    let gap = g.push(Op::GlobalAvgPool, vec![add], "gap");
+    let fc = g.push(
+        Op::Dense {
+            out: classes,
+            relu: false,
+        },
+        vec![gap],
+        "fc",
+    );
+    params.dense.insert(fc, wgen.dense(classes, 32));
+    (g, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Shape;
+
+    #[test]
+    fn resnet50_has_expected_structure() {
+        let (g, params) = resnet50_paper();
+        let shapes = g.shapes();
+        // 1 input + 1 stem conv + 1 pool + Σ blocks × (3 or 4 convs + add)
+        // + gap + fc.
+        let convs = params.conv.len();
+        // 53 convs in ResNet-50 (1 stem + 16 blocks × 3 + 4 projections).
+        assert_eq!(convs, 53);
+        assert_eq!(*shapes.last().unwrap(), Shape::Flat { n: 1000 });
+        // Parameter count ≈ 25.5 M.
+        let n = g.parameter_count(&params);
+        assert!(
+            (23_000_000..28_000_000).contains(&n),
+            "ResNet-50 params: {n}"
+        );
+    }
+
+    #[test]
+    fn deeper_variants_grow_as_expected() {
+        assert_eq!(stage_blocks(101)[2], 23);
+        assert_eq!(stage_blocks(152)[1], 8);
+        let (g101, p101) = resnet(101, 224, 1000, &Widths::standard(), 1);
+        let (g152, p152) = resnet(152, 224, 1000, &Widths::standard(), 1);
+        assert!(g101.parameter_count(&p101) > 40_000_000);
+        assert!(g152.parameter_count(&p152) > g101.parameter_count(&p101));
+    }
+
+    #[test]
+    fn tiny_resnet_shapes() {
+        let (g, _) = resnet_tiny(10, 3);
+        let shapes = g.shapes();
+        assert_eq!(*shapes.last().unwrap(), Shape::Flat { n: 10 });
+    }
+
+    #[test]
+    fn wide320_uses_full_vector_length() {
+        let w = Widths::wide320();
+        assert!(w.out.iter().all(|c| c % 320 == 0));
+    }
+}

@@ -1,0 +1,242 @@
+//! # tsp-power — the activity-based power/energy model
+//!
+//! Reproduces the paper's power observations (Fig. 10: per-layer power with
+//! spikes at four-way simultaneous conv2d; §II-F: energy proportionality via
+//! superlane power-down; §VII: the chip's power envelope) from the
+//! simulator's activity trace.
+//!
+//! Model: `P(t) = P_static + Σ_events E(event) · f_clk`, with per-event
+//! energies proportional to the work each unit does in a cycle (MACs for the
+//! MXM, ALU ops for the VXM, SRAM bits for MEM) scaled by the active-lane
+//! fraction. Coefficients are chosen so the modeled chip peaks near the
+//! headline envelope of a ~300 W PCIe accelerator at full MXM utilization —
+//! the paper publishes no per-unit numbers, so **absolute watts are
+//! indicative; the figure's *shape* (which layers spike, which idle) is the
+//! reproduced claim** (DESIGN.md §2).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use tsp_sim::{Activity, ActivityKind};
+
+/// Per-event dynamic energy coefficients, in picojoules at full vector width.
+#[derive(Debug, Clone)]
+pub struct EnergyModel {
+    /// Static (leakage + clock-tree) power in watts with all superlanes up.
+    pub static_watts: f64,
+    /// One 320×320 int8 MACC wave through an MXM plane.
+    pub mxm_macc_pj: f64,
+    /// One 16-row weight-load cycle.
+    pub mxm_lw_pj: f64,
+    /// One accumulator readout cycle.
+    pub mxm_acc_pj: f64,
+    /// One 320-lane VXM ALU op.
+    pub vxm_pj: f64,
+    /// Extra cost of a transcendental op.
+    pub vxm_transcendental_pj: f64,
+    /// One 320-byte SRAM read or write.
+    pub mem_pj: f64,
+    /// One SXM vector transform.
+    pub sxm_pj: f64,
+    /// One C2C vector transfer.
+    pub c2c_pj: f64,
+    /// One instruction fetch.
+    pub ifetch_pj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel {
+            static_watts: 35.0,
+            // 102,400 MACs/cycle/plane ≈ 0.56 pJ/MAC at int8 in 14 nm.
+            mxm_macc_pj: 57_000.0,
+            mxm_lw_pj: 9_000.0,
+            mxm_acc_pj: 6_000.0,
+            vxm_pj: 1_500.0,
+            vxm_transcendental_pj: 3_000.0,
+            mem_pj: 800.0,
+            sxm_pj: 900.0,
+            c2c_pj: 2_500.0,
+            ifetch_pj: 400.0,
+        }
+    }
+}
+
+impl EnergyModel {
+    /// Dynamic energy of one activity event, in picojoules.
+    #[must_use]
+    pub fn event_pj(&self, a: &Activity) -> f64 {
+        let lane_frac = f64::from(a.lanes) / 320.0;
+        let base = match a.kind {
+            ActivityKind::MxmMacc => self.mxm_macc_pj,
+            ActivityKind::MxmLoadWeights => self.mxm_lw_pj,
+            ActivityKind::MxmInstall => self.mxm_lw_pj,
+            ActivityKind::MxmAcc => self.mxm_acc_pj,
+            ActivityKind::VxmAlu { transcendental } => {
+                if transcendental {
+                    self.vxm_pj + self.vxm_transcendental_pj
+                } else {
+                    self.vxm_pj
+                }
+            }
+            ActivityKind::MemRead
+            | ActivityKind::MemWrite
+            | ActivityKind::MemGather
+            | ActivityKind::MemScatter => self.mem_pj,
+            ActivityKind::SxmShift
+            | ActivityKind::SxmPermute
+            | ActivityKind::SxmRotate
+            | ActivityKind::SxmTranspose => self.sxm_pj,
+            ActivityKind::C2cSend | ActivityKind::C2cReceive => self.c2c_pj,
+            ActivityKind::Ifetch => self.ifetch_pj,
+        };
+        base * lane_frac
+    }
+
+    /// Total dynamic energy of a trace, in joules.
+    #[must_use]
+    pub fn total_energy_j(&self, events: &[Activity]) -> f64 {
+        events.iter().map(|a| self.event_pj(a)).sum::<f64>() * 1e-12
+    }
+
+    /// Average power over an interval of `cycles` at `clock_hz`, in watts
+    /// (dynamic from the events + static).
+    #[must_use]
+    pub fn average_watts(&self, events: &[Activity], cycles: u64, clock_hz: f64) -> f64 {
+        if cycles == 0 {
+            return self.static_watts;
+        }
+        let seconds = cycles as f64 / clock_hz;
+        self.static_watts + self.total_energy_j(events) / seconds
+    }
+
+    /// A power-versus-time series: mean watts in consecutive windows of
+    /// `window` cycles, from cycle 0 to `end`. This is the curve behind the
+    /// paper's Fig. 10.
+    #[must_use]
+    pub fn power_series(
+        &self,
+        events: &[Activity],
+        end: u64,
+        window: u64,
+        clock_hz: f64,
+    ) -> Vec<(u64, f64)> {
+        assert!(window > 0, "zero window");
+        let buckets = end.div_ceil(window).max(1);
+        let mut pj = vec![0f64; buckets as usize];
+        for a in events {
+            let b = (a.cycle / window).min(buckets - 1) as usize;
+            pj[b] += self.event_pj(a);
+        }
+        let wsec = window as f64 / clock_hz;
+        pj.iter()
+            .enumerate()
+            .map(|(b, &e)| (b as u64 * window, self.static_watts + e * 1e-12 / wsec))
+            .collect()
+    }
+
+    /// Mean power attributed to each half-open cycle span (the per-layer bars
+    /// of Fig. 10): returns watts per span.
+    #[must_use]
+    pub fn span_watts(
+        &self,
+        events: &[Activity],
+        spans: &[(u64, u64)],
+        clock_hz: f64,
+    ) -> Vec<f64> {
+        spans
+            .iter()
+            .map(|&(start, end)| {
+                let in_span: Vec<Activity> = events
+                    .iter()
+                    .filter(|a| a.cycle >= start && a.cycle < end)
+                    .copied()
+                    .collect();
+                self.average_watts(&in_span, end.saturating_sub(start).max(1), clock_hz)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64, kind: ActivityKind, lanes: u16) -> Activity {
+        Activity { cycle, kind, lanes }
+    }
+
+    #[test]
+    fn idle_chip_draws_static_power() {
+        let m = EnergyModel::default();
+        assert_eq!(m.average_watts(&[], 1000, 1e9), m.static_watts);
+    }
+
+    #[test]
+    fn four_plane_conv_peaks_near_envelope() {
+        // The paper's spike regime: 4 simultaneous conv2d = 4 MACC events
+        // per cycle, plus the requant VXM traffic and MEM feeds.
+        let m = EnergyModel::default();
+        let mut events = Vec::new();
+        for t in 0..1000u64 {
+            for _ in 0..4 {
+                events.push(ev(t, ActivityKind::MxmMacc, 320));
+            }
+            events.push(ev(t, ActivityKind::VxmAlu { transcendental: false }, 320));
+            for _ in 0..6 {
+                events.push(ev(t, ActivityKind::MemRead, 320));
+            }
+        }
+        let w = m.average_watts(&events, 1000, 1e9);
+        assert!(
+            (200.0..400.0).contains(&w),
+            "full-throttle power {w:.0} W out of the plausible envelope"
+        );
+    }
+
+    #[test]
+    fn single_plane_draws_roughly_quarter_of_mxm_power() {
+        let m = EnergyModel::default();
+        let one: Vec<Activity> = (0..100).map(|t| ev(t, ActivityKind::MxmMacc, 320)).collect();
+        let four: Vec<Activity> = (0..100)
+            .flat_map(|t| (0..4).map(move |_| ev(t, ActivityKind::MxmMacc, 320)))
+            .collect();
+        let p1 = m.average_watts(&one, 100, 1e9) - m.static_watts;
+        let p4 = m.average_watts(&four, 100, 1e9) - m.static_watts;
+        assert!((p4 / p1 - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn powered_down_superlanes_scale_dynamic_energy() {
+        // §II-F energy proportionality: half the lanes, half the energy.
+        let m = EnergyModel::default();
+        let full = ev(0, ActivityKind::MxmMacc, 320);
+        let half = ev(0, ActivityKind::MxmMacc, 160);
+        assert!((m.event_pj(&half) / m.event_pj(&full) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_series_buckets_events() {
+        let m = EnergyModel::default();
+        let events = vec![
+            ev(0, ActivityKind::MxmMacc, 320),
+            ev(150, ActivityKind::MxmMacc, 320),
+        ];
+        let series = m.power_series(&events, 200, 100, 1e9);
+        assert_eq!(series.len(), 2);
+        assert!(series[0].1 > m.static_watts);
+        assert!(series[1].1 > m.static_watts);
+        // Empty window sits at static power.
+        let series = m.power_series(&events[..1], 200, 100, 1e9);
+        assert_eq!(series[1].1, m.static_watts);
+    }
+
+    #[test]
+    fn span_watts_attributes_by_layer() {
+        let m = EnergyModel::default();
+        let events: Vec<Activity> = (0..50).map(|t| ev(t, ActivityKind::MxmMacc, 320)).collect();
+        let w = m.span_watts(&events, &[(0, 50), (50, 100)], 1e9);
+        assert!(w[0] > w[1]);
+        assert_eq!(w[1], m.static_watts);
+    }
+}

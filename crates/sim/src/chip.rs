@@ -1,0 +1,929 @@
+//! The chip: 144 instruction queues driving functional slices over the
+//! stream-register file, with one global deterministic clock.
+//!
+//! Execution is event-driven. Every instruction's dispatch cycle is a pure
+//! function of its queue position (plus the one-time `Sync`/`Notify`
+//! barrier), so the simulator advances a priority queue of per-ICU "next
+//! dispatch" times instead of ticking idle hardware. Reads take effect at the
+//! dispatch cycle, writes `d_func` cycles later; because every `d_func ≥ 1`,
+//! processing dispatches in nondecreasing time order can never miss a write
+//! (no value is produced into the past).
+//!
+//! There is deliberately **no arbitration anywhere**: a resource conflict is
+//! a scheduling bug and surfaces as a [`SimError`], reproducing the paper's
+//! hardware–software contract.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::Arc;
+
+use tsp_arch::{
+    vector, ChipConfig, Cycle, Position, StreamId, Vector, SUPERLANES,
+};
+use tsp_isa::{
+    encode::decode_fetch_block, C2cOp, DataType, IcuOp, Instruction, LinkId, MemOp, MxmOp, SxmOp,
+    VxmOp,
+};
+use tsp_mem::ecc::{self, ErrorSite};
+use tsp_mem::{bandwidth::Traffic, BandwidthMeter, Memory};
+
+use crate::error::SimError;
+use crate::icu_id::IcuId;
+use crate::mxm_unit::{MxmPlane, MxmResult};
+use crate::program::Program;
+use crate::stream_file::{StreamFile, StreamWord};
+use crate::trace::{ActivityKind, Trace};
+use crate::{sxm_unit, vxm_unit};
+
+/// Options controlling one [`Chip::run`].
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Record activity events (needed by the power model; costs memory).
+    pub trace: bool,
+    /// Abort with [`SimError::CycleLimit`] past this cycle (runaway guard).
+    pub cycle_limit: u64,
+    /// Compute real MXM dot products. `false` skips the arithmetic (results
+    /// are zeros) for timing-only sweeps — cycle counts are unaffected
+    /// because timing never depends on data (the determinism thesis).
+    pub functional: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            trace: false,
+            cycle_limit: 50_000_000,
+            functional: true,
+        }
+    }
+}
+
+/// The result of executing a program to completion.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Completion cycle: the last architectural effect plus the 20-tile
+    /// pipeline drain (Eq. 4's `N`), i.e. when the final superlane of the
+    /// final result has landed.
+    pub cycles: Cycle,
+    /// Instructions dispatched (NOPs excluded; burst rows counted once per
+    /// instruction, not per row).
+    pub instructions: u64,
+    /// NOP instructions dispatched.
+    pub nops: u64,
+    /// Activity trace (empty unless requested).
+    pub trace: Trace,
+    /// Byte counters per traffic class.
+    pub bandwidth: BandwidthMeter,
+    /// Corrected single-bit ECC events observed.
+    pub ecc_corrected: u64,
+    /// Vectors that left on each C2C link: `(link, departure cycle, word)`.
+    pub egress: Vec<(u8, Cycle, Arc<StreamWord>)>,
+}
+
+#[derive(Debug)]
+enum Burst {
+    /// Multi-row MXM instruction; `row` is the next row to execute.
+    Mxm { op: MxmOp, row: u16, rows: u16 },
+    /// `Repeat n,d` of the previous instruction; MEM addresses auto-increment
+    /// one word per iteration (modeling choice, DESIGN.md §2).
+    Repeat {
+        instr: Instruction,
+        iter: u16,
+        n: u16,
+        d: u16,
+    },
+}
+
+#[derive(Debug)]
+struct QueueState {
+    icu: IcuId,
+    position: Option<Position>,
+    instructions: Vec<Instruction>,
+    pc: usize,
+    burst: Option<Burst>,
+    barriers: u32,
+}
+
+enum Step {
+    NextAt(Cycle),
+    Parked,
+    Done,
+}
+
+/// A simulated TSP chip.
+#[derive(Debug, Clone)]
+pub struct Chip {
+    /// The chip configuration (clock, powered superlanes, ECC).
+    pub config: ChipConfig,
+    /// The 88-slice on-chip memory (also holds the ECC CSR).
+    pub memory: Memory,
+    streams: StreamFile,
+    planes: Vec<MxmPlane>,
+    ingress: Vec<VecDeque<(Cycle, Arc<StreamWord>)>>,
+    egress: Vec<(u8, Cycle, Arc<StreamWord>)>,
+}
+
+impl Chip {
+    /// Creates a chip with the given configuration and zeroed memory.
+    #[must_use]
+    pub fn new(config: ChipConfig) -> Chip {
+        Chip {
+            config,
+            memory: Memory::new(),
+            streams: StreamFile::new(),
+            planes: (0..4).map(|_| MxmPlane::new()).collect(),
+            ingress: (0..16).map(|_| VecDeque::new()).collect(),
+            egress: Vec::new(),
+        }
+    }
+
+    /// Direct access to an MXM plane (tests and tooling).
+    #[must_use]
+    pub fn plane(&self, index: usize) -> &MxmPlane {
+        &self.planes[index]
+    }
+
+    /// Queues a vector to arrive on a C2C link at `arrival` (the lightweight
+    /// host/partner-chip injection path; `tsp-c2c` uses this to couple chips).
+    pub fn inject_ingress(&mut self, link: LinkId, arrival: Cycle, word: Arc<StreamWord>) {
+        self.ingress[link.index() as usize].push_back((arrival, word));
+    }
+
+    /// Runs a program to completion.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]: scheduling contract violations, uncorrectable ECC
+    /// errors, deadlock, or the cycle budget.
+    pub fn run(&mut self, program: &Program, options: &RunOptions) -> Result<RunReport, SimError> {
+        let mut queues: Vec<QueueState> = program
+            .queues()
+            .map(|(icu, instrs)| QueueState {
+                icu,
+                position: icu.position(),
+                instructions: instrs.to_vec(),
+                pc: 0,
+                burst: None,
+                barriers: 0,
+            })
+            .collect();
+
+        let mut ctx = RunCtx {
+            trace: Trace::new(options.trace),
+            bandwidth: BandwidthMeter::new(),
+            last_effect: 0,
+            instructions: 0,
+            nops: 0,
+            notify_times: Vec::new(),
+            functional: options.functional,
+        };
+
+        // (time, queue index) min-heap; queue index breaks ties, giving a
+        // fixed deterministic order (though order within a cycle is
+        // immaterial: writes never take effect at their dispatch cycle).
+        let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| !q.instructions.is_empty())
+            .map(|(i, _)| Reverse((0, i)))
+            .collect();
+        let mut parked: Vec<(usize, Cycle)> = Vec::new();
+        let mut last_sweep = 0u64;
+
+        while let Some(Reverse((t, qi))) = heap.pop() {
+            if t > options.cycle_limit {
+                return Err(SimError::CycleLimit {
+                    limit: options.cycle_limit,
+                });
+            }
+            if t.saturating_sub(last_sweep) > 16_384 {
+                self.streams.sweep(t);
+                last_sweep = t;
+            }
+            match self.step(&mut queues[qi], t, &mut ctx)? {
+                Step::NextAt(next) => {
+                    // `next == t` is legal (a Repeat's first folded iteration);
+                    // progress is guaranteed because every step advances the
+                    // queue's pc or burst cursor.
+                    debug_assert!(next >= t, "queue went backwards in time");
+                    heap.push(Reverse((next, qi)));
+                }
+                Step::Parked => {
+                    // Wake immediately if the matching notify already fired.
+                    let gen = queues[qi].barriers as usize;
+                    if let Some(&nt) = ctx.notify_times.get(gen) {
+                        let resume = resume_after_barrier(t, nt);
+                        let q = &mut queues[qi];
+                        q.pc += 1;
+                        q.barriers += 1;
+                        heap.push(Reverse((resume, qi)));
+                    } else {
+                        parked.push((qi, t));
+                    }
+                }
+                Step::Done => {}
+            }
+            // A Notify may have just fired: wake every parked queue whose
+            // generation it satisfies.
+            if !parked.is_empty() {
+                let mut still = Vec::new();
+                for (pqi, pt) in parked.drain(..) {
+                    let gen = queues[pqi].barriers as usize;
+                    if let Some(&nt) = ctx.notify_times.get(gen) {
+                        let resume = resume_after_barrier(pt, nt);
+                        let q = &mut queues[pqi];
+                        q.pc += 1;
+                        q.barriers += 1;
+                        heap.push(Reverse((resume, pqi)));
+                    } else {
+                        still.push((pqi, pt));
+                    }
+                }
+                parked = still;
+            }
+        }
+
+        if !parked.is_empty() {
+            return Err(SimError::Deadlock {
+                parked: parked.len(),
+            });
+        }
+
+        Ok(RunReport {
+            cycles: ctx.last_effect + Cycle::from(tsp_arch::timing::SLICE_TILES),
+            instructions: ctx.instructions,
+            nops: ctx.nops,
+            trace: ctx.trace,
+            bandwidth: ctx.bandwidth,
+            ecc_corrected: self.memory.errors.corrected(),
+            egress: std::mem::take(&mut self.egress),
+        })
+    }
+
+    fn step(&mut self, q: &mut QueueState, t: Cycle, ctx: &mut RunCtx) -> Result<Step, SimError> {
+        // Continue an in-flight burst first.
+        if let Some(burst) = q.burst.take() {
+            match burst {
+                Burst::Mxm { op, row, rows } => {
+                    self.mxm_row(q.icu, &op, row, t, ctx)?;
+                    if row + 1 >= rows {
+                        q.pc += 1;
+                    } else {
+                        q.burst = Some(Burst::Mxm {
+                            op,
+                            row: row + 1,
+                            rows,
+                        });
+                    }
+                    return Ok(Step::NextAt(t + 1));
+                }
+                Burst::Repeat { instr, iter, n, d } => {
+                    let stride = Cycle::from(d.max(1));
+                    let this = repeat_iteration(&instr, iter)?;
+                    if iter + 1 >= n {
+                        q.pc += 1;
+                    } else {
+                        q.burst = Some(Burst::Repeat {
+                            instr,
+                            iter: iter + 1,
+                            n,
+                            d,
+                        });
+                    }
+                    self.issue(q, &this, t, ctx)?;
+                    return Ok(Step::NextAt(t + stride));
+                }
+            }
+        }
+
+        let Some(instr) = q.instructions.get(q.pc).cloned() else {
+            return Ok(Step::Done);
+        };
+
+        match &instr {
+            Instruction::Icu(IcuOp::Nop { count }) => {
+                ctx.nops += 1;
+                q.pc += 1;
+                Ok(Step::NextAt(t + Cycle::from((*count).max(1))))
+            }
+            Instruction::Icu(IcuOp::Sync) => {
+                ctx.instructions += 1;
+                Ok(Step::Parked)
+            }
+            Instruction::Icu(IcuOp::Notify) => {
+                ctx.instructions += 1;
+                let gen = q.barriers as usize;
+                if ctx.notify_times.len() != gen {
+                    return Err(SimError::InvalidInstruction {
+                        reason: format!("Notify for barrier generation {gen} out of order"),
+                    });
+                }
+                ctx.notify_times.push(t);
+                q.pc += 1;
+                q.barriers += 1;
+                Ok(Step::NextAt(resume_after_barrier(t, t)))
+            }
+            Instruction::Icu(IcuOp::Config { superlanes }) => {
+                ctx.instructions += 1;
+                self.config.superlanes_enabled = usize::from(*superlanes).clamp(1, SUPERLANES);
+                q.pc += 1;
+                Ok(Step::NextAt(t + 1))
+            }
+            Instruction::Icu(IcuOp::Repeat { n, d }) => {
+                ctx.instructions += 1;
+                if q.pc == 0 {
+                    return Err(SimError::InvalidInstruction {
+                        reason: "Repeat with no previous instruction".into(),
+                    });
+                }
+                let prev = q.instructions[q.pc - 1].clone();
+                if *n == 0 {
+                    q.pc += 1;
+                    return Ok(Step::NextAt(t + 1));
+                }
+                q.burst = Some(Burst::Repeat {
+                    instr: prev,
+                    iter: 0,
+                    n: *n,
+                    d: *d,
+                });
+                // The first repeat iteration executes at the Repeat's own
+                // dispatch cycle (the ICU folds the repeat into issue).
+                Ok(Step::NextAt(t))
+            }
+            Instruction::Icu(IcuOp::Ifetch { stream }) => {
+                ctx.instructions += 1;
+                self.ifetch(q, *stream, t, ctx)?;
+                q.pc += 1;
+                Ok(Step::NextAt(t + 2))
+            }
+            Instruction::Mxm(op @ (MxmOp::LoadWeights { .. }
+            | MxmOp::ActivationBuffer { .. }
+            | MxmOp::Accumulate { .. })) => {
+                ctx.instructions += 1;
+                validate_routing(q.icu, &instr)?;
+                let rows = match op {
+                    MxmOp::LoadWeights { rows, .. } => u16::from(*rows),
+                    MxmOp::ActivationBuffer { rows, .. } | MxmOp::Accumulate { rows, .. } => *rows,
+                    MxmOp::InstallWeights { .. } => unreachable!("IW handled by issue()"),
+                };
+                self.mxm_row(q.icu, op, 0, t, ctx)?;
+                if rows <= 1 {
+                    q.pc += 1;
+                } else {
+                    q.burst = Some(Burst::Mxm {
+                        op: *op,
+                        row: 1,
+                        rows,
+                    });
+                }
+                Ok(Step::NextAt(t + 1))
+            }
+            _ => {
+                ctx.instructions += 1;
+                self.issue(q, &instr, t, ctx)?;
+                q.pc += 1;
+                Ok(Step::NextAt(t + 1))
+            }
+        }
+    }
+
+    /// Executes a single-cycle instruction dispatched at `t`.
+    fn issue(
+        &mut self,
+        q: &QueueState,
+        instr: &Instruction,
+        t: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        validate_routing(q.icu, instr)?;
+        let pos = q.position.ok_or_else(|| SimError::WrongSlice {
+            icu: q.icu,
+            instruction: instr.to_string(),
+        })?;
+        let d_func = Cycle::from(instr.time_model().d_func);
+        match instr {
+            Instruction::Mem(op) => self.mem_op(q.icu, op, pos, t, d_func, ctx)?,
+            Instruction::Vxm(op) => self.vxm_op(q.icu, op, pos, t, d_func, ctx)?,
+            Instruction::Sxm(op) => self.sxm_op(q.icu, op, pos, t, d_func, ctx)?,
+            Instruction::C2c(op) => self.c2c_op(q.icu, op, pos, t, d_func, ctx)?,
+            Instruction::Mxm(MxmOp::InstallWeights { plane, dtype }) => {
+                self.planes[plane.index() as usize].install(*dtype);
+                ctx.trace
+                    .record(t, ActivityKind::MxmInstall, self.active_lanes());
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+            }
+            Instruction::Mxm(_) | Instruction::Icu(_) => {
+                return Err(SimError::WrongSlice {
+                    icu: q.icu,
+                    instruction: instr.to_string(),
+                })
+            }
+        }
+        Ok(())
+    }
+
+    fn active_lanes(&self) -> u16 {
+        (self.config.superlanes_enabled * 16) as u16
+    }
+
+    fn read_stream(
+        &self,
+        icu: IcuId,
+        stream: StreamId,
+        pos: Position,
+        t: Cycle,
+    ) -> Result<Arc<StreamWord>, SimError> {
+        self.streams
+            .read(stream, pos, t)
+            .ok_or(SimError::EmptyStreamRead {
+                stream,
+                position: pos,
+                cycle: t,
+                icu,
+            })
+    }
+
+    /// Consumer-side ECC check of a stream word (paper §II-D): corrects
+    /// single-bit upsets (logging to the CSR), faults on double-bit errors.
+    fn consume(
+        &mut self,
+        icu: IcuId,
+        word: &StreamWord,
+        stream: StreamId,
+        t: Cycle,
+    ) -> Result<Vector, SimError> {
+        if !self.config.ecc_enabled {
+            return Ok(word.data.clone());
+        }
+        let mut data = word.data.clone();
+        for s in 0..SUPERLANES {
+            let mut w = [0u8; 16];
+            w.copy_from_slice(data.superlane(s));
+            match ecc::check_and_correct(&mut w, word.check[s]) {
+                Ok(ecc::EccOutcome::Clean) => {}
+                Ok(ecc::EccOutcome::Corrected { .. }) => {
+                    data.superlane_mut(s).copy_from_slice(&w);
+                    self.memory
+                        .errors
+                        .record_corrected(t, ErrorSite::Stream { stream: stream.id });
+                }
+                Err(_) => {
+                    self.memory
+                        .errors
+                        .record_uncorrectable(t, ErrorSite::Stream { stream: stream.id });
+                    return Err(SimError::Ecc { cycle: t, icu });
+                }
+            }
+        }
+        Ok(data)
+    }
+
+    fn read_consume(
+        &mut self,
+        icu: IcuId,
+        stream: StreamId,
+        pos: Position,
+        t: Cycle,
+    ) -> Result<Vector, SimError> {
+        let word = self.read_stream(icu, stream, pos, t)?;
+        self.consume(icu, &word, stream, t)
+    }
+
+    /// Produces a fresh (re-protected) vector onto a stream at `t_eff`.
+    fn produce(&mut self, stream: StreamId, pos: Position, t_eff: Cycle, data: Vector, ctx: &mut RunCtx) {
+        ctx.bandwidth.record(Traffic::Stream, 320);
+        ctx.last_effect = ctx.last_effect.max(t_eff);
+        self.streams
+            .write(stream, pos, t_eff, Arc::new(StreamWord::protect(data)));
+    }
+
+    fn mem_op(
+        &mut self,
+        icu: IcuId,
+        op: &MemOp,
+        pos: Position,
+        t: Cycle,
+        d_func: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        let IcuId::Mem { hemisphere, index } = icu else {
+            unreachable!("validated by validate_routing")
+        };
+        match op {
+            MemOp::Read { addr, stream } => {
+                let slice = self.memory.slice_mut(hemisphere, index);
+                slice
+                    .access(t, *addr, false)
+                    .map_err(|error| SimError::Memory { error, icu })?;
+                let stored = slice.peek(*addr);
+                ctx.bandwidth.record(Traffic::SramRead, 320);
+                ctx.trace.record(t, ActivityKind::MemRead, self.active_lanes());
+                // Forward data with its *stored* check bits: ECC is generated
+                // at the producer and travels with the word (paper §II-D).
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+                ctx.bandwidth.record(Traffic::Stream, 320);
+                self.streams.write(
+                    *stream,
+                    pos,
+                    t + d_func,
+                    Arc::new(StreamWord {
+                        data: stored.data,
+                        check: stored.check,
+                    }),
+                );
+            }
+            MemOp::Write { addr, stream } => {
+                let data = self.read_consume(icu, *stream, pos, t)?;
+                let slice = self.memory.slice_mut(hemisphere, index);
+                slice
+                    .access(t, *addr, true)
+                    .map_err(|error| SimError::Memory { error, icu })?;
+                slice.poke(*addr, data);
+                ctx.bandwidth.record(Traffic::SramWrite, 320);
+                ctx.trace
+                    .record(t, ActivityKind::MemWrite, self.active_lanes());
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+            }
+            MemOp::Gather { stream, map } => {
+                let map_vec = self.read_consume(icu, *map, pos, t)?;
+                let slice = self.memory.slice_mut(hemisphere, index);
+                // Modeled as a full-slice read for port accounting.
+                slice
+                    .access(t, tsp_isa::MemAddr::new(0), false)
+                    .map_err(|error| SimError::Memory { error, icu })?;
+                let mut out = Vector::ZERO;
+                for s in 0..SUPERLANES {
+                    let a = u16::from_le_bytes([
+                        map_vec.lane(2 * s),
+                        map_vec.lane(2 * s + 1),
+                    ]) & 0x1FFF;
+                    let word = slice.peek(tsp_isa::MemAddr::new(a));
+                    out.superlane_mut(s).copy_from_slice(word.data.superlane(s));
+                }
+                ctx.bandwidth.record(Traffic::SramRead, 320);
+                ctx.trace
+                    .record(t, ActivityKind::MemGather, self.active_lanes());
+                self.produce(*stream, pos, t + d_func, out, ctx);
+            }
+            MemOp::Scatter { stream, map } => {
+                let data = self.read_consume(icu, *stream, pos, t)?;
+                let map_vec = self.read_consume(icu, *map, pos, t)?;
+                let slice = self.memory.slice_mut(hemisphere, index);
+                slice
+                    .access(t, tsp_isa::MemAddr::new(0), true)
+                    .map_err(|error| SimError::Memory { error, icu })?;
+                for s in 0..SUPERLANES {
+                    let a = u16::from_le_bytes([
+                        map_vec.lane(2 * s),
+                        map_vec.lane(2 * s + 1),
+                    ]) & 0x1FFF;
+                    let addr = tsp_isa::MemAddr::new(a);
+                    let mut word = slice.peek(addr);
+                    word.data
+                        .superlane_mut(s)
+                        .copy_from_slice(data.superlane(s));
+                    let mut raw = [0u8; 16];
+                    raw.copy_from_slice(word.data.superlane(s));
+                    word.check[s] = ecc::encode(&raw);
+                    slice.poke_stored(addr, word);
+                }
+                ctx.bandwidth.record(Traffic::SramWrite, 320);
+                ctx.trace
+                    .record(t, ActivityKind::MemScatter, self.active_lanes());
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+            }
+        }
+        Ok(())
+    }
+
+    fn vxm_op(
+        &mut self,
+        icu: IcuId,
+        op: &VxmOp,
+        pos: Position,
+        t: Cycle,
+        d_func: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        let read_group = |chip: &mut Chip, g: tsp_arch::StreamGroup| -> Result<Vec<Vector>, SimError> {
+            g.streams()
+                .map(|s| chip.read_consume(icu, s, pos, t))
+                .collect()
+        };
+        let (result, dst, transcendental) = match op {
+            VxmOp::Unary { op, dtype, src, dst, .. } => {
+                let x = read_group(self, *src)?;
+                let r = vxm_unit::apply_unary(*op, *dtype, &x)
+                    .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                let tr = matches!(
+                    op,
+                    tsp_isa::UnaryAluOp::Tanh | tsp_isa::UnaryAluOp::Exp | tsp_isa::UnaryAluOp::Rsqrt
+                );
+                (r, *dst, tr)
+            }
+            VxmOp::Binary { op, dtype, a, b, dst, .. } => {
+                let va = read_group(self, *a)?;
+                let vb = read_group(self, *b)?;
+                let r = vxm_unit::apply_binary(*op, *dtype, &va, &vb)
+                    .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                (r, *dst, false)
+            }
+            VxmOp::Convert { from, to, src, dst, shift, .. } => {
+                let x = read_group(self, *src)?;
+                let r = vxm_unit::apply_convert(*from, *to, *shift, &x)
+                    .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                (r, *dst, false)
+            }
+        };
+        if result.len() != dst.width as usize {
+            return Err(SimError::InvalidInstruction {
+                reason: format!(
+                    "VXM result width {} does not match destination group {dst}",
+                    result.len()
+                ),
+            });
+        }
+        ctx.trace.record(
+            t,
+            ActivityKind::VxmAlu { transcendental },
+            self.active_lanes(),
+        );
+        for (i, vec) in result.into_iter().enumerate() {
+            let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
+            self.produce(s, pos, t + d_func, vec, ctx);
+        }
+        Ok(())
+    }
+
+    fn sxm_op(
+        &mut self,
+        icu: IcuId,
+        op: &SxmOp,
+        pos: Position,
+        t: Cycle,
+        d_func: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        op.validate()
+            .map_err(|reason| SimError::InvalidInstruction { reason })?;
+        match op {
+            SxmOp::ShiftUp { n, src, dst } => {
+                let x = self.read_consume(icu, *src, pos, t)?;
+                ctx.trace.record(t, ActivityKind::SxmShift, self.active_lanes());
+                self.produce(*dst, pos, t + d_func, sxm_unit::shift_up(&x, *n), ctx);
+            }
+            SxmOp::ShiftDown { n, src, dst } => {
+                let x = self.read_consume(icu, *src, pos, t)?;
+                ctx.trace.record(t, ActivityKind::SxmShift, self.active_lanes());
+                self.produce(*dst, pos, t + d_func, sxm_unit::shift_down(&x, *n), ctx);
+            }
+            SxmOp::Select { north, south, boundary, dst } => {
+                let n = self.read_consume(icu, *north, pos, t)?;
+                let s = self.read_consume(icu, *south, pos, t)?;
+                ctx.trace.record(t, ActivityKind::SxmShift, self.active_lanes());
+                self.produce(*dst, pos, t + d_func, sxm_unit::select(&n, &s, *boundary), ctx);
+            }
+            SxmOp::Permute { map, src, dst } => {
+                let x = self.read_consume(icu, *src, pos, t)?;
+                ctx.trace.record(t, ActivityKind::SxmPermute, self.active_lanes());
+                self.produce(*dst, pos, t + d_func, sxm_unit::permute(&x, map), ctx);
+            }
+            SxmOp::Distribute { map, src, dst } => {
+                let x = self.read_consume(icu, *src, pos, t)?;
+                ctx.trace.record(t, ActivityKind::SxmPermute, self.active_lanes());
+                self.produce(*dst, pos, t + d_func, sxm_unit::distribute(&x, map), ctx);
+            }
+            SxmOp::Rotate { n, src, dst } => {
+                let rows: Vec<Vector> = src
+                    .streams()
+                    .map(|s| self.read_consume(icu, s, pos, t))
+                    .collect::<Result<_, _>>()?;
+                ctx.trace.record(t, ActivityKind::SxmRotate, self.active_lanes());
+                for (i, out) in sxm_unit::rotate(&rows, *n).into_iter().enumerate() {
+                    self.produce(dst.stream(i as u8), pos, t + d_func, out, ctx);
+                }
+            }
+            SxmOp::Transpose { src, dst } => {
+                let rows: Vec<Vector> = src
+                    .streams()
+                    .map(|s| self.read_consume(icu, s, pos, t))
+                    .collect::<Result<_, _>>()?;
+                ctx.trace
+                    .record(t, ActivityKind::SxmTranspose, self.active_lanes());
+                for (i, out) in sxm_unit::transpose(&rows).into_iter().enumerate() {
+                    self.produce(dst.stream(i as u8), pos, t + d_func, out, ctx);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn c2c_op(
+        &mut self,
+        icu: IcuId,
+        op: &C2cOp,
+        pos: Position,
+        t: Cycle,
+        d_func: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        match op {
+            C2cOp::Deskew { .. } => {
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+            }
+            C2cOp::Send { link, stream } => {
+                // The word leaves with its ECC intact: the link is covered by
+                // the same producer-generated code.
+                let word = self.read_stream(icu, *stream, pos, t)?;
+                ctx.trace.record(t, ActivityKind::C2cSend, self.active_lanes());
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+                self.egress.push((link.index(), t + d_func, word));
+            }
+            C2cOp::Receive { link, stream } => {
+                let queue = &mut self.ingress[link.index() as usize];
+                let front_ready = queue.front().is_some_and(|(arr, _)| *arr <= t);
+                if !front_ready {
+                    return Err(SimError::LinkEmpty {
+                        link: link.index(),
+                        cycle: t,
+                    });
+                }
+                let (_, word) = queue.pop_front().expect("checked non-empty");
+                ctx.trace
+                    .record(t, ActivityKind::C2cReceive, self.active_lanes());
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+                ctx.bandwidth.record(Traffic::Stream, 320);
+                self.streams.write(*stream, pos, t + d_func, word);
+            }
+        }
+        Ok(())
+    }
+
+    /// One row of a multi-row MXM burst, executing at cycle `t`.
+    fn mxm_row(
+        &mut self,
+        icu: IcuId,
+        op: &MxmOp,
+        row: u16,
+        t: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        let pos = icu.position().expect("MXM queues have positions");
+        match op {
+            MxmOp::LoadWeights { plane, streams, .. } => {
+                let rows: Vec<Vector> = streams
+                    .streams()
+                    .map(|s| self.read_consume(icu, s, pos, t))
+                    .collect::<Result<_, _>>()?;
+                self.planes[plane.index() as usize].load_weight_rows(row as u8, &rows);
+                ctx.trace
+                    .record(t, ActivityKind::MxmLoadWeights, self.active_lanes());
+                ctx.last_effect = ctx.last_effect.max(t + 1);
+            }
+            MxmOp::ActivationBuffer { plane, stream, .. } => {
+                let idx = plane.index() as usize;
+                if self.planes[idx].dtype() == DataType::Fp16 {
+                    let lo = self.read_consume(icu, *stream, pos, t)?;
+                    let hi_stream =
+                        StreamId::new(stream.id + 1, stream.direction);
+                    let hi = self.read_consume(icu, hi_stream, pos, t)?;
+                    if !idx.is_multiple_of(2) || idx + 1 >= self.planes.len() {
+                        return Err(SimError::InvalidInstruction {
+                            reason: "fp16 ABC must target an even plane (tandem pair)".into(),
+                        });
+                    }
+                    let (a, b) = self.planes.split_at_mut(idx + 1);
+                    a[idx].feed_activation_fp16(t, &b[0], &lo, &hi);
+                } else {
+                    let act = self.read_consume(icu, *stream, pos, t)?;
+                    if ctx.functional {
+                        self.planes[idx].feed_activation_i8(t, &act);
+                    } else {
+                        self.planes[idx].feed_zero(t);
+                    }
+                }
+                ctx.trace.record(t, ActivityKind::MxmMacc, self.active_lanes());
+            }
+            MxmOp::Accumulate { plane, dst, mode, .. } => {
+                let add = matches!(mode, tsp_isa::AccumulateMode::Accumulate);
+                let result = self.planes[plane.index() as usize]
+                    .accumulate(t, row as usize, add)
+                    .ok_or(SimError::AccumulatorEmpty {
+                        plane: plane.index(),
+                        cycle: t,
+                    })?;
+                if dst.width != 4 {
+                    return Err(SimError::InvalidInstruction {
+                        reason: format!("ACC destination must be a quad-stream group, got {dst}"),
+                    });
+                }
+                let planes_out = match result {
+                    MxmResult::Int32(vals) => vector::split_i32(&vals),
+                    MxmResult::Fp32(vals) => {
+                        let bits: Vec<i32> = vals.iter().map(|f| f.to_bits() as i32).collect();
+                        vector::split_i32(&bits)
+                    }
+                };
+                ctx.trace.record(t, ActivityKind::MxmAcc, self.active_lanes());
+                for (i, vec) in planes_out.into_iter().enumerate() {
+                    let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
+                    self.produce(s, pos, t + 1, vec, ctx);
+                }
+            }
+            MxmOp::InstallWeights { .. } => unreachable!("IW is not a burst"),
+        }
+        Ok(())
+    }
+
+    fn ifetch(
+        &mut self,
+        q: &mut QueueState,
+        stream: StreamId,
+        t: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        let pos = q.position.ok_or_else(|| SimError::WrongSlice {
+            icu: q.icu,
+            instruction: "Ifetch".into(),
+        })?;
+        // 640 bytes: a pair of 320-byte vectors on consecutive cycles.
+        let lo = self.read_consume(q.icu, stream, pos, t)?;
+        let hi = self.read_consume(q.icu, stream, pos, t + 1)?;
+        let mut text = Vec::with_capacity(640);
+        text.extend_from_slice(lo.as_bytes());
+        text.extend_from_slice(hi.as_bytes());
+        let fetched = decode_fetch_block(&text).map_err(|e| SimError::Decode {
+            reason: e.to_string(),
+        })?;
+        ctx.bandwidth.record(Traffic::InstructionFetch, 640);
+        ctx.trace.record(t, ActivityKind::Ifetch, self.active_lanes());
+        q.instructions.extend(fetched);
+        Ok(())
+    }
+}
+
+/// When a queue parked at `park_t` resumes after a notify at `notify_t`:
+/// the chip-wide barrier costs [`tsp_arch::timing::BARRIER_SYNC_CYCLES`]
+/// from Notify issue to Sync retire (paper §III-A2).
+fn resume_after_barrier(park_t: Cycle, notify_t: Cycle) -> Cycle {
+    park_t.max(notify_t + Cycle::from(tsp_arch::timing::BARRIER_SYNC_CYCLES))
+}
+
+/// The `iter`-th iteration of a repeated instruction. MEM addresses advance
+/// one word per iteration so `Read a,s ; Repeat n,d` streams a contiguous
+/// tensor (modeling choice, DESIGN.md §2).
+fn repeat_iteration(instr: &Instruction, iter: u16) -> Result<Instruction, SimError> {
+    let bump = |addr: tsp_isa::MemAddr| -> Result<tsp_isa::MemAddr, SimError> {
+        let w = addr.word() + iter + 1;
+        if w >= 8192 {
+            return Err(SimError::InvalidInstruction {
+                reason: format!("Repeat walked address {w:#x} past the slice"),
+            });
+        }
+        Ok(tsp_isa::MemAddr::new(w))
+    };
+    Ok(match instr {
+        Instruction::Mem(MemOp::Read { addr, stream }) => Instruction::Mem(MemOp::Read {
+            addr: bump(*addr)?,
+            stream: *stream,
+        }),
+        Instruction::Mem(MemOp::Write { addr, stream }) => Instruction::Mem(MemOp::Write {
+            addr: bump(*addr)?,
+            stream: *stream,
+        }),
+        other => other.clone(),
+    })
+}
+
+/// Checks an instruction landed on a queue whose slice can execute it.
+fn validate_routing(icu: IcuId, instr: &Instruction) -> Result<(), SimError> {
+    let ok = match instr {
+        Instruction::Icu(_) => true,
+        Instruction::Mem(_) => matches!(icu, IcuId::Mem { .. }),
+        Instruction::Vxm(_) => matches!(icu, IcuId::Vxm { .. }),
+        Instruction::Mxm(op) => {
+            matches!(icu, IcuId::Mxm { plane, .. } if plane == op.plane())
+        }
+        Instruction::Sxm(_) => matches!(icu, IcuId::Sxm { .. }),
+        Instruction::C2c(_) => matches!(icu, IcuId::C2c { .. }),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(SimError::WrongSlice {
+            icu,
+            instruction: instr.to_string(),
+        })
+    }
+}
+
+struct RunCtx {
+    trace: Trace,
+    bandwidth: BandwidthMeter,
+    last_effect: Cycle,
+    instructions: u64,
+    nops: u64,
+    notify_times: Vec<Cycle>,
+    functional: bool,
+}

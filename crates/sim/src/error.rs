@@ -1,0 +1,128 @@
+//! Simulator errors.
+//!
+//! Because the TSP has no reactive hardware, anything that would stall a
+//! conventional machine is a *scheduling bug* here: the compiler promised an
+//! operand would be present and it was not, or two accesses contend for a
+//! bank it was supposed to keep disjoint. The simulator surfaces these as
+//! errors rather than silently stalling, which is how compiler bugs are found.
+
+use core::fmt;
+
+use tsp_arch::{Position, StreamId};
+use tsp_mem::AccessError;
+
+use crate::icu_id::IcuId;
+
+/// An execution fault: either a scheduling contract violation or an
+/// uncorrectable hardware fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A functional slice consumed a stream slot no producer had filled.
+    EmptyStreamRead {
+        /// The stream read.
+        stream: StreamId,
+        /// The consumer's position.
+        position: Position,
+        /// The consuming cycle.
+        cycle: u64,
+        /// The consuming queue.
+        icu: IcuId,
+    },
+    /// SRAM bank/port contention the compiler should have avoided.
+    Memory {
+        /// The underlying access fault.
+        error: AccessError,
+        /// The issuing queue.
+        icu: IcuId,
+    },
+    /// An uncorrectable (double-bit) ECC error reached a consumer.
+    Ecc {
+        /// The consuming cycle.
+        cycle: u64,
+        /// The consuming queue.
+        icu: IcuId,
+    },
+    /// `ACC` tried to emit a result the array had not produced yet.
+    AccumulatorEmpty {
+        /// The plane.
+        plane: u8,
+        /// The consuming cycle.
+        cycle: u64,
+    },
+    /// An instruction was routed to a queue whose slice cannot execute it.
+    WrongSlice {
+        /// The queue that received the instruction.
+        icu: IcuId,
+        /// Offending instruction (rendered).
+        instruction: String,
+    },
+    /// An SXM instruction failed its shape validation.
+    InvalidInstruction {
+        /// What was wrong.
+        reason: String,
+    },
+    /// `Ifetch` text failed to decode.
+    Decode {
+        /// The decoder's message.
+        reason: String,
+    },
+    /// The run exceeded the configured cycle budget (runaway program).
+    CycleLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// Queues remain parked on `Sync` with no `Notify` ever arriving.
+    Deadlock {
+        /// Number of queues still parked.
+        parked: usize,
+    },
+    /// `Receive` executed with nothing arrived on the link.
+    LinkEmpty {
+        /// The link index.
+        link: u8,
+        /// The consuming cycle.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::EmptyStreamRead {
+                stream,
+                position,
+                cycle,
+                icu,
+            } => write!(
+                f,
+                "{icu} read empty stream {stream} at {position}, cycle {cycle} \
+                 (no producer scheduled a value into this slot)"
+            ),
+            SimError::Memory { error, icu } => write!(f, "{icu}: {error}"),
+            SimError::Ecc { cycle, icu } => {
+                write!(f, "{icu}: uncorrectable ECC error at cycle {cycle}")
+            }
+            SimError::AccumulatorEmpty { plane, cycle } => write!(
+                f,
+                "MXM plane {plane}: ACC at cycle {cycle} but no pending result"
+            ),
+            SimError::WrongSlice { icu, instruction } => {
+                write!(f, "instruction `{instruction}` routed to wrong queue {icu}")
+            }
+            SimError::InvalidInstruction { reason } => write!(f, "invalid instruction: {reason}"),
+            SimError::Decode { reason } => write!(f, "instruction fetch decode error: {reason}"),
+            SimError::CycleLimit { limit } => {
+                write!(f, "program exceeded the {limit}-cycle budget")
+            }
+            SimError::Deadlock { parked } => write!(
+                f,
+                "{parked} queue(s) parked on Sync with no Notify pending — barrier deadlock"
+            ),
+            SimError::LinkEmpty { link, cycle } => {
+                write!(f, "Receive on link {link} at cycle {cycle} with no arrived vector")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

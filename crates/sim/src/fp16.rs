@@ -1,0 +1,144 @@
+//! IEEE 754 half-precision conversion helpers.
+//!
+//! The MXM multiplies fp16 operands (two byte-planes in tandem) and the VXM
+//! converts between fixed and floating point (paper Table I), so the
+//! simulator needs bit-exact fp16 ↔ fp32 conversion. Implemented here rather
+//! than pulling a crate: round-to-nearest-even on narrowing, exact on
+//! widening.
+
+/// Converts an IEEE 754 binary16 bit pattern to `f32`.
+#[must_use]
+pub fn f16_to_f32(bits: u16) -> f32 {
+    let sign = u32::from(bits >> 15) << 31;
+    let exp = (bits >> 10) & 0x1F;
+    let frac = u32::from(bits & 0x3FF);
+    let out = match exp {
+        0 => {
+            if frac == 0 {
+                sign // signed zero
+            } else {
+                // Subnormal: value = frac × 2⁻²⁴. With the leading one at bit
+                // b = 10 − shift, the normalized value is 1.f × 2^(b−24).
+                let shift = frac.leading_zeros() - 21; // frac has ≤10 significant bits
+                let frac = (frac << shift) & 0x3FF;
+                let exp32 = 113 - shift; // 127 + (10 − shift) − 24
+                sign | (exp32 << 23) | (frac << 13)
+            }
+        }
+        0x1F => sign | 0x7F80_0000 | (frac << 13), // inf / NaN
+        _ => {
+            let exp32 = u32::from(exp) + 127 - 15;
+            sign | (exp32 << 23) | (frac << 13)
+        }
+    };
+    f32::from_bits(out)
+}
+
+/// Converts an `f32` to the nearest IEEE 754 binary16 bit pattern
+/// (round-to-nearest-even, overflow to infinity).
+#[must_use]
+pub fn f32_to_f16(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 31) as u16) << 15;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let frac = bits & 0x7F_FFFF;
+
+    if exp == 0xFF {
+        // Inf or NaN; keep a quiet-NaN payload bit so NaN stays NaN.
+        let nan = if frac != 0 { 0x200 } else { 0 };
+        return sign | 0x7C00 | nan | ((frac >> 13) as u16 & 0x3FF);
+    }
+
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow → ±inf
+    }
+    if unbiased >= -14 {
+        // Normal range: round the 23-bit fraction to 10 bits.
+        let mut f = frac >> 13;
+        let rem = frac & 0x1FFF;
+        if rem > 0x1000 || (rem == 0x1000 && f & 1 == 1) {
+            f += 1;
+        }
+        let mut e = (unbiased + 15) as u32;
+        if f == 0x400 {
+            f = 0;
+            e += 1;
+            if e >= 0x1F {
+                return sign | 0x7C00;
+            }
+        }
+        return sign | ((e as u16) << 10) | (f as u16);
+    }
+    if unbiased >= -25 {
+        // Subnormal: shift the implicit-1 mantissa right.
+        let mant = frac | 0x80_0000;
+        let shift = (-14 - unbiased) as u32 + 13;
+        let f = mant >> shift;
+        let rem = mant & ((1 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut f = f;
+        if rem > half || (rem == half && f & 1 == 1) {
+            f += 1;
+        }
+        return sign | (f as u16);
+    }
+    sign // underflow → ±0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_values_roundtrip() {
+        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.000061035156] {
+            let h = f32_to_f16(v);
+            assert_eq!(f16_to_f32(h), v, "for {v}");
+        }
+    }
+
+    #[test]
+    fn widen_then_narrow_is_identity_for_all_f16() {
+        for bits in 0..=u16::MAX {
+            let f = f16_to_f32(bits);
+            if f.is_nan() {
+                assert!(f16_to_f32(f32_to_f16(f)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16(f), bits, "bits {bits:#06x} ({f})");
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert_eq!(f32_to_f16(1e10), 0x7C00);
+        assert_eq!(f32_to_f16(-1e10), 0xFC00);
+        assert_eq!(f16_to_f32(0x7C00), f32::INFINITY);
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and the next f16; rounds to even (1.0).
+        let halfway = 1.0 + 2.0f32.powi(-11);
+        assert_eq!(f32_to_f16(halfway), f32_to_f16(1.0));
+        // Slightly above halfway rounds up.
+        let above = 1.0 + 2.0f32.powi(-11) + 2.0f32.powi(-20);
+        assert_eq!(f16_to_f32(f32_to_f16(above)), 1.0 + 2.0f32.powi(-10));
+    }
+
+    #[test]
+    fn subnormals_convert() {
+        let tiny = 2.0f32.powi(-24); // smallest positive f16 subnormal
+        assert_eq!(f32_to_f16(tiny), 1);
+        assert_eq!(f16_to_f32(1), tiny);
+        let below = 2.0f32.powi(-26);
+        assert_eq!(f32_to_f16(below), 0);
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(f32_to_f16(-0.0), 0x8000);
+        assert_eq!(f16_to_f32(0x8000).to_bits(), (-0.0f32).to_bits());
+    }
+}

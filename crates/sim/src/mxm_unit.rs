@@ -1,0 +1,334 @@
+//! State and value semantics of one MXM plane (paper §III-D).
+//!
+//! A plane is a 320×320 array of multiply-accumulate cells. Weights are
+//! staged row-group by row-group into a buffer (`LW`), installed atomically
+//! (`IW`), then each activation vector streamed in (`ABC`) produces a
+//! 320-element dot-product vector that queues for readout (`ACC`). int8
+//! multiplies accumulate into int32; fp16 (two byte-planes in tandem)
+//! accumulates into fp32 with a single rounding step at readout — we model
+//! the fp16 path on a plane pair exactly as the paper describes.
+
+use tsp_arch::{Vector, LANES};
+use tsp_isa::DataType;
+
+use crate::fp16;
+
+/// Result vector produced by one activation pass.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MxmResult {
+    /// 320 int32 dot products.
+    Int32(Vec<i32>),
+    /// 320 fp32 dot products.
+    Fp32(Vec<f32>),
+}
+
+/// One 320×320 MACC plane.
+#[derive(Debug, Clone)]
+pub struct MxmPlane {
+    /// Staging buffer filled by `LW` (row-major, `buffer[row][col]`).
+    buffer: Vec<[u8; LANES]>,
+    /// Installed weight array used by compute.
+    installed: Vec<[u8; LANES]>,
+    /// Element type of the installed weights.
+    dtype: DataType,
+    /// Results awaiting `ACC` readout, oldest first, tagged with the cycle
+    /// at which the array has finished computing them.
+    pending: std::collections::VecDeque<(u64, MxmResult)>,
+    /// Standing accumulators indexed by `ACC` row ordinal.
+    acc: Vec<MxmResult>,
+}
+
+impl MxmPlane {
+    /// Creates a plane with zero weights installed.
+    #[must_use]
+    pub fn new() -> MxmPlane {
+        MxmPlane {
+            buffer: vec![[0; LANES]; LANES],
+            installed: vec![[0; LANES]; LANES],
+            dtype: DataType::Int8,
+            pending: std::collections::VecDeque::new(),
+            acc: Vec::new(),
+        }
+    }
+
+    /// `LW` one cycle's worth: stores 16 weight rows starting at row
+    /// `16 × group` from the 16 stream vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `group >= 20` or fewer than 16 vectors are supplied.
+    pub fn load_weight_rows(&mut self, group: u8, rows: &[Vector]) {
+        assert!(u32::from(group) * 16 < LANES as u32, "row group out of range");
+        assert!(rows.len() >= 16, "LW needs 16 stream vectors");
+        for (j, row) in rows.iter().take(16).enumerate() {
+            self.buffer[group as usize * 16 + j] = *row.as_bytes();
+        }
+    }
+
+    /// `IW`: install the staged buffer into the array.
+    pub fn install(&mut self, dtype: DataType) {
+        self.installed.clone_from(&self.buffer);
+        self.dtype = dtype;
+    }
+
+    /// The installed weight at `(row, col)` as a raw byte.
+    #[must_use]
+    pub fn weight(&self, row: usize, col: usize) -> u8 {
+        self.installed[row][col]
+    }
+
+    /// Element type of the currently installed weights.
+    #[must_use]
+    pub fn dtype(&self) -> DataType {
+        self.dtype
+    }
+
+    /// `ABC` one cycle's worth: stream one int8 activation vector through the
+    /// installed int8 array, queueing a 320-lane int32 dot-product result that
+    /// becomes readable [`tsp_isa::mxm::MXM_ARRAY_DELAY`] cycles after `cycle`.
+    pub fn feed_activation_i8(&mut self, cycle: u64, activation: &Vector) {
+        let a = activation.as_bytes();
+        let out: Vec<i32> = self
+            .installed
+            .iter()
+            .map(|wrow| {
+                let mut sum = 0i32;
+                for (w, x) in wrow.iter().zip(a.iter()) {
+                    sum += i32::from(*w as i8) * i32::from(*x as i8);
+                }
+                sum
+            })
+            .collect();
+        self.pending.push_back((cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY), MxmResult::Int32(out)));
+    }
+
+    /// Timing-only feed: queues a zero result with the same availability as
+    /// a real activation pass (used when functional simulation is disabled).
+    pub fn feed_zero(&mut self, cycle: u64) {
+        self.pending.push_back((
+            cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
+            MxmResult::Int32(vec![0; LANES]),
+        ));
+    }
+
+    /// `ABC` for the fp16 path: this plane holds the low bytes and `high`
+    /// the high bytes of fp16 weights (two byte-planes in tandem); the
+    /// activation arrives as a pair of byte-plane vectors. Produces fp32
+    /// dot products with a single rounding step (accumulation in f64,
+    /// rounded once to f32 — the paper's "only a single rounding step").
+    pub fn feed_activation_fp16(&mut self, cycle: u64, high: &MxmPlane, act_lo: &Vector, act_hi: &Vector) {
+        let acts: Vec<f32> = (0..LANES)
+            .map(|l| fp16::f16_to_f32(u16::from_le_bytes([act_lo.lane(l), act_hi.lane(l)])))
+            .collect();
+        let out: Vec<f32> = (0..LANES)
+            .map(|row| {
+                let mut sum = 0f64;
+                for col in 0..LANES {
+                    let w = fp16::f16_to_f32(u16::from_le_bytes([
+                        self.installed[row][col],
+                        high.installed[row][col],
+                    ]));
+                    sum += f64::from(w) * f64::from(acts[col]);
+                }
+                sum as f32
+            })
+            .collect();
+        self.pending.push_back((cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY), MxmResult::Fp32(out)));
+    }
+
+    /// `ACC` one cycle's worth: pop the oldest pending result; either
+    /// overwrite or add to the standing accumulator at `ordinal`, returning
+    /// the updated accumulator value for emission onto streams.
+    ///
+    /// Returns `None` when no result is pending **or the oldest result is not
+    /// yet available at `cycle`** (both are scheduling bugs the chip simulator
+    /// reports as [`crate::SimError::AccumulatorEmpty`]).
+    pub fn accumulate(&mut self, cycle: u64, ordinal: usize, add: bool) -> Option<MxmResult> {
+        if self.pending.front().is_none_or(|(avail, _)| *avail > cycle) {
+            return None;
+        }
+        let (_, fresh) = self.pending.pop_front()?;
+        if self.acc.len() <= ordinal {
+            self.acc.resize(ordinal + 1, MxmResult::Int32(vec![0; LANES]));
+        }
+        let slot = &mut self.acc[ordinal];
+        if add {
+            match (slot, &fresh) {
+                (MxmResult::Int32(acc), MxmResult::Int32(new)) => {
+                    for (a, n) in acc.iter_mut().zip(new) {
+                        *a = a.wrapping_add(*n);
+                    }
+                }
+                (MxmResult::Fp32(acc), MxmResult::Fp32(new)) => {
+                    for (a, n) in acc.iter_mut().zip(new) {
+                        *a += *n;
+                    }
+                }
+                (slot, fresh) => {
+                    // Type change mid-accumulation: treat as overwrite.
+                    *slot = fresh.clone();
+                }
+            }
+        } else {
+            *slot = fresh;
+        }
+        Some(self.acc[ordinal].clone())
+    }
+
+    /// Number of results awaiting readout.
+    #[must_use]
+    pub fn pending_results(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+impl Default for MxmPlane {
+    fn default() -> MxmPlane {
+        MxmPlane::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn identity_weights(plane: &mut MxmPlane) {
+        for g in 0..20u8 {
+            let rows: Vec<Vector> = (0..16)
+                .map(|j| {
+                    let mut v = Vector::ZERO;
+                    v.set_lane(g as usize * 16 + j, 1);
+                    v
+                })
+                .collect();
+            plane.load_weight_rows(g, &rows);
+        }
+        plane.install(DataType::Int8);
+    }
+
+    #[test]
+    fn identity_matmul_returns_activation() {
+        let mut p = MxmPlane::new();
+        identity_weights(&mut p);
+        let act = Vector::from_fn(|i| (i as i32 % 256) as u8);
+        p.feed_activation_i8(0, &act);
+        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+            panic!("expected int32")
+        };
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i32::from(act.lane(i) as i8), "lane {i}");
+        }
+    }
+
+    #[test]
+    fn weights_apply_only_after_install() {
+        let mut p = MxmPlane::new();
+        // Stage weights but do not install.
+        let rows: Vec<Vector> = (0..16).map(|_| Vector::splat(1)).collect();
+        p.load_weight_rows(0, &rows);
+        p.feed_activation_i8(0, &Vector::splat(1));
+        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+            panic!()
+        };
+        assert!(out.iter().all(|&v| v == 0), "uninstalled weights leaked");
+    }
+
+    #[test]
+    fn dot_product_math() {
+        let mut p = MxmPlane::new();
+        // Row 0: all ones → output 0 = sum of activations.
+        let mut rows: Vec<Vector> = vec![Vector::splat(1)];
+        rows.extend((1..16).map(|_| Vector::ZERO));
+        p.load_weight_rows(0, &rows);
+        p.install(DataType::Int8);
+        let act = Vector::from_fn(|_| 2u8);
+        p.feed_activation_i8(0, &act);
+        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+            panic!()
+        };
+        assert_eq!(out[0], 640); // 320 × 1 × 2
+        assert_eq!(out[1], 0);
+    }
+
+    #[test]
+    fn negative_weights_and_activations() {
+        let mut p = MxmPlane::new();
+        let mut rows: Vec<Vector> = vec![Vector::splat((-3i8) as u8)];
+        rows.extend((1..16).map(|_| Vector::ZERO));
+        p.load_weight_rows(0, &rows);
+        p.install(DataType::Int8);
+        p.feed_activation_i8(0, &Vector::splat((-2i8) as u8));
+        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+            panic!()
+        };
+        assert_eq!(out[0], 320 * 6);
+    }
+
+    #[test]
+    fn k_split_accumulation() {
+        let mut p = MxmPlane::new();
+        let mut rows: Vec<Vector> = vec![Vector::splat(1)];
+        rows.extend((1..16).map(|_| Vector::ZERO));
+        p.load_weight_rows(0, &rows);
+        p.install(DataType::Int8);
+        // Pass 1: overwrite; pass 2: accumulate.
+        p.feed_activation_i8(0, &Vector::splat(1));
+        p.feed_activation_i8(0, &Vector::splat(2));
+        let MxmResult::Int32(first) = p.accumulate(1000, 0, false).unwrap() else {
+            panic!()
+        };
+        assert_eq!(first[0], 320);
+        let MxmResult::Int32(total) = p.accumulate(1000, 0, true).unwrap() else {
+            panic!()
+        };
+        assert_eq!(total[0], 320 + 640);
+    }
+
+    #[test]
+    fn acc_without_pending_is_none() {
+        let mut p = MxmPlane::new();
+        assert!(p.accumulate(1000, 0, false).is_none());
+    }
+
+    #[test]
+    fn acc_before_array_delay_is_none() {
+        let mut p = MxmPlane::new();
+        identity_weights(&mut p);
+        p.feed_activation_i8(100, &Vector::splat(1));
+        // Result is available only at 100 + MXM_ARRAY_DELAY.
+        assert!(p.accumulate(100 + 31, 0, false).is_none());
+        assert!(p.accumulate(100 + 32, 0, false).is_some());
+    }
+
+    #[test]
+    fn fp16_tandem_matmul() {
+        let mut lo = MxmPlane::new();
+        let mut hi = MxmPlane::new();
+        // Weight (0,0) = 1.5 in fp16: bits 0x3E00 → lo byte 0x00, hi byte 0x3E.
+        let bits = fp16::f32_to_f16(1.5);
+        let mut row_lo = Vector::ZERO;
+        let mut row_hi = Vector::ZERO;
+        row_lo.set_lane(0, (bits & 0xFF) as u8);
+        row_hi.set_lane(0, (bits >> 8) as u8);
+        let mut rows_lo = vec![row_lo];
+        rows_lo.extend((1..16).map(|_| Vector::ZERO));
+        let mut rows_hi = vec![row_hi];
+        rows_hi.extend((1..16).map(|_| Vector::ZERO));
+        lo.load_weight_rows(0, &rows_lo);
+        hi.load_weight_rows(0, &rows_hi);
+        lo.install(DataType::Fp16);
+        hi.install(DataType::Fp16);
+        // Activation lane 0 = 2.0.
+        let abits = fp16::f32_to_f16(2.0);
+        let mut act_lo = Vector::ZERO;
+        let mut act_hi = Vector::ZERO;
+        act_lo.set_lane(0, (abits & 0xFF) as u8);
+        act_hi.set_lane(0, (abits >> 8) as u8);
+        lo.feed_activation_fp16(0, &hi, &act_lo, &act_hi);
+        let MxmResult::Fp32(out) = lo.accumulate(1000, 0, false).unwrap() else {
+            panic!()
+        };
+        assert_eq!(out[0], 3.0);
+        assert_eq!(out[1], 0.0);
+    }
+}

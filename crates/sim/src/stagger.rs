@@ -1,0 +1,149 @@
+//! The tile-level stagger micro-model (paper §II-C, Fig. 6).
+//!
+//! A 320-element SIMD instruction is pipelined across the 20 tiles of its
+//! slice: issued to the bottom-most tile at the scheduled cycle, then
+//! propagated one tile northward per cycle, each tile handling one 16-element
+//! superlane. The top-level simulator folds this uniform skew into its timing
+//! model (it is value-invariant); this module makes it *explicit* so the
+//! paper's Fig. 6 — which superlane of which vector is where, when — can be
+//! regenerated and the fold verified.
+
+use tsp_arch::{Position, SUPERLANES};
+
+/// One cell of the stagger diagram: a tile doing work at a cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaggerCell {
+    /// Cycle (relative to the instruction's dispatch).
+    pub cycle: u64,
+    /// Tile index within the slice (0 = southern-most, 19 = northern-most).
+    pub tile: u8,
+    /// Which superlane's 16 elements the tile handles this cycle.
+    pub superlane: u8,
+    /// The position the superlane's data occupies on the stream path at this
+    /// cycle (moving `direction_east ? +1 : −1` per cycle as it flows).
+    pub position: Position,
+}
+
+/// Computes the full stagger table for an instruction dispatched at cycle 0
+/// on a slice at `origin`, with its output flowing east (`east = true`) or
+/// west. Row `r` of the result is tile `r`'s activation.
+///
+/// The table reproduces Fig. 6: a single 320-byte vector's 20 superlanes
+/// lag one another by one cycle, each born at the slice and then moving one
+/// stream-register hop per cycle.
+#[must_use]
+pub fn stagger_table(origin: Position, d_func: u32, east: bool, horizon: u64) -> Vec<StaggerCell> {
+    let mut cells = Vec::new();
+    for tile in 0..SUPERLANES as u8 {
+        // Tile `t` executes at dispatch + t (instruction flows northward).
+        let exec = u64::from(tile);
+        // Its superlane's output appears d_func later and then flows.
+        let born = exec + u64::from(d_func);
+        for cycle in born..=horizon {
+            let hops = (cycle - born) as i64;
+            let p = if east {
+                i64::from(origin.0) + hops
+            } else {
+                i64::from(origin.0) - hops
+            };
+            if !(0..i64::from(tsp_arch::NUM_POSITIONS)).contains(&p) {
+                break;
+            }
+            cells.push(StaggerCell {
+                cycle,
+                tile,
+                superlane: tile,
+                position: Position(p as u8),
+            });
+        }
+    }
+    cells
+}
+
+/// Renders the stagger table as the paper's Fig. 6-style text diagram:
+/// rows = tiles (north at top), columns = cycles, cells = stream position.
+#[must_use]
+pub fn render(cells: &[StaggerCell], horizon: u64) -> String {
+    let mut out = String::new();
+    out.push_str("tile\\cycle |");
+    for c in 0..=horizon {
+        out.push_str(&format!("{c:>4}"));
+    }
+    out.push('\n');
+    for tile in (0..SUPERLANES as u8).rev() {
+        out.push_str(&format!("   t{tile:02}     |"));
+        for c in 0..=horizon {
+            match cells.iter().find(|x| x.tile == tile && x.cycle == c) {
+                Some(cell) => out.push_str(&format!("{:>4}", format!("P{}", cell.position.0))),
+                None => out.push_str("   ."),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn successive_superlanes_lag_one_cycle() {
+        // Paper Fig. 6: "data for successive 16-element superlanes are
+        // lagging by 1 cycle".
+        let cells = stagger_table(Position(40), 5, true, 40);
+        let birth = |tile: u8| {
+            cells
+                .iter()
+                .filter(|c| c.tile == tile)
+                .map(|c| c.cycle)
+                .min()
+                .unwrap()
+        };
+        for t in 1..20u8 {
+            assert_eq!(birth(t), birth(t - 1) + 1, "tile {t}");
+        }
+    }
+
+    #[test]
+    fn data_moves_one_hop_per_cycle() {
+        let cells = stagger_table(Position(40), 5, true, 40);
+        let tile0: Vec<_> = cells.iter().filter(|c| c.tile == 0).collect();
+        for pair in tile0.windows(2) {
+            assert_eq!(pair[1].cycle, pair[0].cycle + 1);
+            assert_eq!(pair[1].position.0, pair[0].position.0 + 1);
+        }
+    }
+
+    #[test]
+    fn full_vector_completes_after_n_tiles() {
+        // The last superlane (tile 19) is born at dispatch + 19 + d_func,
+        // matching Eq. 4's `N` term.
+        let cells = stagger_table(Position(10), 3, true, 60);
+        let last_birth = cells
+            .iter()
+            .filter(|c| c.tile == 19)
+            .map(|c| c.cycle)
+            .min()
+            .unwrap();
+        assert_eq!(last_birth, 19 + 3);
+    }
+
+    #[test]
+    fn westward_flow_decrements_position() {
+        let cells = stagger_table(Position(40), 1, false, 10);
+        let first = cells.iter().find(|c| c.tile == 0 && c.cycle == 1).unwrap();
+        let next = cells.iter().find(|c| c.tile == 0 && c.cycle == 2).unwrap();
+        assert_eq!(first.position.0, 40);
+        assert_eq!(next.position.0, 39);
+    }
+
+    #[test]
+    fn render_produces_grid() {
+        let cells = stagger_table(Position(40), 1, true, 8);
+        let s = render(&cells, 8);
+        assert!(s.contains("t19"));
+        assert!(s.contains("t00"));
+        assert!(s.contains("P40"));
+    }
+}

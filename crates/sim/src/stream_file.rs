@@ -1,0 +1,272 @@
+//! The chip-wide streaming register file, in a *diagonal* representation.
+//!
+//! On every tick the hardware propagates each stream value one stream-register
+//! hop in its direction of flow (paper §V-c). For an eastward stream, a value
+//! written at position `p₀` on cycle `t₀` is therefore visible at position `p`
+//! exactly at cycle `t = t₀ + (p − p₀)`; the quantity `d = p − t` is invariant
+//! along its journey. We index stream contents by this diagonal:
+//!
+//! * eastward: `d = p − t` (as a signed integer);
+//! * westward: `d = p + t`.
+//!
+//! Each `(stream, diagonal)` holds a list of writes ordered by the position
+//! they were produced at. A consumer at `(p, t)` sees the value from the
+//! *latest producer at or before* (in flow order) its own position — exactly
+//! the paper's overwrite semantics, where a slice may intercept a stream and
+//! overwrite it for everyone downstream while upstream traffic is unaffected.
+//!
+//! The representation makes idle stream flow free: no per-cycle copying, yet
+//! reads/writes at any `(position, cycle)` are cycle-exact. A garbage sweep
+//! drops diagonals that have flowed off the chip edge.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use tsp_arch::{Direction, Position, StreamId, Vector, NUM_POSITIONS, SUPERLANES};
+
+/// A vector travelling on a stream, carrying its producer-generated ECC check
+/// bits alongside the data (paper §II-D).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StreamWord {
+    /// The 320 data bytes.
+    pub data: Vector,
+    /// 9 SECDED check bits per superlane word.
+    pub check: [u16; SUPERLANES],
+}
+
+impl StreamWord {
+    /// Protects fresh data with producer-side ECC.
+    #[must_use]
+    pub fn protect(data: Vector) -> StreamWord {
+        let mut check = [0u16; SUPERLANES];
+        for (s, c) in check.iter_mut().enumerate() {
+            let mut word = [0u8; 16];
+            word.copy_from_slice(data.superlane(s));
+            *c = tsp_mem::ecc::encode(&word);
+        }
+        StreamWord { data, check }
+    }
+}
+
+/// Key for one logical stream's storage.
+fn stream_key(s: StreamId) -> usize {
+    s.direction.index() * 32 + s.id as usize
+}
+
+/// Per-stream contents: diagonal → writes ordered by producing position.
+type Diagonals = BTreeMap<i64, Vec<(u8, Arc<StreamWord>)>>;
+
+/// The streaming register file for all 64 logical streams.
+#[derive(Debug, Clone, Default)]
+pub struct StreamFile {
+    streams: BTreeMap<usize, Diagonals>,
+}
+
+impl StreamFile {
+    /// Creates an empty stream file.
+    #[must_use]
+    pub fn new() -> StreamFile {
+        StreamFile::default()
+    }
+
+    fn diagonal(stream: StreamId, position: Position, cycle: u64) -> i64 {
+        match stream.direction {
+            Direction::East => i64::from(position.0) - cycle as i64,
+            Direction::West => i64::from(position.0) + cycle as i64,
+        }
+    }
+
+    /// Writes `word` onto `stream` at `(position, cycle)`: visible to
+    /// downstream consumers from the next hop onward (and at `position`
+    /// itself at exactly `cycle`).
+    pub fn write(
+        &mut self,
+        stream: StreamId,
+        position: Position,
+        cycle: u64,
+        word: Arc<StreamWord>,
+    ) {
+        let d = StreamFile::diagonal(stream, position, cycle);
+        let entry = self
+            .streams
+            .entry(stream_key(stream))
+            .or_default()
+            .entry(d)
+            .or_default();
+        // Keep entries sorted by flow order of the producing position.
+        let pos = position.0;
+        let ordinal = |p: u8| -> i16 {
+            match stream.direction {
+                Direction::East => i16::from(p),
+                Direction::West => -i16::from(p),
+            }
+        };
+        match entry.binary_search_by_key(&ordinal(pos), |(p, _)| ordinal(*p)) {
+            Ok(i) => entry[i] = (pos, word),
+            Err(i) => entry.insert(i, (pos, word)),
+        }
+    }
+
+    /// Reads `stream` at `(position, cycle)`: the value most recently written
+    /// on this diagonal at or upstream of `position`, or `None` if no value
+    /// occupies this slot of the stream.
+    #[must_use]
+    pub fn read(&self, stream: StreamId, position: Position, cycle: u64) -> Option<Arc<StreamWord>> {
+        let d = StreamFile::diagonal(stream, position, cycle);
+        let entry = self.streams.get(&stream_key(stream))?.get(&d)?;
+        // Latest producer whose position is at-or-upstream of `position`.
+        let mut best: Option<&Arc<StreamWord>> = None;
+        for (p, w) in entry {
+            let upstream = match stream.direction {
+                Direction::East => *p <= position.0,
+                Direction::West => *p >= position.0,
+            };
+            if upstream {
+                best = Some(w);
+            } else {
+                break;
+            }
+        }
+        best.cloned()
+    }
+
+    /// Drops diagonals whose values have flowed off the chip edge before
+    /// `cycle` (housekeeping; has no architectural effect).
+    pub fn sweep(&mut self, cycle: u64) {
+        let t = cycle as i64;
+        let max = i64::from(NUM_POSITIONS - 1);
+        for (key, diags) in &mut self.streams {
+            let east = *key < 32;
+            diags.retain(|&d, _| {
+                if east {
+                    // Visible positions are p = d + t; on-chip while d + t >= 0
+                    // and d + (birth..t) intersects [0, max]. The whole diagonal
+                    // is gone once d + t > max ... p grows with t, so expired
+                    // when even position `max` was passed: d > max - t means
+                    // not yet born is impossible (d = p - t <= max). Expired
+                    // when d + t > max  ⇔ value has exited east edge.
+                    d + t <= max
+                } else {
+                    // Westward: p = d - t; exits at p < 0 ⇔ d < t.
+                    d - t >= 0
+                }
+            });
+        }
+    }
+
+    /// Number of live diagonals across all streams (for tests and stats).
+    #[must_use]
+    pub fn live_values(&self) -> usize {
+        self.streams.values().map(|d| d.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word(tag: u8) -> Arc<StreamWord> {
+        Arc::new(StreamWord::protect(Vector::splat(tag)))
+    }
+
+    #[test]
+    fn value_flows_one_hop_per_cycle_east() {
+        let mut f = StreamFile::new();
+        let s = StreamId::east(3);
+        f.write(s, Position(10), 100, word(7));
+        // At the producing position, same cycle:
+        assert!(f.read(s, Position(10), 100).is_some());
+        // Five hops downstream, five cycles later:
+        assert_eq!(f.read(s, Position(15), 105).unwrap().data, Vector::splat(7));
+        // Wrong time: nothing there.
+        assert!(f.read(s, Position(15), 104).is_none());
+        assert!(f.read(s, Position(15), 106).is_none());
+        // Upstream of the producer: never visible.
+        assert!(f.read(s, Position(9), 99).is_none());
+    }
+
+    #[test]
+    fn value_flows_west() {
+        let mut f = StreamFile::new();
+        let s = StreamId::west(0);
+        f.write(s, Position(50), 10, word(9));
+        assert_eq!(f.read(s, Position(45), 15).unwrap().data, Vector::splat(9));
+        assert!(f.read(s, Position(55), 15).is_none());
+    }
+
+    #[test]
+    fn downstream_overwrite_shadows_for_downstream_only() {
+        let mut f = StreamFile::new();
+        let s = StreamId::east(1);
+        // Producer A at position 5, cycle 0.
+        f.write(s, Position(5), 0, word(1));
+        // Interceptor B overwrites the same flowing slot at position 20, cycle 15.
+        f.write(s, Position(20), 15, word(2));
+        // Between A and B: still A's value.
+        assert_eq!(f.read(s, Position(10), 5).unwrap().data, Vector::splat(1));
+        assert_eq!(f.read(s, Position(19), 14).unwrap().data, Vector::splat(1));
+        // At and after B: B's value.
+        assert_eq!(f.read(s, Position(20), 15).unwrap().data, Vector::splat(2));
+        assert_eq!(f.read(s, Position(30), 25).unwrap().data, Vector::splat(2));
+    }
+
+    #[test]
+    fn successive_cycles_are_independent_slots() {
+        let mut f = StreamFile::new();
+        let s = StreamId::east(0);
+        // A producer streams three vectors on consecutive cycles.
+        for (t, tag) in [(0u64, 10u8), (1, 11), (2, 12)] {
+            f.write(s, Position(2), t, word(tag));
+        }
+        // A consumer 8 hops downstream sees them on consecutive cycles.
+        for (t, tag) in [(8u64, 10u8), (9, 11), (10, 12)] {
+            assert_eq!(f.read(s, Position(10), t).unwrap().data, Vector::splat(tag));
+        }
+    }
+
+    #[test]
+    fn same_id_opposite_directions_are_distinct() {
+        let mut f = StreamFile::new();
+        f.write(StreamId::east(4), Position(46), 0, word(1));
+        f.write(StreamId::west(4), Position(46), 0, word(2));
+        assert_eq!(
+            f.read(StreamId::east(4), Position(47), 1).unwrap().data,
+            Vector::splat(1)
+        );
+        assert_eq!(
+            f.read(StreamId::west(4), Position(45), 1).unwrap().data,
+            Vector::splat(2)
+        );
+    }
+
+    #[test]
+    fn sweep_reclaims_expired_diagonals() {
+        let mut f = StreamFile::new();
+        f.write(StreamId::east(0), Position(90), 0, word(1)); // exits at cycle 3
+        f.write(StreamId::west(0), Position(2), 0, word(2)); // exits at cycle 3
+        f.write(StreamId::east(1), Position(0), 100, word(3)); // alive until cycle 192
+        assert_eq!(f.live_values(), 3);
+        f.sweep(50);
+        assert_eq!(f.live_values(), 1);
+    }
+
+    #[test]
+    fn ecc_travels_with_data() {
+        let mut f = StreamFile::new();
+        let s = StreamId::east(2);
+        let mut w = StreamWord::protect(Vector::splat(0x5A));
+        // Corrupt one bit in flight; consumer-side check must catch it.
+        let b = w.data.lane(0);
+        w.data.set_lane(0, b ^ 1);
+        f.write(s, Position(0), 0, Arc::new(w));
+        let got = f.read(s, Position(4), 4).unwrap();
+        let mut word0 = [0u8; 16];
+        word0.copy_from_slice(got.data.superlane(0));
+        let outcome = tsp_mem::ecc::check_and_correct(&mut word0, got.check[0]).unwrap();
+        assert!(matches!(
+            outcome,
+            tsp_mem::ecc::EccOutcome::Corrected { data_bit: Some(0) }
+        ));
+        assert_eq!(word0, [0x5A; 16]);
+    }
+}

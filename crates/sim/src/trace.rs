@@ -1,0 +1,121 @@
+//! Execution traces: per-instruction activity events consumed by the power
+//! model (`tsp-power`) and by schedule visualizations.
+
+/// What a functional unit did in one cycle — the granularity the activity-
+/// based power model needs (paper Fig. 10 is reproduced from these events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActivityKind {
+    /// A MEM slice drove a vector from SRAM onto a stream.
+    MemRead,
+    /// A MEM slice committed a stream vector into SRAM.
+    MemWrite,
+    /// A MEM slice performed an indirect gather cycle.
+    MemGather,
+    /// A MEM slice performed an indirect scatter cycle.
+    MemScatter,
+    /// One VXM ALU executed a point-wise op (transcendentals cost more).
+    VxmAlu {
+        /// Whether the op used the transcendental unit.
+        transcendental: bool,
+    },
+    /// An MXM plane latched 16 weight rows from streams.
+    MxmLoadWeights,
+    /// An MXM plane installed its weight buffer into the array.
+    MxmInstall,
+    /// An MXM plane ran one activation vector through 320×320 MACCs.
+    MxmMacc,
+    /// An MXM plane read one accumulator vector onto streams.
+    MxmAcc,
+    /// An SXM unit shifted/selected a vector.
+    SxmShift,
+    /// An SXM unit permuted or distributed a vector.
+    SxmPermute,
+    /// An SXM unit produced one rotation fan-out.
+    SxmRotate,
+    /// An SXM unit transposed a 16-stream block.
+    SxmTranspose,
+    /// A vector left on a C2C link.
+    C2cSend,
+    /// A vector arrived on a C2C link.
+    C2cReceive,
+    /// An ICU refilled its queue from a stream.
+    Ifetch,
+}
+
+/// One activity event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activity {
+    /// Cycle the work happened.
+    pub cycle: u64,
+    /// What happened.
+    pub kind: ActivityKind,
+    /// Active lanes (16 × powered superlanes) — scales dynamic energy under
+    /// the scalable-vector low-power mode (paper §II-F).
+    pub lanes: u16,
+}
+
+/// A recorded execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    enabled: bool,
+    events: Vec<Activity>,
+}
+
+impl Trace {
+    /// Creates a trace; events are only stored when `enabled`.
+    #[must_use]
+    pub fn new(enabled: bool) -> Trace {
+        Trace {
+            enabled,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether recording is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one event (no-op when disabled).
+    pub fn record(&mut self, cycle: u64, kind: ActivityKind, lanes: u16) {
+        if self.enabled {
+            self.events.push(Activity { cycle, kind, lanes });
+        }
+    }
+
+    /// All recorded events, in recording order (nondecreasing cycle within a
+    /// queue, globally merged by the event loop's time order).
+    #[must_use]
+    pub fn events(&self) -> &[Activity] {
+        &self.events
+    }
+
+    /// Number of events of a given kind.
+    #[must_use]
+    pub fn count(&self, kind: ActivityKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::new(false);
+        t.record(1, ActivityKind::MemRead, 320);
+        assert!(t.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_trace_records() {
+        let mut t = Trace::new(true);
+        t.record(1, ActivityKind::MemRead, 320);
+        t.record(2, ActivityKind::MxmMacc, 320);
+        t.record(3, ActivityKind::MxmMacc, 160);
+        assert_eq!(t.events().len(), 3);
+        assert_eq!(t.count(ActivityKind::MxmMacc), 2);
+    }
+}

@@ -1,0 +1,485 @@
+//! End-to-end chip execution tests with hand-scheduled programs.
+//!
+//! These exercise the full dispatch → stream → functional-unit → memory path
+//! and pin down the timing contract the compiler relies on (Eq. 4).
+
+use tsp_arch::{ChipConfig, Hemisphere, Slice, StreamGroup, StreamId, Vector};
+use tsp_isa::{
+    AluIndex, BinaryAluOp, DataType, IcuOp, MemAddr, MemOp, SxmOp, VxmOp,
+};
+use tsp_mem::GlobalAddress;
+use tsp_sim::chip::RunOptions;
+use tsp_sim::{Chip, IcuId, Program, SimError};
+
+fn mem_icu(h: Hemisphere, i: u8) -> IcuId {
+    IcuId::Mem {
+        hemisphere: h,
+        index: i,
+    }
+}
+
+fn vxm_icu(alu: u8) -> IcuId {
+    IcuId::Vxm {
+        alu: AluIndex::new(alu),
+    }
+}
+
+fn ga(h: Hemisphere, slice: u8, word: u16) -> GlobalAddress {
+    GlobalAddress::new(h, slice, MemAddr::new(word))
+}
+
+fn sg1(s: StreamId) -> StreamGroup {
+    StreamGroup::new(s, 1)
+}
+
+/// Transit hops from a MEM slice to the VXM (index + 1).
+fn hops_to_vxm(index: u8) -> u64 {
+    u64::from(index) + 1
+}
+
+/// The paper's Fig. 3 example: Z = X + Y as four instructions on streams.
+/// X in MEM_E4, Y in MEM_E5, Z to MEM_E6; operands flow west into the VXM,
+/// the sum flows east back out.
+#[test]
+fn streaming_vector_add_z_x_plus_y() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    let x = Vector::from_fn(|i| (i % 100) as u8);
+    let y = Vector::from_fn(|i| (i % 27) as u8);
+    chip.memory.write(ga(Hemisphere::East, 4, 0), x.clone());
+    chip.memory.write(ga(Hemisphere::East, 5, 0), y.clone());
+
+    let read_dfunc = 5u64;
+    let add_dfunc = 4u64;
+
+    // Arrange both operands to reach the VXM at the same cycle T.
+    let t_arrive = 1 + read_dfunc + hops_to_vxm(5); // slice 5 reads at t=1
+    let t4 = t_arrive - read_dfunc - hops_to_vxm(4); // slice 4 dispatches later
+
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 4)).push_at(
+        t4,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 5)).push_at(
+        1,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(1),
+        },
+    );
+    p.builder(vxm_icu(0)).push_at(
+        t_arrive,
+        VxmOp::Binary {
+            op: BinaryAluOp::AddSat,
+            dtype: DataType::Int8,
+            a: sg1(StreamId::west(0)),
+            b: sg1(StreamId::west(1)),
+            dst: sg1(StreamId::east(2)),
+            alu: AluIndex::new(0),
+        },
+    );
+    // Result appears on S2.E at the VXM at t_arrive + 4, reaching MEM_E6
+    // (7 hops east of the VXM) 7 cycles later.
+    let t_write = t_arrive + add_dfunc + hops_to_vxm(6);
+    p.builder(mem_icu(Hemisphere::East, 6)).push_at(
+        t_write,
+        MemOp::Write {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(2),
+        },
+    );
+
+    let report = chip.run(&p, &RunOptions::default()).expect("run");
+    let z = chip.memory.read_unchecked(ga(Hemisphere::East, 6, 0));
+    let expect = x.zip_map_i8(&y, i8::saturating_add);
+    assert_eq!(z, expect);
+    // Completion = write effect (t_write + 1) + 20-tile drain.
+    assert_eq!(report.cycles, t_write + 1 + 20);
+    assert_eq!(report.instructions, 4);
+}
+
+/// Consuming a stream slot one cycle off the scheduled time is an error, not
+/// a stall: the hardware has nothing to stall *with*.
+#[test]
+fn mistimed_consumer_faults() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    chip.memory
+        .write(ga(Hemisphere::East, 4, 0), Vector::splat(1));
+
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 4)).push(MemOp::Read {
+        addr: MemAddr::new(0),
+        stream: StreamId::west(0),
+    });
+    // Correct arrival at the VXM would be 0 + 5 + 5 = 10; dispatch at 11.
+    p.builder(vxm_icu(0)).push_at(
+        11,
+        VxmOp::Unary {
+            op: tsp_isa::UnaryAluOp::Mask,
+            dtype: DataType::Int8,
+            src: sg1(StreamId::west(0)),
+            dst: sg1(StreamId::east(1)),
+            alu: AluIndex::new(0),
+        },
+    );
+    let err = chip.run(&p, &RunOptions::default()).unwrap_err();
+    assert!(matches!(err, SimError::EmptyStreamRead { cycle: 11, .. }), "{err}");
+}
+
+/// A chip-wide barrier costs 35 cycles from Notify to Sync-retire
+/// (paper §III-A2).
+#[test]
+fn barrier_takes_35_cycles() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    chip.memory
+        .write(ga(Hemisphere::West, 0, 0), Vector::splat(9));
+
+    let mut p = Program::new();
+    // The synced queue reads immediately after the barrier releases it.
+    p.builder(mem_icu(Hemisphere::West, 0)).push(MemOp::Read {
+        addr: MemAddr::new(0),
+        stream: StreamId::east(0),
+    });
+    let p = p.with_start_barrier(IcuId::Host { port: 0 });
+
+    let report = chip.run(&p, &RunOptions::default()).expect("run");
+    // Notify at 0 → Sync retires at 35 → Read dispatches at 35, effect 40;
+    // completion = 40 + 20.
+    assert_eq!(report.cycles, 35 + 5 + 20);
+}
+
+/// Sync with no Notify anywhere deadlocks deterministically.
+#[test]
+fn sync_without_notify_is_deadlock() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::West, 0)).push(IcuOp::Sync);
+    let err = chip.run(&p, &RunOptions::default()).unwrap_err();
+    assert!(matches!(err, SimError::Deadlock { parked: 1 }));
+}
+
+/// `Read; Repeat n,1` streams a contiguous region one vector per cycle with
+/// auto-incrementing addresses.
+#[test]
+fn repeat_streams_consecutive_addresses() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    for w in 0..4u16 {
+        chip.memory.write(
+            ga(Hemisphere::East, 0, w),
+            Vector::splat(10 + w as u8),
+        );
+    }
+    let mut p = Program::new();
+    {
+        let mut b = p.builder(mem_icu(Hemisphere::East, 0));
+        b.push(MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(0),
+        });
+        b.push(IcuOp::Repeat { n: 3, d: 0 });
+    }
+    // Four vectors arrive at the VXM (1 hop) on cycles 6,7,8,9; four writes
+    // back east into MEM_E1 via VXM mask.
+    for (i, t) in (6u64..10).enumerate() {
+        p.builder(vxm_icu(i as u8)).push_at(
+            t,
+            VxmOp::Unary {
+                op: tsp_isa::UnaryAluOp::Mask,
+                dtype: DataType::Int8,
+                src: sg1(StreamId::west(0)),
+                dst: sg1(StreamId::east(i as u8)),
+                alu: AluIndex::new(i as u8),
+            },
+        );
+    }
+    for i in 0..4u64 {
+        // mask d_func = 4; VXM at 46 → MEM_E1 at 48 = 2 hops.
+        let t_write = (6 + i) + 4 + 2;
+        p.builder(mem_icu(Hemisphere::East, 1)).push_at(
+            t_write,
+            MemOp::Write {
+                addr: MemAddr::new(i as u16),
+                stream: StreamId::east(i as u8),
+            },
+        );
+    }
+    chip.run(&p, &RunOptions::default()).expect("run");
+    for w in 0..4u16 {
+        assert_eq!(
+            chip.memory.read_unchecked(ga(Hemisphere::East, 1, w)),
+            Vector::splat(10 + w as u8),
+            "word {w}"
+        );
+    }
+}
+
+/// Gather assembles per-superlane words via a stream-carried address map.
+#[test]
+fn gather_indirect_read() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    // Data words 0..8 hold distinct fill values in MEM_W3.
+    for w in 0..8u16 {
+        chip.memory
+            .write(ga(Hemisphere::West, 3, 100 + w), Vector::splat(w as u8 + 1));
+    }
+    // Address map: superlane s reads word 100 + (s % 8); stored in MEM_W5.
+    let mut map = Vector::ZERO;
+    for s in 0..20usize {
+        let a = (100 + (s % 8) as u16).to_le_bytes();
+        map.set_lane(2 * s, a[0]);
+        map.set_lane(2 * s + 1, a[1]);
+    }
+    chip.memory.write(ga(Hemisphere::West, 5, 0), map);
+
+    let mut p = Program::new();
+    // MEM_W5 (pos 40) sends the map east; MEM_W3 (pos 42) gathers with it.
+    p.builder(mem_icu(Hemisphere::West, 5)).push(MemOp::Read {
+        addr: MemAddr::new(0),
+        stream: StreamId::east(7),
+    });
+    // Map value at pos 40 at cycle 5 → at pos 42 (MEM_W3) at cycle 7.
+    p.builder(mem_icu(Hemisphere::West, 3)).push_at(
+        7,
+        MemOp::Gather {
+            stream: StreamId::east(8),
+            map: StreamId::east(7),
+        },
+    );
+    // Gathered vector appears at pos 42 at 7 + 7 = 14; VXM (46) at 18; write
+    // via mask into MEM_E0 (47): 18 + 4 + 1 = 23.
+    p.builder(vxm_icu(0)).push_at(
+        18,
+        VxmOp::Unary {
+            op: tsp_isa::UnaryAluOp::Mask,
+            dtype: DataType::Int8,
+            src: sg1(StreamId::east(8)),
+            dst: sg1(StreamId::east(9)),
+            alu: AluIndex::new(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 0)).push_at(
+        23,
+        MemOp::Write {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(9),
+        },
+    );
+    chip.run(&p, &RunOptions::default()).expect("run");
+    let got = chip.memory.read_unchecked(ga(Hemisphere::East, 0, 0));
+    for s in 0..20usize {
+        let expect = (s % 8) as u8 + 1;
+        assert!(
+            got.superlane(s).iter().all(|&b| b == expect),
+            "superlane {s}: {:?}",
+            got.superlane(s)
+        );
+    }
+}
+
+/// SXM shift: a vector detours through the switch and comes back shifted.
+#[test]
+fn sxm_shift_roundtrip() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    chip.memory
+        .write(ga(Hemisphere::East, 10, 0), Vector::from_fn(|i| i as u8));
+
+    let sxm_pos = Slice::Sxm(Hemisphere::East).position().0 as u64; // 91
+    let mem10_pos = Slice::mem(Hemisphere::East, 10).position().0 as u64; // 57
+
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 10)).push(MemOp::Read {
+        addr: MemAddr::new(0),
+        stream: StreamId::east(0),
+    });
+    let t_sxm = 5 + (sxm_pos - mem10_pos); // arrival at the SXM
+    p.builder(IcuId::Sxm {
+        hemisphere: Hemisphere::East,
+        unit: 0,
+    })
+    .push_at(
+        t_sxm,
+        SxmOp::ShiftUp {
+            n: 16,
+            src: StreamId::east(0),
+            dst: StreamId::west(1),
+        },
+    );
+    // Shifted vector flows west; write it at MEM_E20 (pos 67).
+    let mem20_pos = Slice::mem(Hemisphere::East, 20).position().0 as u64;
+    let t_write = t_sxm + 3 + (sxm_pos - mem20_pos);
+    p.builder(mem_icu(Hemisphere::East, 20)).push_at(
+        t_write,
+        MemOp::Write {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(1),
+        },
+    );
+    chip.run(&p, &RunOptions::default()).expect("run");
+    let got = chip.memory.read_unchecked(ga(Hemisphere::East, 20, 0));
+    assert_eq!(got.lane(0), 16);
+    assert_eq!(got.lane(303), (319 % 256) as u8); // lane 303 reads input lane 319
+    assert_eq!(got.lane(304), 0); // zero-filled tail
+}
+
+/// The same program produces bit-identical state and cycle counts on every
+/// run — the paper's determinism claim (§IV-F).
+#[test]
+fn runs_are_bit_identical() {
+    let build = || {
+        let mut chip = Chip::new(ChipConfig::asic());
+        chip.memory
+            .write(ga(Hemisphere::East, 4, 0), Vector::from_fn(|i| i as u8));
+        chip.memory
+            .write(ga(Hemisphere::East, 5, 0), Vector::from_fn(|i| (i * 7) as u8));
+        chip
+    };
+    let program = {
+        let mut p = Program::new();
+        p.builder(mem_icu(Hemisphere::East, 4)).push_at(
+            1,
+            MemOp::Read {
+                addr: MemAddr::new(0),
+                stream: StreamId::west(0),
+            },
+        );
+        p.builder(mem_icu(Hemisphere::East, 5)).push(MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(1),
+        });
+        p.builder(vxm_icu(0)).push_at(
+            11,
+            VxmOp::Binary {
+                op: BinaryAluOp::MulMod,
+                dtype: DataType::Int8,
+                a: sg1(StreamId::west(0)),
+                b: sg1(StreamId::west(1)),
+                dst: sg1(StreamId::east(2)),
+                alu: AluIndex::new(0),
+            },
+        );
+        p.builder(mem_icu(Hemisphere::East, 6)).push_at(
+            22,
+            MemOp::Write {
+                addr: MemAddr::new(7),
+                stream: StreamId::east(2),
+            },
+        );
+        p
+    };
+    let mut reference: Option<(u64, Vector)> = None;
+    for _ in 0..10 {
+        let mut chip = build();
+        let report = chip.run(&program, &RunOptions::default()).expect("run");
+        let z = chip.memory.read_unchecked(ga(Hemisphere::East, 6, 7));
+        match &reference {
+            None => reference = Some((report.cycles, z)),
+            Some((c, v)) => {
+                assert_eq!(report.cycles, *c);
+                assert_eq!(&z, v);
+            }
+        }
+    }
+}
+
+/// An injected single-bit SRAM fault is corrected by the consumer's ECC check
+/// and logged in the CSR; the result is unaffected.
+#[test]
+fn stream_ecc_corrects_sram_fault() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    chip.memory
+        .write(ga(Hemisphere::East, 4, 0), Vector::splat(0x40));
+    chip.memory
+        .slice_mut(Hemisphere::East, 4)
+        .inject_fault(MemAddr::new(0), 33, 2);
+
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 4)).push(MemOp::Read {
+        addr: MemAddr::new(0),
+        stream: StreamId::west(0),
+    });
+    p.builder(vxm_icu(0)).push_at(
+        10,
+        VxmOp::Unary {
+            op: tsp_isa::UnaryAluOp::Mask,
+            dtype: DataType::Int8,
+            src: sg1(StreamId::west(0)),
+            dst: sg1(StreamId::east(1)),
+            alu: AluIndex::new(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 2)).push_at(
+        10 + 4 + 3,
+        MemOp::Write {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(1),
+        },
+    );
+    let report = chip.run(&p, &RunOptions::default()).expect("run");
+    assert_eq!(report.ecc_corrected, 1);
+    assert_eq!(
+        chip.memory.read_unchecked(ga(Hemisphere::East, 2, 0)),
+        Vector::splat(0x40)
+    );
+}
+
+/// Ifetch pulls encoded instruction text from a stream into the queue and the
+/// fetched instructions then execute.
+#[test]
+fn ifetch_extends_queue() {
+    let mut chip = Chip::new(ChipConfig::asic());
+    chip.memory
+        .write(ga(Hemisphere::East, 4, 5), Vector::splat(0x11));
+
+    // Encode "Read 0x0005, S3.W" and park it in an instruction-dispatch
+    // slice (MEM_E9), padded to the 640-byte fetch window.
+    let fetched: tsp_isa::Instruction = MemOp::Read {
+        addr: MemAddr::new(5),
+        stream: StreamId::west(3),
+    }
+    .into();
+    let mut text = fetched.encode();
+    text.resize(640, tsp_isa::encode::FETCH_PAD);
+    chip.memory.write(
+        ga(Hemisphere::East, 9, 0),
+        Vector::from_slice(&text[..320]),
+    );
+    chip.memory.write(
+        ga(Hemisphere::East, 9, 1),
+        Vector::from_slice(&text[320..]),
+    );
+
+    let mut p = Program::new();
+    // MEM_E9 (pos 56) streams the two text vectors west toward MEM_E4 (pos 51).
+    {
+        let mut b = p.builder(mem_icu(Hemisphere::East, 9));
+        b.push(MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(30),
+        });
+        b.push(MemOp::Read {
+            addr: MemAddr::new(1),
+            stream: StreamId::west(30),
+        });
+    }
+    // Text vector 0 arrives at MEM_E4 at 0+5+5 = 10; Ifetch reads 10 and 11.
+    {
+        let mut b = p.builder(mem_icu(Hemisphere::East, 4));
+        b.push_at(
+            10,
+            IcuOp::Ifetch {
+                stream: StreamId::west(30),
+            },
+        );
+    }
+    let report = chip.run(&p, &RunOptions::default()).expect("run");
+    // The fetched Read executed: its vector went west on S3 (it falls off the
+    // chip edge, but the dispatch is counted and fetch bandwidth recorded).
+    assert_eq!(report.instructions, 2 + 1 + 1); // two text reads + Ifetch + fetched Read
+    assert_eq!(
+        report.bandwidth.total(tsp_mem::bandwidth::Traffic::InstructionFetch),
+        640
+    );
+}

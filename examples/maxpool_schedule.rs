@@ -1,0 +1,37 @@
+//! Regenerates the paper's Fig. 11: the instruction schedule of a 3x3 max
+//! pool, showing reads, the chained VXM max tree and the writes interleaving
+//! across queues at one output row per cycle.
+//!
+//! Run with: `cargo run -p tsp --example maxpool_schedule`
+
+use tsp::compiler::kernels::conv::alloc_feature_map;
+use tsp::compiler::kernels::{max_pool, MaxPoolParams};
+use tsp::compiler::viz;
+use tsp::prelude::*;
+
+fn main() {
+    let mut sched = Scheduler::new();
+    // A small feature map so the listing stays readable: 8x8, 16 channels,
+    // 9 replicas so all nine window offsets stream concurrently.
+    let input = alloc_feature_map(&mut sched, 8, 8, 16, 1, Hemisphere::East, 9);
+    let params = MaxPoolParams {
+        kernel: 3,
+        stride: 2,
+        pad: 1,
+        out_pad: 0,
+        out_hemisphere: Hemisphere::West,
+        out_replicas: 1,
+        not_before: 0,
+    };
+    let (out, done) = max_pool(&mut sched, &input, &params);
+    let program = sched.into_program().expect("consistent schedule");
+
+    println!("3x3/2 max pool of 8x8x16 -> {}x{}x{} in {done} cycles", out.h, out.w, out.c);
+    println!();
+    println!("=== instruction listing (paper Fig. 11 equivalent) ===");
+    print!("{}", viz::render_listing(&program, 0, 40));
+    println!("...");
+    println!();
+    println!("=== queue occupancy (one column = 4 cycles) ===");
+    print!("{}", viz::render_gantt(&program, 0, done + 20, 4));
+}

@@ -1,0 +1,112 @@
+//! Two TSPs cooperating over a C2C link (paper §II item 6): chip 0 computes
+//! a ReLU over a tensor and streams the result off-chip; chip 1 receives the
+//! vectors and commits them to its own memory.
+//!
+//! Run with: `cargo run -p tsp --example multi_chip`
+
+use tsp::c2c::{Fabric, Wire};
+use tsp::isa::{C2cOp, LinkId, MemAddr, MemOp};
+use tsp::prelude::*;
+use tsp::sim::IcuId;
+
+fn main() {
+    let mut fabric = Fabric::new();
+    let c0 = fabric.add_chip(Chip::new(ChipConfig::asic()));
+    let c1 = fabric.add_chip(Chip::new(ChipConfig::asic()));
+    fabric.connect(Wire {
+        from_chip: c0,
+        from_link: LinkId::new(0),
+        to_chip: c1,
+        to_link: LinkId::new(0),
+        latency: 21, // 320 B at 4x30 Gb/s against a 1 GHz core clock
+    });
+
+    // Chip 0: ReLU a tensor, then Send each row from the east edge.
+    let mut sched = Scheduler::new();
+    let n = 4u32;
+    let x = sched
+        .alloc
+        .alloc_in(Some(Hemisphere::West), n, 320, BankPolicy::Low, 4096)
+        .expect("alloc");
+    let (y, done) = unary_ew(
+        &mut sched,
+        UnaryAluOp::Relu,
+        &x,
+        Hemisphere::East,
+        BankPolicy::High,
+        0,
+    );
+    // Stream the result rows to the east edge and transmit.
+    let edge = tsp::arch::Slice::Mxm(Hemisphere::East).position();
+    let rows: Vec<u32> = (0..n).collect();
+    let t0 = sched.earliest_read_arrival(&y, &rows, Direction::East, edge, done + 8);
+    sched.read_rows(&y, &rows, StreamId::east(9), edge, t0);
+    for i in 0..u64::from(n) {
+        sched.place(
+            IcuId::C2c { port: 1 },
+            t0 + i,
+            C2cOp::Send {
+                link: LinkId::new(0),
+                stream: StreamId::east(9),
+            },
+        );
+    }
+    let p0 = sched.into_program().expect("chip 0 schedule");
+
+    // Chip 1: Receive the rows and write them to MEM_E20.
+    let mut p1 = Program::new();
+    let t_recv = t0 + 4 + 21 + 46; // deterministic arrival + margin
+    for i in 0..u64::from(n) {
+        p1.builder(IcuId::C2c { port: 1 }).push_at(
+            t_recv + i,
+            C2cOp::Receive {
+                link: LinkId::new(0),
+                stream: StreamId::west(7),
+            },
+        );
+    }
+    let edge_pos = tsp::arch::Slice::Mxm(Hemisphere::East).position();
+    let mem20 = tsp::arch::Slice::mem(Hemisphere::East, 20).position();
+    let hops = u64::from(edge_pos.0 - mem20.0);
+    for i in 0..u64::from(n) {
+        p1.builder(IcuId::Mem {
+            hemisphere: Hemisphere::East,
+            index: 20,
+        })
+        .push_at(
+            t_recv + i + 2 + hops,
+            MemOp::Write {
+                addr: MemAddr::new(i as u16),
+                stream: StreamId::west(7),
+            },
+        );
+    }
+
+    // Load chip 0's input: a ramp crossing zero so the ReLU is visible.
+    for r in 0..n {
+        fabric
+            .chip_mut(c0)
+            .memory
+            .write(x.row(r), Vector::splat((r as i32 * 40 - 60) as i8 as u8));
+    }
+
+    let report = fabric
+        .run(&[p0, p1], &RunOptions::default())
+        .expect("fabric runs");
+    println!(
+        "chip0 finished at cycle {}, chip1 at cycle {}",
+        report.reports[0].cycles, report.reports[1].cycles
+    );
+    for r in 0..n {
+        let got = fabric.chip(c1).memory.read_unchecked(
+            tsp::mem::GlobalAddress::new(Hemisphere::East, 20, MemAddr::new(r as u16)),
+        );
+        let input = (r as i32 * 40 - 60) as i8;
+        println!(
+            "row {r}: sent relu({input:4}) -> received {:4}",
+            got.lane(0) as i8
+        );
+        assert_eq!(got.lane(0) as i8, input.max(0));
+    }
+    println!("3.84 Tb/s of pin bandwidth available per chip; this demo used one x4 link.");
+}

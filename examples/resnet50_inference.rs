@@ -1,0 +1,72 @@
+//! ResNet-50 batch-1 inference on the simulated TSP — the paper's headline
+//! workload (§IV/§V). Compiles the network, emplaces quantized weights via
+//! the host-DMA path, runs one image and reports latency and throughput.
+//!
+//! By default the run is timing-mode (cycle counts are data-independent on
+//! deterministic hardware); pass `--functional` to also compute real values
+//! (several minutes in debug builds).
+//!
+//! Run with: `cargo run --release -p tsp --example resnet50_inference`
+
+use tsp::nn::compile::{compile, CompileOptions};
+use tsp::nn::data::synthetic;
+use tsp::nn::quant::quantize;
+use tsp::nn::resnet::{resnet, Widths};
+use tsp::prelude::*;
+
+fn main() {
+    let functional = std::env::args().any(|a| a == "--functional");
+
+    println!("building ResNet-50 (224x224x3, 1000 classes)...");
+    let (graph, params) = resnet(50, 224, 1000, &Widths::standard(), 7);
+    let data = synthetic(3, 224, 224, 3, 2, 1);
+    let q = quantize(&graph, &params, &data.images[..1]);
+
+    println!("compiling to a TSP program...");
+    let model = compile(&q, &CompileOptions::default());
+    println!(
+        "  {} instructions, predicted {} cycles",
+        model.program.len(),
+        model.cycles
+    );
+
+    let mut chip = Chip::new(ChipConfig::asic());
+    model.load_constants(&mut chip);
+    let image_q = q.quantize_image(&data.images[0]);
+    model.write_input(&mut chip, &image_q);
+
+    println!("running (functional = {functional})...");
+    let report = chip
+        .run(
+            &model.program,
+            &RunOptions {
+                functional,
+                ..RunOptions::default()
+            },
+        )
+        .expect("clean run");
+
+    let us = report.cycles as f64 / 900e6 * 1e6;
+    println!();
+    println!("batch-1 inference: {} cycles = {us:.1} us @ 900 MHz", report.cycles);
+    println!("throughput: {:.0} IPS  (paper: 20.4K IPS, < 49 us)", 900e6 / report.cycles as f64);
+    println!("instructions dispatched: {}", report.instructions);
+    if functional {
+        let logits = model.read_logits(&chip);
+        let best = logits
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &v)| v)
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        println!("argmax class: {best}");
+    }
+
+    println!();
+    println!("slowest layers:");
+    let mut spans: Vec<_> = model.layer_spans.iter().collect();
+    spans.sort_by_key(|s| std::cmp::Reverse(s.end - s.start));
+    for s in spans.iter().take(8) {
+        println!("  {:12} {:>8} cycles", s.name, s.end - s.start);
+    }
+}

@@ -1,0 +1,46 @@
+//! The paper's determinism thesis (§IV-F), cross-crate: a compiled model's
+//! cycle count and outputs are bit-identical across repeated runs, while the
+//! conventional cache-based baseline jitters run to run.
+
+use tsp::baseline::CacheyCore;
+use tsp::nn::compile::{compile, CompileOptions};
+use tsp::nn::data::synthetic;
+use tsp::nn::quant::quantize;
+use tsp::nn::train::small_cnn;
+use tsp::prelude::*;
+
+#[test]
+fn tsp_is_cycle_identical_where_the_cachey_core_jitters() {
+    // TSP side: 5 runs, one (cycles, logits) fingerprint.
+    let data = synthetic(11, 12, 12, 2, 4, 4);
+    let (g, params) = small_cnn(12, 16, 4, 5);
+    let q = quantize(&g, &params, &data.images[..4]);
+    let model = compile(&q, &CompileOptions::default());
+    let qi = q.quantize_image(&data.images[0]);
+
+    let mut fingerprints = Vec::new();
+    for _ in 0..5 {
+        let mut chip = Chip::new(ChipConfig::asic());
+        model.load_constants(&mut chip);
+        model.write_input(&mut chip, &qi);
+        let report = chip.run(&model.program, &RunOptions::default()).unwrap();
+        fingerprints.push((report.cycles, model.read_logits(&chip)));
+    }
+    assert!(
+        fingerprints.windows(2).all(|w| w[0] == w[1]),
+        "TSP runs diverged: {:?}",
+        fingerprints.iter().map(|f| f.0).collect::<Vec<_>>()
+    );
+
+    // Baseline side: the same workload shape on a cache-based core, where
+    // each "run" inherits different cache state.
+    let runs: Vec<u64> = (0..5)
+        .map(|seed| CacheyCore::new(1024, 64, seed).vector_add(20_000, 0, 1 << 20, 2 << 20))
+        .collect();
+    let min = *runs.iter().min().unwrap();
+    let max = *runs.iter().max().unwrap();
+    assert!(
+        max > min,
+        "the cache-based contrast should jitter: {runs:?}"
+    );
+}

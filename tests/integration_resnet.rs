@@ -1,0 +1,35 @@
+//! Cross-crate integration: a small trained CNN quantized, compiled,
+//! simulated — bit-exact against the host int8 reference (the repository's
+//! headline correctness property, exercised at workspace scope).
+
+use tsp::nn::compile::{compile, CompileOptions};
+use tsp::nn::data::synthetic;
+use tsp::nn::quant::quantize;
+use tsp::nn::reference::{final_flat_q, run_int8};
+use tsp::nn::train::{small_cnn, train_head};
+use tsp::prelude::*;
+
+#[test]
+fn trained_cnn_is_bit_exact_on_the_simulator() {
+    let data = synthetic(11, 12, 12, 2, 4, 6);
+    let (g, mut params) = small_cnn(12, 20, 4, 5);
+    train_head(&g, &mut params, &data, 25, 0.5);
+    let q = quantize(&g, &params, &data.images[..6]);
+    let model = compile(&q, &CompileOptions::default());
+
+    let mut agree = 0;
+    for img in data.images.iter().take(2) {
+        let qi = q.quantize_image(img);
+        let expect = run_int8(&q, &qi);
+        let expect = final_flat_q(&expect);
+
+        let mut chip = Chip::new(ChipConfig::asic());
+        model.load_constants(&mut chip);
+        model.write_input(&mut chip, &qi);
+        chip.run(&model.program, &RunOptions::default()).expect("clean run");
+        let got = model.read_logits(&chip);
+        assert_eq!(&got[..expect.len()], expect);
+        agree += 1;
+    }
+    assert_eq!(agree, 2);
+}

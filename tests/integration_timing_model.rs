@@ -1,0 +1,69 @@
+//! Eq. 4 cross-check (DESIGN.md §5.3): for randomized producer/consumer
+//! placements, the compiler-predicted arrival cycle is exactly when the
+//! simulator lets a consumer read the value — one cycle early or late is a
+//! fault.
+
+use tsp::arch::{transit_delay, ChipConfig, Direction, Hemisphere, Slice, StreamGroup, StreamId, Vector};
+use tsp::isa::{AluIndex, DataType, MemAddr, MemOp, UnaryAluOp, VxmOp};
+use tsp::mem::GlobalAddress;
+use tsp::sim::{chip::RunOptions, Chip, IcuId, Program, SimError};
+
+fn build(slice_index: u8, hemisphere: Hemisphere, offset: i64) -> (Chip, Program) {
+    let mut chip = Chip::new(ChipConfig::asic());
+    chip.memory.write(
+        GlobalAddress::new(hemisphere, slice_index, MemAddr::new(0)),
+        Vector::splat(1),
+    );
+    let producer = Slice::mem(hemisphere, slice_index).position();
+    let consumer = Slice::Vxm.position();
+    let dir = Direction::inward_from(hemisphere);
+    // Eq. 4 pieces: d_func(Read) = 5, transit = |positions|.
+    let predicted = 5 + u64::from(transit_delay(producer, consumer));
+    let dispatch = (predicted as i64 + offset) as u64;
+
+    let mut p = Program::new();
+    p.builder(IcuId::Mem {
+        hemisphere,
+        index: slice_index,
+    })
+    .push(MemOp::Read {
+        addr: MemAddr::new(0),
+        stream: StreamId::new(7, dir),
+    });
+    p.builder(IcuId::Vxm {
+        alu: AluIndex::new(0),
+    })
+    .push_at(
+        dispatch,
+        VxmOp::Unary {
+            op: UnaryAluOp::Mask,
+            dtype: DataType::Int8,
+            src: StreamGroup::new(StreamId::new(7, dir), 1),
+            dst: StreamGroup::new(StreamId::new(8, dir), 1),
+            alu: AluIndex::new(0),
+        },
+    );
+    (chip, p)
+}
+
+#[test]
+fn predicted_arrival_is_exact_for_every_slice() {
+    for hemisphere in [Hemisphere::East, Hemisphere::West] {
+        for slice_index in [0u8, 1, 7, 20, 43] {
+            // Exactly on time: runs clean.
+            let (mut chip, p) = build(slice_index, hemisphere, 0);
+            chip.run(&p, &RunOptions::default())
+                .unwrap_or_else(|e| panic!("{hemisphere:?} slice {slice_index}: {e}"));
+
+            // One cycle early: the value has not arrived.
+            let (mut chip, p) = build(slice_index, hemisphere, -1);
+            let err = chip.run(&p, &RunOptions::default()).unwrap_err();
+            assert!(matches!(err, SimError::EmptyStreamRead { .. }));
+
+            // One cycle late: the slot has moved past.
+            let (mut chip, p) = build(slice_index, hemisphere, 1);
+            let err = chip.run(&p, &RunOptions::default()).unwrap_err();
+            assert!(matches!(err, SimError::EmptyStreamRead { .. }));
+        }
+    }
+}
