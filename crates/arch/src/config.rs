@@ -108,7 +108,10 @@ impl ChipConfig {
     /// multiply-accumulate counts as two ops): `4 planes × 320 × 320 × 2`.
     #[must_use]
     pub fn peak_int8_ops(&self) -> f64 {
-        MXM_PLANES as f64 * (LANES * LANES) as f64 * 2.0 * self.clock_hz
+        MXM_PLANES as f64
+            * (LANES * LANES) as f64
+            * 2.0
+            * self.clock_hz
             * (self.superlanes_enabled as f64 / SUPERLANES as f64)
     }
 

@@ -337,7 +337,10 @@ mod tests {
     #[test]
     fn display_forms() {
         assert_eq!(StreamId::east(28).to_string(), "S28.E");
-        assert_eq!(StreamGroup::sg4(0, Direction::West).to_string(), "SG4[0-3].W");
+        assert_eq!(
+            StreamGroup::sg4(0, Direction::West).to_string(),
+            "SG4[0-3].W"
+        );
     }
 }
 

@@ -83,9 +83,7 @@ mod tests {
     #[test]
     fn different_run_seeds_give_different_latencies() {
         let runs: Vec<u64> = (0..8)
-            .map(|seed| {
-                CacheyCore::new(512, 64, seed).vector_add(10_000, 0, 1 << 20, 2 << 20)
-            })
+            .map(|seed| CacheyCore::new(512, 64, seed).vector_add(10_000, 0, 1 << 20, 2 << 20))
             .collect();
         let min = *runs.iter().min().unwrap();
         let max = *runs.iter().max().unwrap();

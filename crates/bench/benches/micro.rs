@@ -38,7 +38,8 @@ fn bench_mxm(c: &mut Criterion) {
         b.iter(|| {
             plane.feed_activation_i8(t, &act);
             t += 1;
-            std::hint::black_box(plane.accumulate(t + 64, 0, false))
+            // `accumulate` hands back a borrow of the pooled result row.
+            std::hint::black_box(plane.accumulate(t + 64, 0, false).is_some())
         });
     });
     g.finish();
@@ -86,8 +87,82 @@ fn bench_sim_rate(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_vector_add_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    // The Fig. 3 stream program (Z = X + Y over 1000 vectors), compiled once
+    // and simulated per iteration — the whole Chip::run path including chip
+    // construction, exactly what the bench bins pay per experiment point.
+    let mut sched = Scheduler::new();
+    let x = sched
+        .alloc
+        .alloc_in(Some(Hemisphere::East), 1000, 320, BankPolicy::Low, 4096)
+        .unwrap();
+    let y = sched
+        .alloc
+        .alloc_in(Some(Hemisphere::West), 1000, 320, BankPolicy::Low, 4096)
+        .unwrap();
+    let _ = binary_ew(
+        &mut sched,
+        BinaryAluOp::AddSat,
+        &x,
+        &y,
+        Hemisphere::East,
+        BankPolicy::High,
+        0,
+    );
+    let program = sched.into_program().unwrap();
+    let cycles = {
+        let mut chip = Chip::new(ChipConfig::asic());
+        chip.run(&program, &RunOptions::default()).unwrap().cycles
+    };
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("vector_add_1000_rows_functional", |b| {
+        b.iter(|| {
+            let mut chip = Chip::new(ChipConfig::asic());
+            std::hint::black_box(chip.run(&program, &RunOptions::default()).unwrap().cycles)
+        })
+    });
+    g.bench_function("vector_add_1000_rows_timing", |b| {
+        let options = RunOptions {
+            functional: false,
+            ..RunOptions::default()
+        };
+        b.iter(|| {
+            let mut chip = Chip::new(ChipConfig::asic());
+            std::hint::black_box(chip.run(&program, &options).unwrap().cycles)
+        })
+    });
+    g.finish();
+}
+
 fn bench_compile(c: &mut Criterion) {
     let mut g = c.benchmark_group("compiler");
+    // Report the scheduling *rate*: instructions placed per second.
+    let instructions = {
+        let mut sched = Scheduler::new();
+        let input = tsp::compiler::kernels::conv::alloc_feature_map(
+            &mut sched,
+            14,
+            14,
+            64,
+            1,
+            Hemisphere::East,
+            4,
+        );
+        let w = vec![vec![vec![vec![1i8; 3]; 3]; 64]; 64];
+        let weights = tsp::compiler::kernels::emplace_conv_weights(&mut sched, &w, 1);
+        let params = tsp::compiler::kernels::Conv2dParams {
+            stride: 1,
+            pad: 1,
+            requant_shift: 6,
+            relu: true,
+            out_hemisphere: Hemisphere::West,
+            ..Default::default()
+        };
+        let _ = tsp::compiler::kernels::conv2d(&mut sched, &input, &weights, &params);
+        sched.into_program().unwrap().len() as u64
+    };
+    g.throughput(Throughput::Elements(instructions));
     g.bench_function("schedule_conv3x3_64ch", |b| {
         b.iter(|| {
             let mut sched = Scheduler::new();
@@ -101,8 +176,7 @@ fn bench_compile(c: &mut Criterion) {
                 4,
             );
             let w = vec![vec![vec![vec![1i8; 3]; 3]; 64]; 64];
-            let weights =
-                tsp::compiler::kernels::emplace_conv_weights(&mut sched, &w, 1);
+            let weights = tsp::compiler::kernels::emplace_conv_weights(&mut sched, &w, 1);
             let params = tsp::compiler::kernels::Conv2dParams {
                 stride: 1,
                 pad: 1,
@@ -124,6 +198,7 @@ criterion_group!(
     bench_mxm,
     bench_ecc,
     bench_sim_rate,
+    bench_vector_add_end_to_end,
     bench_compile
 );
 criterion_main!(benches);

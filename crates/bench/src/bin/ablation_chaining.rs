@@ -5,6 +5,7 @@
 
 use tsp::compiler::kernels::matmul::{matmul, MatmulOpts, WeightSet};
 use tsp::prelude::*;
+use tsp_bench::fan_out;
 use tsp_power::EnergyModel;
 
 fn build(chained: bool) -> (u64, f64) {
@@ -65,9 +66,11 @@ fn build(chained: bool) -> (u64, f64) {
 
 fn main() {
     println!("# ablation: slice chaining vs memory round trip (512-row matmul + ReLU)");
-    let (chained_cycles, chained_uj) = build(true);
-    let (split_cycles, split_uj) = build(false);
-    println!("chained (MXM->VXM requant+ReLU->MEM): {chained_cycles:>7} cycles, {chained_uj:.1} uJ");
+    let built = fan_out(vec![true, false], build);
+    let ((chained_cycles, chained_uj), (split_cycles, split_uj)) = (built[0], built[1]);
+    println!(
+        "chained (MXM->VXM requant+ReLU->MEM): {chained_cycles:>7} cycles, {chained_uj:.1} uJ"
+    );
     println!("split   (spill int8, separate ReLU) : {split_cycles:>7} cycles, {split_uj:.1} uJ");
     println!(
         "chaining saves {} cycles ({:.0}%) and {:.1} uJ — the paper's assembly-line point.",

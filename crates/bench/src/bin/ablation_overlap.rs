@@ -7,11 +7,15 @@ use tsp::nn::compile::{compile, CompileOptions};
 use tsp::nn::data::synthetic;
 use tsp::nn::quant::quantize;
 use tsp::nn::resnet::{resnet, resnet_tiny, Widths};
+use tsp_bench::fan_out;
 
 fn main() {
     println!("# E13: layer-overlap scheduling ablation");
     println!();
-    println!("{:<12} {:>12} {:>12} {:>10}", "model", "fenced", "overlapped", "saved");
+    println!(
+        "{:<12} {:>12} {:>12} {:>10}",
+        "model", "fenced", "overlapped", "saved"
+    );
     let cases: Vec<(&str, tsp::nn::graph::Graph, tsp::nn::graph::Params, u32)> = vec![
         {
             let (g, p) = resnet_tiny(10, 3);
@@ -22,11 +26,16 @@ fn main() {
             ("resnet50", g, p, 224)
         },
     ];
-    for (name, g, params, hw) in cases {
+    let rows = fan_out(cases, |(name, g, params, hw)| {
         let data = synthetic(3, hw, hw, 3, 2, 1);
         let q = quantize(&g, &params, &data.images[..1]);
-        let fenced = compile(&q, &CompileOptions { overlap: false }).cycles;
-        let overlapped = compile(&q, &CompileOptions { overlap: true }).cycles;
+        // The two schedules are independent compiles of one quantized graph.
+        let cycles = fan_out(vec![false, true], |overlap| {
+            compile(&q, &CompileOptions { overlap }).cycles
+        });
+        (name, cycles[0], cycles[1])
+    });
+    for (name, fenced, overlapped) in rows {
         println!(
             "{name:<12} {fenced:>12} {overlapped:>12} {:>10}",
             fenced.saturating_sub(overlapped)

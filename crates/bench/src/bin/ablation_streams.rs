@@ -6,6 +6,7 @@ use tsp::compiler::kernels::conv::alloc_feature_map;
 use tsp::compiler::kernels::{conv2d, emplace_conv_weights, Conv2dParams};
 use tsp::compiler::Resource;
 use tsp::prelude::*;
+use tsp_bench::fan_out;
 
 fn measure(streams_available: u8) -> u64 {
     let mut sched = Scheduler::new();
@@ -16,8 +17,7 @@ fn measure(streams_available: u8) -> u64 {
         }
     }
     let input = alloc_feature_map(&mut sched, 14, 14, 64, 1, Hemisphere::East, 4);
-    let w: Vec<Vec<Vec<Vec<i8>>>> =
-        vec![vec![vec![vec![1i8; 3]; 3]; 64]; 64];
+    let w: Vec<Vec<Vec<Vec<i8>>>> = vec![vec![vec![vec![1i8; 3]; 3]; 64]; 64];
     let weights = emplace_conv_weights(&mut sched, &w, 1);
     let params = Conv2dParams {
         stride: 1,
@@ -34,8 +34,11 @@ fn measure(streams_available: u8) -> u64 {
 fn main() {
     println!("# ablation: schedule length of a 3x3x64->64 conv vs streams per direction");
     println!("{:>18} {:>12}", "streams/direction", "cycles");
-    for &streams in &[32u8, 28, 24, 22, 20] {
-        match std::panic::catch_unwind(|| measure(streams)) {
+    let rows = fan_out(vec![32u8, 28, 24, 22, 20], |streams| {
+        (streams, std::panic::catch_unwind(|| measure(streams)))
+    });
+    for (streams, result) in rows {
+        match result {
             Ok(c) => println!("{streams:>18} {:>12}", c),
             Err(_) => println!(
                 "{streams:>18} {:>12}",

@@ -8,7 +8,10 @@ use tsp_sim::{Activity, ActivityKind};
 
 fn main() {
     println!("# ablation: energy proportionality of scalable vector length");
-    println!("{:>10} {:>8} {:>12} {:>14}", "superlanes", "VL", "peak TOp/s", "rel. energy");
+    println!(
+        "{:>10} {:>8} {:>12} {:>14}",
+        "superlanes", "VL", "peak TOp/s", "rel. energy"
+    );
     let energy = EnergyModel::default();
     let full: f64 = (0..1000u64)
         .map(|t| {

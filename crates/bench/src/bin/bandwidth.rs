@@ -12,9 +12,18 @@ fn main() {
     let cfg = ChipConfig::paper_1ghz();
     println!("# E9: bandwidth budget at 1 GHz (paper's exposition clock)");
     println!("theoretical (from architectural constants):");
-    println!("  stream registers (Eq. 1): {:6.2} TB/s  (paper: '20 TiB/s')", cfg.stream_bandwidth() / 1e12);
-    println!("  SRAM            (Eq. 2): {:6.2} TB/s  (paper: '55 TiB/s')", cfg.sram_bandwidth() / 1e12);
-    println!("  instruction fetch:        {:6.2} TB/s  (paper: '2.25 TiB/s')", cfg.ifetch_bandwidth() / 1e12);
+    println!(
+        "  stream registers (Eq. 1): {:6.2} TB/s  (paper: '20 TiB/s')",
+        cfg.stream_bandwidth() / 1e12
+    );
+    println!(
+        "  SRAM            (Eq. 2): {:6.2} TB/s  (paper: '55 TiB/s')",
+        cfg.sram_bandwidth() / 1e12
+    );
+    println!(
+        "  instruction fetch:        {:6.2} TB/s  (paper: '2.25 TiB/s')",
+        cfg.ifetch_bandwidth() / 1e12
+    );
     println!();
 
     // Measured: every one of 64 streams carries one 320-byte vector per
@@ -23,8 +32,14 @@ fn main() {
     let mut p = Program::new();
     for id in 0..32u8 {
         // Eastward from West-hemisphere slices, westward from East ones.
-        for (hemisphere, dir) in [(Hemisphere::West, Direction::East), (Hemisphere::East, Direction::West)] {
-            let icu = IcuId::Mem { hemisphere, index: id.min(43) };
+        for (hemisphere, dir) in [
+            (Hemisphere::West, Direction::East),
+            (Hemisphere::East, Direction::West),
+        ] {
+            let icu = IcuId::Mem {
+                hemisphere,
+                index: id.min(43),
+            };
             let mut b = p.builder(icu);
             b.push(MemOp::Read {
                 addr: MemAddr::new(0),
@@ -40,8 +55,13 @@ fn main() {
     let per_cycle = sram as f64 / cycles as f64;
     println!("measured (64 concurrent read streams, {burst}-cycle burst):");
     println!("  SRAM operand reads: {sram} B over {cycles} cycles = {per_cycle:.0} B/cycle");
-    println!("  = {:5.2} TB/s one-directional operand supply at 1 GHz", per_cycle * 1e9 / 1e12);
-    println!("  (the stream-register file carries the same 64x320 B per cycle = Eq. 1's 20.48 TB/s,");
+    println!(
+        "  = {:5.2} TB/s one-directional operand supply at 1 GHz",
+        per_cycle * 1e9 / 1e12
+    );
+    println!(
+        "  (the stream-register file carries the same 64x320 B per cycle = Eq. 1's 20.48 TB/s,"
+    );
     println!("   counting both directions of flow)");
     assert_eq!(per_cycle as u64, 64 * 320);
     println!("PASS: 64 streams sustained one 320-byte vector per cycle each");

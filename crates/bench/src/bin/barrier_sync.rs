@@ -27,8 +27,10 @@ fn main() {
     println!("# E11: chip-wide barrier synchronization (paper: 35 cycles)");
     println!("queues parked on Sync: 88 (every MEM slice); notifier: host queue 0");
     println!("measured: first post-barrier dispatch at cycle 35");
-    println!("program completion: {} cycles (= 35 barrier + 5 read d_func + 20 tile drain)",
-             report.cycles);
+    println!(
+        "program completion: {} cycles (= 35 barrier + 5 read d_func + 20 tile drain)",
+        report.cycles
+    );
     assert_eq!(report.cycles, 35 + 5 + 20);
     println!("PASS: barrier cost matches the paper's 35 cycles");
 }

@@ -22,8 +22,14 @@ fn main() {
 
     println!("# E7b: ResNet-50 batch-1 comparison (paper §V)");
     println!();
-    println!("{:<22} {:>14} {:>12}", "accelerator", "batch-1 us", "batch-1 IPS");
-    println!("{:<22} {:>14.1} {:>12.0}   (paper's TSP: 49 us / 20.4K IPS)", "TSP (this repo, sim)", tsp_us, tsp_ips);
+    println!(
+        "{:<22} {:>14} {:>12}",
+        "accelerator", "batch-1 us", "batch-1 IPS"
+    );
+    println!(
+        "{:<22} {:>14.1} {:>12.0}   (paper's TSP: 49 us / 20.4K IPS)",
+        "TSP (this repo, sim)", tsp_us, tsp_ips
+    );
     for b in [goya_class(), tpu_v3_class(), v100_class()] {
         println!(
             "{:<22} {:>14.1} {:>12.0}",
@@ -46,7 +52,10 @@ fn main() {
     );
     println!();
     println!("throughput vs batch (IPS):");
-    println!("{:>8} {:>12} {:>12} {:>12} {:>12}", "batch", "TSP", "TPUv3", "Goya", "V100");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "batch", "TSP", "TPUv3", "Goya", "V100"
+    );
     for &batch in &[1.0f64, 4.0, 16.0, 64.0, 256.0] {
         println!(
             "{batch:>8} {:>12.0} {:>12.0} {:>12.0} {:>12.0}",

@@ -3,6 +3,7 @@
 //! faults are detected and fault the program.
 
 use tsp::prelude::*;
+use tsp_bench::fan_out;
 use tsp_isa::MemAddr;
 use tsp_mem::GlobalAddress;
 
@@ -22,13 +23,19 @@ fn run_copy_with_faults(single: usize, double: bool) -> (Result<u64, String>, u6
     }
     let (h, s, base) = src.layout.blocks[0];
     for i in 0..single {
-        chip.memory
-            .slice_mut(h, s)
-            .inject_fault(MemAddr::new(base + i as u16), (i * 37) % 320, (i % 8) as u8);
+        chip.memory.slice_mut(h, s).inject_fault(
+            MemAddr::new(base + i as u16),
+            (i * 37) % 320,
+            (i % 8) as u8,
+        );
     }
     if double {
-        chip.memory.slice_mut(h, s).inject_fault(MemAddr::new(base), 0, 0);
-        chip.memory.slice_mut(h, s).inject_fault(MemAddr::new(base), 1, 1);
+        chip.memory
+            .slice_mut(h, s)
+            .inject_fault(MemAddr::new(base), 0, 0);
+        chip.memory
+            .slice_mut(h, s)
+            .inject_fault(MemAddr::new(base), 1, 1);
     }
     match chip.run(&program, &RunOptions::default()) {
         Ok(report) => {
@@ -48,8 +55,10 @@ fn run_copy_with_faults(single: usize, double: bool) -> (Result<u64, String>, u6
 fn main() {
     println!("# E15: SECDED fault injection through the full stream path");
     println!();
-    for &faults in &[0usize, 1, 8, 32] {
-        let (result, corrected, clean) = run_copy_with_faults(faults, false);
+    let single = fan_out(vec![0usize, 1, 8, 32], |faults| {
+        (faults, run_copy_with_faults(faults, false))
+    });
+    for (faults, (result, corrected, clean)) in single {
         println!(
             "{faults:>3} single-bit faults: run {:?}, corrected {corrected}, data intact: {clean}",
             result.as_ref().map(|_| "ok")

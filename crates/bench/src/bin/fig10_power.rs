@@ -2,7 +2,7 @@
 //! four MXM planes run simultaneous conv2d passes, troughs on the
 //! element-wise/pooling layers.
 
-use tsp::nn::compile::{compile, CompileOptions};
+use tsp::nn::compile::{compile_cached, CompileOptions};
 use tsp::nn::data::synthetic;
 use tsp::nn::quant::quantize;
 use tsp::nn::resnet::{resnet, Widths};
@@ -14,7 +14,7 @@ fn main() {
     let (g, params) = resnet(50, 224, 1000, &Widths::standard(), 7);
     let data = synthetic(3, 224, 224, 3, 2, 1);
     let q = quantize(&g, &params, &data.images[..1]);
-    let model = compile(&q, &CompileOptions::default());
+    let model = compile_cached(&q, &CompileOptions::default());
 
     let mut chip = Chip::new(ChipConfig::asic());
     model.load_constants(&mut chip);
@@ -41,8 +41,14 @@ fn main() {
     let watts = energy.span_watts(report.trace.events(), &spans, clock);
 
     let avg = energy.average_watts(report.trace.events(), report.cycles, clock);
-    println!("whole-inference average: {avg:.0} W over {} cycles", report.cycles);
-    println!("total energy: {:.3} J/inference", energy.total_energy_j(report.trace.events()));
+    println!(
+        "whole-inference average: {avg:.0} W over {} cycles",
+        report.cycles
+    );
+    println!(
+        "total energy: {:.3} J/inference",
+        energy.total_energy_j(report.trace.events())
+    );
     println!();
     println!("{:<14} {:>10} {:>8}  power", "layer", "cycles", "watts");
     let wmax = watts.iter().cloned().fold(0.0f64, f64::max);
@@ -51,7 +57,12 @@ fn main() {
             continue;
         }
         let bar = "#".repeat((w / wmax * 40.0) as usize);
-        println!("{:<14} {:>10} {:>8.0}  {bar}", span.name, span.end - span.start, w);
+        println!(
+            "{:<14} {:>10} {:>8.0}  {bar}",
+            span.name,
+            span.end - span.start,
+            w
+        );
     }
     println!();
     println!("spikes align with the 3x3 convolutions running plane-parallel offset");

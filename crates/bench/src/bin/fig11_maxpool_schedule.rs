@@ -25,10 +25,20 @@ fn main() {
     let program = sched.into_program().expect("schedule");
 
     let mut chip = Chip::new(ChipConfig::asic());
-    let report = chip.run(&program, &RunOptions::default()).expect("clean run");
+    let report = chip
+        .run(&program, &RunOptions::default())
+        .expect("clean run");
 
-    println!("# E5 (Fig. 11): 3x3/2 max pool schedule, 12x12x32 -> {}x{}x{}", out.h, out.w, out.c);
-    println!("# {} instructions, completed at cycle {} (sim: {})", program.len(), done, report.cycles);
+    println!(
+        "# E5 (Fig. 11): 3x3/2 max pool schedule, 12x12x32 -> {}x{}x{}",
+        out.h, out.w, out.c
+    );
+    println!(
+        "# {} instructions, completed at cycle {} (sim: {})",
+        program.len(),
+        done,
+        report.cycles
+    );
     println!();
     println!("first 36 dispatches (NOP timing glue elided):");
     print!("{}", viz::render_listing(&program, 0, 24));

@@ -4,6 +4,7 @@
 
 use tsp::prelude::*;
 use tsp_baseline::{RiscCore, RiscProfile};
+use tsp_bench::fan_out;
 
 fn tsp_vector_add(elements: u64) -> (u64, u64, u64) {
     let vectors = elements.div_ceil(320) as u32;
@@ -36,21 +37,19 @@ fn main() {
     println!();
     println!(
         "{:>9} | {:>12} {:>10} | {:>12} {:>10} | {:>14} {:>6} {:>8}",
-        "elements",
-        "RISC insns",
-        "cycles",
-        "SIMD insns",
-        "cycles",
-        "TSP insns",
-        "NOPs",
-        "cycles"
+        "elements", "RISC insns", "cycles", "SIMD insns", "cycles", "TSP insns", "NOPs", "cycles"
     );
     let scalar = RiscCore::new(RiscProfile::scalar());
     let simd = RiscCore::new(RiscProfile::wide_simd());
-    for &n in &[320u64, 3_200, 32_000, 320_000] {
-        let r = scalar.vector_add(n);
-        let v = simd.vector_add(n);
-        let (ti, tn, tc) = tsp_vector_add(n);
+    let rows = fan_out(vec![320u64, 3_200, 32_000, 320_000], |n| {
+        (
+            n,
+            scalar.vector_add(n),
+            simd.vector_add(n),
+            tsp_vector_add(n),
+        )
+    });
+    for (n, r, v, (ti, tn, tc)) in rows {
         println!(
             "{n:>9} | {:>12} {:>10} | {:>12} {:>10} | {ti:>14} {tn:>6} {tc:>8}",
             r.instructions, r.cycles, v.instructions, v.cycles

@@ -13,8 +13,20 @@ fn main() {
     print!("{}", render(&cells, 36));
     println!();
     // The invariants the figure illustrates:
-    let birth = |tile: u8| cells.iter().filter(|c| c.tile == tile).map(|c| c.cycle).min().unwrap();
-    println!("superlane 0 born at cycle {}, superlane 19 at cycle {} (N-1 = 19 later)",
-             birth(0), birth(19));
-    println!("completion of the full 320-byte vector lags the head by exactly N = 20 tiles (Eq. 4).");
+    let birth = |tile: u8| {
+        cells
+            .iter()
+            .filter(|c| c.tile == tile)
+            .map(|c| c.cycle)
+            .min()
+            .unwrap()
+    };
+    println!(
+        "superlane 0 born at cycle {}, superlane 19 at cycle {} (N-1 = 19 later)",
+        birth(0),
+        birth(19)
+    );
+    println!(
+        "completion of the full 320-byte vector lags the head by exactly N = 20 tiles (Eq. 4)."
+    );
 }

@@ -5,6 +5,7 @@
 
 use tsp::compiler::kernels::matmul::{schedule_plane_chain, Pass};
 use tsp::prelude::*;
+use tsp_bench::fan_out;
 use tsp_isa::Plane;
 
 /// Cycles to install one plane's weights and stream `rows` activations.
@@ -54,20 +55,26 @@ fn main() {
         "rows", "planes", "ops/byte", "cycles", "TeraOps/s", "% of peak"
     );
     let peak = ChipConfig::paper_1ghz().peak_int8_ops();
+    let mut points = Vec::new();
     for &planes in &[1u8, 4] {
         for &rows in &[4u32, 16, 64, 256, 1024, 4096] {
-            let cycles = measure(rows, planes);
-            let ops = f64::from(planes) * f64::from(rows) * 320.0 * 320.0 * 2.0;
-            let bytes =
-                f64::from(planes) * (320.0 * 320.0 + f64::from(rows) * 320.0 + f64::from(rows) * 1280.0);
-            let tput = ops / (cycles as f64 / 1e9);
-            println!(
-                "{rows:>6} {planes:>7} | {:>10.2} {cycles:>12} {:>12.1} {:>9.1}%",
-                ops / bytes,
-                tput / 1e12,
-                tput / peak * 100.0
-            );
+            points.push((rows, planes));
         }
+    }
+    let measured = fan_out(points, |(rows, planes)| {
+        (rows, planes, measure(rows, planes))
+    });
+    for (rows, planes, cycles) in measured {
+        let ops = f64::from(planes) * f64::from(rows) * 320.0 * 320.0 * 2.0;
+        let bytes = f64::from(planes)
+            * (320.0 * 320.0 + f64::from(rows) * 320.0 + f64::from(rows) * 1280.0);
+        let tput = ops / (cycles as f64 / 1e9);
+        println!(
+            "{rows:>6} {planes:>7} | {:>10.2} {cycles:>12} {:>12.1} {:>9.1}%",
+            ops / bytes,
+            tput / 1e12,
+            tput / peak * 100.0
+        );
     }
     println!();
     println!("peak (4 planes, Eq. in §VII): {:.1} TeraOps/s", peak / 1e12);

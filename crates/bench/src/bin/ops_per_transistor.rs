@@ -26,5 +26,8 @@ fn main() {
     println!();
     let ratio = TSP_GEN1.ops_per_transistor() / VOLTA_V100.ops_per_transistor();
     println!("TSP / V100 conversion-rate ratio: {ratio:.1}x  (paper: 30K vs 6.2K ~= 4.8x)");
-    println!("TSP computational density: {:.2} TeraOps/s/mm2 (paper abstract: > 1)", TSP_GEN1.ops_per_mm2() / 1e12);
+    println!(
+        "TSP computational density: {:.2} TeraOps/s/mm2 (paper abstract: > 1)",
+        TSP_GEN1.ops_per_mm2() / 1e12
+    );
 }

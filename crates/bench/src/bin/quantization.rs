@@ -38,6 +38,9 @@ fn main() {
     println!();
     println!("paper: int8 quantization lost ~0.5% top-1; the 320-wide variant gained");
     println!("+1.6% top-1 over the 256-wide baseline at identical latency.");
-    println!("shape check: quantization delta small ({:.1}% and {:.1}%), wider >= narrower in fp32.",
-             (accs[0].0 - accs[0].1) * 100.0, (accs[1].0 - accs[1].1) * 100.0);
+    println!(
+        "shape check: quantization delta small ({:.1}% and {:.1}%), wider >= narrower in fp32.",
+        (accs[0].0 - accs[0].1) * 100.0,
+        (accs[1].0 - accs[1].1) * 100.0
+    );
 }

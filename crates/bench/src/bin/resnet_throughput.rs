@@ -7,7 +7,8 @@
 //! and the paper's 1 GHz exposition clock.
 
 use tsp_arch::ChipConfig;
-use tsp_nn::compile::{compile, CompileOptions};
+use tsp_bench::fan_out;
+use tsp_nn::compile::{compile_cached, CompileOptions};
 use tsp_nn::data::synthetic;
 use tsp_nn::quant::quantize;
 use tsp_nn::resnet::{resnet, Widths};
@@ -18,13 +19,18 @@ fn main() {
     println!("# E7: ResNet batch-1 inference on the simulated TSP");
     println!("# paper: ResNet-50 20.4K IPS < 49us; ResNet-101 14.3K; ResNet-152 10.7K");
     println!();
-    println!("{:<12} {:>12} {:>10} {:>10} {:>10}", "model", "cycles", "us@900MHz", "IPS@900MHz", "IPS@1GHz");
+    println!(
+        "{:<12} {:>12} {:>10} {:>10} {:>10}",
+        "model", "cycles", "us@900MHz", "IPS@900MHz", "IPS@1GHz"
+    );
 
     let data = synthetic(3, 224, 224, 3, 2, 1);
-    for &depth in &[50u32, 101, 152] {
+    // The three depths are independent: build, quantize, compile and (for
+    // ResNet-50) simulate on parallel host threads, then print in order.
+    let rows = fan_out(vec![50u32, 101, 152], |depth| {
         let (g, params) = resnet(depth, 224, 1000, &Widths::standard(), 7);
         let q = quantize(&g, &params, &data.images[..1]);
-        let model = compile(&q, &CompileOptions::default());
+        let model = compile_cached(&q, &CompileOptions::default());
 
         // Confirm the predicted cycle count on the simulator (timing mode)
         // for ResNet-50; deeper nets reuse the compiler's deterministic
@@ -56,12 +62,13 @@ fn main() {
         } else {
             model.cycles
         };
+        (depth, cycles)
+    });
 
+    for (depth, cycles) in rows {
         let us_900 = cycles as f64 / 900e6 * 1e6;
         let ips_900 = 900e6 / cycles as f64;
         let ips_1g = 1e9 / cycles as f64;
-        println!(
-            "resnet{depth:<6} {cycles:>12} {us_900:>10.1} {ips_900:>10.0} {ips_1g:>10.0}"
-        );
+        println!("resnet{depth:<6} {cycles:>12} {us_900:>10.1} {ips_900:>10.0} {ips_1g:>10.0}");
     }
 }

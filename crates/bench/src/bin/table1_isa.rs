@@ -6,6 +6,8 @@ fn main() {
     println!();
     print!("{}", tsp_isa::table::isa_summary_markdown());
     println!();
-    println!("({} instruction rows across 6 functional areas)",
-             tsp_isa::table::isa_summary().len());
+    println!(
+        "({} instruction rows across 6 functional areas)",
+        tsp_isa::table::isa_summary().len()
+    );
 }

@@ -23,9 +23,12 @@ fn main() {
         // Each plane owns 16 slices (a slice has one read port): the first
         // plane of a hemisphere takes the 16 nearest the MXM, the second the
         // next 16 inward.
-        let range = if plane_idx % 2 == 0 { 28..44u8 } else { 12..28u8 };
-        let blocks: Vec<(Hemisphere, u8, u16)> =
-            range.map(|s| (hemisphere, s, 0)).collect();
+        let range = if plane_idx % 2 == 0 {
+            28..44u8
+        } else {
+            12..28u8
+        };
+        let blocks: Vec<(Hemisphere, u8, u16)> = range.map(|s| (hemisphere, s, 0)).collect();
         let weights = TensorHandle {
             rows: 320,
             cols: 320,
@@ -35,8 +38,9 @@ fn main() {
             },
         };
         let mut t_lw = 0u64;
-        let rows_per_stream: Vec<Vec<u32>> =
-            (0..16u32).map(|j| (j * 20..(j + 1) * 20).collect()).collect();
+        let rows_per_stream: Vec<Vec<u32>> = (0..16u32)
+            .map(|j| (j * 20..(j + 1) * 20).collect())
+            .collect();
         for rows in &rows_per_stream {
             t_lw = sched.earliest_read_arrival(&weights, rows, dir, mxm, t_lw);
         }
@@ -71,7 +75,8 @@ fn main() {
     }
     let program = sched.into_program().expect("schedule");
     let mut chip = Chip::new(ChipConfig::paper_1ghz());
-    chip.run(&program, &RunOptions::default()).expect("clean run");
+    chip.run(&program, &RunOptions::default())
+        .expect("clean run");
 
     println!("# E10: install 4 x 102,400 = 409,600 weights into all four MXM planes");
     println!("64 weight streams (16 per plane, both directions, both hemispheres)");

@@ -128,9 +128,11 @@ impl Fabric {
             }
             let report = self.chips[i].run(program, options)?;
             for (link, departed, word) in &report.egress {
-                for wire in self.wires.iter().filter(|w| {
-                    w.from_chip == i && w.from_link.index() == *link
-                }) {
+                for wire in self
+                    .wires
+                    .iter()
+                    .filter(|w| w.from_chip == i && w.from_link.index() == *link)
+                {
                     inbox.entry(wire.to_chip).or_default().push((
                         wire.to_link,
                         departed + Cycle::from(wire.latency),

@@ -250,8 +250,7 @@ impl MemAllocator {
                 if restrict_low && policy == BankPolicy::Low && s >= 32 {
                     continue;
                 }
-                if avoid.contains(&(h, s)) || blocks.iter().any(|&(bh, bs, _)| (bh, bs) == (h, s))
-                {
+                if avoid.contains(&(h, s)) || blocks.iter().any(|&(bh, bs, _)| (bh, bs) == (h, s)) {
                     continue;
                 }
                 if let Some(base) = self.list(h, s, policy).take(rows_per_block as u16) {
@@ -319,8 +318,16 @@ impl MemAllocator {
             .iter()
             .flatten()
             .map(|st| {
-                st.low.intervals.iter().map(|&(_, l)| u64::from(l)).sum::<u64>()
-                    + st.high.intervals.iter().map(|&(_, l)| u64::from(l)).sum::<u64>()
+                st.low
+                    .intervals
+                    .iter()
+                    .map(|&(_, l)| u64::from(l))
+                    .sum::<u64>()
+                    + st.high
+                        .intervals
+                        .iter()
+                        .map(|&(_, l)| u64::from(l))
+                        .sum::<u64>()
             })
             .sum()
     }
@@ -406,7 +413,10 @@ mod tests {
         let mut a = MemAllocator::new();
         for _ in 0..80 {
             let t = a.alloc(100, 320, BankPolicy::Low, 4096).unwrap();
-            assert!(t.layout.slices().all(|(_, s)| s < 32), "constants leaked outward");
+            assert!(
+                t.layout.slices().all(|(_, s)| s < 32),
+                "constants leaked outward"
+            );
         }
     }
 

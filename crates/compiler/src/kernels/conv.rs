@@ -89,7 +89,9 @@ impl FeatureMap {
     /// The interior as write segments: one `(first_row, w)` run per pixel row.
     #[must_use]
     pub fn interior_segments(&self) -> Vec<(u32, u32)> {
-        (0..self.h).map(|y| (self.row_index(y, 0), self.w)).collect()
+        (0..self.h)
+            .map(|y| (self.row_index(y, 0), self.w))
+            .collect()
     }
 
     /// The row sequence an offset pass streams: for every output pixel
@@ -301,156 +303,158 @@ pub fn conv2d(
         // whole chain pushed past the congestion, not just past the ports).
         let mut abs_floor = 0u64;
         for try_idx in 0u32..8 {
-        let quantile = [0.5, 0.9, 1.0][(try_idx as usize).min(2)];
-        let snap = s.snapshot();
-        let mut sources: Vec<[TensorHandle; 4]> = Vec::new();
-        let mut scratch_avoid: Vec<(Hemisphere, u8)> = Vec::new();
-        let mut direct: Option<Int32Stream> = None;
-        let mut spills_landed = 0u64;
-        let mut spill_failed: Option<crate::kernels::matmul::OutOfPorts> = None;
+            let quantile = [0.5, 0.9, 1.0][(try_idx as usize).min(2)];
+            let snap = s.snapshot();
+            let mut sources: Vec<[TensorHandle; 4]> = Vec::new();
+            let mut scratch_avoid: Vec<(Hemisphere, u8)> = Vec::new();
+            let mut direct: Option<Int32Stream> = None;
+            let mut spills_landed = 0u64;
+            let mut spill_failed: Option<crate::kernels::matmul::OutOfPorts> = None;
 
-        // Floor so that by the chains' write times enough of the output
-        // hemisphere's ports are free (escalates on retry).
-        let floor = params
-            .not_before
-            .max(s.port_quantile(params.out_hemisphere, quantile));
-        // Schedule the chunks' chains INTERLEAVED, pass by pass, so they run
-        // plane-parallel instead of serializing on stream reservations.
-        let mut builders: Vec<PlaneChainBuilder> = (0..chunks.len())
-            .map(|ci| {
-                let plane = Plane::new(((mpart * planes_per_mpart + ci) % 4) as u8);
-                PlaneChainBuilder::new(s, plane, u64::from(n), floor)
-            })
-            .collect();
-        let max_passes = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
-        for p in 0..max_passes {
-            for (ci, chunk) in chunks.iter().enumerate() {
-                let Some(&(o, kp)) = chunk.get(p) else { continue };
-                let wreps = &weights.passes[o][kp][mpart];
-                let areps = &input.parts[kp];
-                let pass = Pass {
-                    weights: &wreps[ci % wreps.len()],
-                    acts: &areps[ci % areps.len()],
-                    rows: &offset_rows[o],
-                };
-                builders[ci].add_pass(s, &pass);
-            }
-        }
-        for builder in builders {
-            let int32 = builder.finish();
-            if spill {
-                match spill_int32(s, &int32, n, &mut scratch_avoid) {
-                    Ok((tensors, landed)) => {
-                        sources.push(tensors);
-                        spills_landed = spills_landed.max(landed);
-                    }
-                    Err(e) => {
-                        spill_failed = Some(e);
-                        break;
-                    }
-                }
-            } else {
-                direct = Some(int32);
-            }
-        }
-
-        let spec = OutSpec {
-            rows_total,
-            cols: mcols,
-            segments: segments.clone(),
-            hemisphere: params.out_hemisphere,
-            policy: BankPolicy::High,
-            replicas: params.out_replicas,
-            max_block: 4096,
-        };
-        let attempt = if let Some(e) = spill_failed {
-            Err(e)
-        } else if let Some(int32) = direct {
-            schedule_requant_write(
-                s,
-                &[int32],
-                u64::from(n),
-                params.requant_shift,
-                params.relu,
-                &spec,
-            )
-        } else {
-            // Merge stage: stream every partial's four byte-planes back so
-            // partial p arrives at the VXM exactly when its adder stage runs.
-            let rows: Vec<u32> = (0..n).collect();
-            let mut t0 = s.pool.floor().max(params.not_before);
-            let mut groups: Vec<(u8, Direction)> = Vec::new();
-            for part in &sources {
-                let hem = crate::kernels::elementwise::tensor_hemisphere(&part[0]);
-                let dir = Direction::inward_from(hem);
-                let claimed: Vec<u8> = groups
-                    .iter()
-                    .filter(|(_, d)| *d == dir)
-                    .map(|(b, _)| *b)
-                    .collect();
-                let (base, ready) = s.take_aligned_group_excluding(dir, 4, t0, &claimed);
-                t0 = t0.max(ready);
-                groups.push((base, dir));
-            }
-            for (part, (_, dir)) in sources.iter().zip(&groups) {
-                for t in part.iter() {
-                    t0 = s.earliest_read_arrival(t, &rows, *dir, Slice::Vxm.position(), t0);
-                }
-            }
-            // The spilled rows must be in SRAM before they are read back,
-            // and the merge's adder/convert stream picks must clear the
-            // chains' own reservation tails (which end ≤ 128 cycles after
-            // the last spill lands) — bound on both, locally.
-            t0 = t0.max(spills_landed + D_READ + 128);
-            let stagger = |p: usize| (p.max(1) as u64 - 1) * crate::sched::D_VXM;
-            for (p, (part, (base, dir))) in sources.iter().zip(&groups).enumerate() {
-                for (i, t) in part.iter().enumerate() {
-                    s.read_rows(
-                        t,
-                        &rows,
-                        StreamId::new(base + i as u8, *dir),
-                        Slice::Vxm.position(),
-                        t0 + stagger(p),
-                    );
-                }
-            }
-            let aligned: Vec<Int32Stream> = groups
-                .iter()
-                .enumerate()
-                .map(|(p, &(base, dir))| Int32Stream {
-                    group: StreamGroup::new(StreamId::new(base, dir), 4),
-                    t_at_vxm: t0 + stagger(p),
+            // Floor so that by the chains' write times enough of the output
+            // hemisphere's ports are free (escalates on retry).
+            let floor = params
+                .not_before
+                .max(s.port_quantile(params.out_hemisphere, quantile));
+            // Schedule the chunks' chains INTERLEAVED, pass by pass, so they run
+            // plane-parallel instead of serializing on stream reservations.
+            let mut builders: Vec<PlaneChainBuilder> = (0..chunks.len())
+                .map(|ci| {
+                    let plane = Plane::new(((mpart * planes_per_mpart + ci) % 4) as u8);
+                    PlaneChainBuilder::new(s, plane, u64::from(n), floor)
                 })
                 .collect();
-            let r = schedule_requant_write(
-                s,
-                &aligned,
-                u64::from(n),
-                params.requant_shift,
-                params.relu,
-                &spec,
-            );
-            if r.is_ok() {
-                // The spill scratch is dead once the merge is scheduled.
-                for part in &sources {
-                    for t in part.iter() {
-                        s.alloc.free(t);
-                    }
+            let max_passes = chunks.iter().map(|c| c.len()).max().unwrap_or(0);
+            for p in 0..max_passes {
+                for (ci, chunk) in chunks.iter().enumerate() {
+                    let Some(&(o, kp)) = chunk.get(p) else {
+                        continue;
+                    };
+                    let wreps = &weights.passes[o][kp][mpart];
+                    let areps = &input.parts[kp];
+                    let pass = Pass {
+                        weights: &wreps[ci % wreps.len()],
+                        acts: &areps[ci % areps.len()],
+                        rows: &offset_rows[o],
+                    };
+                    builders[ci].add_pass(s, &pass);
                 }
             }
-            r
-        };
-        match attempt {
-            Ok(r) => {
-                out_avoid.extend(r.0.iter().flat_map(|t| t.layout.slices()));
-                attempt_result = Some(r);
-                break;
+            for builder in builders {
+                let int32 = builder.finish();
+                if spill {
+                    match spill_int32(s, &int32, n, &mut scratch_avoid) {
+                        Ok((tensors, landed)) => {
+                            sources.push(tensors);
+                            spills_landed = spills_landed.max(landed);
+                        }
+                        Err(e) => {
+                            spill_failed = Some(e);
+                            break;
+                        }
+                    }
+                } else {
+                    direct = Some(int32);
+                }
             }
-            Err(e) => {
-                abs_floor = abs_floor.max(e.t_write + (256u64 << try_idx.min(4)));
-                s.restore(&snap);
+
+            let spec = OutSpec {
+                rows_total,
+                cols: mcols,
+                segments: segments.clone(),
+                hemisphere: params.out_hemisphere,
+                policy: BankPolicy::High,
+                replicas: params.out_replicas,
+                max_block: 4096,
+            };
+            let attempt = if let Some(e) = spill_failed {
+                Err(e)
+            } else if let Some(int32) = direct {
+                schedule_requant_write(
+                    s,
+                    &[int32],
+                    u64::from(n),
+                    params.requant_shift,
+                    params.relu,
+                    &spec,
+                )
+            } else {
+                // Merge stage: stream every partial's four byte-planes back so
+                // partial p arrives at the VXM exactly when its adder stage runs.
+                let rows: Vec<u32> = (0..n).collect();
+                let mut t0 = s.pool.floor().max(params.not_before);
+                let mut groups: Vec<(u8, Direction)> = Vec::new();
+                for part in &sources {
+                    let hem = crate::kernels::elementwise::tensor_hemisphere(&part[0]);
+                    let dir = Direction::inward_from(hem);
+                    let claimed: Vec<u8> = groups
+                        .iter()
+                        .filter(|(_, d)| *d == dir)
+                        .map(|(b, _)| *b)
+                        .collect();
+                    let (base, ready) = s.take_aligned_group_excluding(dir, 4, t0, &claimed);
+                    t0 = t0.max(ready);
+                    groups.push((base, dir));
+                }
+                for (part, (_, dir)) in sources.iter().zip(&groups) {
+                    for t in part.iter() {
+                        t0 = s.earliest_read_arrival(t, &rows, *dir, Slice::Vxm.position(), t0);
+                    }
+                }
+                // The spilled rows must be in SRAM before they are read back,
+                // and the merge's adder/convert stream picks must clear the
+                // chains' own reservation tails (which end ≤ 128 cycles after
+                // the last spill lands) — bound on both, locally.
+                t0 = t0.max(spills_landed + D_READ + 128);
+                let stagger = |p: usize| (p.max(1) as u64 - 1) * crate::sched::D_VXM;
+                for (p, (part, (base, dir))) in sources.iter().zip(&groups).enumerate() {
+                    for (i, t) in part.iter().enumerate() {
+                        s.read_rows(
+                            t,
+                            &rows,
+                            StreamId::new(base + i as u8, *dir),
+                            Slice::Vxm.position(),
+                            t0 + stagger(p),
+                        );
+                    }
+                }
+                let aligned: Vec<Int32Stream> = groups
+                    .iter()
+                    .enumerate()
+                    .map(|(p, &(base, dir))| Int32Stream {
+                        group: StreamGroup::new(StreamId::new(base, dir), 4),
+                        t_at_vxm: t0 + stagger(p),
+                    })
+                    .collect();
+                let r = schedule_requant_write(
+                    s,
+                    &aligned,
+                    u64::from(n),
+                    params.requant_shift,
+                    params.relu,
+                    &spec,
+                );
+                if r.is_ok() {
+                    // The spill scratch is dead once the merge is scheduled.
+                    for part in &sources {
+                        for t in part.iter() {
+                            s.alloc.free(t);
+                        }
+                    }
+                }
+                r
+            };
+            match attempt {
+                Ok(r) => {
+                    out_avoid.extend(r.0.iter().flat_map(|t| t.layout.slices()));
+                    attempt_result = Some(r);
+                    break;
+                }
+                Err(e) => {
+                    abs_floor = abs_floor.max(e.t_write + (256u64 << try_idx.min(4)));
+                    s.restore(&snap);
+                }
             }
-        }
         } // retry loop
         let (reps, end) = attempt_result.unwrap_or_else(|| {
             panic!(
@@ -554,9 +558,7 @@ pub fn emplace_conv_weights(
                         }
                     }
                     let reps: Vec<TensorHandle> = (0..replicas.max(1))
-                        .map(|_| {
-                            s.add_constant(rows.clone(), kcols as u16, BankPolicy::Low, 20)
-                        })
+                        .map(|_| s.add_constant(rows.clone(), kcols as u16, BankPolicy::Low, 20))
                         .collect();
                     per_mpart.push(reps);
                 }
@@ -574,6 +576,9 @@ pub fn emplace_conv_weights(
 }
 
 #[cfg(test)]
+// Index loops mirror the paper's math in these reference checks.
+#[allow(clippy::needless_range_loop)]
+#[allow(clippy::too_many_arguments)]
 mod tests {
     use super::*;
     use tsp_arch::ChipConfig;
@@ -582,7 +587,7 @@ mod tests {
 
     /// Reference conv2d on i8 with power-of-two requant.
     fn reference_conv(
-        x: &[Vec<Vec<i8>>], // [h][w][c]
+        x: &[Vec<Vec<i8>>],      // [h][w][c]
         w: &[Vec<Vec<Vec<i8>>>], // [co][ci][ky][kx]
         stride: u32,
         pad: u32,
@@ -635,13 +640,24 @@ mod tests {
         out
     }
 
-    fn run_conv_case(h: u32, w: u32, cin: u32, cout: u32, k: u32, stride: u32, pad: u32, relu: bool) {
+    fn run_conv_case(
+        h: u32,
+        w: u32,
+        cin: u32,
+        cout: u32,
+        k: u32,
+        stride: u32,
+        pad: u32,
+        relu: bool,
+    ) {
         let mut s = Scheduler::new();
 
         // Deterministic pseudo-random data.
         let mut seed = 42u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) % 7) as i8 - 3
         };
         let x_data: Vec<Vec<Vec<i8>>> = (0..h)
@@ -689,7 +705,8 @@ mod tests {
                 }
             }
         }
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
 
         let expect = reference_conv(&x_data, &w_data, stride, pad, 4, relu);
         for oy in 0..out.h {
@@ -755,7 +772,8 @@ mod tests {
                 }
             }
         }
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         // Interior: 1×1 conv of all-ones on 3 channels of 1 = 3.
         let got = chip
             .memory

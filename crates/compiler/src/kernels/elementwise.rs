@@ -115,10 +115,8 @@ fn ew_chain(
     // The kernel's *own* operand reads are scheduled after this allocation,
     // so their slices must be excluded explicitly (the write lands only
     // D_VXM + transit cycles behind the reads on any shared slice).
-    let input_slices: Vec<(Hemisphere, u8)> = inputs
-        .iter()
-        .flat_map(|t| t.layout.slices())
-        .collect();
+    let input_slices: Vec<(Hemisphere, u8)> =
+        inputs.iter().flat_map(|t| t.layout.slices()).collect();
     let mut dsts: Vec<TensorHandle> = Vec::new();
     let mut avoid: Vec<(Hemisphere, u8)> = input_slices.clone();
     'alloc: loop {
@@ -304,8 +302,7 @@ pub fn binary_ew(
     out_policy: BankPolicy,
     not_before: u64,
 ) -> (TensorHandle, u64) {
-    let (mut v, t) =
-        binary_ew_replicated(s, op, a, b, out_hemisphere, out_policy, not_before, 1);
+    let (mut v, t) = binary_ew_replicated(s, op, a, b, out_hemisphere, out_policy, not_before, 1);
     (v.remove(0), t)
 }
 
@@ -395,7 +392,8 @@ mod tests {
 
         let mut chip = Chip::new(ChipConfig::asic());
         fill(&mut chip, &src, |r, l| (r as u8).wrapping_add(l as u8));
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         for r in 0..12 {
             assert_eq!(
                 chip.memory.read_unchecked(dst.row(r)),
@@ -423,7 +421,8 @@ mod tests {
         let program = s.into_program().unwrap();
         let mut chip = Chip::new(ChipConfig::asic());
         fill(&mut chip, &src, |_, l| (l as i16 - 160) as i8 as u8);
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         for r in 0..4 {
             let got = chip.memory.read_unchecked(dst.row(r));
             for l in 0..320 {
@@ -457,7 +456,8 @@ mod tests {
         let mut chip = Chip::new(ChipConfig::asic());
         fill(&mut chip, &a, |r, _| 10 + r as u8);
         fill(&mut chip, &b, |r, _| 100 + r as u8);
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         for r in 0..6 {
             assert_eq!(
                 chip.memory.read_unchecked(dst.row(r)),
@@ -480,7 +480,8 @@ mod tests {
         let program = s.into_program().unwrap();
         let mut chip = Chip::new(ChipConfig::asic());
         fill(&mut chip, &src, |r, _| 7 * (r as u8 + 1));
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         for r in 0..5 {
             assert_eq!(
                 chip.memory.read_unchecked(dst.row(r)),

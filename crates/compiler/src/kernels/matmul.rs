@@ -28,8 +28,7 @@
 
 use tsp_arch::{Direction, Hemisphere, Slice, StreamGroup, StreamId};
 use tsp_isa::{
-    AccumulateMode, BinaryAluOp, DataType, IcuOp, MxmOp, Plane, UnaryAluOp, VxmOp,
-    MXM_ARRAY_DELAY,
+    AccumulateMode, BinaryAluOp, DataType, IcuOp, MxmOp, Plane, UnaryAluOp, VxmOp, MXM_ARRAY_DELAY,
 };
 use tsp_sim::IcuId;
 
@@ -373,7 +372,11 @@ pub struct OutOfPorts {
 
 impl std::fmt::Display for OutOfPorts {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "no slice with a write port free by cycle {}", self.t_write)
+        write!(
+            f,
+            "no slice with a write port free by cycle {}",
+            self.t_write
+        )
     }
 }
 
@@ -419,7 +422,8 @@ fn requant_chain(
         };
         place_repeated(s, IcuId::Vxm { alu }, t, n, op);
         for id in base..base + 4 {
-            s.pool.occupy(Resource::Stream(dir, id), t + D_VXM + n + 128);
+            s.pool
+                .occupy(Resource::Stream(dir, id), t + D_VXM + n + 128);
         }
         current = Int32Stream {
             group: out,
@@ -526,7 +530,15 @@ pub fn schedule_requant_write_into(
     let spec_hem = tensor_hemisphere(&replicas[0]);
     let (out_group, t_out) = requant_chain(s, sources, n, requant_shift, relu, spec_hem)
         .expect("requant ports free (pre-allocated destination path)");
-    write_segments(s, replicas, segments, out_group, t_out, n, Slice::Vxm.position())
+    write_segments(
+        s,
+        replicas,
+        segments,
+        out_group,
+        t_out,
+        n,
+        Slice::Vxm.position(),
+    )
 }
 
 /// Places `op` at `t` and repeats it for `n − 1` further rows.
@@ -661,6 +673,8 @@ pub fn matmul(
 }
 
 #[cfg(test)]
+// Index loops mirror the paper's math in these reference checks.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use tsp_arch::{ChipConfig, Vector};
@@ -702,12 +716,7 @@ mod tests {
     }
 
     /// Reference: y[n][m] = clamp(round(Σ_k x[n][k]·w[m][k] / 2^shift)).
-    pub(crate) fn reference(
-        x: &[Vec<i8>],
-        w: &[Vec<i8>],
-        shift: i8,
-        relu: bool,
-    ) -> Vec<Vec<i8>> {
+    pub(crate) fn reference(x: &[Vec<i8>], w: &[Vec<i8>], shift: i8, relu: bool) -> Vec<Vec<i8>> {
         x.iter()
             .map(|row| {
                 (0..w.len())
@@ -755,7 +764,13 @@ mod tests {
 
         let x = s
             .alloc
-            .alloc_in(Some(Hemisphere::East), n as u32, k as u16, BankPolicy::High, 4096)
+            .alloc_in(
+                Some(Hemisphere::East),
+                n as u32,
+                k as u16,
+                BankPolicy::High,
+                4096,
+            )
             .unwrap();
         fill_acts(&mut chip, &x, &x_data);
         let wh = emplace_weights(&mut s, &mut chip, &w_data);
@@ -772,7 +787,8 @@ mod tests {
         };
         let (outs, _) = matmul(&mut s, &[vec![x]], &wset, &opts);
         let program = s.into_program().expect("valid schedule");
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
 
         let expect = reference(&x_data, &w_data, 3, false);
         for r in 0..n {
@@ -809,7 +825,8 @@ mod tests {
         };
         let (outs, _) = matmul(&mut s, &[vec![x]], &wset, &opts);
         let program = s.into_program().unwrap();
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
 
         let expect = reference(&x_data, &w_data, 0, true);
         for r in 0..n {
@@ -843,7 +860,13 @@ mod tests {
 
         let x0 = s
             .alloc
-            .alloc_in(Some(Hemisphere::East), n as u32, 320, BankPolicy::High, 4096)
+            .alloc_in(
+                Some(Hemisphere::East),
+                n as u32,
+                320,
+                BankPolicy::High,
+                4096,
+            )
             .unwrap();
         let x1 = s
             .alloc
@@ -865,7 +888,8 @@ mod tests {
         };
         let (outs, _) = matmul(&mut s, &[vec![x0], vec![x1]], &wset, &opts);
         let program = s.into_program().unwrap();
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
 
         let expect = reference(&x_data, &w_data, 4, false);
         for r in 0..n {
@@ -900,7 +924,8 @@ mod tests {
         };
         let (outs, _) = matmul(&mut s, &[vec![x]], &wset, &opts);
         let program = s.into_program().unwrap();
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         assert_eq!(outs[0].len(), 3);
         for rep in &outs[0] {
             for r in 0..2u32 {

@@ -8,8 +8,10 @@ pub mod elementwise;
 pub mod matmul;
 pub mod pool;
 
-pub use conv::{alloc_feature_map, conv2d, emplace_conv_weights, Conv2dParams, ConvWeights, FeatureMap};
+pub use conv::{
+    alloc_feature_map, conv2d, emplace_conv_weights, Conv2dParams, ConvWeights, FeatureMap,
+};
 pub use elementwise::{binary_ew, binary_ew_replicated, copy, copy_replicated, unary_ew};
-pub use matmul::{schedule_plane_chain, schedule_requant_write, Int32Stream, Pass};
 pub use matmul::{matmul, MatmulOpts, WeightSet};
+pub use matmul::{schedule_plane_chain, schedule_requant_write, Int32Stream, Pass};
 pub use pool::{global_avg_pool, max_pool, MaxPoolParams};

@@ -13,15 +13,13 @@
 //! (standard practice — see DESIGN.md §2).
 
 use tsp_arch::{Direction, Hemisphere, Slice, StreamGroup, StreamId, Vector};
-use tsp_isa::{
-    AccumulateMode, BinaryAluOp, DataType, MxmOp, Plane, VxmOp, MXM_ARRAY_DELAY,
-};
+use tsp_isa::{AccumulateMode, BinaryAluOp, DataType, MxmOp, Plane, VxmOp, MXM_ARRAY_DELAY};
 use tsp_sim::IcuId;
 
 use crate::alloc::BankPolicy;
+use crate::kernels::conv::FeatureMap;
 use crate::kernels::elementwise::{pick_alu, tensor_hemisphere};
 use crate::kernels::matmul::{place_repeated, schedule_requant_write, Int32Stream};
-use crate::kernels::conv::FeatureMap;
 use crate::resource::Resource;
 use crate::sched::{Scheduler, D_VXM};
 use crate::tensor::TensorHandle;
@@ -137,8 +135,7 @@ pub fn max_pool(
             for (i, (tensor, rows)) in plan.iter().enumerate() {
                 let dir = Direction::inward_from(tensor_hemisphere(tensor));
                 let stagger = (i as u64).saturating_sub(1) * D_VXM;
-                let want =
-                    s.earliest_read_arrival(tensor, rows, dir, vxm, t0 + stagger);
+                let want = s.earliest_read_arrival(tensor, rows, dir, vxm, t0 + stagger);
                 t0 = t0.max(want.saturating_sub(stagger));
             }
             for (i, (tensor, rows)) in plan.iter().enumerate() {
@@ -174,8 +171,10 @@ pub fn max_pool(
                         alu,
                     },
                 );
-                s.pool
-                    .occupy(Resource::Stream(out_dir, mid_id), t_op + D_VXM + u64::from(n) + 128);
+                s.pool.occupy(
+                    Resource::Stream(out_dir, mid_id),
+                    t_op + D_VXM + u64::from(n) + 128,
+                );
                 current = mid;
                 t_cur = t_op + D_VXM;
             }
@@ -272,13 +271,20 @@ pub fn global_avg_pool(
         let ready = s.pool.free_at(plane_res).max(not_before);
         let (wbase, ready) = s.take_aligned_group(to_mxm, 16, ready);
         let mut t_lw = ready;
-        let weight_rows: Vec<Vec<u32>> =
-            (0..16u32).map(|j| (j * 20..(j + 1) * 20).collect()).collect();
+        let weight_rows: Vec<Vec<u32>> = (0..16u32)
+            .map(|j| (j * 20..(j + 1) * 20).collect())
+            .collect();
         for rows in &weight_rows {
             t_lw = s.earliest_read_arrival(&identity, rows, to_mxm, mxm, t_lw);
         }
         for (j, rows) in weight_rows.iter().enumerate() {
-            s.read_rows(&identity, rows, StreamId::new(wbase + j as u8, to_mxm), mxm, t_lw);
+            s.read_rows(
+                &identity,
+                rows,
+                StreamId::new(wbase + j as u8, to_mxm),
+                mxm,
+                t_lw,
+            );
         }
         s.place(
             IcuId::Mxm { plane, port: 0 },
@@ -414,7 +420,8 @@ mod tests {
                 }
             }
         }
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
 
         for oy in 0..out.h {
             for ox in 0..out.w {
@@ -470,7 +477,8 @@ mod tests {
                 }
             }
         }
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         // 2×2/2 pool of a raster ramp: max of each quad is its bottom-right.
         for oy in 0..2u32 {
             for ox in 0..2u32 {
@@ -497,10 +505,12 @@ mod tests {
                 for ch in 0..c {
                     v.set_lane(ch as usize, (ch as u8) + 1);
                 }
-                chip.memory.write(input.parts[0][0].row(input.row_index(y, x)), v);
+                chip.memory
+                    .write(input.parts[0][0].row(input.row_index(y, x)), v);
             }
         }
-        chip.run(&program, &RunOptions::default()).expect("clean run");
+        chip.run(&program, &RunOptions::default())
+            .expect("clean run");
         let got = chip.memory.read_unchecked(outs[0].row(0));
         for ch in 0..c {
             // Sum over 9 pixels of (ch+1), saturated to int8.

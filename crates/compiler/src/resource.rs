@@ -106,10 +106,7 @@ impl ResourcePool {
         scored.sort_unstable();
         let chosen: Vec<(u64, std::cmp::Reverse<u8>)> =
             scored.into_iter().take(count as usize).collect();
-        let ready = chosen
-            .iter()
-            .map(|(t, _)| *t)
-            .fold(at, u64::max);
+        let ready = chosen.iter().map(|(t, _)| *t).fold(at, u64::max);
         let mut ids: Vec<u8> = chosen.into_iter().map(|(_, id)| id.0).collect();
         ids.sort_unstable();
         (

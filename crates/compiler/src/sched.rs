@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use tsp_arch::{Direction, Hemisphere, Position, Slice, StreamId};
-use tsp_isa::{IcuOp, Instruction, MemOp, MemAddr};
+use tsp_isa::{IcuOp, Instruction, MemAddr, MemOp};
 use tsp_sim::{IcuId, Program};
 
 use crate::alloc::MemAllocator;
@@ -132,9 +132,8 @@ impl Scheduler {
     /// Places one instruction at an absolute dispatch cycle.
     pub fn place(&mut self, icu: IcuId, cycle: u64, instruction: impl Into<Instruction>) {
         let instruction = instruction.into();
-        let effect = cycle
-            + instruction.queue_cycles()
-            + u64::from(instruction.time_model().d_func);
+        let effect =
+            cycle + instruction.queue_cycles() + u64::from(instruction.time_model().d_func);
         self.note_completion(effect);
         self.placements
             .entry(icu)
@@ -268,8 +267,10 @@ impl Scheduler {
             }
             self.occupy_mem(h, s, dispatch + u64::from(run));
         }
-        self.pool
-            .occupy(Resource::Stream(dir, stream.id), t0 + u64::from(count) + 128);
+        self.pool.occupy(
+            Resource::Stream(dir, stream.id),
+            t0 + u64::from(count) + 128,
+        );
     }
 
     /// Marks a MEM slice's (single-issue) queue busy until `until`.
@@ -299,8 +300,16 @@ impl Scheduler {
         t_write: u64,
         extra_avoid: &[(Hemisphere, u8)],
     ) -> TensorHandle {
-        self.try_alloc_for_write(hemisphere, rows, cols, policy, max_block, t_write, extra_avoid)
-            .expect("SRAM with free write ports exhausted")
+        self.try_alloc_for_write(
+            hemisphere,
+            rows,
+            cols,
+            policy,
+            max_block,
+            t_write,
+            extra_avoid,
+        )
+        .expect("SRAM with free write ports exhausted")
     }
 
     /// Fallible [`Scheduler::alloc_for_write`]: `None` when no slice with a
@@ -379,9 +388,9 @@ impl Scheduler {
         for (idx, &r) in rows.iter().enumerate() {
             let a = tensor.row(r);
             let pos = Slice::mem(a.hemisphere, a.slice).position();
-            let delta = direction
-                .hops(pos, consumer)
-                .unwrap_or_else(|| panic!("slice {pos} not upstream of {consumer} going {direction}"));
+            let delta = direction.hops(pos, consumer).unwrap_or_else(|| {
+                panic!("slice {pos} not upstream of {consumer} going {direction}")
+            });
             let lead = D_READ + u64::from(delta);
             let free = self.mem_free(a.hemisphere, a.slice);
             // dispatch = t0 + idx - lead must be ≥ free (and ≥ 0).
@@ -527,9 +536,7 @@ impl Scheduler {
                         icu,
                         cycle,
                         instruction: instruction.to_string(),
-                        previous: prev
-                            .map(|(c, i)| format!("{i} @{c}"))
-                            .unwrap_or_default(),
+                        previous: prev.map(|(c, i)| format!("{i} @{c}")).unwrap_or_default(),
                     });
                 }
                 prev = Some((cycle, instruction.to_string()));
@@ -544,9 +551,9 @@ impl Scheduler {
 mod tests {
     use super::*;
     use crate::alloc::BankPolicy;
+    use tsp_arch::StreamGroup;
     use tsp_arch::Vector;
     use tsp_isa::{AluIndex, DataType, UnaryAluOp, VxmOp};
-    use tsp_arch::StreamGroup;
     use tsp_mem::GlobalAddress;
     use tsp_sim::chip::RunOptions;
     use tsp_sim::Chip;
@@ -578,9 +585,17 @@ mod tests {
             dst: StreamGroup::new(StreamId::east(1), 1),
             alu: AluIndex::new(0),
         };
-        s.place(IcuId::Vxm { alu: AluIndex::new(0) }, t0, op);
         s.place(
-            IcuId::Vxm { alu: AluIndex::new(0) },
+            IcuId::Vxm {
+                alu: AluIndex::new(0),
+            },
+            t0,
+            op,
+        );
+        s.place(
+            IcuId::Vxm {
+                alu: AluIndex::new(0),
+            },
             t0 + 1,
             IcuOp::Repeat { n: 7, d: 1 },
         );
@@ -600,7 +615,8 @@ mod tests {
                 Vector::splat(r as u8 + 1),
             );
         }
-        chip.run(&program, &RunOptions::default()).expect("runs clean");
+        chip.run(&program, &RunOptions::default())
+            .expect("runs clean");
         for r in 0..8u32 {
             let got = chip.memory.read_unchecked(dst.row(r));
             assert_eq!(got, Vector::splat(r as u8 + 1), "row {r}");
@@ -633,9 +649,17 @@ mod tests {
             dst: StreamGroup::new(StreamId::east(1), 1),
             alu: AluIndex::new(1),
         };
-        s.place(IcuId::Vxm { alu: AluIndex::new(1) }, t0, op);
         s.place(
-            IcuId::Vxm { alu: AluIndex::new(1) },
+            IcuId::Vxm {
+                alu: AluIndex::new(1),
+            },
+            t0,
+            op,
+        );
+        s.place(
+            IcuId::Vxm {
+                alu: AluIndex::new(1),
+            },
             t0 + 1,
             IcuOp::Repeat { n: 7, d: 1 },
         );
@@ -646,7 +670,8 @@ mod tests {
         for r in 0..8u32 {
             chip.memory.write(src.row(r), Vector::splat(0x30 + r as u8));
         }
-        chip.run(&program, &RunOptions::default()).expect("runs clean");
+        chip.run(&program, &RunOptions::default())
+            .expect("runs clean");
         for r in 0..8u32 {
             assert_eq!(
                 chip.memory.read_unchecked(dst.row(r)),
@@ -672,11 +697,7 @@ mod tests {
                 stream: StreamId::east(0),
             },
         );
-        s.place(
-            icu,
-            11,
-            IcuOp::Repeat { n: 10, d: 1 },
-        ); // occupies 11..21
+        s.place(icu, 11, IcuOp::Repeat { n: 10, d: 1 }); // occupies 11..21
         s.place(
             icu,
             15,
@@ -703,8 +724,7 @@ mod tests {
         // First dispatch is t0 - lead and must be ≥ 1000.
         let a = src.row(0);
         let pos = Slice::mem(a.hemisphere, a.slice).position();
-        let lead = D_READ
-            + u64::from(Direction::West.hops(pos, Slice::Vxm.position()).unwrap());
+        let lead = D_READ + u64::from(Direction::West.hops(pos, Slice::Vxm.position()).unwrap());
         assert!(t0 - lead >= 1000, "t0={t0} lead={lead}");
     }
 }

@@ -53,9 +53,7 @@ pub use tsp_sim as sim;
 
 /// The names most programs need, in one import.
 pub mod prelude {
-    pub use tsp_arch::{
-        ChipConfig, Direction, Hemisphere, Slice, StreamGroup, StreamId, Vector,
-    };
+    pub use tsp_arch::{ChipConfig, Direction, Hemisphere, Slice, StreamGroup, StreamId, Vector};
     pub use tsp_compiler::alloc::BankPolicy;
     pub use tsp_compiler::kernels::{
         binary_ew, conv2d, copy, global_avg_pool, matmul, max_pool, unary_ew,

@@ -97,9 +97,7 @@ impl C2cOp {
     #[must_use]
     pub fn link(self) -> LinkId {
         match self {
-            C2cOp::Deskew { link } | C2cOp::Send { link, .. } | C2cOp::Receive { link, .. } => {
-                link
-            }
+            C2cOp::Deskew { link } | C2cOp::Send { link, .. } | C2cOp::Receive { link, .. } => link,
         }
     }
 }

@@ -154,9 +154,7 @@ fn put_u16(buf: &mut Vec<u8>, v: u16) {
 }
 
 fn get_u16(bytes: &[u8], at: &mut usize) -> Result<u16, DecodeError> {
-    let b = bytes
-        .get(*at..*at + 2)
-        .ok_or(DecodeError::Truncated)?;
+    let b = bytes.get(*at..*at + 2).ok_or(DecodeError::Truncated)?;
     *at += 2;
     Ok(u16::from_le_bytes([b[0], b[1]]))
 }
@@ -786,8 +784,8 @@ mod tests {
     fn every_instruction_roundtrips() {
         for insn in samples() {
             let bytes = insn.encode();
-            let (decoded, used) = Instruction::decode(&bytes)
-                .unwrap_or_else(|e| panic!("decode of {insn}: {e}"));
+            let (decoded, used) =
+                Instruction::decode(&bytes).unwrap_or_else(|e| panic!("decode of {insn}: {e}"));
             assert_eq!(decoded, insn);
             assert_eq!(used, bytes.len(), "trailing bytes for {insn}");
         }

@@ -73,7 +73,11 @@ impl PermuteMap {
 
 impl fmt::Debug for PermuteMap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "PermuteMap[{}, {}, {}, ..]", self.0[0], self.0[1], self.0[2])
+        write!(
+            f,
+            "PermuteMap[{}, {}, {}, ..]",
+            self.0[0], self.0[1], self.0[2]
+        )
     }
 }
 

@@ -320,6 +320,9 @@ mod tests {
             dst: StreamGroup::new(StreamId::new(3, Direction::West), 1),
             alu: AluIndex::new(2),
         };
-        assert_eq!(op.to_string(), "add_sat SG1[1-1].E,SG1[2-2].E,SG1[3-3].W (int8,alu2)");
+        assert_eq!(
+            op.to_string(),
+            "add_sat SG1[1-1].E,SG1[2-2].E,SG1[3-3].W (int8,alu2)"
+        );
     }
 }

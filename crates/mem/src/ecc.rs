@@ -45,8 +45,24 @@ fn data_positions() -> &'static [u16; DATA_BITS] {
     })
 }
 
-fn get_bit(data: &[u8; 16], bit: usize) -> bool {
-    data[bit / 8] >> (bit % 8) & 1 == 1
+/// Per-(byte index, byte value) XOR of the codeword positions of the set data
+/// bits — collapses [`encode`]'s 128 per-bit probes into 16 table lookups.
+fn byte_syndromes() -> &'static [[u16; 256]; 16] {
+    static TABLE: OnceLock<Box<[[u16; 256]; 16]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let positions = data_positions();
+        let mut table = Box::new([[0u16; 256]; 16]);
+        for (i, row) in table.iter_mut().enumerate() {
+            for (v, acc) in row.iter_mut().enumerate() {
+                for bit in 0..8 {
+                    if v >> bit & 1 == 1 {
+                        *acc ^= positions[i * 8 + bit];
+                    }
+                }
+            }
+        }
+        table
+    })
 }
 
 fn flip_bit(data: &mut [u8; 16], bit: usize) {
@@ -57,14 +73,12 @@ fn flip_bit(data: &mut [u8; 16], bit: usize) {
 /// parity bits, bit 8 the overall parity over the whole 137-bit codeword.
 #[must_use]
 pub fn encode(data: &[u8; 16]) -> u16 {
-    let positions = data_positions();
+    let table = byte_syndromes();
     let mut syndrome_acc: u16 = 0; // XOR of positions of set data bits
     let mut ones = 0u32;
-    for (bit, &pos) in positions.iter().enumerate() {
-        if get_bit(data, bit) {
-            syndrome_acc ^= pos;
-            ones += 1;
-        }
+    for (i, &b) in data.iter().enumerate() {
+        syndrome_acc ^= table[i][b as usize];
+        ones += b.count_ones();
     }
     // Parity bit i (position 2^i) makes the parity over its coverage even, so
     // its value equals bit i of the XOR-of-positions accumulator.
@@ -280,7 +294,9 @@ mod tests {
         for _ in 0..16 {
             let mut w = [0u8; 16];
             for b in &mut w {
-                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 *b = (state >> 56) as u8;
             }
             v.push(w);
@@ -321,7 +337,9 @@ mod tests {
             for bit in 0..CHECK_BITS {
                 let mut w = SecdedWord::protect(data);
                 w.inject_check_flip(bit);
-                let out = w.verify().unwrap_or_else(|e| panic!("check bit {bit}: {e}"));
+                let out = w
+                    .verify()
+                    .unwrap_or_else(|e| panic!("check bit {bit}: {e}"));
                 assert_eq!(out, EccOutcome::Corrected { data_bit: None });
                 assert_eq!(w.data, data);
             }

@@ -63,7 +63,10 @@ impl fmt::Display for AccessError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AccessError::BankConflict { bank, cycle } => {
-                write!(f, "read/write bank conflict on bank {bank} at cycle {cycle}")
+                write!(
+                    f,
+                    "read/write bank conflict on bank {bank} at cycle {cycle}"
+                )
             }
             AccessError::PortConflict { cycle } => {
                 write!(f, "more than one read or write port used at cycle {cycle}")
@@ -146,12 +149,7 @@ impl MemSlice {
     ///
     /// Returns [`AccessError`] if this access conflicts with another access
     /// to the same slice in the same cycle (same bank, or same port).
-    pub fn access(
-        &mut self,
-        cycle: u64,
-        addr: MemAddr,
-        is_write: bool,
-    ) -> Result<(), AccessError> {
+    pub fn access(&mut self, cycle: u64, addr: MemAddr, is_write: bool) -> Result<(), AccessError> {
         let bank = addr.bank();
         let (read_bank, write_bank) = match self.last_access {
             Some((c, r, w)) if c == cycle => (r, w),
@@ -230,8 +228,7 @@ impl GlobalAddress {
     /// Linear byte offset in the uniform PGAS layout (for allocator math).
     #[must_use]
     pub fn linear(self) -> usize {
-        (self.flat_slice() as usize * crate::slice::WORDS_PER_BANK * 2
-            + self.word.word() as usize)
+        (self.flat_slice() as usize * crate::slice::WORDS_PER_BANK * 2 + self.word.word() as usize)
             * 320
     }
 }
@@ -256,8 +253,12 @@ impl Memory {
     pub fn new() -> Memory {
         Memory {
             slices: [
-                (0..MEM_SLICES_PER_HEMISPHERE).map(|_| MemSlice::new()).collect(),
-                (0..MEM_SLICES_PER_HEMISPHERE).map(|_| MemSlice::new()).collect(),
+                (0..MEM_SLICES_PER_HEMISPHERE)
+                    .map(|_| MemSlice::new())
+                    .collect(),
+                (0..MEM_SLICES_PER_HEMISPHERE)
+                    .map(|_| MemSlice::new())
+                    .collect(),
             ],
             errors: ErrorLog::new(),
         }
@@ -362,7 +363,8 @@ mod tests {
         let a = GlobalAddress::new(Hemisphere::West, 3, addr(7));
         let v = Vector::from_fn(|i| (i * 3) as u8);
         mem.write(a, v.clone());
-        mem.slice_mut(Hemisphere::West, 3).inject_fault(addr(7), 17, 4);
+        mem.slice_mut(Hemisphere::West, 3)
+            .inject_fault(addr(7), 17, 4);
         assert_eq!(mem.read_checked(5, a).unwrap(), v);
         assert_eq!(mem.errors.corrected(), 1);
         assert_eq!(mem.errors.events()[0].cycle, 5);
@@ -374,8 +376,10 @@ mod tests {
         let a = GlobalAddress::new(Hemisphere::West, 0, addr(0));
         mem.write(a, Vector::splat(0xA5));
         // Two flips within the same superlane word.
-        mem.slice_mut(Hemisphere::West, 0).inject_fault(addr(0), 0, 0);
-        mem.slice_mut(Hemisphere::West, 0).inject_fault(addr(0), 1, 3);
+        mem.slice_mut(Hemisphere::West, 0)
+            .inject_fault(addr(0), 0, 0);
+        mem.slice_mut(Hemisphere::West, 0)
+            .inject_fault(addr(0), 1, 3);
         assert!(mem.read_checked(9, a).is_err());
         assert_eq!(mem.errors.uncorrectable(), 1);
     }
@@ -386,8 +390,10 @@ mod tests {
         let a = GlobalAddress::new(Hemisphere::East, 1, addr(1));
         let v = Vector::splat(0x3C);
         mem.write(a, v.clone());
-        mem.slice_mut(Hemisphere::East, 1).inject_fault(addr(1), 5, 1); // superlane 0
-        mem.slice_mut(Hemisphere::East, 1).inject_fault(addr(1), 300, 7); // superlane 18
+        mem.slice_mut(Hemisphere::East, 1)
+            .inject_fault(addr(1), 5, 1); // superlane 0
+        mem.slice_mut(Hemisphere::East, 1)
+            .inject_fault(addr(1), 300, 7); // superlane 18
         assert_eq!(mem.read_checked(0, a).unwrap(), v);
         assert_eq!(mem.errors.corrected(), 2);
     }

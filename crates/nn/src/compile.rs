@@ -21,14 +21,17 @@
 //!   otherwise every layer is fenced behind its predecessor (the E13
 //!   baseline).
 
+use std::collections::HashMap;
+use std::sync::Arc;
+
 use tsp_arch::{Hemisphere, Vector};
 use tsp_compiler::alloc::BankPolicy;
+use tsp_compiler::kernels::conv::alloc_feature_map;
 use tsp_compiler::kernels::matmul::schedule_requant_write_into;
 use tsp_compiler::kernels::{
     conv2d, global_avg_pool, matmul, max_pool, schedule_plane_chain, Conv2dParams, ConvWeights,
     FeatureMap, MatmulOpts, MaxPoolParams, Pass, WeightSet,
 };
-use tsp_compiler::kernels::conv::alloc_feature_map;
 use tsp_compiler::{Scheduler, TensorHandle};
 use tsp_isa::{BinaryAluOp, Plane};
 use tsp_sim::{Chip, Program};
@@ -288,13 +291,17 @@ fn emplace_conv(s: &mut Scheduler, q: &QConv) -> ConvWeights {
                     let mrows = (q.co - m0).min(320);
                     let rows = lw_rows(
                         |m, lane| {
-                            q.w[((((m0 + m) * q.ci + k0 + lane) * q.k + dy) * q.k + dx)
-                                as usize]
+                            q.w[((((m0 + m) * q.ci + k0 + lane) * q.k + dy) * q.k + dx) as usize]
                         },
                         mrows,
                         kcols,
                     );
-                    per_mpart.push(vec![s.add_constant(rows, kcols as u16, BankPolicy::Low, 20)]);
+                    per_mpart.push(vec![s.add_constant(
+                        rows,
+                        kcols as u16,
+                        BankPolicy::Low,
+                        20,
+                    )]);
                 }
                 per_kpart.push(per_mpart);
             }
@@ -454,8 +461,7 @@ pub fn compile(q: &QuantGraph, options: &CompileOptions) -> CompiledModel {
                 let Some(Lowered::Map(input)) = &lowered[node.inputs[0]] else {
                     panic!("gap input not a map")
                 };
-                let (parts, _) =
-                    global_avg_pool(&mut s, input, q.gap_shift[&i], hemi(i), 0);
+                let (parts, _) = global_avg_pool(&mut s, input, q.gap_shift[&i], hemi(i), 0);
                 Some(Lowered::Flat(parts))
             }
             Op::Dense { relu, .. } => {
@@ -472,8 +478,7 @@ pub fn compile(q: &QuantGraph, options: &CompileOptions) -> CompiledModel {
                     ..MatmulOpts::default()
                 };
                 let (outs, _) = matmul(&mut s, &x_parts, &w, &opts);
-                let flat: Vec<TensorHandle> =
-                    outs.into_iter().map(|mut v| v.remove(0)).collect();
+                let flat: Vec<TensorHandle> = outs.into_iter().map(|mut v| v.remove(0)).collect();
                 Some(Lowered::Flat(flat))
             }
             Op::Add { relu } => {
@@ -599,6 +604,59 @@ pub fn compile(q: &QuantGraph, options: &CompileOptions) -> CompiledModel {
         layer_spans: spans,
         probes,
     }
+}
+
+/// Process-global cache of compiled models, keyed by a fingerprint of the
+/// quantized graph and the compile options.
+static COMPILE_CACHE: std::sync::OnceLock<std::sync::Mutex<HashMap<u64, Arc<CompiledModel>>>> =
+    std::sync::OnceLock::new();
+
+/// Fingerprint of everything [`compile`] reads: graph structure, quantized
+/// parameters, and options. Collisions would only silently reuse a model
+/// compiled from a *different* graph, so the full weight bytes are hashed
+/// (cheap next to a compile, which walks them many times).
+fn fingerprint(q: &QuantGraph, options: &CompileOptions) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    options.overlap.hash(&mut h);
+    // Node ops/edges/names have stable Debug representations.
+    format!("{:?}", q.graph.nodes).hash(&mut h);
+    for (i, c) in &q.conv {
+        (i, c.co, c.ci, c.k, c.shift).hash(&mut h);
+        c.w.hash(&mut h);
+    }
+    for (i, d) in &q.dense {
+        (i, d.out, d.inp, d.shift).hash(&mut h);
+        d.w.hash(&mut h);
+    }
+    for (i, s) in &q.gap_shift {
+        (i, s).hash(&mut h);
+    }
+    q.input_scale.to_bits().hash(&mut h);
+    h.finish()
+}
+
+/// [`compile`], memoized: repeated calls with an identical quantized graph
+/// and options return the *same* `Arc<CompiledModel>` without recompiling.
+///
+/// The shared model is immutable — `load_constants` / `write_input` only
+/// touch the `Chip` — so any number of threads can simulate from one cached
+/// compile concurrently (the host-throughput pattern of the `determinism`,
+/// `resnet_throughput`, and `fig10_power` benchmarks).
+///
+/// # Panics
+///
+/// Panics where [`compile`] panics, and if the cache mutex is poisoned.
+#[must_use]
+pub fn compile_cached(q: &QuantGraph, options: &CompileOptions) -> Arc<CompiledModel> {
+    let key = fingerprint(q, options);
+    let cache = COMPILE_CACHE.get_or_init(|| std::sync::Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().unwrap().get(&key) {
+        return Arc::clone(hit);
+    }
+    // Compile outside the lock: a long compile must not block unrelated hits.
+    let model = Arc::new(compile(q, options));
+    Arc::clone(cache.lock().unwrap().entry(key).or_insert(model))
 }
 
 /// Lowers the first conv as a dense matmul over host-im2col'ed patches,

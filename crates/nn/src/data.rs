@@ -28,14 +28,7 @@ pub struct Dataset {
 /// Generates a dataset: `per_class` samples of each of `classes` classes,
 /// with the default noise amplitude.
 #[must_use]
-pub fn synthetic(
-    seed: u64,
-    h: u32,
-    w: u32,
-    c: u32,
-    classes: usize,
-    per_class: usize,
-) -> Dataset {
+pub fn synthetic(seed: u64, h: u32, w: u32, c: u32, classes: usize, per_class: usize) -> Dataset {
     synthetic_noisy(seed, h, w, c, classes, per_class, 0.35)
 }
 
@@ -63,8 +56,7 @@ pub fn synthetic_noisy(
                     let ch = i as u32 % c;
                     let p = i as u32 / c;
                     let (y, x) = (p / w, p % w);
-                    ((y as f32 * fy / h as f32 + x as f32 * fx / w as f32)
-                        * std::f32::consts::TAU
+                    ((y as f32 * fy / h as f32 + x as f32 * fx / w as f32) * std::f32::consts::TAU
                         + phase
                         + ch as f32)
                         .sin()

@@ -268,7 +268,14 @@ mod tests {
             "p",
         );
         let gap = g.push(Op::GlobalAvgPool, vec![p], "gap");
-        let d = g.push(Op::Dense { out: 10, relu: false }, vec![gap], "fc");
+        let d = g.push(
+            Op::Dense {
+                out: 10,
+                relu: false,
+            },
+            vec![gap],
+            "fc",
+        );
         let shapes = g.shapes();
         assert_eq!(shapes[c1], Shape::Map { h: 8, w: 8, c: 16 });
         assert_eq!(shapes[p], Shape::Map { h: 4, w: 4, c: 16 });

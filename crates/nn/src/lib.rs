@@ -30,6 +30,6 @@ pub mod reference;
 pub mod resnet;
 pub mod train;
 
-pub use compile::{compile, CompileOptions, CompiledModel};
+pub use compile::{compile, compile_cached, CompileOptions, CompiledModel};
 pub use graph::{ConvSpec, Graph, Op, Params};
 pub use quant::{quantize, QuantGraph};

@@ -112,11 +112,10 @@ pub fn quantize(graph: &Graph, params: &Params, calibration: &[Vec<f32>]) -> Qua
             Op::Conv(_) => {
                 let cw = &params.conv[&i];
                 let s_w = abs_max(&cw.w) / 127.0;
-                let w_q: Vec<i8> = cw
-                    .w
-                    .iter()
-                    .map(|&x| (x / s_w).round().clamp(-128.0, 127.0) as i8)
-                    .collect();
+                let w_q: Vec<i8> =
+                    cw.w.iter()
+                        .map(|&x| (x / s_w).round().clamp(-128.0, 127.0) as i8)
+                        .collect();
                 let s_in = scales[node.inputs[0]];
                 let s_out_target = act_max[i] / 127.0;
                 let shift = (s_out_target / (s_in * s_w)).log2().round() as i8;
@@ -136,11 +135,10 @@ pub fn quantize(graph: &Graph, params: &Params, calibration: &[Vec<f32>]) -> Qua
             Op::Dense { .. } => {
                 let dw = &params.dense[&i];
                 let s_w = abs_max(&dw.w) / 127.0;
-                let w_q: Vec<i8> = dw
-                    .w
-                    .iter()
-                    .map(|&x| (x / s_w).round().clamp(-128.0, 127.0) as i8)
-                    .collect();
+                let w_q: Vec<i8> =
+                    dw.w.iter()
+                        .map(|&x| (x / s_w).round().clamp(-128.0, 127.0) as i8)
+                        .collect();
                 let s_in = scales[node.inputs[0]];
                 let s_out_target = act_max[i] / 127.0;
                 let shift = (s_out_target / (s_in * s_w)).log2().round() as i8;
@@ -160,9 +158,7 @@ pub fn quantize(graph: &Graph, params: &Params, calibration: &[Vec<f32>]) -> Qua
                 // out_q = sum_int32 × 2^-shift; sum over N pixels ≈ N × avg.
                 // shift ≈ log2(N) keeps the average's scale ≈ the input's.
                 let s_in = scales[node.inputs[0]];
-                let crate::graph::Shape::Map { h, w, .. } =
-                    graph.shapes()[node.inputs[0]]
-                else {
+                let crate::graph::Shape::Map { h, w, .. } = graph.shapes()[node.inputs[0]] else {
                     panic!("gap input must be a map")
                 };
                 let n = (h * w) as f32;
@@ -216,7 +212,14 @@ mod tests {
             "c1",
         );
         let gap = g.push(Op::GlobalAvgPool, vec![c], "gap");
-        g.push(Op::Dense { out: 3, relu: false }, vec![gap], "fc");
+        g.push(
+            Op::Dense {
+                out: 3,
+                relu: false,
+            },
+            vec![gap],
+            "fc",
+        );
 
         let mut params = Params::default();
         let conv_w: Vec<f32> = (0..4 * 2 * 9)

@@ -95,28 +95,47 @@ pub fn run_fp32(graph: &Graph, params: &crate::graph::Params, image: &[f32]) -> 
                 let cw = &params.conv[&i];
                 let (oh, ow) = out_hw(*h, *w, spec.k, spec.stride, spec.pad);
                 let mut out = vec![0f32; (oh * ow * spec.c_out) as usize];
+                let wr = reorder_conv_blocked(&cw.w, spec.c_out, *c, spec.k);
+                let cu = *c as usize;
+                let c_out = spec.c_out as usize;
+                let row = (spec.k * spec.k) as usize * cu;
+                let nblk = c_out.div_ceil(CO_BLOCK);
+                let mut taps: Vec<(usize, usize)> = Vec::with_capacity((spec.k * spec.k) as usize);
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        for co in 0..spec.c_out {
-                            let mut acc = 0f32;
-                            for ky in 0..spec.k {
-                                for kx in 0..spec.k {
-                                    let iy = (oy * spec.stride + ky) as i64 - i64::from(spec.pad);
-                                    let ix = (ox * spec.stride + kx) as i64 - i64::from(spec.pad);
-                                    if iy < 0 || ix < 0 || iy >= i64::from(*h) || ix >= i64::from(*w) {
-                                        continue;
-                                    }
-                                    for ci in 0..*c {
-                                        acc += data
-                                            [((iy as u32 * *w + ix as u32) * *c + ci) as usize]
-                                            * cw.at(co, ci, ky, kx);
+                        taps.clear();
+                        for ky in 0..spec.k {
+                            for kx in 0..spec.k {
+                                let iy = (oy * spec.stride + ky) as i64 - i64::from(spec.pad);
+                                let ix = (ox * spec.stride + kx) as i64 - i64::from(spec.pad);
+                                if iy < 0 || ix < 0 || iy >= i64::from(*h) || ix >= i64::from(*w) {
+                                    continue;
+                                }
+                                taps.push((
+                                    ((iy as u32 * *w + ix as u32) * *c) as usize,
+                                    ((ky * spec.k + kx) * *c) as usize,
+                                ));
+                            }
+                        }
+                        let obase = ((oy * ow + ox) * spec.c_out) as usize;
+                        for blk in 0..nblk {
+                            let wb = &wr[blk * row * CO_BLOCK..(blk + 1) * row * CO_BLOCK];
+                            let mut acc = [0f32; CO_BLOCK];
+                            for &(ibase, wbase) in &taps {
+                                let xs = &data[ibase..ibase + cu];
+                                let ws = &wb[wbase * CO_BLOCK..(wbase + cu) * CO_BLOCK];
+                                for (j, &x) in xs.iter().enumerate() {
+                                    let wj = &ws[j * CO_BLOCK..j * CO_BLOCK + CO_BLOCK];
+                                    for b in 0..CO_BLOCK {
+                                        acc[b] += x * wj[b];
                                     }
                                 }
                             }
-                            if spec.relu {
-                                acc = acc.max(0.0);
+                            let live = (c_out - blk * CO_BLOCK).min(CO_BLOCK);
+                            for (b, &a) in acc.iter().enumerate().take(live) {
+                                out[obase + blk * CO_BLOCK + b] =
+                                    if spec.relu { a.max(0.0) } else { a };
                             }
-                            out[((oy * ow + ox) * spec.c_out + co) as usize] = acc;
                         }
                     }
                 }
@@ -187,11 +206,13 @@ pub fn run_fp32(graph: &Graph, params: &crate::graph::Params, image: &[f32]) -> 
                     ValueF::Map { .. } => panic!("dense on map"),
                 };
                 let dw = &params.dense[&i];
-                let out: Vec<f32> = (0..*o)
+                let inp = dw.inp as usize;
+                let out: Vec<f32> = (0..*o as usize)
                     .map(|oi| {
+                        let row = &dw.w[oi * inp..(oi + 1) * inp];
                         let mut acc = 0f32;
-                        for (ii, &xv) in x.iter().enumerate() {
-                            acc += xv * dw.at(oi, ii as u32);
+                        for (&xv, &wv) in x.iter().zip(row) {
+                            acc += xv * wv;
                         }
                         if *relu {
                             acc.max(0.0)
@@ -203,10 +224,7 @@ pub fn run_fp32(graph: &Graph, params: &crate::graph::Params, image: &[f32]) -> 
                 ValueF::Flat(out)
             }
             Op::Add { relu } => match (&values[node.inputs[0]], &values[node.inputs[1]]) {
-                (
-                    ValueF::Map { h, w, c, data: a },
-                    ValueF::Map { data: b, .. },
-                ) => ValueF::Map {
+                (ValueF::Map { h, w, c, data: a }, ValueF::Map { data: b, .. }) => ValueF::Map {
                     h: *h,
                     w: *w,
                     c: *c,
@@ -258,32 +276,50 @@ pub fn run_int8(q: &QuantGraph, image: &[i8]) -> Vec<ValueQ> {
                 let qc = &q.conv[&i];
                 let (oh, ow) = out_hw(*h, *w, spec.k, spec.stride, spec.pad);
                 let mut out = vec![0i8; (oh * ow * spec.c_out) as usize];
+                let wr = reorder_conv_blocked(&qc.w, spec.c_out, *c, spec.k);
+                let cu = *c as usize;
+                let c_out = spec.c_out as usize;
+                let row = (spec.k * spec.k) as usize * cu;
+                let nblk = c_out.div_ceil(CO_BLOCK);
+                let mut taps: Vec<(usize, usize)> = Vec::with_capacity((spec.k * spec.k) as usize);
                 for oy in 0..oh {
                     for ox in 0..ow {
-                        for co in 0..spec.c_out {
-                            let mut acc = 0i64;
-                            for ky in 0..spec.k {
-                                for kx in 0..spec.k {
-                                    let iy = (oy * spec.stride + ky) as i64 - i64::from(spec.pad);
-                                    let ix = (ox * spec.stride + kx) as i64 - i64::from(spec.pad);
-                                    if iy < 0 || ix < 0 || iy >= i64::from(*h) || ix >= i64::from(*w) {
-                                        continue;
-                                    }
-                                    for ci in 0..*c {
-                                        let x = data
-                                            [((iy as u32 * *w + ix as u32) * *c + ci) as usize];
-                                        let wv = qc.w[(((co * qc.ci + ci) * qc.k + ky) * qc.k
-                                            + kx)
-                                            as usize];
-                                        acc += i64::from(x) * i64::from(wv);
+                        taps.clear();
+                        for ky in 0..spec.k {
+                            for kx in 0..spec.k {
+                                let iy = (oy * spec.stride + ky) as i64 - i64::from(spec.pad);
+                                let ix = (ox * spec.stride + kx) as i64 - i64::from(spec.pad);
+                                if iy < 0 || ix < 0 || iy >= i64::from(*h) || ix >= i64::from(*w) {
+                                    continue;
+                                }
+                                taps.push((
+                                    ((iy as u32 * *w + ix as u32) * *c) as usize,
+                                    ((ky * spec.k + kx) * *c) as usize,
+                                ));
+                            }
+                        }
+                        let obase = ((oy * ow + ox) * spec.c_out) as usize;
+                        for blk in 0..nblk {
+                            let wb = &wr[blk * row * CO_BLOCK..(blk + 1) * row * CO_BLOCK];
+                            let mut acc = [0i64; CO_BLOCK];
+                            for &(ibase, wbase) in &taps {
+                                let xs = &data[ibase..ibase + cu];
+                                let ws = &wb[wbase * CO_BLOCK..(wbase + cu) * CO_BLOCK];
+                                for (j, &x) in xs.iter().enumerate() {
+                                    let wj = &ws[j * CO_BLOCK..j * CO_BLOCK + CO_BLOCK];
+                                    for b in 0..CO_BLOCK {
+                                        acc[b] += i64::from(x) * i64::from(wj[b]);
                                     }
                                 }
                             }
-                            let mut y = sat8(shift_round(acc, qc.shift));
-                            if spec.relu {
-                                y = y.max(0);
+                            let live = (c_out - blk * CO_BLOCK).min(CO_BLOCK);
+                            for (b, &a) in acc.iter().enumerate().take(live) {
+                                let mut y = sat8(shift_round(a, qc.shift));
+                                if spec.relu {
+                                    y = y.max(0);
+                                }
+                                out[obase + blk * CO_BLOCK + b] = y;
                             }
-                            out[((oy * ow + ox) * spec.c_out + co) as usize] = y;
                         }
                     }
                 }
@@ -352,14 +388,14 @@ pub fn run_int8(q: &QuantGraph, image: &[i8]) -> Vec<ValueQ> {
                     ValueQ::Map { .. } => panic!("dense on map"),
                 };
                 let qd = &q.dense[&i];
-                let out: Vec<i8> = (0..*o)
+                let inp = qd.inp as usize;
+                let out: Vec<i8> = (0..*o as usize)
                     .map(|oi| {
+                        let row = &qd.w[oi * inp..(oi + 1) * inp];
                         let acc: i64 = x
                             .iter()
-                            .enumerate()
-                            .map(|(ii, &xv)| {
-                                i64::from(xv) * i64::from(qd.w[(oi * qd.inp + ii as u32) as usize])
-                            })
+                            .zip(row)
+                            .map(|(&xv, &wv)| i64::from(xv) * i64::from(wv))
                             .sum();
                         let mut y = sat8(shift_round(acc, qd.shift));
                         if *relu {
@@ -371,10 +407,7 @@ pub fn run_int8(q: &QuantGraph, image: &[i8]) -> Vec<ValueQ> {
                 ValueQ::Flat(out)
             }
             Op::Add { relu } => match (&values[node.inputs[0]], &values[node.inputs[1]]) {
-                (
-                    ValueQ::Map { h, w, c, data: a },
-                    ValueQ::Map { data: b, .. },
-                ) => ValueQ::Map {
+                (ValueQ::Map { h, w, c, data: a }, ValueQ::Map { data: b, .. }) => ValueQ::Map {
                     h: *h,
                     w: *w,
                     c: *c,
@@ -398,8 +431,41 @@ pub fn run_int8(q: &QuantGraph, image: &[i8]) -> Vec<ValueQ> {
     values
 }
 
+/// Output channels accumulated per pass of the reference convolutions.
+///
+/// Each channel keeps the textbook `(ky, kx, ci)` accumulation order — so the
+/// results are bit-identical to the naive triple loop (this matters for fp32
+/// calibration, where summation order changes the rounding) — but the eight
+/// independent accumulators hide the FP-add latency chain and let the
+/// per-element work vectorize.
+const CO_BLOCK: usize = 8;
+
+/// Reorders conv weights from `[co][ci][ky][kx]` into [`CO_BLOCK`]-wide
+/// output-channel blocks laid out `[blk][ky][kx][ci][b]`, zero-padding the
+/// last block, so the inner conv loops read weights contiguously.
+fn reorder_conv_blocked<T: Copy + Default>(w: &[T], c_out: u32, ci: u32, k: u32) -> Vec<T> {
+    let (c_out, ci, k) = (c_out as usize, ci as usize, k as usize);
+    let row = k * k * ci;
+    let mut out = vec![T::default(); c_out.div_ceil(CO_BLOCK) * row * CO_BLOCK];
+    for co in 0..c_out {
+        let (blk, b) = (co / CO_BLOCK, co % CO_BLOCK);
+        for ky in 0..k {
+            for kx in 0..k {
+                for c in 0..ci {
+                    out[(blk * row + (ky * k + kx) * ci + c) * CO_BLOCK + b] =
+                        w[((co * ci + c) * k + ky) * k + kx];
+                }
+            }
+        }
+    }
+    out
+}
+
 fn out_hw(h: u32, w: u32, k: u32, stride: u32, pad: u32) -> (u32, u32) {
-    ((h + 2 * pad - k) / stride + 1, (w + 2 * pad - k) / stride + 1)
+    (
+        (h + 2 * pad - k) / stride + 1,
+        (w + 2 * pad - k) / stride + 1,
+    )
 }
 
 /// The index of the largest element (argmax for classification).

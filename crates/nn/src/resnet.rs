@@ -95,12 +95,12 @@ pub fn resnet(depth: u32, hw: u32, classes: u32, widths: &Widths, seed: u64) -> 
     };
 
     let push_conv = |g: &mut Graph,
-                         params: &mut Params,
-                         wgen: &mut Weighter,
-                         input: usize,
-                         ci: u32,
-                         spec: ConvSpec,
-                         name: String| {
+                     params: &mut Params,
+                     wgen: &mut Weighter,
+                     input: usize,
+                     ci: u32,
+                     spec: ConvSpec,
+                     name: String| {
         let id = g.push(Op::Conv(spec), vec![input], name);
         params.conv.insert(id, wgen.conv(spec.c_out, ci, spec.k));
         id

@@ -132,7 +132,12 @@ pub fn train_head(
         for (x, &label) in feats.iter().zip(&data.labels) {
             // Softmax probabilities.
             let logits: Vec<f32> = (0..classes)
-                .map(|c| x.iter().zip(&w[c * dim..(c + 1) * dim]).map(|(a, b)| a * b).sum())
+                .map(|c| {
+                    x.iter()
+                        .zip(&w[c * dim..(c + 1) * dim])
+                        .map(|(a, b)| a * b)
+                        .sum()
+                })
                 .collect();
             let max = logits.iter().fold(f32::MIN, |m, &v| m.max(v));
             let exps: Vec<f32> = logits.iter().map(|&v| (v - max).exp()).collect();
@@ -162,7 +167,12 @@ pub fn train_head(
         .zip(&data.labels)
         .filter(|(x, &label)| {
             let logits: Vec<f32> = (0..classes)
-                .map(|c| x.iter().zip(&w[c * dim..(c + 1) * dim]).map(|(a, b)| a * b).sum())
+                .map(|c| {
+                    x.iter()
+                        .zip(&w[c * dim..(c + 1) * dim])
+                        .map(|(a, b)| a * b)
+                        .sum()
+                })
                 .collect();
             crate::reference::argmax_f(&logits) == label
         })

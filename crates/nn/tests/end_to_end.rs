@@ -93,6 +93,9 @@ fn compiled_model_is_run_to_run_deterministic() {
         cycles.push(c);
         logits.push(l);
     }
-    assert!(cycles.windows(2).all(|w| w[0] == w[1]), "cycles: {cycles:?}");
+    assert!(
+        cycles.windows(2).all(|w| w[0] == w[1]),
+        "cycles: {cycles:?}"
+    );
     assert!(logits.windows(2).all(|w| w[0] == w[1]));
 }

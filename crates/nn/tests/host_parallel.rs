@@ -1,0 +1,101 @@
+//! Host-throughput contracts: the compiled-program cache, the timing-only
+//! fast path, and many-threads-one-program determinism.
+//!
+//! The TSP side is deterministic by construction (paper §IV-F); these tests
+//! pin down the *host* properties the benchmark harness relies on:
+//!
+//! * [`compile_cached`] memoizes — callers share one immutable
+//!   [`CompiledModel`] and simulate from it concurrently;
+//! * `RunOptions { functional: false }` changes no observable timing — only
+//!   the data path is skipped;
+//! * N threads simulating the same program produce bit-identical
+//!   [`RunReport`]s, equal to a serial run's.
+
+use std::sync::Arc;
+
+use tsp_arch::ChipConfig;
+use tsp_nn::compile::{compile_cached, CompileOptions, CompiledModel};
+use tsp_nn::data::synthetic;
+use tsp_nn::quant::{quantize, QuantGraph};
+use tsp_nn::resnet::resnet_tiny;
+use tsp_sim::chip::{RunOptions, RunReport};
+use tsp_sim::Chip;
+
+fn tiny_model() -> (QuantGraph, Arc<CompiledModel>, Vec<i8>) {
+    let (g, params) = resnet_tiny(10, 3);
+    let data = synthetic(21, 32, 32, 3, 2, 2);
+    let q = quantize(&g, &params, &data.images[..2]);
+    let model = compile_cached(&q, &CompileOptions::default());
+    let qi = q.quantize_image(&data.images[0]);
+    (q, model, qi)
+}
+
+fn run(model: &CompiledModel, qi: &[i8], options: &RunOptions) -> (RunReport, Vec<i8>) {
+    let mut chip = Chip::new(ChipConfig::asic());
+    model.load_constants(&mut chip);
+    model.write_input(&mut chip, qi);
+    let report = chip.run(&model.program, options).expect("clean run");
+    let logits = model.read_logits(&chip);
+    (report, logits)
+}
+
+#[test]
+fn compile_cached_shares_one_model_per_key() {
+    let (q, model, _) = tiny_model();
+    let again = compile_cached(&q, &CompileOptions::default());
+    assert!(
+        Arc::ptr_eq(&model, &again),
+        "same graph + options must hit the cache"
+    );
+    let fenced = compile_cached(&q, &CompileOptions { overlap: false });
+    assert!(
+        !Arc::ptr_eq(&model, &fenced),
+        "different options must compile separately"
+    );
+    assert!(fenced.cycles >= model.cycles);
+}
+
+#[test]
+fn timing_only_run_is_cycle_identical_to_functional() {
+    let (_, model, qi) = tiny_model();
+    let (full, _) = run(&model, &qi, &RunOptions::default());
+    let (timing, _) = run(
+        &model,
+        &qi,
+        &RunOptions {
+            functional: false,
+            ..RunOptions::default()
+        },
+    );
+    assert_eq!(full.cycles, timing.cycles);
+    assert_eq!(full.instructions, timing.instructions);
+    assert_eq!(full.nops, timing.nops);
+    // Bandwidth counters track scheduled traffic, not data values.
+    assert_eq!(full.bandwidth, timing.bandwidth);
+}
+
+#[test]
+fn parallel_runs_are_bit_identical_to_serial() {
+    let (q, model, qi) = tiny_model();
+    let (serial, serial_logits) = run(&model, &qi, &RunOptions::default());
+
+    const THREADS: usize = 4;
+    let results: Vec<(RunReport, Vec<i8>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let model = compile_cached(&q, &CompileOptions::default());
+                let qi = &qi;
+                scope.spawn(move || run(&model, qi, &RunOptions::default()))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    for (report, logits) in &results {
+        assert_eq!(report.cycles, serial.cycles);
+        assert_eq!(report.instructions, serial.instructions);
+        assert_eq!(report.nops, serial.nops);
+        assert_eq!(report.ecc_corrected, serial.ecc_corrected);
+        assert_eq!(logits, &serial_logits);
+    }
+}

@@ -138,12 +138,7 @@ impl EnergyModel {
     /// Mean power attributed to each half-open cycle span (the per-layer bars
     /// of Fig. 10): returns watts per span.
     #[must_use]
-    pub fn span_watts(
-        &self,
-        events: &[Activity],
-        spans: &[(u64, u64)],
-        clock_hz: f64,
-    ) -> Vec<f64> {
+    pub fn span_watts(&self, events: &[Activity], spans: &[(u64, u64)], clock_hz: f64) -> Vec<f64> {
         spans
             .iter()
             .map(|&(start, end)| {
@@ -182,7 +177,13 @@ mod tests {
             for _ in 0..4 {
                 events.push(ev(t, ActivityKind::MxmMacc, 320));
             }
-            events.push(ev(t, ActivityKind::VxmAlu { transcendental: false }, 320));
+            events.push(ev(
+                t,
+                ActivityKind::VxmAlu {
+                    transcendental: false,
+                },
+                320,
+            ));
             for _ in 0..6 {
                 events.push(ev(t, ActivityKind::MemRead, 320));
             }
@@ -197,7 +198,9 @@ mod tests {
     #[test]
     fn single_plane_draws_roughly_quarter_of_mxm_power() {
         let m = EnergyModel::default();
-        let one: Vec<Activity> = (0..100).map(|t| ev(t, ActivityKind::MxmMacc, 320)).collect();
+        let one: Vec<Activity> = (0..100)
+            .map(|t| ev(t, ActivityKind::MxmMacc, 320))
+            .collect();
         let four: Vec<Activity> = (0..100)
             .flat_map(|t| (0..4).map(move |_| ev(t, ActivityKind::MxmMacc, 320)))
             .collect();

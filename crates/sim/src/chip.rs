@@ -17,9 +17,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
-use tsp_arch::{
-    vector, ChipConfig, Cycle, Position, StreamId, Vector, SUPERLANES,
-};
+use tsp_arch::{vector, ChipConfig, Cycle, Position, StreamId, Vector, SUPERLANES};
 use tsp_isa::{
     encode::decode_fetch_block, C2cOp, DataType, IcuOp, Instruction, LinkId, MemOp, MxmOp, SxmOp,
     VxmOp,
@@ -42,9 +40,11 @@ pub struct RunOptions {
     pub trace: bool,
     /// Abort with [`SimError::CycleLimit`] past this cycle (runaway guard).
     pub cycle_limit: u64,
-    /// Compute real MXM dot products. `false` skips the arithmetic (results
-    /// are zeros) for timing-only sweeps — cycle counts are unaffected
-    /// because timing never depends on data (the determinism thesis).
+    /// Compute real results. `false` skips the data path — MXM dot products,
+    /// VXM/SXM arithmetic, and ECC encode/check — producing zero words, for
+    /// timing-only sweeps. Cycle counts, instruction counts and traces are
+    /// unaffected because timing never depends on data (the determinism
+    /// thesis); reads are still validated against the schedule.
     pub functional: bool,
 }
 
@@ -121,6 +121,9 @@ pub struct Chip {
     planes: Vec<MxmPlane>,
     ingress: Vec<VecDeque<(Cycle, Arc<StreamWord>)>>,
     egress: Vec<(u8, Cycle, Arc<StreamWord>)>,
+    /// Shared all-zero word produced by timing-only runs: one allocation and
+    /// one ECC encode for the whole run instead of one per stream write.
+    zero_word: Arc<StreamWord>,
 }
 
 impl Chip {
@@ -134,6 +137,7 @@ impl Chip {
             planes: (0..4).map(|_| MxmPlane::new()).collect(),
             ingress: (0..16).map(|_| VecDeque::new()).collect(),
             egress: Vec::new(),
+            zero_word: Arc::new(StreamWord::protect(Vector::ZERO)),
         }
     }
 
@@ -188,17 +192,14 @@ impl Chip {
             .map(|(i, _)| Reverse((0, i)))
             .collect();
         let mut parked: Vec<(usize, Cycle)> = Vec::new();
-        let mut last_sweep = 0u64;
 
+        // No periodic stream sweep: the flat stream file reclaims expired
+        // diagonals incrementally on write, so memory stays bounded.
         while let Some(Reverse((t, qi))) = heap.pop() {
             if t > options.cycle_limit {
                 return Err(SimError::CycleLimit {
                     limit: options.cycle_limit,
                 });
-            }
-            if t.saturating_sub(last_sweep) > 16_384 {
-                self.streams.sweep(t);
-                last_sweep = t;
             }
             match self.step(&mut queues[qi], t, &mut ctx)? {
                 Step::NextAt(next) => {
@@ -357,9 +358,11 @@ impl Chip {
                 q.pc += 1;
                 Ok(Step::NextAt(t + 2))
             }
-            Instruction::Mxm(op @ (MxmOp::LoadWeights { .. }
-            | MxmOp::ActivationBuffer { .. }
-            | MxmOp::Accumulate { .. })) => {
+            Instruction::Mxm(
+                op @ (MxmOp::LoadWeights { .. }
+                | MxmOp::ActivationBuffer { .. }
+                | MxmOp::Accumulate { .. }),
+            ) => {
                 ctx.instructions += 1;
                 validate_routing(q.icu, &instr)?;
                 let rows = match op {
@@ -446,14 +449,19 @@ impl Chip {
 
     /// Consumer-side ECC check of a stream word (paper §II-D): corrects
     /// single-bit upsets (logging to the CSR), faults on double-bit errors.
+    ///
+    /// `check: false` (timing-only runs) skips the per-superlane SECDED
+    /// verification: the data is not computed on, and timing never depends
+    /// on it.
     fn consume(
         &mut self,
         icu: IcuId,
         word: &StreamWord,
         stream: StreamId,
         t: Cycle,
+        check: bool,
     ) -> Result<Vector, SimError> {
-        if !self.config.ecc_enabled {
+        if !check || !self.config.ecc_enabled {
             return Ok(word.data.clone());
         }
         let mut data = word.data.clone();
@@ -485,17 +493,35 @@ impl Chip {
         stream: StreamId,
         pos: Position,
         t: Cycle,
+        check: bool,
     ) -> Result<Vector, SimError> {
         let word = self.read_stream(icu, stream, pos, t)?;
-        self.consume(icu, &word, stream, t)
+        self.consume(icu, &word, stream, t, check)
     }
 
     /// Produces a fresh (re-protected) vector onto a stream at `t_eff`.
-    fn produce(&mut self, stream: StreamId, pos: Position, t_eff: Cycle, data: Vector, ctx: &mut RunCtx) {
+    fn produce(
+        &mut self,
+        stream: StreamId,
+        pos: Position,
+        t_eff: Cycle,
+        data: Vector,
+        ctx: &mut RunCtx,
+    ) {
         ctx.bandwidth.record(Traffic::Stream, 320);
         ctx.last_effect = ctx.last_effect.max(t_eff);
         self.streams
             .write(stream, pos, t_eff, Arc::new(StreamWord::protect(data)));
+    }
+
+    /// Timing-only produce: same bandwidth and timing bookkeeping as
+    /// [`Chip::produce`], but the payload is the shared zero word — no
+    /// allocation and no ECC encode.
+    fn produce_zero(&mut self, stream: StreamId, pos: Position, t_eff: Cycle, ctx: &mut RunCtx) {
+        ctx.bandwidth.record(Traffic::Stream, 320);
+        ctx.last_effect = ctx.last_effect.max(t_eff);
+        self.streams
+            .write(stream, pos, t_eff, Arc::clone(&self.zero_word));
     }
 
     fn mem_op(
@@ -518,7 +544,8 @@ impl Chip {
                     .map_err(|error| SimError::Memory { error, icu })?;
                 let stored = slice.peek(*addr);
                 ctx.bandwidth.record(Traffic::SramRead, 320);
-                ctx.trace.record(t, ActivityKind::MemRead, self.active_lanes());
+                ctx.trace
+                    .record(t, ActivityKind::MemRead, self.active_lanes());
                 // Forward data with its *stored* check bits: ECC is generated
                 // at the producer and travels with the word (paper §II-D).
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
@@ -534,7 +561,7 @@ impl Chip {
                 );
             }
             MemOp::Write { addr, stream } => {
-                let data = self.read_consume(icu, *stream, pos, t)?;
+                let data = self.read_consume(icu, *stream, pos, t, ctx.functional)?;
                 let slice = self.memory.slice_mut(hemisphere, index);
                 slice
                     .access(t, *addr, true)
@@ -546,7 +573,7 @@ impl Chip {
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
             }
             MemOp::Gather { stream, map } => {
-                let map_vec = self.read_consume(icu, *map, pos, t)?;
+                let map_vec = self.read_consume(icu, *map, pos, t, ctx.functional)?;
                 let slice = self.memory.slice_mut(hemisphere, index);
                 // Modeled as a full-slice read for port accounting.
                 slice
@@ -554,10 +581,8 @@ impl Chip {
                     .map_err(|error| SimError::Memory { error, icu })?;
                 let mut out = Vector::ZERO;
                 for s in 0..SUPERLANES {
-                    let a = u16::from_le_bytes([
-                        map_vec.lane(2 * s),
-                        map_vec.lane(2 * s + 1),
-                    ]) & 0x1FFF;
+                    let a =
+                        u16::from_le_bytes([map_vec.lane(2 * s), map_vec.lane(2 * s + 1)]) & 0x1FFF;
                     let word = slice.peek(tsp_isa::MemAddr::new(a));
                     out.superlane_mut(s).copy_from_slice(word.data.superlane(s));
                 }
@@ -567,17 +592,15 @@ impl Chip {
                 self.produce(*stream, pos, t + d_func, out, ctx);
             }
             MemOp::Scatter { stream, map } => {
-                let data = self.read_consume(icu, *stream, pos, t)?;
-                let map_vec = self.read_consume(icu, *map, pos, t)?;
+                let data = self.read_consume(icu, *stream, pos, t, ctx.functional)?;
+                let map_vec = self.read_consume(icu, *map, pos, t, ctx.functional)?;
                 let slice = self.memory.slice_mut(hemisphere, index);
                 slice
                     .access(t, tsp_isa::MemAddr::new(0), true)
                     .map_err(|error| SimError::Memory { error, icu })?;
                 for s in 0..SUPERLANES {
-                    let a = u16::from_le_bytes([
-                        map_vec.lane(2 * s),
-                        map_vec.lane(2 * s + 1),
-                    ]) & 0x1FFF;
+                    let a =
+                        u16::from_le_bytes([map_vec.lane(2 * s), map_vec.lane(2 * s + 1)]) & 0x1FFF;
                     let addr = tsp_isa::MemAddr::new(a);
                     let mut word = slice.peek(addr);
                     word.data
@@ -606,37 +629,83 @@ impl Chip {
         d_func: Cycle,
         ctx: &mut RunCtx,
     ) -> Result<(), SimError> {
-        let read_group = |chip: &mut Chip, g: tsp_arch::StreamGroup| -> Result<Vec<Vector>, SimError> {
-            g.streams()
-                .map(|s| chip.read_consume(icu, s, pos, t))
-                .collect()
-        };
+        let functional = ctx.functional;
+        // Timing-only runs still perform every stream read (empty reads are
+        // scheduling-contract violations either way) but skip the ALU
+        // arithmetic and produce shared zero words: timing is data-blind.
+        let read_group =
+            |chip: &mut Chip, g: tsp_arch::StreamGroup| -> Result<Vec<Vector>, SimError> {
+                if functional {
+                    g.streams()
+                        .map(|s| chip.read_consume(icu, s, pos, t, true))
+                        .collect()
+                } else {
+                    for s in g.streams() {
+                        chip.read_stream(icu, s, pos, t)?;
+                    }
+                    Ok(Vec::new())
+                }
+            };
         let (result, dst, transcendental) = match op {
-            VxmOp::Unary { op, dtype, src, dst, .. } => {
+            VxmOp::Unary {
+                op,
+                dtype,
+                src,
+                dst,
+                ..
+            } => {
                 let x = read_group(self, *src)?;
-                let r = vxm_unit::apply_unary(*op, *dtype, &x)
-                    .map_err(|reason| SimError::InvalidInstruction { reason })?;
                 let tr = matches!(
                     op,
-                    tsp_isa::UnaryAluOp::Tanh | tsp_isa::UnaryAluOp::Exp | tsp_isa::UnaryAluOp::Rsqrt
+                    tsp_isa::UnaryAluOp::Tanh
+                        | tsp_isa::UnaryAluOp::Exp
+                        | tsp_isa::UnaryAluOp::Rsqrt
                 );
-                (r, *dst, tr)
+                if !functional {
+                    (Vec::new(), *dst, tr)
+                } else {
+                    let r = vxm_unit::apply_unary(*op, *dtype, &x)
+                        .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                    (r, *dst, tr)
+                }
             }
-            VxmOp::Binary { op, dtype, a, b, dst, .. } => {
+            VxmOp::Binary {
+                op,
+                dtype,
+                a,
+                b,
+                dst,
+                ..
+            } => {
                 let va = read_group(self, *a)?;
                 let vb = read_group(self, *b)?;
-                let r = vxm_unit::apply_binary(*op, *dtype, &va, &vb)
-                    .map_err(|reason| SimError::InvalidInstruction { reason })?;
-                (r, *dst, false)
+                if !functional {
+                    (Vec::new(), *dst, false)
+                } else {
+                    let r = vxm_unit::apply_binary(*op, *dtype, &va, &vb)
+                        .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                    (r, *dst, false)
+                }
             }
-            VxmOp::Convert { from, to, src, dst, shift, .. } => {
+            VxmOp::Convert {
+                from,
+                to,
+                src,
+                dst,
+                shift,
+                ..
+            } => {
                 let x = read_group(self, *src)?;
-                let r = vxm_unit::apply_convert(*from, *to, *shift, &x)
-                    .map_err(|reason| SimError::InvalidInstruction { reason })?;
-                (r, *dst, false)
+                if !functional {
+                    (Vec::new(), *dst, false)
+                } else {
+                    let r = vxm_unit::apply_convert(*from, *to, *shift, &x)
+                        .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                    (r, *dst, false)
+                }
             }
         };
-        if result.len() != dst.width as usize {
+        if functional && result.len() != dst.width as usize {
             return Err(SimError::InvalidInstruction {
                 reason: format!(
                     "VXM result width {} does not match destination group {dst}",
@@ -649,9 +718,16 @@ impl Chip {
             ActivityKind::VxmAlu { transcendental },
             self.active_lanes(),
         );
-        for (i, vec) in result.into_iter().enumerate() {
-            let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
-            self.produce(s, pos, t + d_func, vec, ctx);
+        if functional {
+            for (i, vec) in result.into_iter().enumerate() {
+                let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
+                self.produce(s, pos, t + d_func, vec, ctx);
+            }
+        } else {
+            for i in 0..dst.width {
+                let s = StreamId::new(dst.base.id + i, dst.base.direction);
+                self.produce_zero(s, pos, t + d_func, ctx);
+            }
         }
         Ok(())
     }
@@ -667,39 +743,104 @@ impl Chip {
     ) -> Result<(), SimError> {
         op.validate()
             .map_err(|reason| SimError::InvalidInstruction { reason })?;
+        if !ctx.functional {
+            // Validate every read (scheduling contract), skip the shuffle
+            // arithmetic, produce shared zero words — timing is data-blind.
+            let (kind, dsts) = match op {
+                SxmOp::ShiftUp { src, dst, .. } | SxmOp::ShiftDown { src, dst, .. } => {
+                    self.read_stream(icu, *src, pos, t)?;
+                    (ActivityKind::SxmShift, vec![*dst])
+                }
+                SxmOp::Select {
+                    north, south, dst, ..
+                } => {
+                    self.read_stream(icu, *north, pos, t)?;
+                    self.read_stream(icu, *south, pos, t)?;
+                    (ActivityKind::SxmShift, vec![*dst])
+                }
+                SxmOp::Permute { src, dst, .. } => {
+                    self.read_stream(icu, *src, pos, t)?;
+                    (ActivityKind::SxmPermute, vec![*dst])
+                }
+                SxmOp::Distribute { src, dst, .. } => {
+                    self.read_stream(icu, *src, pos, t)?;
+                    (ActivityKind::SxmPermute, vec![*dst])
+                }
+                SxmOp::Rotate { src, dst, .. } => {
+                    for s in src.streams() {
+                        self.read_stream(icu, s, pos, t)?;
+                    }
+                    (
+                        ActivityKind::SxmRotate,
+                        (0..src.len).map(|i| dst.stream(i)).collect(),
+                    )
+                }
+                SxmOp::Transpose { src, dst } => {
+                    for s in src.streams() {
+                        self.read_stream(icu, s, pos, t)?;
+                    }
+                    (
+                        ActivityKind::SxmTranspose,
+                        (0..src.len).map(|i| dst.stream(i)).collect(),
+                    )
+                }
+            };
+            ctx.trace.record(t, kind, self.active_lanes());
+            for s in dsts {
+                self.produce_zero(s, pos, t + d_func, ctx);
+            }
+            return Ok(());
+        }
         match op {
             SxmOp::ShiftUp { n, src, dst } => {
-                let x = self.read_consume(icu, *src, pos, t)?;
-                ctx.trace.record(t, ActivityKind::SxmShift, self.active_lanes());
+                let x = self.read_consume(icu, *src, pos, t, true)?;
+                ctx.trace
+                    .record(t, ActivityKind::SxmShift, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::shift_up(&x, *n), ctx);
             }
             SxmOp::ShiftDown { n, src, dst } => {
-                let x = self.read_consume(icu, *src, pos, t)?;
-                ctx.trace.record(t, ActivityKind::SxmShift, self.active_lanes());
+                let x = self.read_consume(icu, *src, pos, t, true)?;
+                ctx.trace
+                    .record(t, ActivityKind::SxmShift, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::shift_down(&x, *n), ctx);
             }
-            SxmOp::Select { north, south, boundary, dst } => {
-                let n = self.read_consume(icu, *north, pos, t)?;
-                let s = self.read_consume(icu, *south, pos, t)?;
-                ctx.trace.record(t, ActivityKind::SxmShift, self.active_lanes());
-                self.produce(*dst, pos, t + d_func, sxm_unit::select(&n, &s, *boundary), ctx);
+            SxmOp::Select {
+                north,
+                south,
+                boundary,
+                dst,
+            } => {
+                let n = self.read_consume(icu, *north, pos, t, true)?;
+                let s = self.read_consume(icu, *south, pos, t, true)?;
+                ctx.trace
+                    .record(t, ActivityKind::SxmShift, self.active_lanes());
+                self.produce(
+                    *dst,
+                    pos,
+                    t + d_func,
+                    sxm_unit::select(&n, &s, *boundary),
+                    ctx,
+                );
             }
             SxmOp::Permute { map, src, dst } => {
-                let x = self.read_consume(icu, *src, pos, t)?;
-                ctx.trace.record(t, ActivityKind::SxmPermute, self.active_lanes());
+                let x = self.read_consume(icu, *src, pos, t, true)?;
+                ctx.trace
+                    .record(t, ActivityKind::SxmPermute, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::permute(&x, map), ctx);
             }
             SxmOp::Distribute { map, src, dst } => {
-                let x = self.read_consume(icu, *src, pos, t)?;
-                ctx.trace.record(t, ActivityKind::SxmPermute, self.active_lanes());
+                let x = self.read_consume(icu, *src, pos, t, true)?;
+                ctx.trace
+                    .record(t, ActivityKind::SxmPermute, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::distribute(&x, map), ctx);
             }
             SxmOp::Rotate { n, src, dst } => {
                 let rows: Vec<Vector> = src
                     .streams()
-                    .map(|s| self.read_consume(icu, s, pos, t))
+                    .map(|s| self.read_consume(icu, s, pos, t, true))
                     .collect::<Result<_, _>>()?;
-                ctx.trace.record(t, ActivityKind::SxmRotate, self.active_lanes());
+                ctx.trace
+                    .record(t, ActivityKind::SxmRotate, self.active_lanes());
                 for (i, out) in sxm_unit::rotate(&rows, *n).into_iter().enumerate() {
                     self.produce(dst.stream(i as u8), pos, t + d_func, out, ctx);
                 }
@@ -707,7 +848,7 @@ impl Chip {
             SxmOp::Transpose { src, dst } => {
                 let rows: Vec<Vector> = src
                     .streams()
-                    .map(|s| self.read_consume(icu, s, pos, t))
+                    .map(|s| self.read_consume(icu, s, pos, t, true))
                     .collect::<Result<_, _>>()?;
                 ctx.trace
                     .record(t, ActivityKind::SxmTranspose, self.active_lanes());
@@ -736,7 +877,8 @@ impl Chip {
                 // The word leaves with its ECC intact: the link is covered by
                 // the same producer-generated code.
                 let word = self.read_stream(icu, *stream, pos, t)?;
-                ctx.trace.record(t, ActivityKind::C2cSend, self.active_lanes());
+                ctx.trace
+                    .record(t, ActivityKind::C2cSend, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
                 self.egress.push((link.index(), t + d_func, word));
             }
@@ -772,11 +914,18 @@ impl Chip {
         let pos = icu.position().expect("MXM queues have positions");
         match op {
             MxmOp::LoadWeights { plane, streams, .. } => {
-                let rows: Vec<Vector> = streams
-                    .streams()
-                    .map(|s| self.read_consume(icu, s, pos, t))
-                    .collect::<Result<_, _>>()?;
-                self.planes[plane.index() as usize].load_weight_rows(row as u8, &rows);
+                if ctx.functional {
+                    let rows: Vec<Vector> = streams
+                        .streams()
+                        .map(|s| self.read_consume(icu, s, pos, t, true))
+                        .collect::<Result<_, _>>()?;
+                    self.planes[plane.index() as usize].load_weight_rows(row as u8, &rows);
+                } else {
+                    // Validate the reads; the weight values are unused.
+                    for s in streams.streams() {
+                        self.read_stream(icu, s, pos, t)?;
+                    }
+                }
                 ctx.trace
                     .record(t, ActivityKind::MxmLoadWeights, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + 1);
@@ -784,48 +933,70 @@ impl Chip {
             MxmOp::ActivationBuffer { plane, stream, .. } => {
                 let idx = plane.index() as usize;
                 if self.planes[idx].dtype() == DataType::Fp16 {
-                    let lo = self.read_consume(icu, *stream, pos, t)?;
-                    let hi_stream =
-                        StreamId::new(stream.id + 1, stream.direction);
-                    let hi = self.read_consume(icu, hi_stream, pos, t)?;
+                    let lo = self.read_consume(icu, *stream, pos, t, ctx.functional)?;
+                    let hi_stream = StreamId::new(stream.id + 1, stream.direction);
+                    let hi = self.read_consume(icu, hi_stream, pos, t, ctx.functional)?;
                     if !idx.is_multiple_of(2) || idx + 1 >= self.planes.len() {
                         return Err(SimError::InvalidInstruction {
                             reason: "fp16 ABC must target an even plane (tandem pair)".into(),
                         });
                     }
-                    let (a, b) = self.planes.split_at_mut(idx + 1);
-                    a[idx].feed_activation_fp16(t, &b[0], &lo, &hi);
-                } else {
-                    let act = self.read_consume(icu, *stream, pos, t)?;
                     if ctx.functional {
-                        self.planes[idx].feed_activation_i8(t, &act);
+                        let (a, b) = self.planes.split_at_mut(idx + 1);
+                        a[idx].feed_activation_fp16(t, &b[0], &lo, &hi);
                     } else {
                         self.planes[idx].feed_zero(t);
                     }
+                } else if ctx.functional {
+                    let act = self.read_consume(icu, *stream, pos, t, true)?;
+                    self.planes[idx].feed_activation_i8(t, &act);
+                } else {
+                    self.read_stream(icu, *stream, pos, t)?;
+                    self.planes[idx].feed_zero(t);
                 }
-                ctx.trace.record(t, ActivityKind::MxmMacc, self.active_lanes());
+                ctx.trace
+                    .record(t, ActivityKind::MxmMacc, self.active_lanes());
             }
-            MxmOp::Accumulate { plane, dst, mode, .. } => {
+            MxmOp::Accumulate {
+                plane, dst, mode, ..
+            } => {
                 let add = matches!(mode, tsp_isa::AccumulateMode::Accumulate);
-                let result = self.planes[plane.index() as usize]
-                    .accumulate(t, row as usize, add)
-                    .ok_or(SimError::AccumulatorEmpty {
-                        plane: plane.index(),
-                        cycle: t,
-                    })?;
                 if dst.width != 4 {
                     return Err(SimError::InvalidInstruction {
                         reason: format!("ACC destination must be a quad-stream group, got {dst}"),
                     });
                 }
-                let planes_out = match result {
-                    MxmResult::Int32(vals) => vector::split_i32(&vals),
-                    MxmResult::Fp32(vals) => {
-                        let bits: Vec<i32> = vals.iter().map(|f| f.to_bits() as i32).collect();
-                        vector::split_i32(&bits)
+                ctx.trace
+                    .record(t, ActivityKind::MxmAcc, self.active_lanes());
+                if !ctx.functional {
+                    // Pop (and validate) the pending result, emit zero words.
+                    self.planes[plane.index() as usize]
+                        .accumulate(t, row as usize, add)
+                        .ok_or(SimError::AccumulatorEmpty {
+                            plane: plane.index(),
+                            cycle: t,
+                        })?;
+                    for i in 0..4u8 {
+                        let s = StreamId::new(dst.base.id + i, dst.base.direction);
+                        self.produce_zero(s, pos, t + 1, ctx);
+                    }
+                    return Ok(());
+                }
+                let planes_out = {
+                    let result = self.planes[plane.index() as usize]
+                        .accumulate(t, row as usize, add)
+                        .ok_or(SimError::AccumulatorEmpty {
+                            plane: plane.index(),
+                            cycle: t,
+                        })?;
+                    match result {
+                        MxmResult::Int32(vals) => vector::split_i32(vals),
+                        MxmResult::Fp32(vals) => {
+                            let bits: Vec<i32> = vals.iter().map(|f| f.to_bits() as i32).collect();
+                            vector::split_i32(&bits)
+                        }
                     }
                 };
-                ctx.trace.record(t, ActivityKind::MxmAcc, self.active_lanes());
                 for (i, vec) in planes_out.into_iter().enumerate() {
                     let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
                     self.produce(s, pos, t + 1, vec, ctx);
@@ -847,9 +1018,11 @@ impl Chip {
             icu: q.icu,
             instruction: "Ifetch".into(),
         })?;
-        // 640 bytes: a pair of 320-byte vectors on consecutive cycles.
-        let lo = self.read_consume(q.icu, stream, pos, t)?;
-        let hi = self.read_consume(q.icu, stream, pos, t + 1)?;
+        // 640 bytes: a pair of 320-byte vectors on consecutive cycles. The
+        // fetched text is decoded even in timing-only runs, so it is always
+        // ECC-checked.
+        let lo = self.read_consume(q.icu, stream, pos, t, true)?;
+        let hi = self.read_consume(q.icu, stream, pos, t + 1, true)?;
         let mut text = Vec::with_capacity(640);
         text.extend_from_slice(lo.as_bytes());
         text.extend_from_slice(hi.as_bytes());
@@ -857,7 +1030,8 @@ impl Chip {
             reason: e.to_string(),
         })?;
         ctx.bandwidth.record(Traffic::InstructionFetch, 640);
-        ctx.trace.record(t, ActivityKind::Ifetch, self.active_lanes());
+        ctx.trace
+            .record(t, ActivityKind::Ifetch, self.active_lanes());
         q.instructions.extend(fetched);
         Ok(())
     }

@@ -119,7 +119,10 @@ impl fmt::Display for SimError {
                 "{parked} queue(s) parked on Sync with no Notify pending — barrier deadlock"
             ),
             SimError::LinkEmpty { link, cycle } => {
-                write!(f, "Receive on link {link} at cycle {cycle} with no arrived vector")
+                write!(
+                    f,
+                    "Receive on link {link} at cycle {cycle} with no arrived vector"
+                )
             }
         }
     }

@@ -92,7 +92,16 @@ mod tests {
 
     #[test]
     fn exact_values_roundtrip() {
-        for v in [0.0f32, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.000061035156] {
+        for v in [
+            0.0f32,
+            1.0,
+            -1.0,
+            0.5,
+            2.0,
+            65504.0,
+            -65504.0,
+            0.000061035156,
+        ] {
             let h = f32_to_f16(v);
             assert_eq!(f16_to_f32(h), v, "for {v}");
         }

@@ -86,7 +86,11 @@ impl IcuId {
         });
         let c2cs = (0..C2C_QUEUES).map(|port| IcuId::C2c { port });
         let hosts = (0..HOST_QUEUES).map(|port| IcuId::Host { port });
-        mems.chain(vxms).chain(mxms).chain(sxms).chain(c2cs).chain(hosts)
+        mems.chain(vxms)
+            .chain(mxms)
+            .chain(sxms)
+            .chain(c2cs)
+            .chain(hosts)
     }
 
     /// The functional slice this queue's instructions execute on, and hence
@@ -153,7 +157,10 @@ mod tests {
             hemisphere: Hemisphere::East,
             index: 5,
         };
-        assert_eq!(mem.position(), Some(Slice::mem(Hemisphere::East, 5).position()));
+        assert_eq!(
+            mem.position(),
+            Some(Slice::mem(Hemisphere::East, 5).position())
+        );
         assert_eq!(
             IcuId::Vxm {
                 alu: AluIndex::new(0)

@@ -36,6 +36,9 @@ pub struct MxmPlane {
     pending: std::collections::VecDeque<(u64, MxmResult)>,
     /// Standing accumulators indexed by `ACC` row ordinal.
     acc: Vec<MxmResult>,
+    /// Retired int32 result buffers, recycled by the feed paths so the
+    /// feed → accumulate cycle allocates nothing in steady state.
+    free: Vec<Vec<i32>>,
 }
 
 impl MxmPlane {
@@ -48,7 +51,16 @@ impl MxmPlane {
             dtype: DataType::Int8,
             pending: std::collections::VecDeque::new(),
             acc: Vec::new(),
+            free: Vec::new(),
         }
+    }
+
+    /// A zeroed 320-element buffer, reusing a retired one when available.
+    fn take_buffer(&mut self) -> Vec<i32> {
+        let mut buf = self.free.pop().unwrap_or_default();
+        buf.clear();
+        buf.resize(LANES, 0);
+        buf
     }
 
     /// `LW` one cycle's worth: stores 16 weight rows starting at row
@@ -58,7 +70,10 @@ impl MxmPlane {
     ///
     /// Panics if `group >= 20` or fewer than 16 vectors are supplied.
     pub fn load_weight_rows(&mut self, group: u8, rows: &[Vector]) {
-        assert!(u32::from(group) * 16 < LANES as u32, "row group out of range");
+        assert!(
+            u32::from(group) * 16 < LANES as u32,
+            "row group out of range"
+        );
         assert!(rows.len() >= 16, "LW needs 16 stream vectors");
         for (j, row) in rows.iter().take(16).enumerate() {
             self.buffer[group as usize * 16 + j] = *row.as_bytes();
@@ -87,27 +102,28 @@ impl MxmPlane {
     /// installed int8 array, queueing a 320-lane int32 dot-product result that
     /// becomes readable [`tsp_isa::mxm::MXM_ARRAY_DELAY`] cycles after `cycle`.
     pub fn feed_activation_i8(&mut self, cycle: u64, activation: &Vector) {
-        let a = activation.as_bytes();
-        let out: Vec<i32> = self
-            .installed
-            .iter()
-            .map(|wrow| {
-                let mut sum = 0i32;
-                for (w, x) in wrow.iter().zip(a.iter()) {
-                    sum += i32::from(*w as i8) * i32::from(*x as i8);
-                }
-                sum
-            })
-            .collect();
-        self.pending.push_back((cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY), MxmResult::Int32(out)));
+        let a = *activation.as_bytes();
+        let mut out = self.take_buffer();
+        for (o, wrow) in out.iter_mut().zip(&self.installed) {
+            let mut sum = 0i32;
+            for (w, x) in wrow.iter().zip(a.iter()) {
+                sum += i32::from(*w as i8) * i32::from(*x as i8);
+            }
+            *o = sum;
+        }
+        self.pending.push_back((
+            cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
+            MxmResult::Int32(out),
+        ));
     }
 
     /// Timing-only feed: queues a zero result with the same availability as
     /// a real activation pass (used when functional simulation is disabled).
     pub fn feed_zero(&mut self, cycle: u64) {
+        let out = self.take_buffer();
         self.pending.push_back((
             cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
-            MxmResult::Int32(vec![0; LANES]),
+            MxmResult::Int32(out),
         ));
     }
 
@@ -116,24 +132,31 @@ impl MxmPlane {
     /// activation arrives as a pair of byte-plane vectors. Produces fp32
     /// dot products with a single rounding step (accumulation in f64,
     /// rounded once to f32 — the paper's "only a single rounding step").
-    pub fn feed_activation_fp16(&mut self, cycle: u64, high: &MxmPlane, act_lo: &Vector, act_hi: &Vector) {
+    pub fn feed_activation_fp16(
+        &mut self,
+        cycle: u64,
+        high: &MxmPlane,
+        act_lo: &Vector,
+        act_hi: &Vector,
+    ) {
         let acts: Vec<f32> = (0..LANES)
             .map(|l| fp16::f16_to_f32(u16::from_le_bytes([act_lo.lane(l), act_hi.lane(l)])))
             .collect();
         let out: Vec<f32> = (0..LANES)
             .map(|row| {
                 let mut sum = 0f64;
-                for col in 0..LANES {
-                    let w = fp16::f16_to_f32(u16::from_le_bytes([
-                        self.installed[row][col],
-                        high.installed[row][col],
-                    ]));
-                    sum += f64::from(w) * f64::from(acts[col]);
+                let weights = self.installed[row].iter().zip(&high.installed[row]);
+                for ((&lo, &hi), &a) in weights.zip(&acts) {
+                    let w = fp16::f16_to_f32(u16::from_le_bytes([lo, hi]));
+                    sum += f64::from(w) * f64::from(a);
                 }
                 sum as f32
             })
             .collect();
-        self.pending.push_back((cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY), MxmResult::Fp32(out)));
+        self.pending.push_back((
+            cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
+            MxmResult::Fp32(out),
+        ));
     }
 
     /// `ACC` one cycle's worth: pop the oldest pending result; either
@@ -143,36 +166,42 @@ impl MxmPlane {
     /// Returns `None` when no result is pending **or the oldest result is not
     /// yet available at `cycle`** (both are scheduling bugs the chip simulator
     /// reports as [`crate::SimError::AccumulatorEmpty`]).
-    pub fn accumulate(&mut self, cycle: u64, ordinal: usize, add: bool) -> Option<MxmResult> {
+    pub fn accumulate(&mut self, cycle: u64, ordinal: usize, add: bool) -> Option<&MxmResult> {
         if self.pending.front().is_none_or(|(avail, _)| *avail > cycle) {
             return None;
         }
         let (_, fresh) = self.pending.pop_front()?;
         if self.acc.len() <= ordinal {
-            self.acc.resize(ordinal + 1, MxmResult::Int32(vec![0; LANES]));
+            self.acc
+                .resize(ordinal + 1, MxmResult::Int32(vec![0; LANES]));
         }
         let slot = &mut self.acc[ordinal];
-        if add {
-            match (slot, &fresh) {
+        let retired = if add {
+            match (&mut *slot, &fresh) {
                 (MxmResult::Int32(acc), MxmResult::Int32(new)) => {
                     for (a, n) in acc.iter_mut().zip(new) {
                         *a = a.wrapping_add(*n);
                     }
+                    fresh
                 }
                 (MxmResult::Fp32(acc), MxmResult::Fp32(new)) => {
                     for (a, n) in acc.iter_mut().zip(new) {
                         *a += *n;
                     }
+                    fresh
                 }
-                (slot, fresh) => {
+                _ => {
                     // Type change mid-accumulation: treat as overwrite.
-                    *slot = fresh.clone();
+                    std::mem::replace(slot, fresh)
                 }
             }
         } else {
-            *slot = fresh;
+            std::mem::replace(slot, fresh)
+        };
+        if let MxmResult::Int32(buf) = retired {
+            self.free.push(buf);
         }
-        Some(self.acc[ordinal].clone())
+        Some(&self.acc[ordinal])
     }
 
     /// Number of results awaiting readout.
@@ -212,7 +241,7 @@ mod tests {
         identity_weights(&mut p);
         let act = Vector::from_fn(|i| (i as i32 % 256) as u8);
         p.feed_activation_i8(0, &act);
-        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+        let Some(MxmResult::Int32(out)) = p.accumulate(1000, 0, false) else {
             panic!("expected int32")
         };
         for (i, v) in out.iter().enumerate() {
@@ -227,7 +256,7 @@ mod tests {
         let rows: Vec<Vector> = (0..16).map(|_| Vector::splat(1)).collect();
         p.load_weight_rows(0, &rows);
         p.feed_activation_i8(0, &Vector::splat(1));
-        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+        let Some(MxmResult::Int32(out)) = p.accumulate(1000, 0, false) else {
             panic!()
         };
         assert!(out.iter().all(|&v| v == 0), "uninstalled weights leaked");
@@ -243,7 +272,7 @@ mod tests {
         p.install(DataType::Int8);
         let act = Vector::from_fn(|_| 2u8);
         p.feed_activation_i8(0, &act);
-        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+        let Some(MxmResult::Int32(out)) = p.accumulate(1000, 0, false) else {
             panic!()
         };
         assert_eq!(out[0], 640); // 320 × 1 × 2
@@ -258,7 +287,7 @@ mod tests {
         p.load_weight_rows(0, &rows);
         p.install(DataType::Int8);
         p.feed_activation_i8(0, &Vector::splat((-2i8) as u8));
-        let MxmResult::Int32(out) = p.accumulate(1000, 0, false).unwrap() else {
+        let Some(MxmResult::Int32(out)) = p.accumulate(1000, 0, false) else {
             panic!()
         };
         assert_eq!(out[0], 320 * 6);
@@ -274,11 +303,11 @@ mod tests {
         // Pass 1: overwrite; pass 2: accumulate.
         p.feed_activation_i8(0, &Vector::splat(1));
         p.feed_activation_i8(0, &Vector::splat(2));
-        let MxmResult::Int32(first) = p.accumulate(1000, 0, false).unwrap() else {
+        let Some(MxmResult::Int32(first)) = p.accumulate(1000, 0, false) else {
             panic!()
         };
         assert_eq!(first[0], 320);
-        let MxmResult::Int32(total) = p.accumulate(1000, 0, true).unwrap() else {
+        let Some(MxmResult::Int32(total)) = p.accumulate(1000, 0, true) else {
             panic!()
         };
         assert_eq!(total[0], 320 + 640);
@@ -325,7 +354,7 @@ mod tests {
         act_lo.set_lane(0, (abits & 0xFF) as u8);
         act_hi.set_lane(0, (abits >> 8) as u8);
         lo.feed_activation_fp16(0, &hi, &act_lo, &act_hi);
-        let MxmResult::Fp32(out) = lo.accumulate(1000, 0, false).unwrap() else {
+        let Some(MxmResult::Fp32(out)) = lo.accumulate(1000, 0, false) else {
             panic!()
         };
         assert_eq!(out[0], 3.0);

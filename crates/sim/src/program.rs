@@ -142,8 +142,8 @@ impl QueueBuilder<'_> {
 mod tests {
     use super::*;
     use tsp_arch::Hemisphere;
-    use tsp_isa::{MemAddr, MemOp};
     use tsp_arch::StreamId;
+    use tsp_isa::{MemAddr, MemOp};
 
     fn mem0() -> IcuId {
         IcuId::Mem {
@@ -211,14 +211,8 @@ mod tests {
         p.builder(mem0()).push(read(0));
         let notifier = IcuId::Host { port: 0 };
         let p = p.with_start_barrier(notifier);
-        assert_eq!(
-            p.queue(mem0())[0],
-            Instruction::Icu(IcuOp::Sync)
-        );
-        assert_eq!(
-            p.queue(notifier)[0],
-            Instruction::Icu(IcuOp::Notify)
-        );
+        assert_eq!(p.queue(mem0())[0], Instruction::Icu(IcuOp::Sync));
+        assert_eq!(p.queue(notifier)[0], Instruction::Icu(IcuOp::Notify));
     }
 
     #[test]

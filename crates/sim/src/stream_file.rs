@@ -16,10 +16,17 @@
 //! overwrite it for everyone downstream while upstream traffic is unaffected.
 //!
 //! The representation makes idle stream flow free: no per-cycle copying, yet
-//! reads/writes at any `(position, cycle)` are cycle-exact. A garbage sweep
-//! drops diagonals that have flowed off the chip edge.
+//! reads/writes at any `(position, cycle)` are cycle-exact.
+//!
+//! Storage is a flat array of [`SLOTS`] slots per stream, indexed by the
+//! diagonal modulo [`SLOTS`]. Because only a bounded window of diagonals is
+//! ever referenced at once (the [`NUM_POSITIONS`] on-chip positions plus the
+//! largest write look-ahead `d_func`), two diagonals that alias the same slot
+//! are always ≥ [`SLOTS`] cycles apart — the older one has flowed off the
+//! chip edge, so a write simply reclaims the slot in place. Expiry is thus
+//! incremental; no periodic garbage sweep is required (a [`StreamFile::sweep`]
+//! is still provided for statistics).
 
-use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use tsp_arch::{Direction, Position, StreamId, Vector, NUM_POSITIONS, SUPERLANES};
@@ -53,13 +60,33 @@ fn stream_key(s: StreamId) -> usize {
     s.direction.index() * 32 + s.id as usize
 }
 
-/// Per-stream contents: diagonal → writes ordered by producing position.
-type Diagonals = BTreeMap<i64, Vec<(u8, Arc<StreamWord>)>>;
+/// Slots per stream. A power of two strictly larger than the widest window of
+/// diagonals referenced concurrently: the [`NUM_POSITIONS`] (= 93) on-chip
+/// positions plus the largest stream-writing `d_func` look-ahead. Aliasing
+/// diagonals are ≥ 256 cycles apart, hence never simultaneously live.
+const SLOTS: usize = 256;
+
+/// One diagonal of one stream: the writes on it, ordered by producing
+/// position in flow order. `writes.is_empty()` means the slot is vacant.
+#[derive(Debug, Clone, Default)]
+struct Slot {
+    diagonal: i64,
+    writes: Vec<(u8, Arc<StreamWord>)>,
+}
 
 /// The streaming register file for all 64 logical streams.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct StreamFile {
-    streams: BTreeMap<usize, Diagonals>,
+    /// `64 × SLOTS` slots, stream-major.
+    slots: Vec<Slot>,
+}
+
+impl Default for StreamFile {
+    fn default() -> StreamFile {
+        StreamFile {
+            slots: vec![Slot::default(); 64 * SLOTS],
+        }
+    }
 }
 
 impl StreamFile {
@@ -76,6 +103,10 @@ impl StreamFile {
         }
     }
 
+    fn slot_index(stream: StreamId, d: i64) -> usize {
+        stream_key(stream) * SLOTS + d.rem_euclid(SLOTS as i64) as usize
+    }
+
     /// Writes `word` onto `stream` at `(position, cycle)`: visible to
     /// downstream consumers from the next hop onward (and at `position`
     /// itself at exactly `cycle`).
@@ -87,12 +118,23 @@ impl StreamFile {
         word: Arc<StreamWord>,
     ) {
         let d = StreamFile::diagonal(stream, position, cycle);
-        let entry = self
-            .streams
-            .entry(stream_key(stream))
-            .or_default()
-            .entry(d)
-            .or_default();
+        let slot = &mut self.slots[StreamFile::slot_index(stream, d)];
+        if slot.diagonal != d {
+            // The previous tenant aliases this slot from ≥ SLOTS cycles ago
+            // and has flowed off the chip: reclaim in place. (The Vec keeps
+            // its allocation, so steady-state writes allocate nothing.)
+            debug_assert!(
+                slot.writes.is_empty()
+                    || match stream.direction {
+                        // Newer diagonals are smaller (east) / larger (west).
+                        Direction::East => slot.diagonal > d,
+                        Direction::West => slot.diagonal < d,
+                    },
+                "slot reclaim evicted a live diagonal"
+            );
+            slot.writes.clear();
+            slot.diagonal = d;
+        }
         // Keep entries sorted by flow order of the producing position.
         let pos = position.0;
         let ordinal = |p: u8| -> i16 {
@@ -101,9 +143,12 @@ impl StreamFile {
                 Direction::West => -i16::from(p),
             }
         };
-        match entry.binary_search_by_key(&ordinal(pos), |(p, _)| ordinal(*p)) {
-            Ok(i) => entry[i] = (pos, word),
-            Err(i) => entry.insert(i, (pos, word)),
+        match slot
+            .writes
+            .binary_search_by_key(&ordinal(pos), |(p, _)| ordinal(*p))
+        {
+            Ok(i) => slot.writes[i] = (pos, word),
+            Err(i) => slot.writes.insert(i, (pos, word)),
         }
     }
 
@@ -111,12 +156,20 @@ impl StreamFile {
     /// on this diagonal at or upstream of `position`, or `None` if no value
     /// occupies this slot of the stream.
     #[must_use]
-    pub fn read(&self, stream: StreamId, position: Position, cycle: u64) -> Option<Arc<StreamWord>> {
+    pub fn read(
+        &self,
+        stream: StreamId,
+        position: Position,
+        cycle: u64,
+    ) -> Option<Arc<StreamWord>> {
         let d = StreamFile::diagonal(stream, position, cycle);
-        let entry = self.streams.get(&stream_key(stream))?.get(&d)?;
+        let slot = &self.slots[StreamFile::slot_index(stream, d)];
+        if slot.diagonal != d {
+            return None;
+        }
         // Latest producer whose position is at-or-upstream of `position`.
         let mut best: Option<&Arc<StreamWord>> = None;
-        for (p, w) in entry {
+        for (p, w) in &slot.writes {
             let upstream = match stream.direction {
                 Direction::East => *p <= position.0,
                 Direction::West => *p >= position.0,
@@ -131,33 +184,32 @@ impl StreamFile {
     }
 
     /// Drops diagonals whose values have flowed off the chip edge before
-    /// `cycle` (housekeeping; has no architectural effect).
+    /// `cycle` (statistics housekeeping; reclamation is otherwise incremental
+    /// and this has no architectural effect).
     pub fn sweep(&mut self, cycle: u64) {
         let t = cycle as i64;
         let max = i64::from(NUM_POSITIONS - 1);
-        for (key, diags) in &mut self.streams {
-            let east = *key < 32;
-            diags.retain(|&d, _| {
-                if east {
-                    // Visible positions are p = d + t; on-chip while d + t >= 0
-                    // and d + (birth..t) intersects [0, max]. The whole diagonal
-                    // is gone once d + t > max ... p grows with t, so expired
-                    // when even position `max` was passed: d > max - t means
-                    // not yet born is impossible (d = p - t <= max). Expired
-                    // when d + t > max  ⇔ value has exited east edge.
-                    d + t <= max
-                } else {
-                    // Westward: p = d - t; exits at p < 0 ⇔ d < t.
-                    d - t >= 0
-                }
-            });
+        for (i, slot) in self.slots.iter_mut().enumerate() {
+            if slot.writes.is_empty() {
+                continue;
+            }
+            let live = if i < 32 * SLOTS {
+                // Eastward: p = d + t; exits once d + t > max.
+                slot.diagonal + t <= max
+            } else {
+                // Westward: p = d - t; exits at p < 0 ⇔ d < t.
+                slot.diagonal - t >= 0
+            };
+            if !live {
+                slot.writes.clear();
+            }
         }
     }
 
     /// Number of live diagonals across all streams (for tests and stats).
     #[must_use]
     pub fn live_values(&self) -> usize {
-        self.streams.values().map(|d| d.len()).sum()
+        self.slots.iter().filter(|s| !s.writes.is_empty()).count()
     }
 }
 

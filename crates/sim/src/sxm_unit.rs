@@ -14,13 +14,7 @@ use tsp_isa::PermuteMap;
 #[must_use]
 pub fn shift_up(input: &Vector, n: u16) -> Vector {
     let n = n as usize;
-    Vector::from_fn(|l| {
-        if l + n < LANES {
-            input.lane(l + n)
-        } else {
-            0
-        }
-    })
+    Vector::from_fn(|l| if l + n < LANES { input.lane(l + n) } else { 0 })
 }
 
 /// Lane-shift `n` southward (toward lane 319): output lane `l` reads input
@@ -89,8 +83,8 @@ pub fn transpose(inputs: &[Vector]) -> Vec<Vector> {
             let mut out = Vector::ZERO;
             for s in 0..SUPERLANES {
                 let base = s * LANES_PER_SUPERLANE;
-                for j in 0..16 {
-                    out.set_lane(base + j, inputs[j].lane(base + i));
+                for (j, input) in inputs.iter().enumerate() {
+                    out.set_lane(base + j, input.lane(base + i));
                 }
             }
             out
@@ -191,9 +185,9 @@ mod tests {
             .collect();
         let t = transpose(&inputs);
         // Element (i, j) of superlane 0: t[i].lane(j) == inputs[j].lane(i).
-        for i in 0..16 {
-            for j in 0..16 {
-                assert_eq!(t[i].lane(j), inputs[j].lane(i));
+        for (i, ti) in t.iter().enumerate() {
+            for (j, inp) in inputs.iter().enumerate() {
+                assert_eq!(ti.lane(j), inp.lane(i));
             }
         }
         assert_eq!(transpose(&t), inputs);

@@ -189,9 +189,7 @@ fn binary_lane(op: BinaryAluOp, dtype: DataType, x: Lane, y: Lane) -> Lane {
                 BinaryAluOp::AddSat | BinaryAluOp::SubSat | BinaryAluOp::MulSat => {
                     saturate(dtype, raw)
                 }
-                BinaryAluOp::AddMod | BinaryAluOp::SubMod | BinaryAluOp::MulMod => {
-                    wrap(dtype, raw)
-                }
+                BinaryAluOp::AddMod | BinaryAluOp::SubMod | BinaryAluOp::MulMod => wrap(dtype, raw),
                 BinaryAluOp::Max | BinaryAluOp::Min => raw,
             };
             Lane::Int(cooked)
@@ -292,9 +290,7 @@ mod tests {
     use super::*;
 
     fn int8(vals: &[i8]) -> Vec<Vector> {
-        vec![Vector::from_fn(|i| {
-            vals.get(i).copied().unwrap_or(0) as u8
-        })]
+        vec![Vector::from_fn(|i| vals.get(i).copied().unwrap_or(0) as u8)]
     }
 
     fn get_i8(planes: &[Vector], lane: usize) -> i8 {
@@ -407,13 +403,20 @@ mod tests {
         let f = apply_convert(DataType::Int32, DataType::Fp32, 0, &planes).unwrap();
         assert_eq!(get_f32(&f, 0), -1000.0);
         let back = apply_convert(DataType::Fp32, DataType::Int32, 0, &f).unwrap();
-        let quad = [back[0].clone(), back[1].clone(), back[2].clone(), back[3].clone()];
+        let quad = [
+            back[0].clone(),
+            back[1].clone(),
+            back[2].clone(),
+            back[3].clone(),
+        ];
         assert_eq!(vector::join_i32(&quad)[..3], vals[..]);
     }
 
     #[test]
     fn fp16_roundtrip_through_vxm() {
-        let vals: Vec<u16> = (0..LANES).map(|i| fp16::f32_to_f16(i as f32 * 0.25)).collect();
+        let vals: Vec<u16> = (0..LANES)
+            .map(|i| fp16::f32_to_f16(i as f32 * 0.25))
+            .collect();
         let planes = vector::split_u16(&vals).to_vec();
         let widened = apply_convert(DataType::Fp16, DataType::Fp32, 0, &planes).unwrap();
         assert_eq!(get_f32(&widened, 8), 2.0);

@@ -4,9 +4,7 @@
 //! and pin down the timing contract the compiler relies on (Eq. 4).
 
 use tsp_arch::{ChipConfig, Hemisphere, Slice, StreamGroup, StreamId, Vector};
-use tsp_isa::{
-    AluIndex, BinaryAluOp, DataType, IcuOp, MemAddr, MemOp, SxmOp, VxmOp,
-};
+use tsp_isa::{AluIndex, BinaryAluOp, DataType, IcuOp, MemAddr, MemOp, SxmOp, VxmOp};
 use tsp_mem::GlobalAddress;
 use tsp_sim::chip::RunOptions;
 use tsp_sim::{Chip, IcuId, Program, SimError};
@@ -126,7 +124,10 @@ fn mistimed_consumer_faults() {
         },
     );
     let err = chip.run(&p, &RunOptions::default()).unwrap_err();
-    assert!(matches!(err, SimError::EmptyStreamRead { cycle: 11, .. }), "{err}");
+    assert!(
+        matches!(err, SimError::EmptyStreamRead { cycle: 11, .. }),
+        "{err}"
+    );
 }
 
 /// A chip-wide barrier costs 35 cycles from Notify to Sync-retire
@@ -167,10 +168,8 @@ fn sync_without_notify_is_deadlock() {
 fn repeat_streams_consecutive_addresses() {
     let mut chip = Chip::new(ChipConfig::asic());
     for w in 0..4u16 {
-        chip.memory.write(
-            ga(Hemisphere::East, 0, w),
-            Vector::splat(10 + w as u8),
-        );
+        chip.memory
+            .write(ga(Hemisphere::East, 0, w), Vector::splat(10 + w as u8));
     }
     let mut p = Program::new();
     {
@@ -332,8 +331,10 @@ fn runs_are_bit_identical() {
         let mut chip = Chip::new(ChipConfig::asic());
         chip.memory
             .write(ga(Hemisphere::East, 4, 0), Vector::from_fn(|i| i as u8));
-        chip.memory
-            .write(ga(Hemisphere::East, 5, 0), Vector::from_fn(|i| (i * 7) as u8));
+        chip.memory.write(
+            ga(Hemisphere::East, 5, 0),
+            Vector::from_fn(|i| (i * 7) as u8),
+        );
         chip
     };
     let program = {
@@ -442,14 +443,10 @@ fn ifetch_extends_queue() {
     .into();
     let mut text = fetched.encode();
     text.resize(640, tsp_isa::encode::FETCH_PAD);
-    chip.memory.write(
-        ga(Hemisphere::East, 9, 0),
-        Vector::from_slice(&text[..320]),
-    );
-    chip.memory.write(
-        ga(Hemisphere::East, 9, 1),
-        Vector::from_slice(&text[320..]),
-    );
+    chip.memory
+        .write(ga(Hemisphere::East, 9, 0), Vector::from_slice(&text[..320]));
+    chip.memory
+        .write(ga(Hemisphere::East, 9, 1), Vector::from_slice(&text[320..]));
 
     let mut p = Program::new();
     // MEM_E9 (pos 56) streams the two text vectors west toward MEM_E4 (pos 51).
@@ -479,7 +476,9 @@ fn ifetch_extends_queue() {
     // chip edge, but the dispatch is counted and fetch bandwidth recorded).
     assert_eq!(report.instructions, 2 + 1 + 1); // two text reads + Ifetch + fetched Read
     assert_eq!(
-        report.bandwidth.total(tsp_mem::bandwidth::Traffic::InstructionFetch),
+        report
+            .bandwidth
+            .total(tsp_mem::bandwidth::Traffic::InstructionFetch),
         640
     );
 }

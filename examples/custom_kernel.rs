@@ -6,9 +6,7 @@
 //! Run with: `cargo run -p tsp --example custom_kernel`
 
 use tsp::compiler::alloc::BankPolicy;
-use tsp::compiler::kernels::matmul::{
-    schedule_plane_chain, schedule_requant_write, OutSpec, Pass,
-};
+use tsp::compiler::kernels::matmul::{schedule_plane_chain, schedule_requant_write, OutSpec, Pass};
 use tsp::isa::Plane;
 use tsp::prelude::*;
 
@@ -62,9 +60,8 @@ fn main() {
         replicas: 1,
         max_block: 4096,
     };
-    let (outs, done) =
-        schedule_requant_write(&mut sched, &[int32], u64::from(n), 2, true, &spec)
-            .expect("ports available");
+    let (outs, done) = schedule_requant_write(&mut sched, &[int32], u64::from(n), 2, true, &spec)
+        .expect("ports available");
     let program = sched.into_program().expect("consistent schedule");
 
     // Execute with a host-emplaced constant and input.
@@ -89,10 +86,14 @@ fn main() {
         }
     }
     for row in 0..n {
-        chip.memory
-            .write(x.row(row), Vector::from_fn(|l| if l < k as usize { 1 } else { 0 }));
+        chip.memory.write(
+            x.row(row),
+            Vector::from_fn(|l| if l < k as usize { 1 } else { 0 }),
+        );
     }
-    let report = chip.run(&program, &RunOptions::default()).expect("clean run");
+    let report = chip
+        .run(&program, &RunOptions::default())
+        .expect("clean run");
 
     // Verify one output: y[row][c] = relu(round(sum_k w[c][k] / 4)).
     let y0 = chip.memory.read_unchecked(outs[0].row(0));

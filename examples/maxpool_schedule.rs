@@ -26,7 +26,10 @@ fn main() {
     let (out, done) = max_pool(&mut sched, &input, &params);
     let program = sched.into_program().expect("consistent schedule");
 
-    println!("3x3/2 max pool of 8x8x16 -> {}x{}x{} in {done} cycles", out.h, out.w, out.c);
+    println!(
+        "3x3/2 max pool of 8x8x16 -> {}x{}x{} in {done} cycles",
+        out.h, out.w, out.c
+    );
     println!();
     println!("=== instruction listing (paper Fig. 11 equivalent) ===");
     print!("{}", viz::render_listing(&program, 0, 40));

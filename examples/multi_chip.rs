@@ -98,9 +98,14 @@ fn main() {
         report.reports[0].cycles, report.reports[1].cycles
     );
     for r in 0..n {
-        let got = fabric.chip(c1).memory.read_unchecked(
-            tsp::mem::GlobalAddress::new(Hemisphere::East, 20, MemAddr::new(r as u16)),
-        );
+        let got = fabric
+            .chip(c1)
+            .memory
+            .read_unchecked(tsp::mem::GlobalAddress::new(
+                Hemisphere::East,
+                20,
+                MemAddr::new(r as u16),
+            ));
         let input = (r as i32 * 40 - 60) as i8;
         println!(
             "row {r}: sent relu({input:4}) -> received {:4}",

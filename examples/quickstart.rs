@@ -42,7 +42,9 @@ fn main() {
         chip.memory.write(x.row(r), Vector::splat(2 * r as u8));
         chip.memory.write(y.row(r), Vector::splat(100));
     }
-    let report = chip.run(&program, &RunOptions::default()).expect("clean run");
+    let report = chip
+        .run(&program, &RunOptions::default())
+        .expect("clean run");
 
     for r in 0..n {
         let v = chip.memory.read_unchecked(z.row(r));

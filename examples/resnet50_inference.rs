@@ -48,8 +48,14 @@ fn main() {
 
     let us = report.cycles as f64 / 900e6 * 1e6;
     println!();
-    println!("batch-1 inference: {} cycles = {us:.1} us @ 900 MHz", report.cycles);
-    println!("throughput: {:.0} IPS  (paper: 20.4K IPS, < 49 us)", 900e6 / report.cycles as f64);
+    println!(
+        "batch-1 inference: {} cycles = {us:.1} us @ 900 MHz",
+        report.cycles
+    );
+    println!(
+        "throughput: {:.0} IPS  (paper: 20.4K IPS, < 49 us)",
+        900e6 / report.cycles as f64
+    );
     println!("instructions dispatched: {}", report.instructions);
     if functional {
         let logits = model.read_logits(&chip);

@@ -58,10 +58,17 @@ fn copy_matmul_relu_pipeline() {
     for r in 0..n {
         chip.memory.write(
             src.row(r),
-            Vector::from_fn(|l| if l < usize::from(k) { (r as i32 - 3) as i8 as u8 } else { 0 }),
+            Vector::from_fn(|l| {
+                if l < usize::from(k) {
+                    (r as i32 - 3) as i8 as u8
+                } else {
+                    0
+                }
+            }),
         );
     }
-    chip.run(&program, &RunOptions::default()).expect("clean run");
+    chip.run(&program, &RunOptions::default())
+        .expect("clean run");
 
     for r in 0..n {
         let got = chip.memory.read_unchecked(outs[0][0].row(r));

@@ -26,7 +26,8 @@ fn trained_cnn_is_bit_exact_on_the_simulator() {
         let mut chip = Chip::new(ChipConfig::asic());
         model.load_constants(&mut chip);
         model.write_input(&mut chip, &qi);
-        chip.run(&model.program, &RunOptions::default()).expect("clean run");
+        chip.run(&model.program, &RunOptions::default())
+            .expect("clean run");
         let got = model.read_logits(&chip);
         assert_eq!(&got[..expect.len()], expect);
         agree += 1;

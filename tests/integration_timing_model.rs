@@ -3,7 +3,9 @@
 //! simulator lets a consumer read the value — one cycle early or late is a
 //! fault.
 
-use tsp::arch::{transit_delay, ChipConfig, Direction, Hemisphere, Slice, StreamGroup, StreamId, Vector};
+use tsp::arch::{
+    transit_delay, ChipConfig, Direction, Hemisphere, Slice, StreamGroup, StreamId, Vector,
+};
 use tsp::isa::{AluIndex, DataType, MemAddr, MemOp, UnaryAluOp, VxmOp};
 use tsp::mem::GlobalAddress;
 use tsp::sim::{chip::RunOptions, Chip, IcuId, Program, SimError};

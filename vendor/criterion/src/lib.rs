@@ -1,0 +1,127 @@
+//! Offline vendored mini-`criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `Throughput`, and
+//! the `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock harness: ~3 warm-up batches, then timed batches until ≥0.5 s
+//! or 10⁷ iterations, reporting mean ns/iter and derived throughput.
+
+use std::time::{Duration, Instant};
+
+/// Units processed per iteration, for derived throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements per iteration.
+    Elements(u64),
+    /// Bytes per iteration.
+    Bytes(u64),
+}
+
+/// The top-level benchmark context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            _parent: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the units-per-iteration annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        let ns = if b.iters == 0 {
+            0.0
+        } else {
+            b.elapsed.as_secs_f64() * 1e9 / b.iters as f64
+        };
+        let extra = match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                format!("  ({:.1} Melem/s)", n as f64 / ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                format!("  ({:.1} MB/s)", n as f64 / ns * 1e3)
+            }
+            _ => String::new(),
+        };
+        println!("{name:<40} {ns:>12.1} ns/iter{extra}");
+        self
+    }
+
+    /// Ends the group (formatting no-op).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] with the body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, choosing an iteration count adaptively.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warm-up and per-iteration cost estimate.
+        let warm = Instant::now();
+        for _ in 0..3 {
+            std::hint::black_box(body());
+        }
+        let per_iter = warm.elapsed() / 3;
+        let budget = Duration::from_millis(500);
+        let target: u64 = if per_iter.is_zero() {
+            10_000_000
+        } else {
+            (budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 10_000_000) as u64
+        };
+        let start = Instant::now();
+        for _ in 0..target {
+            std::hint::black_box(body());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = target;
+    }
+}
+
+/// Groups benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,166 @@
+//! Offline vendored subset of `rand` 0.8.
+//!
+//! The build environment has no crates.io access, so this crate reimplements
+//! exactly the surface the workspace uses — `RngCore`, `SeedableRng`
+//! (including the PCG32-based `seed_from_u64` default from rand_core 0.6)
+//! and `Rng::gen_range` over half-open float/integer ranges (the rand 0.8
+//! `UniformFloat`/Lemire algorithms). The implementations are **bit-exact**
+//! with the real crates for these entry points, so seeded sequences (and the
+//! committed `results/*.txt` they feed) are unchanged.
+
+use std::ops::Range;
+
+/// The core of a random number generator.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// A random number generator seedable from fixed-width keys.
+pub trait SeedableRng: Sized {
+    /// Seed type (a byte array).
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64`, expanding it through PCG32 exactly
+    /// as rand_core 0.6's default implementation does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        // rand_core 0.6 `seed_from_u64`: PCG32 with fixed increment.
+        const MUL: u64 = 6364136223846793005;
+        const INC: u64 = 11634580027462260723;
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            state = state.wrapping_mul(MUL).wrapping_add(INC);
+            let xorshifted = (((state >> 18) ^ state) >> 27) as u32;
+            let rot = (state >> 59) as u32;
+            let x = xorshifted.rotate_right(rot);
+            chunk.copy_from_slice(&x.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open `Range`.
+pub trait SampleUniform: Sized {
+    /// Samples uniformly from `[low, high)`.
+    fn sample_range<R: RngCore + ?Sized>(range: &Range<Self>, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_float_uniform {
+    ($fty:ty, $uty:ty, $bits_to_discard:expr, $exp_bits:expr) => {
+        impl SampleUniform for $fty {
+            fn sample_range<R: RngCore + ?Sized>(range: &Range<$fty>, rng: &mut R) -> $fty {
+                // rand 0.8 `UniformFloat::sample_single`.
+                let scale = range.end - range.start;
+                let value: $uty = <$uty>::sample_raw(rng);
+                let fraction = value >> $bits_to_discard;
+                let value1_2 = <$fty>::from_bits(fraction | $exp_bits);
+                let value0_1 = value1_2 - 1.0;
+                value0_1 * scale + range.start
+            }
+        }
+    };
+}
+
+trait SampleRaw {
+    fn sample_raw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+impl SampleRaw for u32 {
+    fn sample_raw<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+impl SampleRaw for u64 {
+    fn sample_raw<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+// 1.0f32 = 0x3F80_0000 (exponent bits); f32 has 23 fraction bits → discard 9.
+impl_float_uniform!(f32, u32, 9u32, 0x3F80_0000u32);
+// 1.0f64 = 0x3FF0_0000_0000_0000; f64 has 52 fraction bits → discard 12.
+impl_float_uniform!(f64, u64, 12u32, 0x3FF0_0000_0000_0000u64);
+
+macro_rules! impl_int_uniform {
+    ($ity:ty, $uty:ty, $wide:ty, $sample:ident) => {
+        impl SampleUniform for $ity {
+            fn sample_range<R: RngCore + ?Sized>(range: &Range<$ity>, rng: &mut R) -> $ity {
+                assert!(range.start < range.end, "empty gen_range");
+                // rand 0.8 `UniformInt::sample_single`: widening-multiply
+                // rejection (Lemire), biased-free.
+                let span = range.end.wrapping_sub(range.start) as $uty;
+                let zone = if <$uty>::MAX <= u16::MAX as $uty {
+                    let ints_to_reject = (<$uty>::MAX - span + 1) % span;
+                    <$uty>::MAX - ints_to_reject
+                } else {
+                    (span << span.leading_zeros()).wrapping_sub(1)
+                };
+                loop {
+                    let v: $uty = <$uty>::$sample(rng);
+                    let (hi, lo) = {
+                        let w = (v as $wide) * (span as $wide);
+                        ((w >> <$uty>::BITS) as $uty, w as $uty)
+                    };
+                    if lo <= zone {
+                        return range.start.wrapping_add(hi as $ity);
+                    }
+                }
+            }
+        }
+    };
+}
+
+impl_int_uniform!(i8, u8, u16, sample_raw_u8);
+impl_int_uniform!(u8, u8, u16, sample_raw_u8);
+impl_int_uniform!(i16, u16, u32, sample_raw_u16);
+impl_int_uniform!(u16, u16, u32, sample_raw_u16);
+impl_int_uniform!(i32, u32, u64, sample_raw_u32);
+impl_int_uniform!(u32, u32, u64, sample_raw_u32);
+impl_int_uniform!(i64, u64, u128, sample_raw_u64);
+impl_int_uniform!(u64, u64, u128, sample_raw_u64);
+impl_int_uniform!(usize, u64, u128, sample_raw_u64);
+
+trait SampleRawInt {
+    fn sample_raw_u8<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn sample_raw_u16<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn sample_raw_u32<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    fn sample_raw_u64<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+macro_rules! impl_sample_raw_int {
+    ($t:ty) => {
+        impl SampleRawInt for $t {
+            fn sample_raw_u8<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+            fn sample_raw_u16<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+            fn sample_raw_u32<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u32() as $t
+            }
+            fn sample_raw_u64<R: RngCore + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    };
+}
+impl_sample_raw_int!(u8);
+impl_sample_raw_int!(u16);
+impl_sample_raw_int!(u32);
+impl_sample_raw_int!(u64);
+
+/// User-facing sampling methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(&range, self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
