@@ -12,6 +12,8 @@
 
 #![warn(missing_docs)]
 
+pub mod campaign;
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 

@@ -170,6 +170,15 @@ pub enum ErrorSite {
     },
 }
 
+impl fmt::Display for ErrorSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorSite::Sram { slice, word } => write!(f, "SRAM slice {slice} word {word}"),
+            ErrorSite::Stream { stream } => write!(f, "stream {stream}"),
+        }
+    }
+}
+
 /// One CSR entry: a soft-error event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ErrorEvent {
@@ -234,6 +243,30 @@ impl ErrorLog {
     #[must_use]
     pub fn events(&self) -> &[ErrorEvent] {
         &self.events
+    }
+
+    /// One-line CSR summary for diagnostics: totals plus the most recent
+    /// event, e.g. `CSR: 3 corrected, 1 uncorrectable; last: detected at
+    /// SRAM slice 0 word 0, cycle 12`.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        let mut s = format!(
+            "CSR: {} corrected, {} uncorrectable",
+            self.corrected, self.detected_uncorrectable
+        );
+        if let Some(last) = self.events.last() {
+            s.push_str(&format!(
+                "; last: {} at {}, cycle {}",
+                if last.corrected {
+                    "corrected"
+                } else {
+                    "detected"
+                },
+                last.site,
+                last.cycle
+            ));
+        }
+        s
     }
 }
 

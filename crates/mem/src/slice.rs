@@ -142,6 +142,22 @@ impl MemSlice {
         *slot = Some(word);
     }
 
+    /// Flips a single ECC check bit of one superlane's stored word (fault
+    /// injection): the data is intact but the code no longer matches, so the
+    /// consumer-side check sees — and corrects — a check-bit upset.
+    pub fn inject_check_fault(&mut self, addr: MemAddr, superlane: usize, bit: u8) {
+        assert!(
+            usize::from(bit) < ecc::CHECK_BITS,
+            "check bit {bit} out of range"
+        );
+        let slot = self.slot(addr);
+        let mut word = slot
+            .clone()
+            .unwrap_or_else(|| StoredVector::protect(Vector::ZERO));
+        word.check[superlane] ^= 1 << bit;
+        *slot = Some(word);
+    }
+
     /// A timed access: registers port/bank usage for `cycle` and returns the
     /// word (for reads).
     ///

@@ -12,6 +12,9 @@
 //!   simulator end-to-end);
 //! * [`compile`] — lowers a quantized graph onto the TSP through
 //!   `tsp-compiler`'s kernels, producing a [`compile::CompiledModel`];
+//! * [`resilient`] — host-level graceful degradation: bounded
+//!   retry-from-weights on transient chip faults (uncorrectable ECC, link
+//!   retry exhaustion), reporting recovery overhead in a `ResilienceReport`;
 //! * [`resnet`] — ResNet-50/101/152 graph builders (plus reduced variants
 //!   for fast tests and the paper's §IV-E wide-320 variant);
 //! * [`data`] / [`train`] — a deterministic synthetic classification dataset
@@ -27,9 +30,11 @@ pub mod data;
 pub mod graph;
 pub mod quant;
 pub mod reference;
+pub mod resilient;
 pub mod resnet;
 pub mod train;
 
 pub use compile::{compile, compile_cached, CompileOptions, CompiledModel};
 pub use graph::{ConvSpec, Graph, Op, Params};
 pub use quant::{quantize, QuantGraph};
+pub use resilient::{run_resilient, ResilienceReport, ResilientOptions, RunOutcome};

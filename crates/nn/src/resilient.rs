@@ -1,0 +1,216 @@
+//! Host-level graceful degradation: retry-from-weights inference.
+//!
+//! The paper's host runtime owns the model (it "emplaces the model and
+//! bootstraps execution", §II): when the chip raises an *uncorrectable* ECC
+//! detection or a C2C link exhausts its retransmission budget, the run is
+//! lost but the weights are not. [`run_resilient`] re-creates the chip state
+//! from the compiled model — reload constants, rewrite the input, rerun —
+//! up to a bounded number of attempts, and reports what happened in a
+//! [`ResilienceReport`] instead of propagating a panic-shaped error.
+//!
+//! Only *transient* faults are retried (see [`is_transient`]): scheduling
+//! and decode errors are compiler bugs that will recur deterministically,
+//! so they propagate immediately as `Err`.
+
+use std::time::{Duration, Instant};
+
+use tsp_arch::ChipConfig;
+use tsp_sim::chip::RunOptions;
+use tsp_sim::faults::FaultPlan;
+use tsp_sim::{Chip, SimError};
+
+use crate::compile::CompiledModel;
+
+/// Default retry budget: the first run plus two retries.
+pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
+
+/// Options for [`run_resilient`].
+#[derive(Debug, Clone)]
+pub struct ResilientOptions {
+    /// Total run budget (first attempt included), ≥ 1.
+    pub max_attempts: u32,
+    /// Fault plan injected into attempt `i` (`attempt_faults[i]`); attempts
+    /// past the end run fault-free. Transient upsets do not recur on retry,
+    /// so a campaign puts its plan at index 0 only.
+    pub attempt_faults: Vec<FaultPlan>,
+    /// Base run options (trace / cycle limit / functional). The `faults`
+    /// field is overridden per attempt from `attempt_faults`.
+    pub base: RunOptions,
+}
+
+impl Default for ResilientOptions {
+    fn default() -> ResilientOptions {
+        ResilientOptions {
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            attempt_faults: Vec::new(),
+            base: RunOptions::default(),
+        }
+    }
+}
+
+/// How a resilient run ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Some attempt ran to completion.
+    Completed {
+        /// The logits of the completing attempt.
+        logits: Vec<i8>,
+        /// Its completion cycle.
+        cycles: u64,
+    },
+    /// Every attempt died on a transient fault.
+    Exhausted {
+        /// The last attempt's error.
+        last_error: SimError,
+    },
+}
+
+/// What the host observed across all attempts of one inference.
+#[derive(Debug, Clone)]
+pub struct ResilienceReport {
+    /// Runs performed (1 if the first attempt completed).
+    pub attempts: u32,
+    /// Retries performed (`attempts − 1`).
+    pub retried: u32,
+    /// Corrected single-bit ECC events, summed over all attempts.
+    pub corrected: u64,
+    /// Detected-uncorrectable events (ECC double-bit detections plus link
+    /// retry exhaustions), summed over all attempts.
+    pub detected: u64,
+    /// Planned fault events that struck live state (completing attempt only;
+    /// failed attempts abort before their report exists).
+    pub faults_applied: u64,
+    /// Planned fault events that hit vacant state or fell past the run.
+    pub faults_vacant: u64,
+    /// Simulated cycles burned by failed attempts (each failed attempt dies
+    /// at its error cycle; the work up to there is thrown away).
+    pub wasted_cycles: u64,
+    /// Host wall-clock spent on failed attempts and the reload between
+    /// retries — the recovery overhead a service would observe. Wall time is
+    /// host-dependent; deterministic campaign reports must not include it.
+    pub recovery_wall: Duration,
+    /// Display strings of each transient error, in attempt order.
+    pub transient_errors: Vec<String>,
+    /// Final outcome.
+    pub outcome: RunOutcome,
+}
+
+impl ResilienceReport {
+    /// Did some attempt complete?
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        matches!(self.outcome, RunOutcome::Completed { .. })
+    }
+
+    /// The completing attempt's logits, if any.
+    #[must_use]
+    pub fn logits(&self) -> Option<&[i8]> {
+        match &self.outcome {
+            RunOutcome::Completed { logits, .. } => Some(logits),
+            RunOutcome::Exhausted { .. } => None,
+        }
+    }
+}
+
+/// Is this error a *transient* fault worth retrying from weights?
+///
+/// Uncorrectable ECC detections and link failures are particle-strike
+/// shaped: the damaged state is rebuilt by the reload. Everything else
+/// (scheduling violations, decode faults, cycle-limit overruns) is
+/// deterministic and would recur identically.
+#[must_use]
+pub fn is_transient(error: &SimError) -> bool {
+    matches!(
+        error,
+        SimError::Ecc { .. } | SimError::LinkEmpty { .. } | SimError::LinkRetryExhausted { .. }
+    )
+}
+
+/// The simulated cycle at which a transient error struck.
+fn error_cycle(error: &SimError) -> u64 {
+    match error {
+        SimError::Ecc { cycle, .. }
+        | SimError::LinkEmpty { cycle, .. }
+        | SimError::LinkRetryExhausted { cycle, .. } => *cycle,
+        _ => 0,
+    }
+}
+
+/// Runs one inference with bounded retry-from-weights recovery.
+///
+/// Each attempt rebuilds the chip from scratch — `Chip::new`, constants
+/// reload (the PCIe model-emplace), input rewrite — so a retry observes no
+/// state damaged by the previous attempt. Attempt `i` is injected with
+/// `options.attempt_faults[i]` (fault-free past the end).
+///
+/// Returns `Err` only for non-transient errors (see [`is_transient`]);
+/// transient exhaustion is reported as [`RunOutcome::Exhausted`].
+///
+/// # Panics
+///
+/// Panics if `options.max_attempts` is zero.
+pub fn run_resilient(
+    model: &CompiledModel,
+    config: &ChipConfig,
+    image_q: &[i8],
+    options: &ResilientOptions,
+) -> Result<ResilienceReport, SimError> {
+    assert!(options.max_attempts >= 1, "need at least one attempt");
+    let mut report = ResilienceReport {
+        attempts: 0,
+        retried: 0,
+        corrected: 0,
+        detected: 0,
+        faults_applied: 0,
+        faults_vacant: 0,
+        wasted_cycles: 0,
+        recovery_wall: Duration::ZERO,
+        transient_errors: Vec::new(),
+        outcome: RunOutcome::Exhausted {
+            last_error: SimError::CycleLimit { limit: 0 }, // replaced below
+        },
+    };
+    for attempt in 0..options.max_attempts {
+        let start = Instant::now();
+        let mut chip = Chip::new(config.clone());
+        model.load_constants(&mut chip);
+        model.write_input(&mut chip, image_q);
+        let faults = options
+            .attempt_faults
+            .get(attempt as usize)
+            .cloned()
+            .unwrap_or_else(FaultPlan::empty);
+        let run_options = RunOptions {
+            faults,
+            ..options.base.clone()
+        };
+        report.attempts += 1;
+        match chip.run(&model.program, &run_options) {
+            Ok(run) => {
+                report.retried = report.attempts - 1;
+                report.corrected += run.ecc_corrected;
+                report.faults_applied += run.faults_applied;
+                report.faults_vacant += run.faults_vacant;
+                report.outcome = RunOutcome::Completed {
+                    logits: model.read_logits(&chip),
+                    cycles: run.cycles,
+                };
+                return Ok(report);
+            }
+            Err(error) if is_transient(&error) => {
+                report.corrected += chip.memory.errors.corrected();
+                report.detected += match &error {
+                    SimError::Ecc { .. } => chip.memory.errors.uncorrectable(),
+                    _ => 1, // link failures are not in the memory CSR
+                };
+                report.wasted_cycles += error_cycle(&error);
+                report.recovery_wall += start.elapsed();
+                report.transient_errors.push(error.to_string());
+                report.outcome = RunOutcome::Exhausted { last_error: error };
+            }
+            Err(error) => return Err(error),
+        }
+    }
+    report.retried = report.attempts - 1;
+    Ok(report)
+}

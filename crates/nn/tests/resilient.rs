@@ -1,0 +1,138 @@
+//! Host-level graceful degradation: uncorrectable faults trigger bounded
+//! retry-from-weights with a populated `ResilienceReport`, recovered logits
+//! are bit-identical to the fault-free run, and non-transient errors still
+//! propagate (retrying a compiler bug would loop forever).
+
+use tsp_arch::ChipConfig;
+use tsp_nn::compile::{compile, CompileOptions, CompiledModel, InputKind};
+use tsp_nn::data::synthetic;
+use tsp_nn::quant::quantize;
+use tsp_nn::resilient::{is_transient, run_resilient, ResilientOptions, RunOutcome};
+use tsp_nn::train::small_cnn;
+use tsp_sim::chip::RunOptions;
+use tsp_sim::faults::{FaultEvent, FaultKind, FaultPlan};
+use tsp_sim::SimError;
+
+fn model_and_image() -> (CompiledModel, Vec<i8>) {
+    let data = synthetic(11, 12, 12, 2, 4, 6);
+    let (g, params) = small_cnn(12, 16, 4, 5);
+    let q = quantize(&g, &params, &data.images[..2]);
+    let model = compile(&q, &CompileOptions::default());
+    let image = q.quantize_image(&data.images[0]);
+    (model, image)
+}
+
+/// A double-bit (uncorrectable) fault on the first word of the model's
+/// input storage — struck at cycle 0, detected when the schedule streams it.
+fn uncorrectable_input_fault(model: &CompiledModel) -> FaultPlan {
+    let target = match &model.input {
+        InputKind::Map(fm) => &fm.parts[0][0],
+        InputKind::Im2col { chunks, .. } => &chunks[0],
+    };
+    let (hemisphere, slice, word) = target.layout.blocks[0];
+    let flip = |lane, bit| FaultEvent {
+        cycle: 0,
+        kind: FaultKind::SramData {
+            hemisphere,
+            slice,
+            word,
+            lane,
+            bit,
+        },
+    };
+    // Two flips in one 16-byte superlane word: beyond SECDED correction.
+    FaultPlan::from_events(0, vec![flip(0, 1), flip(3, 6)])
+}
+
+#[test]
+fn fault_free_inference_completes_first_try() {
+    let (model, image) = model_and_image();
+    let report = run_resilient(
+        &model,
+        &ChipConfig::asic(),
+        &image,
+        &ResilientOptions::default(),
+    )
+    .expect("fault-free run");
+    assert!(report.completed());
+    assert_eq!(report.attempts, 1);
+    assert_eq!(report.retried, 0);
+    assert_eq!(report.detected, 0);
+    assert!(report.transient_errors.is_empty());
+    assert!(report.logits().is_some());
+}
+
+#[test]
+fn uncorrectable_fault_triggers_retry_from_weights() {
+    let (model, image) = model_and_image();
+    let golden = run_resilient(
+        &model,
+        &ChipConfig::asic(),
+        &image,
+        &ResilientOptions::default(),
+    )
+    .expect("golden run");
+
+    let options = ResilientOptions {
+        attempt_faults: vec![uncorrectable_input_fault(&model)],
+        ..ResilientOptions::default()
+    };
+    let report = run_resilient(&model, &ChipConfig::asic(), &image, &options)
+        .expect("transient faults must not surface as Err");
+    assert!(report.completed(), "retry must recover: {report:?}");
+    assert_eq!(report.attempts, 2);
+    assert_eq!(report.retried, 1);
+    assert!(report.detected >= 1, "the double-bit detection is counted");
+    assert_eq!(report.transient_errors.len(), 1);
+    assert!(
+        report.transient_errors[0].contains("cycle"),
+        "diagnosable: {}",
+        report.transient_errors[0]
+    );
+    assert!(report.wasted_cycles > 0, "the dead attempt burned cycles");
+    assert_eq!(
+        report.logits(),
+        golden.logits(),
+        "recovered logits must be bit-identical to the fault-free run"
+    );
+}
+
+#[test]
+fn retry_budget_exhaustion_is_reported_not_panicked() {
+    let (model, image) = model_and_image();
+    let plan = uncorrectable_input_fault(&model);
+    let options = ResilientOptions {
+        max_attempts: 3,
+        attempt_faults: vec![plan.clone(), plan.clone(), plan],
+        ..ResilientOptions::default()
+    };
+    let report = run_resilient(&model, &ChipConfig::asic(), &image, &options)
+        .expect("exhaustion is a report, not an Err");
+    assert!(!report.completed());
+    assert_eq!(report.attempts, 3);
+    assert_eq!(report.retried, 2);
+    assert_eq!(report.transient_errors.len(), 3);
+    assert!(report.logits().is_none());
+    match &report.outcome {
+        RunOutcome::Exhausted { last_error } => {
+            assert!(is_transient(last_error), "{last_error}");
+        }
+        RunOutcome::Completed { .. } => panic!("must not complete"),
+    }
+}
+
+#[test]
+fn non_transient_errors_propagate() {
+    let (model, image) = model_and_image();
+    let options = ResilientOptions {
+        base: RunOptions {
+            cycle_limit: 1, // guarantees a (deterministic) CycleLimit error
+            ..RunOptions::default()
+        },
+        ..ResilientOptions::default()
+    };
+    let err = run_resilient(&model, &ChipConfig::asic(), &image, &options)
+        .expect_err("deterministic errors must not be retried");
+    assert!(matches!(err, SimError::CycleLimit { .. }), "{err}");
+    assert!(!is_transient(&err));
+}

@@ -18,6 +18,7 @@ use std::collections::{BinaryHeap, VecDeque};
 use std::sync::Arc;
 
 use tsp_arch::{vector, ChipConfig, Cycle, Position, StreamId, Vector, SUPERLANES};
+use tsp_faults::{FaultEvent, FaultKind, FaultPlan};
 use tsp_isa::{
     encode::decode_fetch_block, C2cOp, DataType, IcuOp, Instruction, LinkId, MemOp, MxmOp, SxmOp,
     VxmOp,
@@ -46,6 +47,10 @@ pub struct RunOptions {
     /// unaffected because timing never depends on data (the determinism
     /// thesis); reads are still validated against the schedule.
     pub functional: bool,
+    /// Deterministic fault-injection plan replayed during the run (see
+    /// `tsp-faults`): each event strikes before the first dispatch at or
+    /// after its cycle. Empty by default — fault-free runs pay nothing.
+    pub faults: FaultPlan,
 }
 
 impl Default for RunOptions {
@@ -54,6 +59,7 @@ impl Default for RunOptions {
             trace: false,
             cycle_limit: 50_000_000,
             functional: true,
+            faults: FaultPlan::empty(),
         }
     }
 }
@@ -76,6 +82,11 @@ pub struct RunReport {
     pub bandwidth: BandwidthMeter,
     /// Corrected single-bit ECC events observed.
     pub ecc_corrected: u64,
+    /// Planned fault events that struck live state.
+    pub faults_applied: u64,
+    /// Planned fault events that hit a vacant site (e.g. a stream register
+    /// holding nothing at the strike cycle) or fell past the end of the run.
+    pub faults_vacant: u64,
     /// Vectors that left on each C2C link: `(link, departure cycle, word)`.
     pub egress: Vec<(u8, Cycle, Arc<StreamWord>)>,
 }
@@ -193,6 +204,15 @@ impl Chip {
             .collect();
         let mut parked: Vec<(usize, Cycle)> = Vec::new();
 
+        // Planned fault events, consumed in cycle order. Dispatches pop in
+        // nondecreasing time, so applying every event with `cycle <= t`
+        // before the step at `t` lands each fault at a deterministic point —
+        // after all effects strictly before its cycle, before any dispatch
+        // at or after it.
+        let fault_events = options.faults.events();
+        let mut next_fault = 0usize;
+        let (mut faults_applied, mut faults_vacant) = (0u64, 0u64);
+
         // No periodic stream sweep: the flat stream file reclaims expired
         // diagonals incrementally on write, so memory stays bounded.
         while let Some(Reverse((t, qi))) = heap.pop() {
@@ -200,6 +220,14 @@ impl Chip {
                 return Err(SimError::CycleLimit {
                     limit: options.cycle_limit,
                 });
+            }
+            while let Some(event) = fault_events.get(next_fault).filter(|e| e.cycle <= t) {
+                next_fault += 1;
+                if self.apply_fault(event) {
+                    faults_applied += 1;
+                } else {
+                    faults_vacant += 1;
+                }
             }
             match self.step(&mut queues[qi], t, &mut ctx)? {
                 Step::NextAt(next) => {
@@ -247,8 +275,15 @@ impl Chip {
         if !parked.is_empty() {
             return Err(SimError::Deadlock {
                 parked: parked.len(),
+                sites: parked
+                    .iter()
+                    .map(|&(qi, at)| (queues[qi].icu, at))
+                    .collect(),
             });
         }
+
+        // Events scheduled past the last dispatch never found live state.
+        faults_vacant += (fault_events.len() - next_fault) as u64;
 
         Ok(RunReport {
             cycles: ctx.last_effect + Cycle::from(tsp_arch::timing::SLICE_TILES),
@@ -257,8 +292,75 @@ impl Chip {
             trace: ctx.trace,
             bandwidth: ctx.bandwidth,
             ecc_corrected: self.memory.errors.corrected(),
+            faults_applied,
+            faults_vacant,
             egress: std::mem::take(&mut self.egress),
         })
+    }
+
+    /// Applies one planned fault to live chip state. Returns `false` when the
+    /// targeted site holds nothing (a vacant stream register): the particle
+    /// struck, but there was no state to disturb.
+    fn apply_fault(&mut self, event: &FaultEvent) -> bool {
+        match event.kind {
+            FaultKind::SramData {
+                hemisphere,
+                slice,
+                word,
+                lane,
+                bit,
+            } => {
+                self.memory.slice_mut(hemisphere, slice).inject_fault(
+                    tsp_isa::MemAddr::new(word),
+                    usize::from(lane),
+                    bit,
+                );
+                true
+            }
+            FaultKind::SramCheck {
+                hemisphere,
+                slice,
+                word,
+                superlane,
+                bit,
+            } => {
+                self.memory.slice_mut(hemisphere, slice).inject_check_fault(
+                    tsp_isa::MemAddr::new(word),
+                    usize::from(superlane),
+                    bit,
+                );
+                true
+            }
+            FaultKind::StreamUpset {
+                stream,
+                position,
+                lane,
+                bit,
+            } => self
+                .streams
+                .corrupt(stream, Position(position), event.cycle, lane, bit),
+        }
+    }
+
+    /// Renders the chip's CSR error log for post-mortem triage: the one-line
+    /// summary followed by every recorded event (campaign tooling calls this
+    /// after a trial to report what the hardware saw).
+    #[must_use]
+    pub fn error_log_dump(&self) -> String {
+        let mut out = self.memory.errors.summary();
+        for e in self.memory.errors.events() {
+            out.push_str(&format!(
+                "\n  cycle {:>8}: {} at {}",
+                e.cycle,
+                if e.corrected {
+                    "corrected single-bit"
+                } else {
+                    "detected double-bit"
+                },
+                e.site
+            ));
+        }
+        out
     }
 
     fn step(&mut self, q: &mut QueueState, t: Cycle, ctx: &mut RunCtx) -> Result<Step, SimError> {
@@ -280,7 +382,7 @@ impl Chip {
                 }
                 Burst::Repeat { instr, iter, n, d } => {
                     let stride = Cycle::from(d.max(1));
-                    let this = repeat_iteration(&instr, iter)?;
+                    let this = repeat_iteration(&instr, iter, q.icu, t)?;
                     if iter + 1 >= n {
                         q.pc += 1;
                     } else {
@@ -317,6 +419,8 @@ impl Chip {
                 if ctx.notify_times.len() != gen {
                     return Err(SimError::InvalidInstruction {
                         reason: format!("Notify for barrier generation {gen} out of order"),
+                        icu: q.icu,
+                        cycle: t,
                     });
                 }
                 ctx.notify_times.push(t);
@@ -335,6 +439,8 @@ impl Chip {
                 if q.pc == 0 {
                     return Err(SimError::InvalidInstruction {
                         reason: "Repeat with no previous instruction".into(),
+                        icu: q.icu,
+                        cycle: t,
                     });
                 }
                 let prev = q.instructions[q.pc - 1].clone();
@@ -364,7 +470,7 @@ impl Chip {
                 | MxmOp::Accumulate { .. }),
             ) => {
                 ctx.instructions += 1;
-                validate_routing(q.icu, &instr)?;
+                validate_routing(q.icu, &instr, t)?;
                 let rows = match op {
                     MxmOp::LoadWeights { rows, .. } => u16::from(*rows),
                     MxmOp::ActivationBuffer { rows, .. } | MxmOp::Accumulate { rows, .. } => *rows,
@@ -399,10 +505,11 @@ impl Chip {
         t: Cycle,
         ctx: &mut RunCtx,
     ) -> Result<(), SimError> {
-        validate_routing(q.icu, instr)?;
+        validate_routing(q.icu, instr, t)?;
         let pos = q.position.ok_or_else(|| SimError::WrongSlice {
             icu: q.icu,
             instruction: instr.to_string(),
+            cycle: t,
         })?;
         let d_func = Cycle::from(instr.time_model().d_func);
         match instr {
@@ -420,6 +527,7 @@ impl Chip {
                 return Err(SimError::WrongSlice {
                     icu: q.icu,
                     instruction: instr.to_string(),
+                    cycle: t,
                 })
             }
         }
@@ -480,7 +588,12 @@ impl Chip {
                     self.memory
                         .errors
                         .record_uncorrectable(t, ErrorSite::Stream { stream: stream.id });
-                    return Err(SimError::Ecc { cycle: t, icu });
+                    return Err(SimError::Ecc {
+                        cycle: t,
+                        icu,
+                        stream,
+                        csr: self.memory.errors.summary(),
+                    });
                 }
             }
         }
@@ -664,8 +777,13 @@ impl Chip {
                 if !functional {
                     (Vec::new(), *dst, tr)
                 } else {
-                    let r = vxm_unit::apply_unary(*op, *dtype, &x)
-                        .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                    let r = vxm_unit::apply_unary(*op, *dtype, &x).map_err(|reason| {
+                        SimError::InvalidInstruction {
+                            reason,
+                            icu,
+                            cycle: t,
+                        }
+                    })?;
                     (r, *dst, tr)
                 }
             }
@@ -682,8 +800,13 @@ impl Chip {
                 if !functional {
                     (Vec::new(), *dst, false)
                 } else {
-                    let r = vxm_unit::apply_binary(*op, *dtype, &va, &vb)
-                        .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                    let r = vxm_unit::apply_binary(*op, *dtype, &va, &vb).map_err(|reason| {
+                        SimError::InvalidInstruction {
+                            reason,
+                            icu,
+                            cycle: t,
+                        }
+                    })?;
                     (r, *dst, false)
                 }
             }
@@ -699,8 +822,13 @@ impl Chip {
                 if !functional {
                     (Vec::new(), *dst, false)
                 } else {
-                    let r = vxm_unit::apply_convert(*from, *to, *shift, &x)
-                        .map_err(|reason| SimError::InvalidInstruction { reason })?;
+                    let r = vxm_unit::apply_convert(*from, *to, *shift, &x).map_err(|reason| {
+                        SimError::InvalidInstruction {
+                            reason,
+                            icu,
+                            cycle: t,
+                        }
+                    })?;
                     (r, *dst, false)
                 }
             }
@@ -711,6 +839,8 @@ impl Chip {
                     "VXM result width {} does not match destination group {dst}",
                     result.len()
                 ),
+                icu,
+                cycle: t,
             });
         }
         ctx.trace.record(
@@ -742,7 +872,11 @@ impl Chip {
         ctx: &mut RunCtx,
     ) -> Result<(), SimError> {
         op.validate()
-            .map_err(|reason| SimError::InvalidInstruction { reason })?;
+            .map_err(|reason| SimError::InvalidInstruction {
+                reason,
+                icu,
+                cycle: t,
+            })?;
         if !ctx.functional {
             // Validate every read (scheduling contract), skip the shuffle
             // arithmetic, produce shared zero words — timing is data-blind.
@@ -939,6 +1073,8 @@ impl Chip {
                     if !idx.is_multiple_of(2) || idx + 1 >= self.planes.len() {
                         return Err(SimError::InvalidInstruction {
                             reason: "fp16 ABC must target an even plane (tandem pair)".into(),
+                            icu,
+                            cycle: t,
                         });
                     }
                     if ctx.functional {
@@ -964,6 +1100,8 @@ impl Chip {
                 if dst.width != 4 {
                     return Err(SimError::InvalidInstruction {
                         reason: format!("ACC destination must be a quad-stream group, got {dst}"),
+                        icu,
+                        cycle: t,
                     });
                 }
                 ctx.trace
@@ -1017,6 +1155,7 @@ impl Chip {
         let pos = q.position.ok_or_else(|| SimError::WrongSlice {
             icu: q.icu,
             instruction: "Ifetch".into(),
+            cycle: t,
         })?;
         // 640 bytes: a pair of 320-byte vectors on consecutive cycles. The
         // fetched text is decoded even in timing-only runs, so it is always
@@ -1028,6 +1167,8 @@ impl Chip {
         text.extend_from_slice(hi.as_bytes());
         let fetched = decode_fetch_block(&text).map_err(|e| SimError::Decode {
             reason: e.to_string(),
+            icu: q.icu,
+            cycle: t,
         })?;
         ctx.bandwidth.record(Traffic::InstructionFetch, 640);
         ctx.trace
@@ -1047,12 +1188,19 @@ fn resume_after_barrier(park_t: Cycle, notify_t: Cycle) -> Cycle {
 /// The `iter`-th iteration of a repeated instruction. MEM addresses advance
 /// one word per iteration so `Read a,s ; Repeat n,d` streams a contiguous
 /// tensor (modeling choice, DESIGN.md §2).
-fn repeat_iteration(instr: &Instruction, iter: u16) -> Result<Instruction, SimError> {
+fn repeat_iteration(
+    instr: &Instruction,
+    iter: u16,
+    icu: IcuId,
+    cycle: Cycle,
+) -> Result<Instruction, SimError> {
     let bump = |addr: tsp_isa::MemAddr| -> Result<tsp_isa::MemAddr, SimError> {
         let w = addr.word() + iter + 1;
         if w >= 8192 {
             return Err(SimError::InvalidInstruction {
                 reason: format!("Repeat walked address {w:#x} past the slice"),
+                icu,
+                cycle,
             });
         }
         Ok(tsp_isa::MemAddr::new(w))
@@ -1071,7 +1219,7 @@ fn repeat_iteration(instr: &Instruction, iter: u16) -> Result<Instruction, SimEr
 }
 
 /// Checks an instruction landed on a queue whose slice can execute it.
-fn validate_routing(icu: IcuId, instr: &Instruction) -> Result<(), SimError> {
+fn validate_routing(icu: IcuId, instr: &Instruction, cycle: Cycle) -> Result<(), SimError> {
     let ok = match instr {
         Instruction::Icu(_) => true,
         Instruction::Mem(_) => matches!(icu, IcuId::Mem { .. }),
@@ -1088,6 +1236,7 @@ fn validate_routing(icu: IcuId, instr: &Instruction) -> Result<(), SimError> {
         Err(SimError::WrongSlice {
             icu,
             instruction: instr.to_string(),
+            cycle,
         })
     }
 }

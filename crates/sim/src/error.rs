@@ -5,6 +5,11 @@
 //! operand would be present and it was not, or two accesses contend for a
 //! bank it was supposed to keep disjoint. The simulator surfaces these as
 //! errors rather than silently stalling, which is how compiler bugs are found.
+//!
+//! Every variant carries the cycle and site of the fault so a campaign run
+//! can be triaged from the message alone; [`SimError::Ecc`] additionally
+//! embeds a one-line summary of the chip's CSR error log at the moment of the
+//! failure (see `Chip::error_log_dump` for the full log).
 
 use core::fmt;
 
@@ -41,6 +46,10 @@ pub enum SimError {
         cycle: u64,
         /// The consuming queue.
         icu: IcuId,
+        /// The stream whose operand failed the check.
+        stream: StreamId,
+        /// One-line CSR error-log summary at the moment of failure.
+        csr: String,
     },
     /// `ACC` tried to emit a result the array had not produced yet.
     AccumulatorEmpty {
@@ -55,16 +64,26 @@ pub enum SimError {
         icu: IcuId,
         /// Offending instruction (rendered).
         instruction: String,
+        /// The dispatch cycle.
+        cycle: u64,
     },
-    /// An SXM instruction failed its shape validation.
+    /// An instruction failed its shape/ordering validation.
     InvalidInstruction {
         /// What was wrong.
         reason: String,
+        /// The issuing queue.
+        icu: IcuId,
+        /// The dispatch cycle.
+        cycle: u64,
     },
     /// `Ifetch` text failed to decode.
     Decode {
         /// The decoder's message.
         reason: String,
+        /// The fetching queue.
+        icu: IcuId,
+        /// The fetch cycle.
+        cycle: u64,
     },
     /// The run exceeded the configured cycle budget (runaway program).
     CycleLimit {
@@ -75,12 +94,26 @@ pub enum SimError {
     Deadlock {
         /// Number of queues still parked.
         parked: usize,
+        /// The parked queues and the cycle each parked at.
+        sites: Vec<(IcuId, u64)>,
     },
     /// `Receive` executed with nothing arrived on the link.
     LinkEmpty {
         /// The link index.
         link: u8,
         /// The consuming cycle.
+        cycle: u64,
+    },
+    /// A C2C wire exhausted its retransmission budget on one word
+    /// (marginal link: every attempt was corrupted or dropped).
+    LinkRetryExhausted {
+        /// Wire index within the fabric.
+        wire: usize,
+        /// Ordinal of the word on the wire (0 = first word sent).
+        nth_word: u64,
+        /// Retransmission attempts made after the original send.
+        retries: u32,
+        /// Departure cycle of the original send.
         cycle: u64,
     },
 }
@@ -99,31 +132,70 @@ impl fmt::Display for SimError {
                  (no producer scheduled a value into this slot)"
             ),
             SimError::Memory { error, icu } => write!(f, "{icu}: {error}"),
-            SimError::Ecc { cycle, icu } => {
-                write!(f, "{icu}: uncorrectable ECC error at cycle {cycle}")
-            }
+            SimError::Ecc {
+                cycle,
+                icu,
+                stream,
+                csr,
+            } => write!(
+                f,
+                "{icu}: uncorrectable ECC error on stream {stream} at cycle {cycle} [{csr}]"
+            ),
             SimError::AccumulatorEmpty { plane, cycle } => write!(
                 f,
                 "MXM plane {plane}: ACC at cycle {cycle} but no pending result"
             ),
-            SimError::WrongSlice { icu, instruction } => {
-                write!(f, "instruction `{instruction}` routed to wrong queue {icu}")
+            SimError::WrongSlice {
+                icu,
+                instruction,
+                cycle,
+            } => {
+                write!(
+                    f,
+                    "instruction `{instruction}` routed to wrong queue {icu} at cycle {cycle}"
+                )
             }
-            SimError::InvalidInstruction { reason } => write!(f, "invalid instruction: {reason}"),
-            SimError::Decode { reason } => write!(f, "instruction fetch decode error: {reason}"),
+            SimError::InvalidInstruction { reason, icu, cycle } => {
+                write!(f, "{icu}: invalid instruction at cycle {cycle}: {reason}")
+            }
+            SimError::Decode { reason, icu, cycle } => {
+                write!(
+                    f,
+                    "{icu}: instruction fetch decode error at cycle {cycle}: {reason}"
+                )
+            }
             SimError::CycleLimit { limit } => {
                 write!(f, "program exceeded the {limit}-cycle budget")
             }
-            SimError::Deadlock { parked } => write!(
-                f,
-                "{parked} queue(s) parked on Sync with no Notify pending — barrier deadlock"
-            ),
+            SimError::Deadlock { parked, sites } => {
+                write!(
+                    f,
+                    "{parked} queue(s) parked on Sync with no Notify pending — barrier deadlock ["
+                )?;
+                for (i, (icu, at)) in sites.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{icu} since cycle {at}")?;
+                }
+                write!(f, "]")
+            }
             SimError::LinkEmpty { link, cycle } => {
                 write!(
                     f,
                     "Receive on link {link} at cycle {cycle} with no arrived vector"
                 )
             }
+            SimError::LinkRetryExhausted {
+                wire,
+                nth_word,
+                retries,
+                cycle,
+            } => write!(
+                f,
+                "C2C wire {wire}: word {nth_word} (sent at cycle {cycle}) still failing \
+                 after {retries} retransmission(s) — link retry budget exhausted"
+            ),
         }
     }
 }

@@ -44,3 +44,4 @@ pub use icu_id::IcuId;
 pub use program::{Program, QueueBuilder};
 pub use stream_file::{StreamFile, StreamWord};
 pub use trace::{Activity, ActivityKind, Trace};
+pub use tsp_faults as faults;

@@ -183,6 +183,32 @@ impl StreamFile {
         best.cloned()
     }
 
+    /// Flips one data bit of the value occupying `stream`'s register at
+    /// `(position, cycle)` — a stream-register upset. The check bits travel
+    /// untouched, so the next consumer's SECDED check catches the flip. The
+    /// corrupted copy is written back at the upset register, shadowing the
+    /// value for downstream consumers only (upstream readers on the same
+    /// diagonal still see the clean word, exactly like hardware). Returns
+    /// `false` when the register holds nothing at that cycle (vacant hit).
+    pub fn corrupt(
+        &mut self,
+        stream: StreamId,
+        position: Position,
+        cycle: u64,
+        lane: u16,
+        bit: u8,
+    ) -> bool {
+        let Some(word) = self.read(stream, position, cycle) else {
+            return false;
+        };
+        let mut upset = StreamWord::clone(&word);
+        let lane = usize::from(lane);
+        let byte = upset.data.lane(lane);
+        upset.data.set_lane(lane, byte ^ (1 << bit));
+        self.write(stream, position, cycle, Arc::new(upset));
+        true
+    }
+
     /// Drops diagonals whose values have flowed off the chip edge before
     /// `cycle` (statistics housekeeping; reclamation is otherwise incremental
     /// and this has no architectural effect).

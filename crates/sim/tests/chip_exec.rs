@@ -159,7 +159,7 @@ fn sync_without_notify_is_deadlock() {
     let mut p = Program::new();
     p.builder(mem_icu(Hemisphere::West, 0)).push(IcuOp::Sync);
     let err = chip.run(&p, &RunOptions::default()).unwrap_err();
-    assert!(matches!(err, SimError::Deadlock { parked: 1 }));
+    assert!(matches!(err, SimError::Deadlock { parked: 1, .. }));
 }
 
 /// `Read; Repeat n,1` streams a contiguous region one vector per cycle with

@@ -1,0 +1,249 @@
+//! Mid-run fault injection through `RunOptions::faults`.
+//!
+//! These pin down the recovery matrix at chip level: single-bit SRAM data and
+//! check-bit flips and stream-register upsets are corrected by the
+//! consumer-side SECDED check with bit-identical results; double-bit faults
+//! surface as a diagnosable [`SimError::Ecc`]; and injection is deterministic
+//! (the same plan replays to the identical report).
+
+use tsp_arch::{ChipConfig, Hemisphere, StreamGroup, StreamId, Vector};
+use tsp_isa::{AluIndex, BinaryAluOp, DataType, MemAddr, MemOp, VxmOp};
+use tsp_mem::GlobalAddress;
+use tsp_sim::chip::{RunOptions, RunReport};
+use tsp_sim::faults::{FaultEvent, FaultKind, FaultPlan};
+use tsp_sim::{Chip, IcuId, Program, SimError};
+
+fn mem_icu(h: Hemisphere, i: u8) -> IcuId {
+    IcuId::Mem {
+        hemisphere: h,
+        index: i,
+    }
+}
+
+fn ga(h: Hemisphere, slice: u8, word: u16) -> GlobalAddress {
+    GlobalAddress::new(h, slice, MemAddr::new(word))
+}
+
+fn sg1(s: StreamId) -> StreamGroup {
+    StreamGroup::new(s, 1)
+}
+
+/// The Fig. 3 vector-add (Z = X + Y, MEM_E4 + MEM_E5 → MEM_E6), returning
+/// the report and the result vector. Dispatches: reads at cycles 2 and 1,
+/// VXM add at 12, result write at 23.
+fn run_vector_add(plan: FaultPlan) -> Result<(RunReport, Vector, Chip), SimError> {
+    let mut chip = Chip::new(ChipConfig::asic());
+    let x = Vector::from_fn(|i| (i % 100) as u8);
+    let y = Vector::from_fn(|i| (i % 27) as u8);
+    chip.memory.write(ga(Hemisphere::East, 4, 0), x);
+    chip.memory.write(ga(Hemisphere::East, 5, 0), y);
+
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 4)).push_at(
+        2,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 5)).push_at(
+        1,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(1),
+        },
+    );
+    p.builder(IcuId::Vxm {
+        alu: AluIndex::new(0),
+    })
+    .push_at(
+        12,
+        VxmOp::Binary {
+            op: BinaryAluOp::AddSat,
+            dtype: DataType::Int8,
+            a: sg1(StreamId::west(0)),
+            b: sg1(StreamId::west(1)),
+            dst: sg1(StreamId::east(2)),
+            alu: AluIndex::new(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 6)).push_at(
+        23,
+        MemOp::Write {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(2),
+        },
+    );
+
+    let options = RunOptions {
+        faults: plan,
+        ..RunOptions::default()
+    };
+    let report = chip.run(&p, &options)?;
+    let z = chip.memory.read_unchecked(ga(Hemisphere::East, 6, 0));
+    Ok((report, z, chip))
+}
+
+fn golden() -> (RunReport, Vector) {
+    let (report, z, _) = run_vector_add(FaultPlan::empty()).expect("fault-free run");
+    (report, z)
+}
+
+#[test]
+fn sram_data_flip_mid_run_is_corrected() {
+    let (gold_report, gold_z) = golden();
+    let plan = FaultPlan::from_events(
+        0,
+        vec![FaultEvent {
+            cycle: 1,
+            kind: FaultKind::SramData {
+                hemisphere: Hemisphere::East,
+                slice: 4,
+                word: 0,
+                lane: 33,
+                bit: 5,
+            },
+        }],
+    );
+    let (report, z, _) = run_vector_add(plan).expect("corrected run");
+    assert_eq!(report.faults_applied, 1);
+    assert_eq!(report.faults_vacant, 0);
+    assert_eq!(report.ecc_corrected, 1);
+    assert_eq!(z, gold_z, "single-bit fault must be fully masked by SECDED");
+    assert_eq!(report.cycles, gold_report.cycles, "timing is data-blind");
+}
+
+#[test]
+fn sram_check_bit_flip_is_corrected_without_touching_data() {
+    let (_, gold_z) = golden();
+    let plan = FaultPlan::from_events(
+        0,
+        vec![FaultEvent {
+            cycle: 0,
+            kind: FaultKind::SramCheck {
+                hemisphere: Hemisphere::East,
+                slice: 5,
+                word: 0,
+                superlane: 7,
+                bit: 3,
+            },
+        }],
+    );
+    let (report, z, _) = run_vector_add(plan).expect("corrected run");
+    assert_eq!(report.faults_applied, 1);
+    assert_eq!(report.ecc_corrected, 1);
+    assert_eq!(z, gold_z);
+}
+
+#[test]
+fn stream_register_upset_in_flight_is_corrected() {
+    let (_, gold_z) = golden();
+    // MEM_E5's operand departs position 52 at cycle 6 flowing west; strike
+    // the register at position 50, cycle 8 — two hops into its journey.
+    let plan = FaultPlan::from_events(
+        0,
+        vec![FaultEvent {
+            cycle: 8,
+            kind: FaultKind::StreamUpset {
+                stream: StreamId::west(1),
+                position: 50,
+                lane: 100,
+                bit: 0,
+            },
+        }],
+    );
+    let (report, z, chip) = run_vector_add(plan).expect("corrected run");
+    assert_eq!(report.faults_applied, 1);
+    assert_eq!(report.ecc_corrected, 1);
+    assert_eq!(z, gold_z);
+    assert!(chip.error_log_dump().contains("corrected single-bit"));
+}
+
+#[test]
+fn upset_on_vacant_register_is_masked() {
+    let (gold_report, gold_z) = golden();
+    // Stream 30 never carries anything: the particle hits empty state.
+    let plan = FaultPlan::from_events(
+        0,
+        vec![FaultEvent {
+            cycle: 5,
+            kind: FaultKind::StreamUpset {
+                stream: StreamId::east(30),
+                position: 10,
+                lane: 0,
+                bit: 0,
+            },
+        }],
+    );
+    let (report, z, _) = run_vector_add(plan).expect("masked run");
+    assert_eq!(report.faults_applied, 0);
+    assert_eq!(report.faults_vacant, 1);
+    assert_eq!(report.ecc_corrected, 0);
+    assert_eq!(z, gold_z);
+    assert_eq!(report.cycles, gold_report.cycles);
+}
+
+#[test]
+fn double_bit_sram_fault_is_detected_with_diagnosable_error() {
+    // Two flips in the same 16-byte superlane word: uncorrectable.
+    let plan = FaultPlan::from_events(
+        0,
+        vec![
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::SramData {
+                    hemisphere: Hemisphere::East,
+                    slice: 4,
+                    word: 0,
+                    lane: 0,
+                    bit: 1,
+                },
+            },
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::SramData {
+                    hemisphere: Hemisphere::East,
+                    slice: 4,
+                    word: 0,
+                    lane: 3,
+                    bit: 6,
+                },
+            },
+        ],
+    );
+    let err = run_vector_add(plan).expect_err("double-bit must be detected");
+    match &err {
+        SimError::Ecc {
+            cycle, stream, csr, ..
+        } => {
+            assert_eq!(*cycle, 12, "detected at the consuming VXM dispatch");
+            assert_eq!(*stream, StreamId::west(0));
+            assert!(csr.contains("1 uncorrectable"), "csr summary: {csr}");
+        }
+        other => panic!("expected Ecc error, got {other}"),
+    }
+    let msg = err.to_string();
+    assert!(msg.contains("cycle 12"), "{msg}");
+    assert!(msg.contains("CSR"), "{msg}");
+}
+
+#[test]
+fn same_plan_replays_bit_identically() {
+    let plan = FaultPlan::generate(
+        0xFA017,
+        &tsp_sim::faults::PlanSpec {
+            cycles: 0..30,
+            sram_data: 3,
+            sram_check: 2,
+            stream_upsets: 4,
+            sram_words: 1,
+        },
+    );
+    let (r1, z1, _) = run_vector_add(plan.clone()).expect("run 1");
+    let (r2, z2, _) = run_vector_add(plan).expect("run 2");
+    assert_eq!(z1, z2);
+    assert_eq!(r1.cycles, r2.cycles);
+    assert_eq!(r1.ecc_corrected, r2.ecc_corrected);
+    assert_eq!(r1.faults_applied, r2.faults_applied);
+    assert_eq!(r1.faults_vacant, r2.faults_vacant);
+}
