@@ -4,7 +4,20 @@
 
 use tsp::prelude::*;
 use tsp_power::EnergyModel;
-use tsp_sim::{Activity, ActivityKind};
+use tsp_sim::{Activity, ActivityKind, IcuId};
+
+fn macc(cycle: u64, lanes: u16) -> Activity {
+    Activity {
+        cycle,
+        icu: IcuId::Mxm {
+            plane: tsp_isa::Plane::new(0),
+            port: 0,
+        },
+        kind: ActivityKind::MxmMacc,
+        lanes,
+        dur: 1,
+    }
+}
 
 fn main() {
     println!("# ablation: energy proportionality of scalable vector length");
@@ -13,26 +26,12 @@ fn main() {
         "superlanes", "VL", "peak TOp/s", "rel. energy"
     );
     let energy = EnergyModel::default();
-    let full: f64 = (0..1000u64)
-        .map(|t| {
-            energy.event_pj(&Activity {
-                cycle: t,
-                kind: ActivityKind::MxmMacc,
-                lanes: 320,
-            })
-        })
-        .sum();
+    let full: f64 = (0..1000u64).map(|t| energy.event_pj(&macc(t, 320))).sum();
     for &lanes in &[20usize, 16, 12, 8, 4, 1] {
         let mut cfg = ChipConfig::paper_1ghz();
         cfg.superlanes_enabled = lanes;
         let e: f64 = (0..1000u64)
-            .map(|t| {
-                energy.event_pj(&Activity {
-                    cycle: t,
-                    kind: ActivityKind::MxmMacc,
-                    lanes: (lanes * 16) as u16,
-                })
-            })
+            .map(|t| energy.event_pj(&macc(t, (lanes * 16) as u16)))
             .sum();
         println!(
             "{lanes:>10} {:>8} {:>12.1} {:>13.0}%",

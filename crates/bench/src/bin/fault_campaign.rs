@@ -10,7 +10,7 @@
 //!
 //! `--smoke` runs the small CI configuration and exits non-zero on any SDC
 //! or unrecovered trial; the default is the full sweep for EXPERIMENTS.md.
-//! Results land in `BENCH_FAULTS.json` (schema `tsp-faults-v1`); the report
+//! Results land in `BENCH_FAULTS.json` (schema `tsp-faults-v2`); the report
 //! is bit-identical for a given seed, serial or parallel.
 
 use tsp_bench::campaign::{run_campaign, CampaignConfig, TrialClass};

@@ -2,7 +2,7 @@
 //!
 //! Measures how fast the *host* simulates the TSP — simulated Mcycles per
 //! wall-clock second and dispatched instructions per second — on three
-//! workloads spanning the simulator's regimes:
+//! workloads spanning the simulator's regimes (see [`tsp_bench::workloads`]):
 //!
 //! * `vector_add_stream` — the Fig. 3 producer-consumer stream program
 //!   (MEM/VXM bound, functional);
@@ -11,122 +11,82 @@
 //! * `resnet50_functional` — ResNet-50 batch-1 with full data computation
 //!   (the end-to-end worst case).
 //!
-//! Results land in `BENCH_SIM.json` (schema documented in DESIGN.md §6) so
-//! successive commits can be compared — the point is the *trajectory*, not
-//! any single number. Run with an optional argument to change the output
-//! path: `cargo run -p tsp-bench --bin simspeed [-- out.json]`.
+//! Each workload runs in three telemetry **variants**: `counters` (the
+//! default configuration), `nocounters` (utilization counters off — the
+//! baseline that prices the counters' host overhead, budgeted ≤ 5%) and
+//! `trace` (full event tracing, the expensive observability ceiling).
+//!
+//! Results land in `BENCH_SIM.json` (schema `tsp-simspeed-v2`, documented in
+//! DESIGN.md §6) so successive commits can be compared — the point is the
+//! *trajectory*, not any single number. Run with an optional argument to
+//! change the output path: `cargo run -p tsp-bench --bin simspeed [-- out.json]`.
 
 use std::time::Instant;
 
-use tsp::compiler::kernels::matmul::{schedule_plane_chain, Pass};
-use tsp::nn::compile::{compile_cached, CompileOptions};
-use tsp::nn::data::synthetic;
-use tsp::nn::quant::quantize;
-use tsp::nn::resnet::{resnet, Widths};
 use tsp::prelude::*;
-use tsp_isa::Plane;
-
-/// One workload's measurement.
-struct Sample {
-    name: &'static str,
-    mode: &'static str,
-    runs: u32,
-    sim_cycles: u64,
-    instructions: u64,
-    wall_seconds: f64,
-}
-
-impl Sample {
-    fn mcycles_per_sec(&self) -> f64 {
-        self.sim_cycles as f64 / self.wall_seconds / 1e6
-    }
-    fn instructions_per_sec(&self) -> f64 {
-        self.instructions as f64 / self.wall_seconds
-    }
-}
+use tsp_bench::report::{SimspeedReport, WorkloadSample};
+use tsp_bench::workloads::{resnet50_model, roofline_program, vector_add_program};
+use tsp_telemetry::Telemetry;
 
 /// Repeats `run` until at least `min_wall` seconds have elapsed (and at
-/// least once), accumulating simulated cycles and instructions.
+/// least once), accumulating the reports' cycle/instruction/reliability
+/// counters and merging their telemetry.
 fn bench(
-    name: &'static str,
-    mode: &'static str,
+    name: &str,
+    mode: &str,
+    variant: &str,
     min_wall: f64,
-    mut run: impl FnMut() -> (u64, u64),
-) -> Sample {
+    mut run: impl FnMut() -> RunReport,
+) -> WorkloadSample {
     let start = Instant::now();
-    let (mut runs, mut sim_cycles, mut instructions) = (0u32, 0u64, 0u64);
-    while runs == 0 || start.elapsed().as_secs_f64() < min_wall {
-        let (c, i) = run();
-        runs += 1;
-        sim_cycles += c;
-        instructions += i;
+    let mut s = WorkloadSample {
+        name: name.into(),
+        mode: mode.into(),
+        variant: variant.into(),
+        runs: 0,
+        sim_cycles: 0,
+        instructions: 0,
+        ecc_corrected: 0,
+        faults_applied: 0,
+        faults_vacant: 0,
+        egress_words: 0,
+        wall_seconds: 0.0,
+        telemetry: Telemetry::new(),
+    };
+    while s.runs == 0 || start.elapsed().as_secs_f64() < min_wall {
+        let r = run();
+        s.runs += 1;
+        s.sim_cycles += r.cycles;
+        s.instructions += r.instructions + r.nops;
+        s.ecc_corrected += r.ecc_corrected;
+        s.faults_applied += r.faults_applied;
+        s.faults_vacant += r.faults_vacant;
+        s.egress_words += r.egress.len() as u64;
+        s.telemetry.merge(&r.telemetry);
     }
-    Sample {
-        name,
-        mode,
-        runs,
-        sim_cycles,
-        instructions,
-        wall_seconds: start.elapsed().as_secs_f64(),
-    }
-}
-
-/// Fig. 3's stream program: Z = X + Y over 1000 vectors (320k elements).
-fn vector_add_program() -> Program {
-    let mut sched = Scheduler::new();
-    let x = sched
-        .alloc
-        .alloc_in(Some(Hemisphere::East), 1000, 320, BankPolicy::Low, 4096)
-        .unwrap();
-    let y = sched
-        .alloc
-        .alloc_in(Some(Hemisphere::West), 1000, 320, BankPolicy::Low, 4096)
-        .unwrap();
-    let _ = binary_ew(
-        &mut sched,
-        BinaryAluOp::AddSat,
-        &x,
-        &y,
-        Hemisphere::East,
-        BankPolicy::High,
-        0,
-    );
-    sched.into_program().unwrap()
-}
-
-/// Fig. 9's peak point: four planes each reusing one 320×320 weight set
-/// over 4096 activation rows.
-fn roofline_program() -> Program {
-    let mut sched = Scheduler::new();
-    let row_ids: Vec<u32> = (0..4096).collect();
-    for p in 0..4u8 {
-        let w = sched
-            .alloc
-            .alloc(320, 320, BankPolicy::Low, 20)
-            .expect("weights");
-        let x = sched
-            .alloc
-            .alloc(4096, 320, BankPolicy::High, 4096)
-            .expect("acts");
-        let _ = schedule_plane_chain(
-            &mut sched,
-            Plane::new(p),
-            &[Pass {
-                weights: &w,
-                acts: &x,
-                rows: &row_ids,
-            }],
-            0,
-        );
-    }
-    sched.into_program().unwrap()
-}
-
-fn json_escape_free(s: &str) -> &str {
-    debug_assert!(s
-        .chars()
-        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    s.wall_seconds = start.elapsed().as_secs_f64();
     s
+}
+
+/// The three telemetry variants of one scenario: `(variant, options)`.
+fn variants(base: RunOptions) -> [(&'static str, RunOptions); 3] {
+    [
+        ("counters", base.clone()),
+        (
+            "nocounters",
+            RunOptions {
+                counters: false,
+                ..base.clone()
+            },
+        ),
+        (
+            "trace",
+            RunOptions {
+                trace: true,
+                ..base
+            },
+        ),
+    ]
 }
 
 fn main() {
@@ -136,52 +96,61 @@ fn main() {
     println!("# simspeed: host simulation throughput (trajectory benchmark)");
     println!();
 
-    let mut samples = Vec::new();
+    let mut report = SimspeedReport::default();
 
     let vadd = vector_add_program();
-    samples.push(bench("vector_add_stream", "functional", 1.0, || {
-        let mut chip = Chip::new(ChipConfig::asic());
-        let r = chip.run(&vadd, &RunOptions::default()).unwrap();
-        (r.cycles, r.instructions + r.nops)
-    }));
+    for (variant, options) in variants(RunOptions::default()) {
+        report.workloads.push(bench(
+            "vector_add_stream",
+            "functional",
+            variant,
+            1.0,
+            || {
+                let mut chip = Chip::new(ChipConfig::asic());
+                chip.run(&vadd, &options).unwrap()
+            },
+        ));
+    }
 
     let roofline = roofline_program();
-    samples.push(bench("roofline_point", "timing", 1.0, || {
-        let mut chip = Chip::new(ChipConfig::paper_1ghz());
-        let r = chip
-            .run(
-                &roofline,
-                &RunOptions {
-                    functional: false,
-                    ..RunOptions::default()
-                },
-            )
-            .unwrap();
-        (r.cycles, r.instructions + r.nops)
-    }));
+    for (variant, options) in variants(RunOptions {
+        functional: false,
+        ..RunOptions::default()
+    }) {
+        report
+            .workloads
+            .push(bench("roofline_point", "timing", variant, 1.0, || {
+                let mut chip = Chip::new(ChipConfig::paper_1ghz());
+                chip.run(&roofline, &options).unwrap()
+            }));
+    }
 
-    let data = synthetic(3, 224, 224, 3, 2, 1);
-    let (g, params) = resnet(50, 224, 1000, &Widths::standard(), 7);
-    let q = quantize(&g, &params, &data.images[..1]);
-    let model = compile_cached(&q, &CompileOptions::default());
-    let qi = q.quantize_image(&data.images[0]);
-    samples.push(bench("resnet50_functional", "functional", 1.0, || {
-        let mut chip = Chip::new(ChipConfig::asic());
-        model.load_constants(&mut chip);
-        model.write_input(&mut chip, &qi);
-        let r = chip.run(&model.program, &RunOptions::default()).unwrap();
-        (r.cycles, r.instructions + r.nops)
-    }));
+    let (model, qi) = resnet50_model();
+    for (variant, options) in variants(RunOptions::default()) {
+        report.workloads.push(bench(
+            "resnet50_functional",
+            "functional",
+            variant,
+            1.0,
+            || {
+                let mut chip = Chip::new(ChipConfig::asic());
+                model.load_constants(&mut chip);
+                model.write_input(&mut chip, &qi);
+                chip.run(&model.program, &options).unwrap()
+            },
+        ));
+    }
 
     println!(
-        "{:<22} {:<10} {:>5} {:>12} {:>12} {:>12}",
-        "workload", "mode", "runs", "Mcycles/s", "instr/s", "wall s"
+        "{:<22} {:<10} {:<10} {:>5} {:>12} {:>12} {:>10}",
+        "workload", "mode", "variant", "runs", "Mcycles/s", "instr/s", "wall s"
     );
-    for s in &samples {
+    for s in &report.workloads {
         println!(
-            "{:<22} {:<10} {:>5} {:>12.2} {:>12.0} {:>12.2}",
+            "{:<22} {:<10} {:<10} {:>5} {:>12.2} {:>12.0} {:>10.2}",
             s.name,
             s.mode,
+            s.variant,
             s.runs,
             s.mcycles_per_sec(),
             s.instructions_per_sec(),
@@ -189,36 +158,25 @@ fn main() {
         );
     }
 
-    // Hand-rolled JSON: every value is a number or a known-clean identifier,
-    // so no escaping machinery is needed (asserted in debug builds).
-    let mut json = String::from("{\n  \"schema\": \"tsp-simspeed-v1\",\n  \"workloads\": [\n");
-    for (i, s) in samples.iter().enumerate() {
-        json.push_str(&format!(
-            concat!(
-                "    {{\n",
-                "      \"name\": \"{}\",\n",
-                "      \"mode\": \"{}\",\n",
-                "      \"runs\": {},\n",
-                "      \"sim_cycles\": {},\n",
-                "      \"instructions\": {},\n",
-                "      \"wall_seconds\": {:.6},\n",
-                "      \"mcycles_per_sec\": {:.3},\n",
-                "      \"instructions_per_sec\": {:.0}\n",
-                "    }}{}\n"
-            ),
-            json_escape_free(s.name),
-            json_escape_free(s.mode),
-            s.runs,
-            s.sim_cycles,
-            s.instructions,
-            s.wall_seconds,
-            s.mcycles_per_sec(),
-            s.instructions_per_sec(),
-            if i + 1 < samples.len() { "," } else { "" }
-        ));
+    // Counters-only overhead: default configuration vs counters-off, per
+    // workload (budget: ≤ 5% host slowdown; the driver checks BENCH_SIM.json).
+    println!();
+    println!("counters-only overhead vs nocounters baseline:");
+    for s in &report.workloads {
+        if s.variant != "counters" {
+            continue;
+        }
+        if let Some(base) = report
+            .workloads
+            .iter()
+            .find(|b| b.variant == "nocounters" && b.name == s.name)
+        {
+            let overhead = base.mcycles_per_sec() / s.mcycles_per_sec() - 1.0;
+            println!("  {:<22} {:>+6.1}%", s.name, overhead * 100.0);
+        }
     }
-    json.push_str("  ]\n}\n");
-    if let Err(e) = std::fs::write(&out_path, json) {
+
+    if let Err(e) = std::fs::write(&out_path, report.to_json()) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     }

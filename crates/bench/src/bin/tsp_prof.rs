@@ -1,0 +1,205 @@
+//! `tsp-prof` — run a workload with full tracing and profile where its
+//! cycles go (DESIGN.md §8).
+//!
+//! ```text
+//! cargo run --release -p tsp-bench --bin tsp-prof -- [workload] [--out trace.json] [--top N]
+//! ```
+//!
+//! `workload` is `vector-add` (default), `roofline` or `resnet50` — the
+//! shared reference workloads of [`tsp_bench::workloads`]. The run emits:
+//!
+//! * a Chrome Trace Event Format file (`--out`, default `trace.json`) — open
+//!   it at <https://ui.perfetto.dev> for the chip-wide timeline, one track
+//!   per ICU grouped by functional slice;
+//! * a text profile on stdout: the top-`N` busiest units, a utilization
+//!   table against the paper's roofline capacities, and an idle-gap
+//!   analysis of the busiest tracks.
+//!
+//! The emitted trace is structurally validated ([`perfetto::validate`])
+//! before the tool exits 0 — CI uses this as its trace smoke gate.
+
+use tsp::prelude::*;
+use tsp_bench::workloads::{resnet50_model, roofline_program, vector_add_program};
+use tsp_telemetry::perfetto;
+use tsp_telemetry::profile::{
+    idle_gaps, render_idle_gaps, render_top_units, render_utilization, UnitStat, UtilRow,
+};
+
+/// int8 multiply-accumulate ops in one 320×320 MACC wave.
+const OPS_PER_WAVE: f64 = 2.0 * 320.0 * 320.0;
+
+fn usage() -> ! {
+    eprintln!("usage: tsp-prof [vector-add|roofline|resnet50] [--out trace.json] [--top N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut workload = String::from("vector-add");
+    let mut out_path = String::from("trace.json");
+    let mut top = 8usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| usage()),
+            "--top" => {
+                top = args
+                    .next()
+                    .and_then(|n| n.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "vector-add" | "roofline" | "resnet50" => workload = a,
+            _ => usage(),
+        }
+    }
+
+    let options = RunOptions {
+        trace: true,
+        // roofline is a pure timing study; the other two compute real data.
+        functional: workload != "roofline",
+        ..RunOptions::default()
+    };
+    let cfg = if workload == "roofline" {
+        ChipConfig::paper_1ghz()
+    } else {
+        ChipConfig::asic()
+    };
+    let mut chip = Chip::new(cfg.clone());
+    let report = match workload.as_str() {
+        "vector-add" => chip.run(&vector_add_program(), &options),
+        "roofline" => chip.run(&roofline_program(), &options),
+        "resnet50" => {
+            let (model, image) = resnet50_model();
+            model.load_constants(&mut chip);
+            model.write_input(&mut chip, &image);
+            chip.run(&model.program, &options)
+        }
+        _ => usage(),
+    }
+    .unwrap_or_else(|e| {
+        eprintln!("error: simulation failed: {e:?}");
+        std::process::exit(1);
+    });
+
+    let t = &report.telemetry;
+    let cycles = report.cycles;
+    println!("# tsp-prof: {workload}");
+    println!(
+        "cycles {}  instructions {}  nops {}  trace events {} ({} dropped)",
+        cycles,
+        report.instructions,
+        report.nops,
+        report.trace.total_recorded(),
+        t.dropped_events,
+    );
+    println!();
+
+    // Top-N busiest ICU tracks, from the coalesced timeline.
+    let tracks = tsp_sim::timeline(&report.trace);
+    let stats: Vec<UnitStat> = tracks
+        .iter()
+        .map(|tl| UnitStat {
+            name: tl.icu.to_string(),
+            busy: tl.busy_cycles(),
+            events: tl.event_count(),
+        })
+        .collect();
+    println!("{}", render_top_units(&stats, cycles, top));
+
+    // Utilization against the paper's capacities (§II / Fig. 9): 4 MXM
+    // planes (1 wave/cycle each), 16 VXM ALUs, 88 MEM slices, 2×16 SXM
+    // lane shifters.
+    let waves_per_cycle = t.macc_waves_per_cycle(cycles);
+    let tops = waves_per_cycle * OPS_PER_WAVE * cfg.clock_hz / 1e12;
+    let peak_tops = cfg.peak_int8_ops() / 1e12;
+    let rows = vec![
+        UtilRow {
+            name: "MXM MACC waves".into(),
+            used: t.macc_waves(),
+            capacity: 4 * cycles,
+            note: format!(
+                "{waves_per_cycle:.3} waves/cycle = {tops:.1} TOP/s (peak {peak_tops:.1}, paper Fig. 9)"
+            ),
+        },
+        UtilRow {
+            name: "MXM plane busy".into(),
+            used: t.mxm_busy_cycles(),
+            capacity: 4 * cycles,
+            note: "incl. weight install".into(),
+        },
+        UtilRow {
+            name: "VXM ALU issue".into(),
+            used: t.vxm_issue_total(),
+            capacity: 16 * cycles,
+            note: "16 ALUs".into(),
+        },
+        UtilRow {
+            name: "MEM slice access".into(),
+            used: t.sram_accesses(),
+            capacity: 88 * cycles,
+            note: format!("R/W W:{}/{} E:{}/{}", t.sram_reads[0], t.sram_writes[0], t.sram_reads[1], t.sram_writes[1]),
+        },
+        UtilRow {
+            name: "SXM ops".into(),
+            used: t.sxm_total(),
+            capacity: 32 * cycles,
+            note: format!("W:{} E:{}", t.sxm_ops[0], t.sxm_ops[1]),
+        },
+        UtilRow {
+            name: "stream regs (peak)".into(),
+            used: t.stream_high_water,
+            capacity: tsp_sim::stream_file::STREAM_CAPACITY as u64,
+            note: "high-water live diagonal slots".into(),
+        },
+        UtilRow {
+            name: "ICU queue (peak)".into(),
+            used: t.icu_queue_high_water,
+            capacity: t.icu_queue_high_water.max(1),
+            note: "deepest pending queue".into(),
+        },
+    ];
+    println!("{}", render_utilization(&rows));
+
+    // Idle-gap analysis on the busiest tracks: where does the critical
+    // resource wait?
+    let mut ranked: Vec<&tsp_sim::IcuTimeline> = tracks.iter().collect();
+    ranked.sort_by(|a, b| {
+        b.busy_cycles()
+            .cmp(&a.busy_cycles())
+            .then_with(|| a.icu.cmp(&b.icu))
+    });
+    for tl in ranked.iter().take(3) {
+        let spans: Vec<(u64, u64)> = tl.spans.iter().map(|s| (s.start, s.dur)).collect();
+        let gaps = idle_gaps(&spans, cycles);
+        println!(
+            "{}",
+            render_idle_gaps(&tl.icu.to_string(), &gaps, cycles, 5)
+        );
+    }
+
+    // Emit and smoke-validate the Perfetto trace.
+    let text = tsp_sim::perfetto_json(&report.trace);
+    if let Err(e) = std::fs::write(&out_path, &text) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    match perfetto::validate(&text) {
+        Ok(s) => {
+            assert!(
+                s.tracks.iter().all(|n| n.starts_with("icu.")),
+                "non-ICU track in trace"
+            );
+            println!(
+                "wrote {out_path}: {} span events on {} tracks in {} processes, timeline end {} cycles",
+                s.span_events,
+                s.tracks.len(),
+                s.processes.len(),
+                s.max_ts
+            );
+            println!("open it at https://ui.perfetto.dev");
+        }
+        Err(e) => {
+            eprintln!("error: emitted trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -33,12 +33,17 @@ use tsp_nn::resilient::{run_resilient, ResilientOptions};
 use tsp_nn::train::small_cnn;
 use tsp_sim::faults::{FaultPlan, LinkFaultPlan, LinkPlanSpec, PlanSpec};
 use tsp_sim::{Chip, IcuId, Program, SimError};
+use tsp_telemetry::json::Json;
 
 use crate::fan_out;
 use tsp_c2c::{Fabric, Wire};
 
-/// Schema tag of `BENCH_FAULTS.json`.
-pub const SCHEMA: &str = "tsp-faults-v1";
+/// Schema tag of `BENCH_FAULTS.json`. v2 over v1: every trial carries its
+/// `egress_words` (C2C link traffic of the completing attempt) alongside the
+/// reliability counters, and the document round-trips through
+/// [`CampaignReport::from_json`] so CI artifacts can be compared
+/// programmatically.
+pub const SCHEMA: &str = "tsp-faults-v2";
 
 /// The fault sites a campaign sweeps.
 pub const SITES: [&str; 4] = ["sram-data", "sram-check", "stream", "link"];
@@ -97,6 +102,8 @@ pub struct Trial {
     pub faults_vacant: u64,
     /// Simulated cycles thrown away by failed attempts.
     pub wasted_cycles: u64,
+    /// Vectors that left on C2C links during the completing attempt.
+    pub egress_words: u64,
 }
 
 /// Aggregate of one (site, rate) sweep point.
@@ -229,6 +236,7 @@ fn chip_trial(
         faults_applied: report.faults_applied,
         faults_vacant: report.faults_vacant,
         wasted_cycles: report.wasted_cycles,
+        egress_words: report.egress_words,
     }
 }
 
@@ -329,6 +337,7 @@ fn link_trial(rate: u32, index: u32, seed: u64) -> Trial {
         faults_applied: u64::from(rate),
         faults_vacant: 0,
         wasted_cycles: 0,
+        egress_words: 0,
     };
     // Attempt 0 with the plan, one clean retry (transient faults don't
     // recur); each attempt rebuilds the fabric from host state.
@@ -347,6 +356,7 @@ fn link_trial(rate: u32, index: u32, seed: u64) -> Trial {
                     .memory
                     .read_unchecked(ga(Hemisphere::East, 20, 9));
                 trial.corrected += report.links[0].retried;
+                trial.egress_words = report.reports.iter().map(|r| r.egress.len() as u64).sum();
                 trial.class = if delivered != payload {
                     TrialClass::Sdc
                 } else if trial.attempts > 1 {
@@ -487,7 +497,7 @@ impl CampaignReport {
                     "    {{ \"site\": \"{}\", \"rate\": {}, \"index\": {}, \"seed\": {}, ",
                     "\"class\": \"{}\", \"attempts\": {}, \"corrected\": {}, ",
                     "\"detected\": {}, \"applied\": {}, \"vacant\": {}, ",
-                    "\"wasted_cycles\": {} }}{}\n"
+                    "\"wasted_cycles\": {}, \"egress_words\": {} }}{}\n"
                 ),
                 t.site,
                 t.rate,
@@ -500,10 +510,87 @@ impl CampaignReport {
                 t.faults_applied,
                 t.faults_vacant,
                 t.wasted_cycles,
+                t.egress_words,
                 if i + 1 < self.trials.len() { "," } else { "" }
             ));
         }
         json.push_str("  ]\n}\n");
         json
+    }
+
+    /// Parses a `tsp-faults-v2` document (inverse of
+    /// [`CampaignReport::to_json`] — the summary section is derived, so only
+    /// the trials are read back).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing/malformed field, an unknown
+    /// site/class name, or a schema-tag mismatch.
+    pub fn from_json(text: &str) -> Result<CampaignReport, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SCHEMA {
+            return Err(format!("schema is '{schema}', expected '{SCHEMA}'"));
+        }
+        let seed = doc
+            .get("seed")
+            .and_then(Json::as_u64)
+            .ok_or("missing seed")?;
+        let items = doc
+            .get("trials")
+            .and_then(Json::as_array)
+            .ok_or("missing trials array")?;
+        let classes = [
+            TrialClass::Masked,
+            TrialClass::Corrected,
+            TrialClass::DetectedRecovered,
+            TrialClass::DetectedUnrecovered,
+            TrialClass::Sdc,
+        ];
+        let mut trials = Vec::with_capacity(items.len());
+        for (i, t) in items.iter().enumerate() {
+            let u64_field = |k: &str| -> Result<u64, String> {
+                t.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("trial {i}: missing {k}"))
+            };
+            let u32_field = |k: &str| -> Result<u32, String> {
+                u32::try_from(u64_field(k)?).map_err(|_| format!("trial {i}: {k} out of range"))
+            };
+            let site_name = t
+                .get("site")
+                .and_then(Json::as_str)
+                .ok_or(format!("trial {i}: missing site"))?;
+            let site = *SITES
+                .iter()
+                .find(|s| **s == site_name)
+                .ok_or(format!("trial {i}: unknown site '{site_name}'"))?;
+            let class_name = t
+                .get("class")
+                .and_then(Json::as_str)
+                .ok_or(format!("trial {i}: missing class"))?;
+            let class = *classes
+                .iter()
+                .find(|c| c.name() == class_name)
+                .ok_or(format!("trial {i}: unknown class '{class_name}'"))?;
+            trials.push(Trial {
+                site,
+                rate: u32_field("rate")?,
+                index: u32_field("index")?,
+                seed: u64_field("seed")?,
+                class,
+                attempts: u32_field("attempts")?,
+                corrected: u64_field("corrected")?,
+                detected: u64_field("detected")?,
+                faults_applied: u64_field("applied")?,
+                faults_vacant: u64_field("vacant")?,
+                wasted_cycles: u64_field("wasted_cycles")?,
+                egress_words: u64_field("egress_words")?,
+            });
+        }
+        Ok(CampaignReport { seed, trials })
     }
 }

@@ -13,6 +13,8 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod report;
+pub mod workloads;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,0 +1,259 @@
+//! The `BENCH_SIM.json` report schema (`tsp-simspeed-v2`), with a parser so
+//! the schema round-trips — CI artifacts from different commits can be
+//! compared programmatically, not just diffed as text.
+//!
+//! v2 over v1 (DESIGN.md §6): each workload carries a `variant` (which
+//! telemetry configuration it ran under), the run's reliability counters
+//! (`ecc_corrected`, `faults_applied`, `faults_vacant`, `egress_words`) and
+//! its aggregated [`Telemetry`] object.
+
+use tsp_telemetry::json::Json;
+use tsp_telemetry::Telemetry;
+
+/// Schema tag of `BENCH_SIM.json`.
+pub const SIMSPEED_SCHEMA: &str = "tsp-simspeed-v2";
+
+/// One workload × variant measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSample {
+    /// Workload name (e.g. `vector_add_stream`).
+    pub name: String,
+    /// Simulation mode: `functional` or `timing`.
+    pub mode: String,
+    /// Telemetry configuration: `counters` (default), `nocounters`
+    /// (counters off — the overhead baseline) or `trace` (full tracing).
+    pub variant: String,
+    /// Host repetitions accumulated into this sample.
+    pub runs: u32,
+    /// Simulated cycles over all runs.
+    pub sim_cycles: u64,
+    /// Instructions (incl. NOPs) over all runs.
+    pub instructions: u64,
+    /// Corrected single-bit ECC events over all runs.
+    pub ecc_corrected: u64,
+    /// Planned faults that struck live state over all runs.
+    pub faults_applied: u64,
+    /// Planned faults that found vacant state over all runs.
+    pub faults_vacant: u64,
+    /// Vectors that left on C2C links over all runs.
+    pub egress_words: u64,
+    /// Wall-clock seconds over all runs.
+    pub wall_seconds: f64,
+    /// Utilization counters merged over all runs.
+    pub telemetry: Telemetry,
+}
+
+impl WorkloadSample {
+    /// Simulated Mcycles per wall-clock second.
+    #[must_use]
+    pub fn mcycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_seconds / 1e6
+    }
+
+    /// Dispatched instructions per wall-clock second.
+    #[must_use]
+    pub fn instructions_per_sec(&self) -> f64 {
+        self.instructions as f64 / self.wall_seconds
+    }
+}
+
+/// A complete simspeed report.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimspeedReport {
+    /// One entry per workload × variant, in measurement order.
+    pub workloads: Vec<WorkloadSample>,
+}
+
+fn escape_free(s: &str) -> &str {
+    debug_assert!(s
+        .chars()
+        .all(|c| c.is_ascii_graphic() && c != '"' && c != '\\'));
+    s
+}
+
+impl SimspeedReport {
+    /// Serializes the report under [`SIMSPEED_SCHEMA`]. Every string is a
+    /// known-clean identifier (asserted in debug builds), so no escaping
+    /// machinery is needed.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut json = format!("{{\n  \"schema\": \"{SIMSPEED_SCHEMA}\",\n  \"workloads\": [\n");
+        for (i, s) in self.workloads.iter().enumerate() {
+            json.push_str(&format!(
+                concat!(
+                    "    {{\n",
+                    "      \"name\": \"{}\",\n",
+                    "      \"mode\": \"{}\",\n",
+                    "      \"variant\": \"{}\",\n",
+                    "      \"runs\": {},\n",
+                    "      \"sim_cycles\": {},\n",
+                    "      \"instructions\": {},\n",
+                    "      \"ecc_corrected\": {},\n",
+                    "      \"faults_applied\": {},\n",
+                    "      \"faults_vacant\": {},\n",
+                    "      \"egress_words\": {},\n",
+                    "      \"wall_seconds\": {:.6},\n",
+                    "      \"mcycles_per_sec\": {:.3},\n",
+                    "      \"instructions_per_sec\": {:.0},\n",
+                    "      \"telemetry\": {}\n",
+                    "    }}{}\n"
+                ),
+                escape_free(&s.name),
+                escape_free(&s.mode),
+                escape_free(&s.variant),
+                s.runs,
+                s.sim_cycles,
+                s.instructions,
+                s.ecc_corrected,
+                s.faults_applied,
+                s.faults_vacant,
+                s.egress_words,
+                s.wall_seconds,
+                s.mcycles_per_sec(),
+                s.instructions_per_sec(),
+                s.telemetry.to_json(6),
+                if i + 1 < self.workloads.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        json.push_str("  ]\n}\n");
+        json
+    }
+
+    /// Parses a `tsp-simspeed-v2` document (inverse of
+    /// [`SimspeedReport::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the first missing/malformed field, or a schema-tag
+    /// mismatch.
+    pub fn from_json(text: &str) -> Result<SimspeedReport, String> {
+        let doc = Json::parse(text)?;
+        let schema = doc
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or("missing schema tag")?;
+        if schema != SIMSPEED_SCHEMA {
+            return Err(format!(
+                "schema is '{schema}', expected '{SIMSPEED_SCHEMA}'"
+            ));
+        }
+        let items = doc
+            .get("workloads")
+            .and_then(Json::as_array)
+            .ok_or("missing workloads array")?;
+        let mut workloads = Vec::with_capacity(items.len());
+        for (i, w) in items.iter().enumerate() {
+            let str_field = |k: &str| -> Result<String, String> {
+                w.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("workload {i}: missing {k}"))
+            };
+            let u64_field = |k: &str| -> Result<u64, String> {
+                w.get(k)
+                    .and_then(Json::as_u64)
+                    .ok_or(format!("workload {i}: missing {k}"))
+            };
+            workloads.push(WorkloadSample {
+                name: str_field("name")?,
+                mode: str_field("mode")?,
+                variant: str_field("variant")?,
+                runs: u32::try_from(u64_field("runs")?)
+                    .map_err(|_| format!("workload {i}: runs out of range"))?,
+                sim_cycles: u64_field("sim_cycles")?,
+                instructions: u64_field("instructions")?,
+                ecc_corrected: u64_field("ecc_corrected")?,
+                faults_applied: u64_field("faults_applied")?,
+                faults_vacant: u64_field("faults_vacant")?,
+                egress_words: u64_field("egress_words")?,
+                wall_seconds: w
+                    .get("wall_seconds")
+                    .and_then(Json::as_f64)
+                    .ok_or(format!("workload {i}: missing wall_seconds"))?,
+                telemetry: w
+                    .get("telemetry")
+                    .and_then(Telemetry::from_json)
+                    .ok_or(format!("workload {i}: missing telemetry"))?,
+            });
+        }
+        Ok(SimspeedReport { workloads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> SimspeedReport {
+        let mut telemetry = Telemetry::new();
+        telemetry.mxm_macc_waves = [4096, 4096, 4096, 4096];
+        telemetry.mxm_plane_busy = [4200, 4200, 4200, 4200];
+        telemetry.sram_reads = [123, 456];
+        telemetry.stream_high_water = 99;
+        SimspeedReport {
+            workloads: vec![
+                WorkloadSample {
+                    name: "roofline_point".into(),
+                    mode: "timing".into(),
+                    variant: "counters".into(),
+                    runs: 3,
+                    sim_cycles: 12_345,
+                    instructions: 678,
+                    ecc_corrected: 0,
+                    faults_applied: 0,
+                    faults_vacant: 0,
+                    egress_words: 0,
+                    // Exactly representable at 6 decimals, so serialization
+                    // round-trips bit-exact.
+                    wall_seconds: 1.25,
+                    telemetry,
+                },
+                WorkloadSample {
+                    name: "vector_add_stream".into(),
+                    mode: "functional".into(),
+                    variant: "trace".into(),
+                    runs: 1,
+                    sim_cycles: 40,
+                    instructions: 11,
+                    ecc_corrected: 2,
+                    faults_applied: 1,
+                    faults_vacant: 3,
+                    egress_words: 7,
+                    wall_seconds: 0.5,
+                    telemetry: Telemetry::new(),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn v2_round_trips_exactly() {
+        let report = sample_report();
+        let text = report.to_json();
+        let back = SimspeedReport::from_json(&text).expect("parses");
+        assert_eq!(back, report);
+        // Re-serialization is byte-identical: the schema is a fixed point.
+        assert_eq!(back.to_json(), text);
+    }
+
+    #[test]
+    fn wrong_schema_tag_is_rejected() {
+        let text = sample_report().to_json().replace("-v2", "-v1");
+        let err = SimspeedReport::from_json(&text).unwrap_err();
+        assert!(err.contains("tsp-simspeed-v2"), "{err}");
+    }
+
+    #[test]
+    fn missing_counter_field_is_rejected() {
+        let text = sample_report()
+            .to_json()
+            .replace("      \"ecc_corrected\": 0,\n", "");
+        assert!(SimspeedReport::from_json(&text)
+            .unwrap_err()
+            .contains("ecc_corrected"));
+    }
+}

@@ -1,0 +1,84 @@
+//! The harness's shared reference workloads, spanning the simulator's
+//! regimes. `simspeed` benchmarks host throughput on them and `tsp-prof`
+//! profiles where their simulated cycles go — both must run the *same*
+//! programs for the numbers to be comparable.
+
+use tsp_compiler::alloc::BankPolicy;
+use tsp_compiler::kernels::binary_ew;
+use tsp_compiler::kernels::matmul::{schedule_plane_chain, Pass};
+use tsp_compiler::Scheduler;
+use tsp_isa::{BinaryAluOp, Plane};
+use tsp_nn::compile::{compile_cached, CompileOptions, CompiledModel};
+use tsp_nn::data::synthetic;
+use tsp_nn::quant::quantize;
+use tsp_nn::resnet::{resnet, Widths};
+use tsp_sim::Program;
+
+use std::sync::Arc;
+use tsp_arch::Hemisphere;
+
+/// Fig. 3's stream program: Z = X + Y over 1000 vectors (320k elements).
+/// MEM/VXM bound; run functionally.
+#[must_use]
+pub fn vector_add_program() -> Program {
+    let mut sched = Scheduler::new();
+    let x = sched
+        .alloc
+        .alloc_in(Some(Hemisphere::East), 1000, 320, BankPolicy::Low, 4096)
+        .unwrap();
+    let y = sched
+        .alloc
+        .alloc_in(Some(Hemisphere::West), 1000, 320, BankPolicy::Low, 4096)
+        .unwrap();
+    let _ = binary_ew(
+        &mut sched,
+        BinaryAluOp::AddSat,
+        &x,
+        &y,
+        Hemisphere::East,
+        BankPolicy::High,
+        0,
+    );
+    sched.into_program().unwrap()
+}
+
+/// Fig. 9's peak point: four planes each reusing one 320×320 weight set over
+/// 4096 activation rows (MXM-saturating; usually run timing-only).
+#[must_use]
+pub fn roofline_program() -> Program {
+    let mut sched = Scheduler::new();
+    let row_ids: Vec<u32> = (0..4096).collect();
+    for p in 0..4u8 {
+        let w = sched
+            .alloc
+            .alloc(320, 320, BankPolicy::Low, 20)
+            .expect("weights");
+        let x = sched
+            .alloc
+            .alloc(4096, 320, BankPolicy::High, 4096)
+            .expect("acts");
+        let _ = schedule_plane_chain(
+            &mut sched,
+            Plane::new(p),
+            &[Pass {
+                weights: &w,
+                acts: &x,
+                rows: &row_ids,
+            }],
+            0,
+        );
+    }
+    sched.into_program().unwrap()
+}
+
+/// ResNet-50 batch-1 at 224×224, compiled (through the compile cache) with
+/// one quantized input image — the end-to-end functional worst case.
+#[must_use]
+pub fn resnet50_model() -> (Arc<CompiledModel>, Vec<i8>) {
+    let data = synthetic(3, 224, 224, 3, 2, 1);
+    let (g, params) = resnet(50, 224, 1000, &Widths::standard(), 7);
+    let q = quantize(&g, &params, &data.images[..1]);
+    let model = compile_cached(&q, &CompileOptions::default());
+    let image = q.quantize_image(&data.images[0]);
+    (model, image)
+}

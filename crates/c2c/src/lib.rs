@@ -100,6 +100,20 @@ pub struct FabricReport {
     pub links: Vec<LinkStats>,
 }
 
+impl FabricReport {
+    /// Fabric-wide utilization: every chip's telemetry merged into one
+    /// aggregate (counts sum; high-water marks take the max — see
+    /// [`tsp_telemetry::Telemetry::merge`]).
+    #[must_use]
+    pub fn merged_telemetry(&self) -> tsp_telemetry::Telemetry {
+        let mut total = tsp_telemetry::Telemetry::new();
+        for r in &self.reports {
+            total.merge(&r.telemetry);
+        }
+        total
+    }
+}
+
 /// CRC-32 (IEEE 802.3, reflected, poly 0xEDB88320) over a byte slice — the
 /// per-word link code. Any single-bit (indeed any burst ≤ 32-bit) error in a
 /// 360-byte word changes the CRC, so corrupt transmissions are always caught.
@@ -479,6 +493,13 @@ mod tests {
             .memory
             .read_unchecked(ga(Hemisphere::East, 20, 9));
         assert_eq!(got, payload);
+        // Fabric-wide telemetry merges both chips: the send lives on chip 0,
+        // the receive on chip 1, one SRAM read + one write, all East.
+        let t = report.merged_telemetry();
+        assert_eq!((t.c2c_sends, t.c2c_receives), (1, 1));
+        assert_eq!(t.sram_reads, [0, 1]);
+        assert_eq!(t.sram_writes, [0, 1]);
+        assert!(t.stream_high_water >= 1);
     }
 
     /// Regression for the delivery-order bug: a wire from a higher to a lower

@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use tsp_arch::ChipConfig;
 use tsp_sim::chip::RunOptions;
 use tsp_sim::faults::FaultPlan;
-use tsp_sim::{Chip, SimError};
+use tsp_sim::{Chip, SimError, Telemetry};
 
 use crate::compile::CompiledModel;
 
@@ -85,6 +85,13 @@ pub struct ResilienceReport {
     /// Simulated cycles burned by failed attempts (each failed attempt dies
     /// at its error cycle; the work up to there is thrown away).
     pub wasted_cycles: u64,
+    /// Vectors that left on C2C links during the completing attempt (failed
+    /// attempts abort before their report exists, so their egress is lost
+    /// with them).
+    pub egress_words: u64,
+    /// Utilization counters of the completing attempt (zeroed when every
+    /// attempt failed, or when `base.counters` is off).
+    pub telemetry: Telemetry,
     /// Host wall-clock spent on failed attempts and the reload between
     /// retries — the recovery overhead a service would observe. Wall time is
     /// host-dependent; deterministic campaign reports must not include it.
@@ -164,6 +171,8 @@ pub fn run_resilient(
         faults_applied: 0,
         faults_vacant: 0,
         wasted_cycles: 0,
+        egress_words: 0,
+        telemetry: Telemetry::new(),
         recovery_wall: Duration::ZERO,
         transient_errors: Vec::new(),
         outcome: RunOutcome::Exhausted {
@@ -191,6 +200,8 @@ pub fn run_resilient(
                 report.corrected += run.ecc_corrected;
                 report.faults_applied += run.faults_applied;
                 report.faults_vacant += run.faults_vacant;
+                report.egress_words = run.egress.len() as u64;
+                report.telemetry = run.telemetry;
                 report.outcome = RunOutcome::Completed {
                     logits: model.read_logits(&chip),
                     cycles: run.cycles,

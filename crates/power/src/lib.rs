@@ -158,7 +158,13 @@ mod tests {
     use super::*;
 
     fn ev(cycle: u64, kind: ActivityKind, lanes: u16) -> Activity {
-        Activity { cycle, kind, lanes }
+        Activity {
+            cycle,
+            icu: tsp_sim::IcuId::Host { port: 0 },
+            kind,
+            lanes,
+            dur: 1,
+        }
     }
 
     #[test]

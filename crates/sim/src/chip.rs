@@ -26,12 +26,14 @@ use tsp_isa::{
 use tsp_mem::ecc::{self, ErrorSite};
 use tsp_mem::{bandwidth::Traffic, BandwidthMeter, Memory};
 
+use tsp_telemetry::Telemetry;
+
 use crate::error::SimError;
 use crate::icu_id::IcuId;
 use crate::mxm_unit::{MxmPlane, MxmResult};
 use crate::program::Program;
 use crate::stream_file::{StreamFile, StreamWord};
-use crate::trace::{ActivityKind, Trace};
+use crate::trace::{ActivityKind, Trace, DEFAULT_EVENT_CAPACITY};
 use crate::{sxm_unit, vxm_unit};
 
 /// Options controlling one [`Chip::run`].
@@ -39,6 +41,14 @@ use crate::{sxm_unit, vxm_unit};
 pub struct RunOptions {
     /// Record activity events (needed by the power model; costs memory).
     pub trace: bool,
+    /// Cap on stored trace events (counters keep counting past it; overflow
+    /// is reported in [`Telemetry::dropped_events`]). Irrelevant when
+    /// `trace` is off.
+    pub trace_capacity: usize,
+    /// Aggregate per-unit utilization counters ([`RunReport::telemetry`]).
+    /// O(1) per instruction and independent of `trace`, so it stays
+    /// affordable on long runs; `false` leaves the report's telemetry zeroed.
+    pub counters: bool,
     /// Abort with [`SimError::CycleLimit`] past this cycle (runaway guard).
     pub cycle_limit: u64,
     /// Compute real results. `false` skips the data path — MXM dot products,
@@ -57,6 +67,8 @@ impl Default for RunOptions {
     fn default() -> RunOptions {
         RunOptions {
             trace: false,
+            trace_capacity: DEFAULT_EVENT_CAPACITY,
+            counters: true,
             cycle_limit: 50_000_000,
             functional: true,
             faults: FaultPlan::empty(),
@@ -78,6 +90,10 @@ pub struct RunReport {
     pub nops: u64,
     /// Activity trace (empty unless requested).
     pub trace: Trace,
+    /// Per-unit utilization counters (zeroed unless
+    /// [`RunOptions::counters`]). Aggregated during execution without
+    /// storing events, so it is populated even when `trace` is off.
+    pub telemetry: Telemetry,
     /// Byte counters per traffic class.
     pub bandwidth: BandwidthMeter,
     /// Corrected single-bit ECC events observed.
@@ -184,7 +200,9 @@ impl Chip {
             .collect();
 
         let mut ctx = RunCtx {
-            trace: Trace::new(options.trace),
+            trace: Trace::with_capacity(options.trace, options.trace_capacity),
+            telemetry: Telemetry::new(),
+            counters: options.counters,
             bandwidth: BandwidthMeter::new(),
             last_effect: 0,
             instructions: 0,
@@ -192,6 +210,9 @@ impl Chip {
             notify_times: Vec::new(),
             functional: options.functional,
         };
+        for q in &queues {
+            ctx.queue_depth(q.instructions.len());
+        }
 
         // (time, queue index) min-heap; queue index breaks ties, giving a
         // fixed deterministic order (though order within a cycle is
@@ -285,11 +306,13 @@ impl Chip {
         // Events scheduled past the last dispatch never found live state.
         faults_vacant += (fault_events.len() - next_fault) as u64;
 
+        ctx.telemetry.dropped_events = ctx.trace.dropped_events();
         Ok(RunReport {
             cycles: ctx.last_effect + Cycle::from(tsp_arch::timing::SLICE_TILES),
             instructions: ctx.instructions,
             nops: ctx.nops,
             trace: ctx.trace,
+            telemetry: ctx.telemetry,
             bandwidth: ctx.bandwidth,
             ecc_corrected: self.memory.errors.corrected(),
             faults_applied,
@@ -519,8 +542,8 @@ impl Chip {
             Instruction::C2c(op) => self.c2c_op(q.icu, op, pos, t, d_func, ctx)?,
             Instruction::Mxm(MxmOp::InstallWeights { plane, dtype }) => {
                 self.planes[plane.index() as usize].install(*dtype);
-                ctx.trace
-                    .record(t, ActivityKind::MxmInstall, self.active_lanes());
+                let dur = u16::try_from(d_func).unwrap_or(1);
+                ctx.note_span(t, dur, q.icu, ActivityKind::MxmInstall, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
             }
             Instruction::Mxm(_) | Instruction::Icu(_) => {
@@ -625,6 +648,7 @@ impl Chip {
         ctx.last_effect = ctx.last_effect.max(t_eff);
         self.streams
             .write(stream, pos, t_eff, Arc::new(StreamWord::protect(data)));
+        ctx.stream_level(self.streams.live_count());
     }
 
     /// Timing-only produce: same bandwidth and timing bookkeeping as
@@ -635,6 +659,7 @@ impl Chip {
         ctx.last_effect = ctx.last_effect.max(t_eff);
         self.streams
             .write(stream, pos, t_eff, Arc::clone(&self.zero_word));
+        ctx.stream_level(self.streams.live_count());
     }
 
     fn mem_op(
@@ -657,8 +682,7 @@ impl Chip {
                     .map_err(|error| SimError::Memory { error, icu })?;
                 let stored = slice.peek(*addr);
                 ctx.bandwidth.record(Traffic::SramRead, 320);
-                ctx.trace
-                    .record(t, ActivityKind::MemRead, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::MemRead, self.active_lanes());
                 // Forward data with its *stored* check bits: ECC is generated
                 // at the producer and travels with the word (paper §II-D).
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
@@ -672,6 +696,7 @@ impl Chip {
                         check: stored.check,
                     }),
                 );
+                ctx.stream_level(self.streams.live_count());
             }
             MemOp::Write { addr, stream } => {
                 let data = self.read_consume(icu, *stream, pos, t, ctx.functional)?;
@@ -681,8 +706,7 @@ impl Chip {
                     .map_err(|error| SimError::Memory { error, icu })?;
                 slice.poke(*addr, data);
                 ctx.bandwidth.record(Traffic::SramWrite, 320);
-                ctx.trace
-                    .record(t, ActivityKind::MemWrite, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::MemWrite, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
             }
             MemOp::Gather { stream, map } => {
@@ -700,8 +724,7 @@ impl Chip {
                     out.superlane_mut(s).copy_from_slice(word.data.superlane(s));
                 }
                 ctx.bandwidth.record(Traffic::SramRead, 320);
-                ctx.trace
-                    .record(t, ActivityKind::MemGather, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::MemGather, self.active_lanes());
                 self.produce(*stream, pos, t + d_func, out, ctx);
             }
             MemOp::Scatter { stream, map } => {
@@ -725,8 +748,7 @@ impl Chip {
                     slice.poke_stored(addr, word);
                 }
                 ctx.bandwidth.record(Traffic::SramWrite, 320);
-                ctx.trace
-                    .record(t, ActivityKind::MemScatter, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::MemScatter, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
             }
         }
@@ -843,8 +865,9 @@ impl Chip {
                 cycle: t,
             });
         }
-        ctx.trace.record(
+        ctx.note(
             t,
+            icu,
             ActivityKind::VxmAlu { transcendental },
             self.active_lanes(),
         );
@@ -919,7 +942,7 @@ impl Chip {
                     )
                 }
             };
-            ctx.trace.record(t, kind, self.active_lanes());
+            ctx.note(t, icu, kind, self.active_lanes());
             for s in dsts {
                 self.produce_zero(s, pos, t + d_func, ctx);
             }
@@ -928,14 +951,12 @@ impl Chip {
         match op {
             SxmOp::ShiftUp { n, src, dst } => {
                 let x = self.read_consume(icu, *src, pos, t, true)?;
-                ctx.trace
-                    .record(t, ActivityKind::SxmShift, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::SxmShift, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::shift_up(&x, *n), ctx);
             }
             SxmOp::ShiftDown { n, src, dst } => {
                 let x = self.read_consume(icu, *src, pos, t, true)?;
-                ctx.trace
-                    .record(t, ActivityKind::SxmShift, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::SxmShift, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::shift_down(&x, *n), ctx);
             }
             SxmOp::Select {
@@ -946,8 +967,7 @@ impl Chip {
             } => {
                 let n = self.read_consume(icu, *north, pos, t, true)?;
                 let s = self.read_consume(icu, *south, pos, t, true)?;
-                ctx.trace
-                    .record(t, ActivityKind::SxmShift, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::SxmShift, self.active_lanes());
                 self.produce(
                     *dst,
                     pos,
@@ -958,14 +978,12 @@ impl Chip {
             }
             SxmOp::Permute { map, src, dst } => {
                 let x = self.read_consume(icu, *src, pos, t, true)?;
-                ctx.trace
-                    .record(t, ActivityKind::SxmPermute, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::SxmPermute, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::permute(&x, map), ctx);
             }
             SxmOp::Distribute { map, src, dst } => {
                 let x = self.read_consume(icu, *src, pos, t, true)?;
-                ctx.trace
-                    .record(t, ActivityKind::SxmPermute, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::SxmPermute, self.active_lanes());
                 self.produce(*dst, pos, t + d_func, sxm_unit::distribute(&x, map), ctx);
             }
             SxmOp::Rotate { n, src, dst } => {
@@ -973,8 +991,7 @@ impl Chip {
                     .streams()
                     .map(|s| self.read_consume(icu, s, pos, t, true))
                     .collect::<Result<_, _>>()?;
-                ctx.trace
-                    .record(t, ActivityKind::SxmRotate, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::SxmRotate, self.active_lanes());
                 for (i, out) in sxm_unit::rotate(&rows, *n).into_iter().enumerate() {
                     self.produce(dst.stream(i as u8), pos, t + d_func, out, ctx);
                 }
@@ -984,8 +1001,7 @@ impl Chip {
                     .streams()
                     .map(|s| self.read_consume(icu, s, pos, t, true))
                     .collect::<Result<_, _>>()?;
-                ctx.trace
-                    .record(t, ActivityKind::SxmTranspose, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::SxmTranspose, self.active_lanes());
                 for (i, out) in sxm_unit::transpose(&rows).into_iter().enumerate() {
                     self.produce(dst.stream(i as u8), pos, t + d_func, out, ctx);
                 }
@@ -1011,8 +1027,7 @@ impl Chip {
                 // The word leaves with its ECC intact: the link is covered by
                 // the same producer-generated code.
                 let word = self.read_stream(icu, *stream, pos, t)?;
-                ctx.trace
-                    .record(t, ActivityKind::C2cSend, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::C2cSend, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
                 self.egress.push((link.index(), t + d_func, word));
             }
@@ -1026,11 +1041,11 @@ impl Chip {
                     });
                 }
                 let (_, word) = queue.pop_front().expect("checked non-empty");
-                ctx.trace
-                    .record(t, ActivityKind::C2cReceive, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::C2cReceive, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
                 ctx.bandwidth.record(Traffic::Stream, 320);
                 self.streams.write(*stream, pos, t + d_func, word);
+                ctx.stream_level(self.streams.live_count());
             }
         }
         Ok(())
@@ -1060,8 +1075,7 @@ impl Chip {
                         self.read_stream(icu, s, pos, t)?;
                     }
                 }
-                ctx.trace
-                    .record(t, ActivityKind::MxmLoadWeights, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::MxmLoadWeights, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + 1);
             }
             MxmOp::ActivationBuffer { plane, stream, .. } => {
@@ -1090,8 +1104,7 @@ impl Chip {
                     self.read_stream(icu, *stream, pos, t)?;
                     self.planes[idx].feed_zero(t);
                 }
-                ctx.trace
-                    .record(t, ActivityKind::MxmMacc, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::MxmMacc, self.active_lanes());
             }
             MxmOp::Accumulate {
                 plane, dst, mode, ..
@@ -1104,8 +1117,7 @@ impl Chip {
                         cycle: t,
                     });
                 }
-                ctx.trace
-                    .record(t, ActivityKind::MxmAcc, self.active_lanes());
+                ctx.note(t, icu, ActivityKind::MxmAcc, self.active_lanes());
                 if !ctx.functional {
                     // Pop (and validate) the pending result, emit zero words.
                     self.planes[plane.index() as usize]
@@ -1171,9 +1183,10 @@ impl Chip {
             cycle: t,
         })?;
         ctx.bandwidth.record(Traffic::InstructionFetch, 640);
-        ctx.trace
-            .record(t, ActivityKind::Ifetch, self.active_lanes());
+        // The fetch occupies the queue's front end for both read cycles.
+        ctx.note_span(t, 2, q.icu, ActivityKind::Ifetch, self.active_lanes());
         q.instructions.extend(fetched);
+        ctx.queue_depth(q.instructions.len() - q.pc);
         Ok(())
     }
 }
@@ -1243,10 +1256,46 @@ fn validate_routing(icu: IcuId, instr: &Instruction, cycle: Cycle) -> Result<(),
 
 struct RunCtx {
     trace: Trace,
+    telemetry: Telemetry,
+    counters: bool,
     bandwidth: BandwidthMeter,
     last_effect: Cycle,
     instructions: u64,
     nops: u64,
     notify_times: Vec<Cycle>,
     functional: bool,
+}
+
+impl RunCtx {
+    /// Notes one cycle of architectural work: bumps the utilization counter
+    /// it maps to (when counters are on) and records a trace event (when
+    /// tracing is on). Pure observation — never touches simulated state.
+    fn note(&mut self, t: Cycle, icu: IcuId, kind: ActivityKind, lanes: u16) {
+        self.note_span(t, 1, icu, kind, lanes);
+    }
+
+    /// [`RunCtx::note`] for work occupying the unit for `dur` cycles.
+    fn note_span(&mut self, t: Cycle, dur: u16, icu: IcuId, kind: ActivityKind, lanes: u16) {
+        if self.counters {
+            crate::telemetry::bump(&mut self.telemetry, icu, kind);
+        }
+        self.trace.record_span(t, dur, icu, kind, lanes);
+    }
+
+    /// Samples stream-register-file occupancy (called after every stream
+    /// write) into its high-water mark.
+    fn stream_level(&mut self, live: usize) {
+        if self.counters {
+            self.telemetry.stream_high_water = self.telemetry.stream_high_water.max(live as u64);
+        }
+    }
+
+    /// Samples one queue's pending-instruction depth into the ICU-queue
+    /// high-water mark (at load and after every Ifetch refill).
+    fn queue_depth(&mut self, depth: usize) {
+        if self.counters {
+            self.telemetry.icu_queue_high_water =
+                self.telemetry.icu_queue_high_water.max(depth as u64);
+        }
+    }
 }

@@ -35,6 +35,7 @@ pub mod program;
 pub mod stagger;
 pub mod stream_file;
 pub mod sxm_unit;
+pub mod telemetry;
 pub mod trace;
 pub mod vxm_unit;
 
@@ -43,5 +44,7 @@ pub use error::SimError;
 pub use icu_id::IcuId;
 pub use program::{Program, QueueBuilder};
 pub use stream_file::{StreamFile, StreamWord};
+pub use telemetry::{perfetto_json, timeline, IcuTimeline, Span};
 pub use trace::{Activity, ActivityKind, Trace};
 pub use tsp_faults as faults;
+pub use tsp_telemetry::Telemetry;

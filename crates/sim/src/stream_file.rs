@@ -66,6 +66,11 @@ fn stream_key(s: StreamId) -> usize {
 /// diagonals are ≥ 256 cycles apart, hence never simultaneously live.
 const SLOTS: usize = 256;
 
+/// Total stream-register slots chip-wide (64 streams × [`SLOTS`] diagonals)
+/// — the capacity the occupancy high-water mark
+/// ([`tsp_telemetry::Telemetry::stream_high_water`]) is measured against.
+pub const STREAM_CAPACITY: usize = 64 * SLOTS;
+
 /// One diagonal of one stream: the writes on it, ordered by producing
 /// position in flow order. `writes.is_empty()` means the slot is vacant.
 #[derive(Debug, Clone, Default)]
@@ -79,12 +84,17 @@ struct Slot {
 pub struct StreamFile {
     /// `64 × SLOTS` slots, stream-major.
     slots: Vec<Slot>,
+    /// Count of occupied slots, maintained on every empty↔non-empty
+    /// transition so occupancy telemetry is O(1) per sample instead of an
+    /// O(`64 × SLOTS`) rescan.
+    live: usize,
 }
 
 impl Default for StreamFile {
     fn default() -> StreamFile {
         StreamFile {
             slots: vec![Slot::default(); 64 * SLOTS],
+            live: 0,
         }
     }
 }
@@ -132,8 +142,14 @@ impl StreamFile {
                     },
                 "slot reclaim evicted a live diagonal"
             );
+            if !slot.writes.is_empty() {
+                self.live -= 1;
+            }
             slot.writes.clear();
             slot.diagonal = d;
+        }
+        if slot.writes.is_empty() {
+            self.live += 1;
         }
         // Keep entries sorted by flow order of the producing position.
         let pos = position.0;
@@ -228,14 +244,23 @@ impl StreamFile {
             };
             if !live {
                 slot.writes.clear();
+                self.live -= 1;
             }
         }
     }
 
-    /// Number of live diagonals across all streams (for tests and stats).
+    /// Number of live diagonals across all streams: an O(n) rescan used by
+    /// tests to cross-check the maintained [`StreamFile::live_count`].
     #[must_use]
     pub fn live_values(&self) -> usize {
         self.slots.iter().filter(|s| !s.writes.is_empty()).count()
+    }
+
+    /// Number of live diagonals, O(1) (maintained incrementally): sampled
+    /// after every stream write for the occupancy high-water telemetry.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live
     }
 }
 
@@ -324,8 +349,24 @@ mod tests {
         f.write(StreamId::west(0), Position(2), 0, word(2)); // exits at cycle 3
         f.write(StreamId::east(1), Position(0), 100, word(3)); // alive until cycle 192
         assert_eq!(f.live_values(), 3);
+        assert_eq!(f.live_count(), 3);
         f.sweep(50);
         assert_eq!(f.live_values(), 1);
+        assert_eq!(f.live_count(), 1);
+    }
+
+    #[test]
+    fn live_count_tracks_rescan_through_reclaim() {
+        let mut f = StreamFile::new();
+        let s = StreamId::east(0);
+        for t in 0..600u64 {
+            // 600 > SLOTS: later writes reclaim slots of expired diagonals
+            // in place, exercising the decrement path.
+            f.write(s, Position(2), t, word((t % 251) as u8));
+            // Overwrite on the same diagonal must not double-count.
+            f.write(s, Position(3), t + 1, word(0));
+            assert_eq!(f.live_count(), f.live_values());
+        }
     }
 
     #[test]

@@ -1,0 +1,322 @@
+//! Chip-side telemetry glue: maps recorded activity onto the cheap
+//! utilization counters of [`tsp_telemetry::Telemetry`], folds a [`Trace`]
+//! into per-ICU timelines, and exports Chrome/Perfetto `trace.json`.
+//!
+//! Counter aggregation is O(1) per event and runs even when full event
+//! tracing is off, so long workloads can always report utilization without
+//! paying event-storage costs. Neither path ever influences simulated
+//! values or cycle counts — telemetry observes the machine, it is not part
+//! of it (a property `crates/sim/tests/telemetry.rs` enforces).
+
+use std::collections::BTreeMap;
+
+use tsp_telemetry::perfetto::TraceBuilder;
+use tsp_telemetry::Telemetry;
+
+use crate::icu_id::IcuId;
+use crate::trace::{ActivityKind, Trace};
+
+/// Folds one activity event into the utilization counters.
+///
+/// The ICU identity carries the array index (hemisphere, plane, ALU); the
+/// kind selects the counter family. Events whose identity does not match
+/// their kind (impossible from `Chip`, but representable) fall through to
+/// the nearest total so nothing is silently lost.
+pub(crate) fn bump(t: &mut Telemetry, icu: IcuId, kind: ActivityKind) {
+    match kind {
+        ActivityKind::MemRead | ActivityKind::MemGather => {
+            if let IcuId::Mem { hemisphere, .. } = icu {
+                t.sram_reads[hemisphere.index()] += 1;
+            }
+        }
+        ActivityKind::MemWrite | ActivityKind::MemScatter => {
+            if let IcuId::Mem { hemisphere, .. } = icu {
+                t.sram_writes[hemisphere.index()] += 1;
+            }
+        }
+        ActivityKind::VxmAlu { .. } => {
+            if let IcuId::Vxm { alu } = icu {
+                t.vxm_alu_issue[alu.0 as usize] += 1;
+            }
+        }
+        ActivityKind::MxmLoadWeights | ActivityKind::MxmInstall | ActivityKind::MxmAcc => {
+            if let IcuId::Mxm { plane, .. } = icu {
+                t.mxm_plane_busy[plane.index() as usize] += 1;
+            }
+        }
+        ActivityKind::MxmMacc => {
+            if let IcuId::Mxm { plane, .. } = icu {
+                t.mxm_plane_busy[plane.index() as usize] += 1;
+                t.mxm_macc_waves[plane.index() as usize] += 1;
+            }
+        }
+        ActivityKind::SxmShift
+        | ActivityKind::SxmPermute
+        | ActivityKind::SxmRotate
+        | ActivityKind::SxmTranspose => {
+            if let IcuId::Sxm { hemisphere, .. } = icu {
+                t.sxm_ops[hemisphere.index()] += 1;
+            }
+        }
+        ActivityKind::C2cSend => t.c2c_sends += 1,
+        ActivityKind::C2cReceive => t.c2c_receives += 1,
+        ActivityKind::Ifetch => t.ifetches += 1,
+    }
+}
+
+/// One coalesced busy interval on an ICU track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First busy cycle.
+    pub start: u64,
+    /// Busy cycles covered.
+    pub dur: u64,
+    /// The activity performed.
+    pub kind: ActivityKind,
+    /// Active lanes during the span.
+    pub lanes: u16,
+    /// Raw events merged into this span.
+    pub count: u64,
+}
+
+/// The busy timeline of one instruction queue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IcuTimeline {
+    /// The queue.
+    pub icu: IcuId,
+    /// Coalesced spans, sorted by `start`.
+    pub spans: Vec<Span>,
+}
+
+impl IcuTimeline {
+    /// Total busy cycles on this track.
+    #[must_use]
+    pub fn busy_cycles(&self) -> u64 {
+        self.spans.iter().map(|s| s.dur).sum()
+    }
+
+    /// Total raw events on this track.
+    #[must_use]
+    pub fn event_count(&self) -> u64 {
+        self.spans.iter().map(|s| s.count).sum()
+    }
+}
+
+/// Groups a trace into per-ICU timelines, coalescing back-to-back events of
+/// the same kind and lane count into single spans (a 4096-wave MACC burst
+/// becomes one span, not 4096). Tracks come out in `IcuId` order; spans in
+/// cycle order.
+#[must_use]
+pub fn timeline(trace: &Trace) -> Vec<IcuTimeline> {
+    let mut tracks: BTreeMap<IcuId, Vec<Span>> = BTreeMap::new();
+    for a in trace.events() {
+        let spans = tracks.entry(a.icu).or_default();
+        if let Some(last) = spans.last_mut() {
+            if last.kind == a.kind && last.lanes == a.lanes && a.cycle <= last.start + last.dur {
+                let end = (a.cycle + u64::from(a.dur)).max(last.start + last.dur);
+                last.dur = end - last.start;
+                last.count += 1;
+                continue;
+            }
+        }
+        spans.push(Span {
+            start: a.cycle,
+            dur: u64::from(a.dur),
+            kind: a.kind,
+            lanes: a.lanes,
+            count: 1,
+        });
+    }
+    tracks
+        .into_iter()
+        .map(|(icu, spans)| IcuTimeline { icu, spans })
+        .collect()
+}
+
+/// `(pid, tid, process name)` for one ICU — the Perfetto grouping: one
+/// process per functional-slice group, one thread (track) per queue.
+fn perfetto_track(icu: IcuId) -> (u32, u32, &'static str) {
+    match icu {
+        IcuId::Mem {
+            hemisphere: tsp_arch::Hemisphere::West,
+            index,
+        } => (1, 1 + u32::from(index), "MEM West"),
+        IcuId::Mem {
+            hemisphere: tsp_arch::Hemisphere::East,
+            index,
+        } => (2, 1 + u32::from(index), "MEM East"),
+        IcuId::Vxm { alu } => (3, 1 + u32::from(alu.0), "VXM"),
+        IcuId::Mxm { plane, port } => match plane.index() {
+            0 => (4, 1 + u32::from(port), "MXM plane 0"),
+            1 => (5, 1 + u32::from(port), "MXM plane 1"),
+            2 => (6, 1 + u32::from(port), "MXM plane 2"),
+            _ => (7, 1 + u32::from(port), "MXM plane 3"),
+        },
+        IcuId::Sxm {
+            hemisphere: tsp_arch::Hemisphere::West,
+            unit,
+        } => (8, 1 + u32::from(unit), "SXM West"),
+        IcuId::Sxm {
+            hemisphere: tsp_arch::Hemisphere::East,
+            unit,
+        } => (9, 1 + u32::from(unit), "SXM East"),
+        IcuId::C2c { port } => (10, 1 + u32::from(port), "C2C"),
+        IcuId::Host { port } => (11, 1 + u32::from(port), "Host"),
+    }
+}
+
+/// Exports a trace as a Chrome/Perfetto Trace Event Format document
+/// (loadable at `ui.perfetto.dev`). Only ICUs that did work get tracks, so
+/// small programs produce small traces. Output is deterministic: same trace,
+/// same bytes.
+#[must_use]
+pub fn perfetto_json(trace: &Trace) -> String {
+    let tracks = timeline(trace);
+    let mut b = TraceBuilder::new();
+    let mut named_pids: Vec<u32> = Vec::new();
+    for t in &tracks {
+        let (pid, tid, pname) = perfetto_track(t.icu);
+        if !named_pids.contains(&pid) {
+            named_pids.push(pid);
+            b.process(pid, pname);
+        }
+        b.thread(pid, tid, &t.icu.to_string());
+    }
+    for t in &tracks {
+        let (pid, tid, _) = perfetto_track(t.icu);
+        for s in &t.spans {
+            b.span(
+                pid,
+                tid,
+                s.kind.name(),
+                s.start,
+                s.dur,
+                &[("lanes", u64::from(s.lanes)), ("events", s.count)],
+            );
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsp_arch::Hemisphere;
+    use tsp_isa::AluIndex;
+
+    fn mem(i: u8) -> IcuId {
+        IcuId::Mem {
+            hemisphere: Hemisphere::West,
+            index: i,
+        }
+    }
+
+    #[test]
+    fn timeline_coalesces_contiguous_same_kind_events() {
+        let mut tr = Trace::new(true);
+        for c in 0..5 {
+            tr.record(c, mem(0), ActivityKind::MemRead, 320);
+        }
+        tr.record(9, mem(0), ActivityKind::MemRead, 320); // gap: new span
+        tr.record(10, mem(0), ActivityKind::MemWrite, 320); // kind change
+        let tl = timeline(&tr);
+        assert_eq!(tl.len(), 1);
+        assert_eq!(
+            tl[0].spans,
+            vec![
+                Span {
+                    start: 0,
+                    dur: 5,
+                    kind: ActivityKind::MemRead,
+                    lanes: 320,
+                    count: 5
+                },
+                Span {
+                    start: 9,
+                    dur: 1,
+                    kind: ActivityKind::MemRead,
+                    lanes: 320,
+                    count: 1
+                },
+                Span {
+                    start: 10,
+                    dur: 1,
+                    kind: ActivityKind::MemWrite,
+                    lanes: 320,
+                    count: 1
+                },
+            ]
+        );
+        assert_eq!(tl[0].busy_cycles(), 7);
+        assert_eq!(tl[0].event_count(), 7);
+    }
+
+    #[test]
+    fn timeline_does_not_merge_across_lane_changes() {
+        let mut tr = Trace::new(true);
+        tr.record(0, mem(0), ActivityKind::MemRead, 320);
+        tr.record(1, mem(0), ActivityKind::MemRead, 160);
+        assert_eq!(timeline(&tr)[0].spans.len(), 2);
+    }
+
+    #[test]
+    fn perfetto_export_validates_with_icu_track_names() {
+        let mut tr = Trace::new(true);
+        tr.record(0, mem(3), ActivityKind::MemRead, 320);
+        tr.record(
+            4,
+            IcuId::Vxm {
+                alu: AluIndex::new(7),
+            },
+            ActivityKind::VxmAlu {
+                transcendental: false,
+            },
+            320,
+        );
+        let text = perfetto_json(&tr);
+        let stats = tsp_telemetry::perfetto::validate(&text).expect("valid trace.json");
+        assert_eq!(stats.span_events, 2);
+        assert_eq!(stats.tracks, vec!["icu.mem.W3", "icu.vxm.alu7"]);
+        assert_eq!(stats.processes, vec!["MEM West", "VXM"]);
+        // Deterministic: same trace serializes to the same bytes.
+        assert_eq!(text, perfetto_json(&tr));
+    }
+
+    #[test]
+    fn bump_routes_kinds_to_the_right_counters() {
+        let mut t = Telemetry::new();
+        bump(
+            &mut t,
+            IcuId::Mem {
+                hemisphere: Hemisphere::East,
+                index: 2,
+            },
+            ActivityKind::MemRead,
+        );
+        bump(
+            &mut t,
+            IcuId::Vxm {
+                alu: AluIndex::new(5),
+            },
+            ActivityKind::VxmAlu {
+                transcendental: true,
+            },
+        );
+        bump(
+            &mut t,
+            IcuId::Mxm {
+                plane: tsp_isa::Plane::new(2),
+                port: 0,
+            },
+            ActivityKind::MxmMacc,
+        );
+        bump(&mut t, IcuId::C2c { port: 1 }, ActivityKind::C2cSend);
+        bump(&mut t, IcuId::Host { port: 0 }, ActivityKind::Ifetch);
+        assert_eq!(t.sram_reads, [0, 1]);
+        assert_eq!(t.vxm_alu_issue[5], 1);
+        assert_eq!(t.mxm_plane_busy, [0, 0, 1, 0]);
+        assert_eq!(t.mxm_macc_waves, [0, 0, 1, 0]);
+        assert_eq!(t.c2c_sends, 1);
+        assert_eq!(t.ifetches, 1);
+    }
+}

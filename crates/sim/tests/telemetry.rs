@@ -1,0 +1,193 @@
+//! Telemetry is observation, not simulation: cycle counts, instruction
+//! counts and computed results are bit-identical with tracing/counters on or
+//! off, counters populate without event storage, and the Perfetto export is
+//! a pure deterministic function of the recorded trace.
+
+use tsp_arch::{ChipConfig, Hemisphere, StreamGroup, StreamId, Vector};
+use tsp_isa::{AluIndex, BinaryAluOp, DataType, MemAddr, MemOp, VxmOp};
+use tsp_mem::GlobalAddress;
+use tsp_sim::chip::{RunOptions, RunReport};
+use tsp_sim::{Chip, IcuId, Program, Telemetry};
+
+fn mem_icu(h: Hemisphere, i: u8) -> IcuId {
+    IcuId::Mem {
+        hemisphere: h,
+        index: i,
+    }
+}
+
+fn ga(h: Hemisphere, slice: u8, word: u16) -> GlobalAddress {
+    GlobalAddress::new(h, slice, MemAddr::new(word))
+}
+
+fn sg1(s: StreamId) -> StreamGroup {
+    StreamGroup::new(s, 1)
+}
+
+/// The Fig. 3 stream program (Z = X + Y through the VXM), exercising MEM
+/// reads/writes, stream flow and a VXM ALU — the units the counters watch.
+fn vector_add() -> Program {
+    let read_dfunc = 5u64;
+    let add_dfunc = 4u64;
+    let hops = |index: u8| u64::from(index) + 1;
+    let t_arrive = 1 + read_dfunc + hops(5);
+    let t4 = t_arrive - read_dfunc - hops(4);
+
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 4)).push_at(
+        t4,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 5)).push_at(
+        1,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(1),
+        },
+    );
+    p.builder(IcuId::Vxm {
+        alu: AluIndex::new(0),
+    })
+    .push_at(
+        t_arrive,
+        VxmOp::Binary {
+            op: BinaryAluOp::AddSat,
+            dtype: DataType::Int8,
+            a: sg1(StreamId::west(0)),
+            b: sg1(StreamId::west(1)),
+            dst: sg1(StreamId::east(2)),
+            alu: AluIndex::new(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 6)).push_at(
+        t_arrive + add_dfunc + hops(6),
+        MemOp::Write {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(2),
+        },
+    );
+    p
+}
+
+/// Runs the vector-add under the given options, returning the report and
+/// the result vector.
+fn run(options: &RunOptions) -> (RunReport, Vector) {
+    let mut chip = Chip::new(ChipConfig::asic());
+    chip.memory.write(
+        ga(Hemisphere::East, 4, 0),
+        Vector::from_fn(|i| (i % 100) as u8),
+    );
+    chip.memory.write(
+        ga(Hemisphere::East, 5, 0),
+        Vector::from_fn(|i| (i % 27) as u8),
+    );
+    let report = chip.run(&vector_add(), options).expect("run");
+    (
+        report,
+        chip.memory.read_unchecked(ga(Hemisphere::East, 6, 0)),
+    )
+}
+
+/// The observability invariant: every telemetry configuration simulates the
+/// *same machine* — identical cycles, instruction counts and results.
+#[test]
+fn cycle_identity_across_all_telemetry_configurations() {
+    let (baseline, z0) = run(&RunOptions::default());
+    let configs = [
+        RunOptions {
+            trace: true,
+            ..RunOptions::default()
+        },
+        RunOptions {
+            counters: false,
+            ..RunOptions::default()
+        },
+        RunOptions {
+            trace: true,
+            counters: false,
+            ..RunOptions::default()
+        },
+        RunOptions {
+            trace: true,
+            trace_capacity: 2, // pathological cap: drops must not perturb
+            ..RunOptions::default()
+        },
+    ];
+    for options in configs {
+        let (report, z) = run(&options);
+        assert_eq!(report.cycles, baseline.cycles, "{options:?}");
+        assert_eq!(report.instructions, baseline.instructions, "{options:?}");
+        assert_eq!(report.nops, baseline.nops, "{options:?}");
+        assert_eq!(z, z0, "{options:?}");
+    }
+}
+
+/// Counters populate with tracing off — utilization is free of event
+/// storage — and agree exactly with the trace-on aggregation.
+#[test]
+fn counters_populate_without_tracing_and_match_traced_run() {
+    let (plain, _) = run(&RunOptions::default());
+    assert!(plain.trace.events().is_empty(), "tracing stayed off");
+    assert_eq!(plain.telemetry.sram_reads, [0, 2], "two reads, both East");
+    assert_eq!(plain.telemetry.sram_writes, [0, 1]);
+    assert_eq!(plain.telemetry.vxm_alu_issue[0], 1);
+    assert!(plain.telemetry.stream_high_water >= 1);
+    assert!(plain.telemetry.icu_queue_high_water >= 1);
+
+    let (traced, _) = run(&RunOptions {
+        trace: true,
+        ..RunOptions::default()
+    });
+    assert!(!traced.trace.events().is_empty());
+    assert_eq!(traced.telemetry, plain.telemetry);
+}
+
+/// `counters: false` really is the zero-work baseline the overhead
+/// measurement divides by.
+#[test]
+fn counters_off_leaves_telemetry_zeroed() {
+    let (report, _) = run(&RunOptions {
+        counters: false,
+        ..RunOptions::default()
+    });
+    assert_eq!(report.telemetry, Telemetry::new());
+}
+
+/// The Perfetto export is deterministic and structurally valid; repeated
+/// identical runs serialize to identical bytes.
+#[test]
+fn perfetto_export_is_deterministic_and_valid() {
+    let options = RunOptions {
+        trace: true,
+        ..RunOptions::default()
+    };
+    let (a, _) = run(&options);
+    let (b, _) = run(&options);
+    let ja = tsp_sim::perfetto_json(&a.trace);
+    let jb = tsp_sim::perfetto_json(&b.trace);
+    assert_eq!(ja, jb, "same program, same bytes");
+    let stats = tsp_telemetry::perfetto::validate(&ja).expect("valid trace.json");
+    assert!(stats.span_events >= 4);
+    assert!(stats.tracks.iter().all(|t| t.starts_with("icu.")));
+    assert!(stats.max_ts <= a.cycles, "spans end within the run");
+}
+
+/// Dropped events are surfaced, never silent: a tiny capacity still counts
+/// everything and reports the overflow in the run's telemetry.
+#[test]
+fn capacity_overflow_is_reported_in_telemetry() {
+    let (report, _) = run(&RunOptions {
+        trace: true,
+        trace_capacity: 1,
+        ..RunOptions::default()
+    });
+    assert_eq!(report.trace.events().len(), 1);
+    assert!(report.telemetry.dropped_events >= 3);
+    assert_eq!(
+        report.trace.total_recorded(),
+        report.trace.events().len() as u64 + report.trace.dropped_events()
+    );
+}

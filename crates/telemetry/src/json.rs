@@ -1,0 +1,392 @@
+//! A minimal JSON value parser.
+//!
+//! The workspace's report files (`BENCH_SIM.json`, `BENCH_FAULTS.json`, the
+//! Perfetto `trace.json`) are hand-serialized — the offline build environment
+//! has no serde — so round-trip tests and trace validation need a reader.
+//! This is a strict recursive-descent parser over the JSON grammar with one
+//! deliberate representational choice: numbers keep their **raw token**
+//! ([`Json::Num`] holds the source text) so 64-bit integers (e.g. campaign
+//! trial seeds) survive a parse → serialize round trip bit-exactly instead of
+//! being squeezed through an `f64`.
+
+use core::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw source token (see module docs).
+    Num(String),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one JSON document (trailing whitespace allowed, nothing else).
+    ///
+    /// # Errors
+    ///
+    /// A message naming the byte offset of the first violation.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            b: text.as_bytes(),
+            i: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(v)
+    }
+
+    /// Object field lookup (first match; `None` for non-objects).
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a number token that parses as one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value's elements, if it is an array.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value's fields, if it is an object.
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes a string for embedding in a JSON document (quotes not included).
+#[must_use]
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl fmt::Display for Json {
+    /// Compact single-line serialization (inverse of [`Json::parse`] up to
+    /// whitespace).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => write!(f, "null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(s) => write!(f, "{s}"),
+            Json::Str(s) => write!(f, "\"{}\"", escape(s)),
+            Json::Arr(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+            Json::Obj(fields) => {
+                write!(f, "{{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "\"{}\":{v}", escape(k))?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.b.get(self.i) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if *c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(format!("unexpected '{}' at byte {}", *c as char, self.i)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("expected '{word}' at byte {}", self.i))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.b.get(self.i) == Some(&b'-') {
+            self.i += 1;
+        }
+        let digits = |p: &mut Self| -> Result<(), String> {
+            let d0 = p.i;
+            while p.b.get(p.i).is_some_and(u8::is_ascii_digit) {
+                p.i += 1;
+            }
+            if p.i == d0 {
+                Err(format!("expected digits at byte {}", p.i))
+            } else {
+                Ok(())
+            }
+        };
+        digits(self)?;
+        if self.b.get(self.i) == Some(&b'.') {
+            self.i += 1;
+            digits(self)?;
+        }
+        if matches!(self.b.get(self.i), Some(b'e' | b'E')) {
+            self.i += 1;
+            if matches!(self.b.get(self.i), Some(b'+' | b'-')) {
+                self.i += 1;
+            }
+            digits(self)?;
+        }
+        let token = core::str::from_utf8(&self.b[start..self.i])
+            .expect("ASCII number token")
+            .to_string();
+        Ok(Json::Num(token))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.b.get(self.i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| format!("truncated \\u at byte {}", self.i))?;
+                            let hex = core::str::from_utf8(hex)
+                                .map_err(|_| format!("bad \\u at byte {}", self.i))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u at byte {}", self.i))?;
+                            // Surrogate pairs are not needed by our emitters.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| format!("bad codepoint at byte {}", self.i))?;
+                            out.push(c);
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences intact).
+                    let rest = core::str::from_utf8(&self.b[self.i..])
+                        .map_err(|_| format!("invalid UTF-8 at byte {}", self.i))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b']') {
+            self.i += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.b.get(self.i) == Some(&b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.b.get(self.i) {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_nested_document() {
+        let v = Json::parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "d": true, "e": null}"#)
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[0].as_u64(), Some(1));
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[1].as_f64(),
+            Some(2.5)
+        );
+        assert_eq!(v.get("b").unwrap().get("c").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("e"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn u64_precision_survives() {
+        // A value an f64 cannot represent exactly: full-width mixed seed.
+        let seed = 0xDEAD_BEEF_CAFE_F00Du64;
+        let v = Json::parse(&format!("{{\"seed\": {seed}}}")).unwrap();
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(seed));
+        // And it re-serializes to the identical token.
+        assert_eq!(v.to_string(), format!("{{\"seed\":{seed}}}"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("01a").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+        assert!(Json::parse("{} trailing").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = r#"{"k":["v",1,true,null],"n":-2.5e3}"#;
+        let v = Json::parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+}

@@ -1,0 +1,291 @@
+//! # tsp-telemetry — the observability substrate
+//!
+//! Dependency-free foundation for seeing where cycles go inside a TSP run
+//! (DESIGN.md §8):
+//!
+//! * [`Telemetry`] — cheap per-unit utilization/occupancy counters the
+//!   simulator aggregates on every run, even when full event tracing is off.
+//!   The counters are plain integers bumped on the dispatch path; they never
+//!   influence simulated results or cycle counts (enforced by test).
+//! * [`perfetto`] — a Chrome/Perfetto Trace Event Format builder and a
+//!   structural validator, so a run's timeline can be inspected in
+//!   `ui.perfetto.dev`.
+//! * [`profile`] — text-profile rendering: top-N busiest units, utilization
+//!   tables, idle-gap analysis.
+//! * [`json`] — a minimal JSON value parser (the build environment has no
+//!   crates.io access, hence no serde) used to round-trip the `BENCH_*.json`
+//!   report schemas and to validate emitted traces.
+//!
+//! This crate is a leaf on purpose: the simulator, the fabric, and the bench
+//! harness all depend on it, so it cannot know about any of them. Identity
+//! mapping (which ICU feeds which counter) lives with the simulator.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod json;
+pub mod perfetto;
+pub mod profile;
+
+use json::Json;
+
+/// Number of MXM planes contributing busy-cycle counters.
+pub const MXM_PLANES: usize = 4;
+/// Number of VXM per-lane ALUs contributing issue-slot counters.
+pub const VXM_ALUS: usize = 16;
+/// Number of hemispheres (West = 0, East = 1).
+pub const HEMISPHERES: usize = 2;
+
+/// Per-unit utilization and occupancy counters for one run.
+///
+/// Semantics (DESIGN.md §8): every counter is an *event count at dispatch
+/// granularity* — one increment per architectural event, scaled nowhere.
+/// High-water marks are point-in-time maxima sampled at the events that can
+/// raise them. Counting is O(1) per event and allocation-free, so it stays
+/// on even for production runs; `RunOptions { counters: false }` exists only
+/// to measure the (bounded ≤ 5%) overhead itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Telemetry {
+    /// Busy cycles per MXM plane: weight loads, installs, activation waves
+    /// and accumulator readouts all occupy the plane for their cycle.
+    pub mxm_plane_busy: [u64; MXM_PLANES],
+    /// MACC waves per plane (one 320×320 pass each) — the roofline numerator.
+    pub mxm_macc_waves: [u64; MXM_PLANES],
+    /// Issue slots used per VXM ALU (paper: 16 per-lane ALUs, 4×4 mesh).
+    pub vxm_alu_issue: [u64; VXM_ALUS],
+    /// SRAM read accesses per hemisphere (gathers count as reads).
+    pub sram_reads: [u64; HEMISPHERES],
+    /// SRAM write accesses per hemisphere (scatters count as writes).
+    pub sram_writes: [u64; HEMISPHERES],
+    /// SXM vector transforms per hemisphere.
+    pub sxm_ops: [u64; HEMISPHERES],
+    /// Vectors that left on C2C links.
+    pub c2c_sends: u64,
+    /// Vectors that arrived on C2C links.
+    pub c2c_receives: u64,
+    /// Instruction-fetch blocks decoded (640 B each).
+    pub ifetches: u64,
+    /// High-water mark of live stream-register diagonals chip-wide —
+    /// stream-register-file occupancy pressure.
+    pub stream_high_water: u64,
+    /// High-water mark of pending instructions in any single ICU queue
+    /// (sampled at program load and after every `Ifetch` refill).
+    pub icu_queue_high_water: u64,
+    /// Trace events discarded by the event-capacity cap (0 when tracing is
+    /// off or the trace fit).
+    pub dropped_events: u64,
+}
+
+impl Telemetry {
+    /// An all-zero counter set.
+    #[must_use]
+    pub fn new() -> Telemetry {
+        Telemetry::default()
+    }
+
+    /// Folds another counter set into this one: counts add, high-water marks
+    /// take the maximum. Used to aggregate across repeated runs of one
+    /// workload and across the chips of a fabric.
+    pub fn merge(&mut self, other: &Telemetry) {
+        for (a, b) in self.mxm_plane_busy.iter_mut().zip(&other.mxm_plane_busy) {
+            *a += b;
+        }
+        for (a, b) in self.mxm_macc_waves.iter_mut().zip(&other.mxm_macc_waves) {
+            *a += b;
+        }
+        for (a, b) in self.vxm_alu_issue.iter_mut().zip(&other.vxm_alu_issue) {
+            *a += b;
+        }
+        for (a, b) in self.sram_reads.iter_mut().zip(&other.sram_reads) {
+            *a += b;
+        }
+        for (a, b) in self.sram_writes.iter_mut().zip(&other.sram_writes) {
+            *a += b;
+        }
+        for (a, b) in self.sxm_ops.iter_mut().zip(&other.sxm_ops) {
+            *a += b;
+        }
+        self.c2c_sends += other.c2c_sends;
+        self.c2c_receives += other.c2c_receives;
+        self.ifetches += other.ifetches;
+        self.stream_high_water = self.stream_high_water.max(other.stream_high_water);
+        self.icu_queue_high_water = self.icu_queue_high_water.max(other.icu_queue_high_water);
+        self.dropped_events += other.dropped_events;
+    }
+
+    /// Total MXM busy cycles across the four planes.
+    #[must_use]
+    pub fn mxm_busy_cycles(&self) -> u64 {
+        self.mxm_plane_busy.iter().sum()
+    }
+
+    /// Total MACC waves across the four planes.
+    #[must_use]
+    pub fn macc_waves(&self) -> u64 {
+        self.mxm_macc_waves.iter().sum()
+    }
+
+    /// Fraction of MXM plane-cycles that were busy over a run of `cycles`
+    /// (1.0 = all four planes occupied every cycle).
+    #[must_use]
+    pub fn mxm_busy_fraction(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.mxm_busy_cycles() as f64 / (MXM_PLANES as u64 * cycles) as f64
+    }
+
+    /// MACC waves per cycle (the roofline's attained-throughput axis;
+    /// peak = 4.0, one wave per plane per cycle).
+    #[must_use]
+    pub fn macc_waves_per_cycle(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        self.macc_waves() as f64 / cycles as f64
+    }
+
+    /// Total VXM ALU issue slots used.
+    #[must_use]
+    pub fn vxm_issue_total(&self) -> u64 {
+        self.vxm_alu_issue.iter().sum()
+    }
+
+    /// Total SRAM accesses (reads + writes, both hemispheres).
+    #[must_use]
+    pub fn sram_accesses(&self) -> u64 {
+        self.sram_reads.iter().sum::<u64>() + self.sram_writes.iter().sum::<u64>()
+    }
+
+    /// Total SXM transforms (both hemispheres).
+    #[must_use]
+    pub fn sxm_total(&self) -> u64 {
+        self.sxm_ops.iter().sum()
+    }
+
+    /// Serializes the counters as a JSON object, indented by `indent` spaces
+    /// per line (deterministic field order, no host-dependent values).
+    #[must_use]
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let arr = |xs: &[u64]| -> String {
+            let inner: Vec<String> = xs.iter().map(u64::to_string).collect();
+            format!("[{}]", inner.join(", "))
+        };
+        format!(
+            concat!(
+                "{{\n",
+                "{p}  \"mxm_plane_busy\": {},\n",
+                "{p}  \"mxm_macc_waves\": {},\n",
+                "{p}  \"vxm_alu_issue\": {},\n",
+                "{p}  \"sram_reads\": {},\n",
+                "{p}  \"sram_writes\": {},\n",
+                "{p}  \"sxm_ops\": {},\n",
+                "{p}  \"c2c_sends\": {},\n",
+                "{p}  \"c2c_receives\": {},\n",
+                "{p}  \"ifetches\": {},\n",
+                "{p}  \"stream_high_water\": {},\n",
+                "{p}  \"icu_queue_high_water\": {},\n",
+                "{p}  \"dropped_events\": {}\n",
+                "{p}}}"
+            ),
+            arr(&self.mxm_plane_busy),
+            arr(&self.mxm_macc_waves),
+            arr(&self.vxm_alu_issue),
+            arr(&self.sram_reads),
+            arr(&self.sram_writes),
+            arr(&self.sxm_ops),
+            self.c2c_sends,
+            self.c2c_receives,
+            self.ifetches,
+            self.stream_high_water,
+            self.icu_queue_high_water,
+            self.dropped_events,
+            p = pad
+        )
+    }
+
+    /// Reconstructs counters from a parsed JSON object (inverse of
+    /// [`Telemetry::to_json`]); `None` on any missing or malformed field.
+    #[must_use]
+    pub fn from_json(v: &Json) -> Option<Telemetry> {
+        fn arr<const N: usize>(v: &Json, key: &str) -> Option<[u64; N]> {
+            let items = v.get(key)?.as_array()?;
+            if items.len() != N {
+                return None;
+            }
+            let mut out = [0u64; N];
+            for (slot, item) in out.iter_mut().zip(items) {
+                *slot = item.as_u64()?;
+            }
+            Some(out)
+        }
+        Some(Telemetry {
+            mxm_plane_busy: arr(v, "mxm_plane_busy")?,
+            mxm_macc_waves: arr(v, "mxm_macc_waves")?,
+            vxm_alu_issue: arr(v, "vxm_alu_issue")?,
+            sram_reads: arr(v, "sram_reads")?,
+            sram_writes: arr(v, "sram_writes")?,
+            sxm_ops: arr(v, "sxm_ops")?,
+            c2c_sends: v.get("c2c_sends")?.as_u64()?,
+            c2c_receives: v.get("c2c_receives")?.as_u64()?,
+            ifetches: v.get("ifetches")?.as_u64()?,
+            stream_high_water: v.get("stream_high_water")?.as_u64()?,
+            icu_queue_high_water: v.get("icu_queue_high_water")?.as_u64()?,
+            dropped_events: v.get("dropped_events")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Telemetry {
+        Telemetry {
+            mxm_plane_busy: [10, 20, 30, 40],
+            mxm_macc_waves: [8, 16, 24, 32],
+            vxm_alu_issue: core::array::from_fn(|i| i as u64),
+            sram_reads: [100, 200],
+            sram_writes: [50, 60],
+            sxm_ops: [7, 9],
+            c2c_sends: 3,
+            c2c_receives: 4,
+            ifetches: 5,
+            stream_high_water: 77,
+            icu_queue_high_water: 12,
+            dropped_events: 1,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let t = sample();
+        let parsed = Json::parse(&t.to_json(0)).expect("well-formed");
+        assert_eq!(Telemetry::from_json(&parsed), Some(t));
+    }
+
+    #[test]
+    fn merge_sums_counts_and_maxes_high_water() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.mxm_plane_busy, [20, 40, 60, 80]);
+        assert_eq!(a.sram_reads, [200, 400]);
+        assert_eq!(a.c2c_sends, 6);
+        // High-water marks take the max, not the sum.
+        assert_eq!(a.stream_high_water, 77);
+        assert_eq!(a.icu_queue_high_water, 12);
+        assert_eq!(a.dropped_events, 2);
+    }
+
+    #[test]
+    fn roofline_helpers() {
+        let t = sample();
+        assert_eq!(t.mxm_busy_cycles(), 100);
+        assert_eq!(t.macc_waves(), 80);
+        assert!((t.mxm_busy_fraction(100) - 0.25).abs() < 1e-12);
+        assert!((t.macc_waves_per_cycle(40) - 2.0).abs() < 1e-12);
+        assert_eq!(t.mxm_busy_fraction(0), 0.0);
+    }
+}

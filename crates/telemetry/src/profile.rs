@@ -1,0 +1,218 @@
+//! Text-profile rendering: busiest units, utilization tables, idle gaps.
+//!
+//! `tsp-prof` computes the numbers (it owns the trace and the counters);
+//! this module owns the presentation, so every tool prints the same shapes.
+
+/// Aggregate activity of one unit (one ICU track) over a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnitStat {
+    /// Track name (e.g. `icu.mxm.p0.p1`).
+    pub name: String,
+    /// Cycles the unit spent doing architectural work.
+    pub busy: u64,
+    /// Events merged into those cycles.
+    pub events: u64,
+}
+
+/// Renders the top-`n` busiest units as a table. Units are ranked by busy
+/// cycles (ties broken by name, so output is deterministic).
+#[must_use]
+pub fn render_top_units(stats: &[UnitStat], total_cycles: u64, n: usize) -> String {
+    let mut ranked: Vec<&UnitStat> = stats.iter().collect();
+    ranked.sort_by(|a, b| b.busy.cmp(&a.busy).then_with(|| a.name.cmp(&b.name)));
+    let mut out = format!(
+        "top {} busiest units (of {} active):\n{:<18} {:>12} {:>12} {:>8}\n",
+        n.min(ranked.len()),
+        ranked.len(),
+        "unit",
+        "busy cycles",
+        "events",
+        "busy%"
+    );
+    for s in ranked.iter().take(n) {
+        let pct = if total_cycles == 0 {
+            0.0
+        } else {
+            100.0 * s.busy as f64 / total_cycles as f64
+        };
+        out.push_str(&format!(
+            "{:<18} {:>12} {:>12} {:>7.2}%\n",
+            s.name, s.busy, s.events, pct
+        ));
+    }
+    out
+}
+
+/// One row of a utilization table: `used` out of `capacity` slots, with a
+/// free-form reference note (e.g. the paper's roofline number).
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilRow {
+    /// Resource name.
+    pub name: String,
+    /// Slots used.
+    pub used: u64,
+    /// Slots available over the run.
+    pub capacity: u64,
+    /// Reference annotation printed verbatim.
+    pub note: String,
+}
+
+/// Renders a utilization table (used / capacity / percent / note).
+#[must_use]
+pub fn render_utilization(rows: &[UtilRow]) -> String {
+    let mut out = format!(
+        "{:<22} {:>14} {:>16} {:>8}  note\n",
+        "resource", "used", "capacity", "util%"
+    );
+    for r in rows {
+        let pct = if r.capacity == 0 {
+            0.0
+        } else {
+            100.0 * r.used as f64 / r.capacity as f64
+        };
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>16} {:>7.2}%  {}\n",
+            r.name, r.used, r.capacity, pct, r.note
+        ));
+    }
+    out
+}
+
+/// A half-open idle interval `[start, end)` on one track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Gap {
+    /// First idle cycle.
+    pub start: u64,
+    /// First busy (or past-the-end) cycle after the gap.
+    pub end: u64,
+}
+
+impl Gap {
+    /// Gap length in cycles.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Whether the gap is empty (never produced by [`idle_gaps`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Finds the idle intervals between busy `spans` (sorted `(start, dur)`
+/// pairs) over `[0, run_end)`: the leading gap before the first span, every
+/// inter-span gap, and the trailing gap to `run_end`.
+#[must_use]
+pub fn idle_gaps(spans: &[(u64, u64)], run_end: u64) -> Vec<Gap> {
+    let mut gaps = Vec::new();
+    let mut cursor = 0u64;
+    for &(start, dur) in spans {
+        if start > cursor {
+            gaps.push(Gap {
+                start: cursor,
+                end: start,
+            });
+        }
+        cursor = cursor.max(start + dur);
+    }
+    if run_end > cursor {
+        gaps.push(Gap {
+            start: cursor,
+            end: run_end,
+        });
+    }
+    gaps
+}
+
+/// Renders the `top` largest gaps of one track (ties broken by start cycle).
+#[must_use]
+pub fn render_idle_gaps(name: &str, gaps: &[Gap], run_end: u64, top: usize) -> String {
+    let idle: u64 = gaps.iter().map(Gap::len).sum();
+    let pct = if run_end == 0 {
+        0.0
+    } else {
+        100.0 * idle as f64 / run_end as f64
+    };
+    let mut ranked: Vec<&Gap> = gaps.iter().collect();
+    ranked.sort_by(|a, b| b.len().cmp(&a.len()).then_with(|| a.start.cmp(&b.start)));
+    let mut out = format!(
+        "idle gaps on {name}: {} gaps, {idle} idle cycles ({pct:.1}% of run)\n",
+        gaps.len()
+    );
+    for g in ranked.iter().take(top) {
+        out.push_str(&format!(
+            "  [{:>10} .. {:>10})  {:>10} cycles\n",
+            g.start,
+            g.end,
+            g.len()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_gaps_cover_lead_mid_and_tail() {
+        let gaps = idle_gaps(&[(10, 5), (20, 1)], 30);
+        assert_eq!(
+            gaps,
+            vec![
+                Gap { start: 0, end: 10 },
+                Gap { start: 15, end: 20 },
+                Gap { start: 21, end: 30 },
+            ]
+        );
+        assert_eq!(gaps.iter().map(Gap::len).sum::<u64>(), 24);
+    }
+
+    #[test]
+    fn idle_gaps_of_saturated_track_are_empty() {
+        assert!(idle_gaps(&[(0, 30)], 30).is_empty());
+        // Overlap-free but abutting spans leave no gap either.
+        assert!(idle_gaps(&[(0, 10), (10, 20)], 30).is_empty());
+    }
+
+    #[test]
+    fn top_units_ranks_by_busy_then_name() {
+        let stats = vec![
+            UnitStat {
+                name: "b".into(),
+                busy: 5,
+                events: 5,
+            },
+            UnitStat {
+                name: "a".into(),
+                busy: 5,
+                events: 5,
+            },
+            UnitStat {
+                name: "c".into(),
+                busy: 9,
+                events: 1,
+            },
+        ];
+        let text = render_top_units(&stats, 10, 2);
+        let row = |name: &str| text.lines().position(|l| l.starts_with(name));
+        assert!(
+            row("c").unwrap() < row("a").unwrap(),
+            "busier first:\n{text}"
+        );
+        assert_eq!(row("b"), None, "top 2 only:\n{text}");
+    }
+
+    #[test]
+    fn utilization_handles_zero_capacity() {
+        let rows = vec![UtilRow {
+            name: "x".into(),
+            used: 0,
+            capacity: 0,
+            note: String::new(),
+        }];
+        assert!(render_utilization(&rows).contains("0.00%"));
+    }
+}
