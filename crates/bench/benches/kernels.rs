@@ -1,0 +1,185 @@
+//! Criterion micro-benchmarks for the data-path kernels (DESIGN.md §9):
+//! each optimized chunked kernel against its retained scalar oracle, plus
+//! the wave-batched MXM against feed-by-feed execution. The `reference` rows
+//! quantify exactly what the kernel overhaul bought on this host.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use tsp_arch::{Vector, LANES};
+use tsp_isa::{BinaryAluOp, DataType};
+use tsp_sim::fp16;
+use tsp_sim::mxm_unit::{self, MxmPlane};
+use tsp_sim::vxm_unit;
+
+/// Installs a full ramp-pattern weight matrix.
+fn install_weights(plane: &mut MxmPlane, dtype: DataType, salt: u8) {
+    for group in 0..20u8 {
+        let rows: Vec<Vector> = (0..16)
+            .map(|j| Vector::from_fn(|l| (l as u8).wrapping_mul(j as u8).wrapping_add(salt)))
+            .collect();
+        plane.load_weight_rows(group, &rows);
+    }
+    plane.install(dtype);
+}
+
+fn bench_mxm_feed_i8(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mxm_feed_i8");
+    // One activation pass = 102,400 MACs.
+    g.throughput(Throughput::Elements((LANES * LANES) as u64));
+    let act = Vector::from_fn(|i| (i * 7) as u8);
+
+    g.bench_function("optimized", |b| {
+        let mut plane = MxmPlane::new();
+        install_weights(&mut plane, DataType::Int8, 1);
+        let mut t = 0u64;
+        b.iter(|| {
+            plane.feed_activation_i8(t, &act);
+            t += 1;
+            std::hint::black_box(plane.accumulate(t + 64, 0, false).is_some())
+        });
+    });
+
+    g.bench_function("reference", |b| {
+        let mut plane = MxmPlane::new();
+        install_weights(&mut plane, DataType::Int8, 1);
+        let rows = mxm_unit::reference::installed_rows(&plane);
+        b.iter(|| std::hint::black_box(mxm_unit::reference::matmul_i8(&rows, &act)));
+    });
+    g.finish();
+}
+
+fn bench_mxm_feed_f16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mxm_feed_f16");
+    g.throughput(Throughput::Elements((LANES * LANES) as u64));
+    // fp16 activations ≈ ramp of small magnitudes on both byte planes.
+    let bits: Vec<u16> = (0..LANES)
+        .map(|l| fp16::f32_to_f16(l as f32 * 0.125 - 16.0))
+        .collect();
+    let act_lo = Vector::from_fn(|l| (bits[l] & 0xFF) as u8);
+    let act_hi = Vector::from_fn(|l| (bits[l] >> 8) as u8);
+
+    g.bench_function("optimized", |b| {
+        let mut lo = MxmPlane::new();
+        let mut hi = MxmPlane::new();
+        install_weights(&mut lo, DataType::Fp16, 2);
+        install_weights(&mut hi, DataType::Fp16, 3);
+        let mut t = 0u64;
+        b.iter(|| {
+            lo.feed_activation_fp16(t, &hi, &act_lo, &act_hi);
+            t += 1;
+            std::hint::black_box(lo.accumulate(t + 64, 0, false).is_some())
+        });
+    });
+
+    g.bench_function("reference", |b| {
+        let mut lo = MxmPlane::new();
+        let mut hi = MxmPlane::new();
+        install_weights(&mut lo, DataType::Fp16, 2);
+        install_weights(&mut hi, DataType::Fp16, 3);
+        let lo_rows = mxm_unit::reference::installed_rows(&lo);
+        let hi_rows = mxm_unit::reference::installed_rows(&hi);
+        b.iter(|| {
+            std::hint::black_box(mxm_unit::reference::matmul_fp16(
+                &lo_rows, &hi_rows, &act_lo, &act_hi,
+            ))
+        });
+    });
+    g.finish();
+}
+
+fn bench_vxm_alu_op(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vxm_alu_op");
+    // One ALU pass = 320 lanes.
+    g.throughput(Throughput::Elements(LANES as u64));
+    let a8 = vec![Vector::from_fn(|i| i as u8)];
+    let b8 = vec![Vector::from_fn(|i| (i * 3 + 1) as u8)];
+    g.bench_function("int8_add_sat/optimized", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                vxm_unit::apply_binary(BinaryAluOp::AddSat, DataType::Int8, &a8, &b8).unwrap(),
+            )
+        });
+    });
+    g.bench_function("int8_add_sat/reference", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                vxm_unit::reference::apply_binary(BinaryAluOp::AddSat, DataType::Int8, &a8, &b8)
+                    .unwrap(),
+            )
+        });
+    });
+
+    let f32s = |seed: u32| -> Vec<Vector> {
+        let vals: Vec<i32> = (0..LANES)
+            .map(|l| (l as f32 * 0.5 + seed as f32).to_bits() as i32)
+            .collect();
+        tsp_arch::vector::split_i32(&vals).to_vec()
+    };
+    let af = f32s(1);
+    let bf = f32s(1000);
+    g.bench_function("fp32_mul/optimized", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                vxm_unit::apply_binary(BinaryAluOp::MulMod, DataType::Fp32, &af, &bf).unwrap(),
+            )
+        });
+    });
+    g.bench_function("fp32_mul/reference", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                vxm_unit::reference::apply_binary(BinaryAluOp::MulMod, DataType::Fp32, &af, &bf)
+                    .unwrap(),
+            )
+        });
+    });
+    g.finish();
+}
+
+/// Wave batching: `ACC` drains interleave with `ABC` feeds after the
+/// 32-cycle array delay, so the steady-state scheduler pattern queues ≈33
+/// feeds per flush. Compare one batched 33-feed wave against 33 immediate
+/// feed→accumulate round trips (wave size 1).
+fn bench_mxm_wave(c: &mut Criterion) {
+    const WAVE: u64 = 33;
+    let mut g = c.benchmark_group("mxm_wave");
+    g.throughput(Throughput::Elements(WAVE * (LANES * LANES) as u64));
+    let act = Vector::from_fn(|i| (i * 11 + 5) as u8);
+
+    g.bench_function("single_feed", |b| {
+        let mut plane = MxmPlane::new();
+        install_weights(&mut plane, DataType::Int8, 4);
+        let mut t = 0u64;
+        b.iter(|| {
+            for _ in 0..WAVE {
+                plane.feed_activation_i8(t, &act);
+                // Immediate accumulate forces a one-feed flush.
+                std::hint::black_box(plane.accumulate(t + 64, 0, false).is_some());
+                t += 1;
+            }
+        });
+    });
+
+    g.bench_function("batched_33", |b| {
+        let mut plane = MxmPlane::new();
+        install_weights(&mut plane, DataType::Int8, 4);
+        let mut t = 0u64;
+        b.iter(|| {
+            for _ in 0..WAVE {
+                plane.feed_activation_i8(t, &act);
+                t += 1;
+            }
+            for i in 0..WAVE {
+                std::hint::black_box(plane.accumulate(t + 64 + i, 0, false).is_some());
+            }
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mxm_feed_i8,
+    bench_mxm_feed_f16,
+    bench_vxm_alu_op,
+    bench_mxm_wave
+);
+criterion_main!(benches);

@@ -16,10 +16,16 @@
 //! baseline that prices the counters' host overhead, budgeted ≤ 5%) and
 //! `trace` (full event tracing, the expensive observability ceiling).
 //!
-//! Results land in `BENCH_SIM.json` (schema `tsp-simspeed-v2`, documented in
-//! DESIGN.md §6) so successive commits can be compared — the point is the
-//! *trajectory*, not any single number. Run with an optional argument to
-//! change the output path: `cargo run -p tsp-bench --bin simspeed [-- out.json]`.
+//! Results land in `BENCH_SIM.json` (schema `tsp-simspeed-v3`, documented in
+//! DESIGN.md §6/§9) so successive commits can be compared — the point is the
+//! *trajectory*, not any single number. When the output file already exists,
+//! its run is folded into the new report's `history` array and each workload
+//! prints its throughput delta against it.
+//!
+//! Usage: `cargo run -p tsp-bench --bin simspeed [-- out.json] [--gate]`.
+//! With `--gate`, exits nonzero if `resnet50_functional` (counters variant)
+//! regresses more than [`GATE_REGRESSION`] vs the previous report — the CI
+//! perf floor.
 
 use std::time::Instant;
 
@@ -27,6 +33,13 @@ use tsp::prelude::*;
 use tsp_bench::report::{SimspeedReport, WorkloadSample};
 use tsp_bench::workloads::{resnet50_model, roofline_program, vector_add_program};
 use tsp_telemetry::Telemetry;
+
+/// The gated workload: the end-to-end worst case, default telemetry.
+const GATE_WORKLOAD: (&str, &str, &str) = ("resnet50_functional", "functional", "counters");
+
+/// Maximum tolerated `mcycles_per_sec` regression under `--gate`. Generous
+/// because shared CI runners are noisy; real kernel regressions are >2×.
+const GATE_REGRESSION: f64 = 0.20;
 
 /// Repeats `run` until at least `min_wall` seconds have elapsed (and at
 /// least once), accumulating the reports' cycle/instruction/reliability
@@ -90,11 +103,34 @@ fn variants(base: RunOptions) -> [(&'static str, RunOptions); 3] {
 }
 
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_SIM.json".into());
+    let mut out_path = String::from("BENCH_SIM.json");
+    let mut gate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--gate" => gate = true,
+            other => out_path = other.into(),
+        }
+    }
     println!("# simspeed: host simulation throughput (trajectory benchmark)");
     println!();
+
+    // The committed report (if any) is both the delta baseline and the next
+    // history entry. An unreadable file is not fatal — the trajectory just
+    // restarts — but `--gate` insists on a baseline to gate against.
+    let previous = match std::fs::read_to_string(&out_path) {
+        Ok(text) => match SimspeedReport::from_json(&text) {
+            Ok(prev) => Some(prev),
+            Err(e) => {
+                eprintln!("warning: ignoring unparseable {out_path}: {e}");
+                None
+            }
+        },
+        Err(_) => None,
+    };
+    if gate && previous.is_none() {
+        eprintln!("error: --gate needs a readable baseline at {out_path}");
+        std::process::exit(1);
+    }
 
     let mut report = SimspeedReport::default();
 
@@ -142,19 +178,29 @@ fn main() {
     }
 
     println!(
-        "{:<22} {:<10} {:<10} {:>5} {:>12} {:>12} {:>10}",
-        "workload", "mode", "variant", "runs", "Mcycles/s", "instr/s", "wall s"
+        "{:<22} {:<10} {:<10} {:>5} {:>12} {:>12} {:>10} {:>9}",
+        "workload", "mode", "variant", "runs", "Mcycles/s", "instr/s", "wall s", "vs prev"
     );
     for s in &report.workloads {
+        let delta = previous
+            .as_ref()
+            .and_then(|p| p.find(&s.name, &s.mode, &s.variant))
+            .map_or_else(String::new, |p| {
+                format!(
+                    "{:>+8.1}%",
+                    (s.mcycles_per_sec() / p.mcycles_per_sec() - 1.0) * 100.0
+                )
+            });
         println!(
-            "{:<22} {:<10} {:<10} {:>5} {:>12.2} {:>12.0} {:>10.2}",
+            "{:<22} {:<10} {:<10} {:>5} {:>12.2} {:>12.0} {:>10.2} {:>9}",
             s.name,
             s.mode,
             s.variant,
             s.runs,
             s.mcycles_per_sec(),
             s.instructions_per_sec(),
-            s.wall_seconds
+            s.wall_seconds,
+            delta
         );
     }
 
@@ -176,10 +222,51 @@ fn main() {
         }
     }
 
+    // Fold the previous run into the trajectory: its history survives, its
+    // workloads become the newest history entry.
+    if let Some(prev) = &previous {
+        report.history = prev.history.clone();
+        if !prev.workloads.is_empty() {
+            report.push_history(prev.summarize());
+        }
+    }
+
     if let Err(e) = std::fs::write(&out_path, report.to_json()) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
     }
     println!();
-    println!("wrote {out_path}");
+    println!(
+        "wrote {out_path} ({} prior run{} in history)",
+        report.history.len(),
+        if report.history.len() == 1 { "" } else { "s" }
+    );
+
+    if gate {
+        let (name, mode, variant) = GATE_WORKLOAD;
+        let now = report
+            .find(name, mode, variant)
+            .expect("gate workload always measured");
+        let Some(base) = previous.as_ref().and_then(|p| p.find(name, mode, variant)) else {
+            eprintln!("error: --gate baseline has no {name}/{mode}/{variant} sample");
+            std::process::exit(1);
+        };
+        let ratio = now.mcycles_per_sec() / base.mcycles_per_sec();
+        println!();
+        println!(
+            "perf gate: {name} {:.2} Mcycles/s vs baseline {:.2} ({:+.1}%, floor {:.0}%)",
+            now.mcycles_per_sec(),
+            base.mcycles_per_sec(),
+            (ratio - 1.0) * 100.0,
+            -GATE_REGRESSION * 100.0
+        );
+        if ratio < 1.0 - GATE_REGRESSION {
+            eprintln!(
+                "error: perf gate failed — regression exceeds {:.0}%",
+                GATE_REGRESSION * 100.0
+            );
+            std::process::exit(1);
+        }
+        println!("perf gate: PASS");
+    }
 }

@@ -16,86 +16,7 @@ pub mod campaign;
 pub mod report;
 pub mod workloads;
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Runs `f` over every input on a bounded pool of scoped threads and
-/// returns the results **in input order**.
-///
-/// This is the harness's one concurrency primitive: plain
-/// [`std::thread::scope`] plus an atomic work counter — no channels, no
-/// work-stealing. The pool is capped at
-/// [`std::thread::available_parallelism`] (each worker simulates a whole
-/// chip, so oversubscribing a small host just thrashes its allocator), and
-/// workers claim inputs dynamically, so heterogeneous experiment points
-/// (ResNet-152 next to ResNet-50) still balance. Every result lands in its
-/// input's slot; the scope joins everything before returning, so the caller
-/// sees a completed, ordered `Vec`.
-///
-/// Because every TSP simulation is deterministic (paper §IV-F) and the
-/// workers share nothing but read-only data (e.g. one cached
-/// [`CompiledModel`]), the results — and therefore the printed report —
-/// cannot depend on thread count or interleaving. A panic in any worker
-/// propagates out of the scope.
-///
-/// [`CompiledModel`]: tsp_nn::compile::CompiledModel
-pub fn fan_out<I, T, F>(inputs: Vec<I>, f: F) -> Vec<T>
-where
-    I: Send,
-    T: Send,
-    F: Fn(I) -> T + Sync,
-{
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZeroUsize::get)
-        .min(n);
-    let slots: Vec<Mutex<(Option<I>, Option<T>)>> = inputs
-        .into_iter()
-        .map(|input| Mutex::new((Some(input), None)))
-        .collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            let (slots, next, f) = (&slots, &next, &f);
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(slot) = slots.get(i) else { break };
-                let input = slot.lock().unwrap().0.take().expect("claimed once");
-                let result = f(input);
-                slot.lock().unwrap().1 = Some(result);
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|s| s.into_inner().unwrap().1.expect("scope joins every worker"))
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn fan_out_preserves_input_order() {
-        let squares = fan_out((0u64..20).collect(), |i| i * i);
-        assert_eq!(squares, (0u64..20).map(|i| i * i).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn fan_out_handles_empty_and_single() {
-        assert_eq!(fan_out(Vec::<u8>::new(), |x| x), Vec::<u8>::new());
-        assert_eq!(fan_out(vec![7u8], |x| x + 1), vec![8]);
-    }
-
-    #[test]
-    fn fan_out_balances_more_inputs_than_workers() {
-        // 200 inputs on however many cores the host has: every slot filled,
-        // in order.
-        let doubled = fan_out((0u32..200).collect(), |i| i * 2);
-        assert_eq!(doubled, (0u32..200).map(|i| i * 2).collect::<Vec<_>>());
-    }
-}
+// The harness's one concurrency primitive now lives in `tsp-host` (shared
+// with the multi-chip fabric in `tsp-c2c`); re-exported so every bench bin
+// keeps its `tsp_bench::fan_out` import.
+pub use tsp_host::fan_out;

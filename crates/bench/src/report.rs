@@ -1,4 +1,4 @@
-//! The `BENCH_SIM.json` report schema (`tsp-simspeed-v2`), with a parser so
+//! The `BENCH_SIM.json` report schema (`tsp-simspeed-v3`), with a parser so
 //! the schema round-trips — CI artifacts from different commits can be
 //! compared programmatically, not just diffed as text.
 //!
@@ -6,12 +6,25 @@
 //! telemetry configuration it ran under), the run's reliability counters
 //! (`ecc_corrected`, `faults_applied`, `faults_vacant`, `egress_words`) and
 //! its aggregated [`Telemetry`] object.
+//!
+//! v3 over v2 (DESIGN.md §9): the report carries a `history` array — compact
+//! per-workload throughput summaries of prior runs, appended by `simspeed`
+//! each time it overwrites an existing report. The parser still accepts a v2
+//! document (history starts empty), so the trajectory survives the schema
+//! bump without rewriting committed artifacts.
 
 use tsp_telemetry::json::Json;
 use tsp_telemetry::Telemetry;
 
 /// Schema tag of `BENCH_SIM.json`.
-pub const SIMSPEED_SCHEMA: &str = "tsp-simspeed-v2";
+pub const SIMSPEED_SCHEMA: &str = "tsp-simspeed-v3";
+
+/// The previous schema tag, still accepted by [`SimspeedReport::from_json`].
+pub const SIMSPEED_SCHEMA_V2: &str = "tsp-simspeed-v2";
+
+/// How many prior runs [`SimspeedReport::push_history`] retains: enough to
+/// see a trend across a stack of PRs without growing the artifact forever.
+pub const HISTORY_DEPTH: usize = 12;
 
 /// One workload × variant measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,11 +70,37 @@ impl WorkloadSample {
     }
 }
 
+/// A prior run's throughput for one workload × variant — the compact form
+/// kept in the `history` array (counters and telemetry are dropped; the
+/// trajectory only needs the rates).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistorySample {
+    /// Workload name.
+    pub name: String,
+    /// Simulation mode: `functional` or `timing`.
+    pub mode: String,
+    /// Telemetry configuration the workload ran under.
+    pub variant: String,
+    /// Simulated Mcycles per wall-clock second, rounded to 3 decimals.
+    pub mcycles_per_sec: f64,
+    /// Dispatched instructions per wall-clock second, rounded to whole.
+    pub instructions_per_sec: f64,
+}
+
+/// One prior run: its per-workload summaries, oldest history entry first.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistoryEntry {
+    /// Summaries in the prior run's measurement order.
+    pub workloads: Vec<HistorySample>,
+}
+
 /// A complete simspeed report.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct SimspeedReport {
     /// One entry per workload × variant, in measurement order.
     pub workloads: Vec<WorkloadSample>,
+    /// Prior runs' summaries, oldest first (empty for a v2 document).
+    pub history: Vec<HistoryEntry>,
 }
 
 fn escape_free(s: &str) -> &str {
@@ -72,6 +111,44 @@ fn escape_free(s: &str) -> &str {
 }
 
 impl SimspeedReport {
+    /// Compacts the current `workloads` into a [`HistoryEntry`] (the form a
+    /// later run will carry forward). Rates are rounded exactly as
+    /// [`SimspeedReport::to_json`] prints them, so the entry round-trips.
+    #[must_use]
+    pub fn summarize(&self) -> HistoryEntry {
+        HistoryEntry {
+            workloads: self
+                .workloads
+                .iter()
+                .map(|s| HistorySample {
+                    name: s.name.clone(),
+                    mode: s.mode.clone(),
+                    variant: s.variant.clone(),
+                    mcycles_per_sec: (s.mcycles_per_sec() * 1000.0).round() / 1000.0,
+                    instructions_per_sec: s.instructions_per_sec().round(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Appends a prior run's summary, keeping at most [`HISTORY_DEPTH`]
+    /// entries (oldest dropped first).
+    pub fn push_history(&mut self, entry: HistoryEntry) {
+        self.history.push(entry);
+        if self.history.len() > HISTORY_DEPTH {
+            let excess = self.history.len() - HISTORY_DEPTH;
+            self.history.drain(..excess);
+        }
+    }
+
+    /// Looks up the sample for a workload × mode × variant triple.
+    #[must_use]
+    pub fn find(&self, name: &str, mode: &str, variant: &str) -> Option<&WorkloadSample> {
+        self.workloads
+            .iter()
+            .find(|s| s.name == name && s.mode == mode && s.variant == variant)
+    }
+
     /// Serializes the report under [`SIMSPEED_SCHEMA`]. Every string is a
     /// known-clean identifier (asserted in debug builds), so no escaping
     /// machinery is needed.
@@ -119,12 +196,39 @@ impl SimspeedReport {
                 }
             ));
         }
+        json.push_str("  ],\n  \"history\": [\n");
+        for (i, entry) in self.history.iter().enumerate() {
+            json.push_str("    {\n      \"workloads\": [\n");
+            for (j, h) in entry.workloads.iter().enumerate() {
+                json.push_str(&format!(
+                    concat!(
+                        "        {{ \"name\": \"{}\", \"mode\": \"{}\", \"variant\": \"{}\", ",
+                        "\"mcycles_per_sec\": {:.3}, \"instructions_per_sec\": {:.0} }}{}\n"
+                    ),
+                    escape_free(&h.name),
+                    escape_free(&h.mode),
+                    escape_free(&h.variant),
+                    h.mcycles_per_sec,
+                    h.instructions_per_sec,
+                    if j + 1 < entry.workloads.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            json.push_str(&format!(
+                "      ]\n    }}{}\n",
+                if i + 1 < self.history.len() { "," } else { "" }
+            ));
+        }
         json.push_str("  ]\n}\n");
         json
     }
 
-    /// Parses a `tsp-simspeed-v2` document (inverse of
-    /// [`SimspeedReport::to_json`]).
+    /// Parses a `tsp-simspeed-v3` document, or a legacy `tsp-simspeed-v2`
+    /// one (which predates the `history` array — it parses with an empty
+    /// history), inverse of [`SimspeedReport::to_json`].
     ///
     /// # Errors
     ///
@@ -136,9 +240,9 @@ impl SimspeedReport {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing schema tag")?;
-        if schema != SIMSPEED_SCHEMA {
+        if schema != SIMSPEED_SCHEMA && schema != SIMSPEED_SCHEMA_V2 {
             return Err(format!(
-                "schema is '{schema}', expected '{SIMSPEED_SCHEMA}'"
+                "schema is '{schema}', expected '{SIMSPEED_SCHEMA}' (or legacy '{SIMSPEED_SCHEMA_V2}')"
             ));
         }
         let items = doc
@@ -180,7 +284,42 @@ impl SimspeedReport {
                     .ok_or(format!("workload {i}: missing telemetry"))?,
             });
         }
-        Ok(SimspeedReport { workloads })
+        let mut history = Vec::new();
+        if let Some(entries) = doc.get("history").and_then(Json::as_array) {
+            for (i, e) in entries.iter().enumerate() {
+                let items = e
+                    .get("workloads")
+                    .and_then(Json::as_array)
+                    .ok_or(format!("history {i}: missing workloads array"))?;
+                let mut summaries = Vec::with_capacity(items.len());
+                for (j, h) in items.iter().enumerate() {
+                    let str_field = |k: &str| -> Result<String, String> {
+                        h.get(k)
+                            .and_then(Json::as_str)
+                            .map(str::to_string)
+                            .ok_or(format!("history {i} workload {j}: missing {k}"))
+                    };
+                    let f64_field = |k: &str| -> Result<f64, String> {
+                        h.get(k)
+                            .and_then(Json::as_f64)
+                            .ok_or(format!("history {i} workload {j}: missing {k}"))
+                    };
+                    summaries.push(HistorySample {
+                        name: str_field("name")?,
+                        mode: str_field("mode")?,
+                        variant: str_field("variant")?,
+                        mcycles_per_sec: f64_field("mcycles_per_sec")?,
+                        instructions_per_sec: f64_field("instructions_per_sec")?,
+                    });
+                }
+                history.push(HistoryEntry {
+                    workloads: summaries,
+                });
+            }
+        } else if schema == SIMSPEED_SCHEMA {
+            return Err("missing history array".into());
+        }
+        Ok(SimspeedReport { workloads, history })
     }
 }
 
@@ -227,11 +366,20 @@ mod tests {
                     telemetry: Telemetry::new(),
                 },
             ],
+            history: vec![HistoryEntry {
+                workloads: vec![HistorySample {
+                    name: "roofline_point".into(),
+                    mode: "timing".into(),
+                    variant: "counters".into(),
+                    mcycles_per_sec: 9.876,
+                    instructions_per_sec: 542.0,
+                }],
+            }],
         }
     }
 
     #[test]
-    fn v2_round_trips_exactly() {
+    fn v3_round_trips_exactly() {
         let report = sample_report();
         let text = report.to_json();
         let back = SimspeedReport::from_json(&text).expect("parses");
@@ -241,10 +389,42 @@ mod tests {
     }
 
     #[test]
+    fn summarize_round_trips_through_serialization() {
+        let mut report = sample_report();
+        let entry = report.summarize();
+        report.push_history(entry);
+        let back = SimspeedReport::from_json(&report.to_json()).expect("parses");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn push_history_caps_depth() {
+        let mut report = sample_report();
+        for _ in 0..2 * HISTORY_DEPTH {
+            report.push_history(report.summarize());
+        }
+        assert_eq!(report.history.len(), HISTORY_DEPTH);
+    }
+
+    #[test]
+    fn legacy_v2_parses_with_empty_history() {
+        let mut v2 = sample_report();
+        v2.history.clear();
+        // A v2 document is the same object minus the history array and with
+        // the old schema tag.
+        let text = v2
+            .to_json()
+            .replace("-v3", "-v2")
+            .replace(",\n  \"history\": [\n  ]", "");
+        let back = SimspeedReport::from_json(&text).expect("v2 parses");
+        assert_eq!(back, v2);
+    }
+
+    #[test]
     fn wrong_schema_tag_is_rejected() {
-        let text = sample_report().to_json().replace("-v2", "-v1");
+        let text = sample_report().to_json().replace("-v3", "-v1");
         let err = SimspeedReport::from_json(&text).unwrap_err();
-        assert!(err.contains("tsp-simspeed-v2"), "{err}");
+        assert!(err.contains("tsp-simspeed-v3"), "{err}");
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! compiler-visible contract is unchanged: a `Receive` must be scheduled no
 //! earlier than the vector's deterministic arrival.
 //!
+//! The cascade parallelizes across the host: chips of the same Kahn level of
+//! the wire graph have no data dependencies on each other, so [`Fabric::run`]
+//! executes each level on [`tsp_host::fan_out`]'s scoped thread pool and then
+//! merges egress into link counters and ingress queues serially, in
+//! chip-index order. Every per-wire word sequence — and therefore every
+//! simulated value and cycle — is identical to the fully serial cascade,
+//! which [`Fabric::run_serial_with_faults`] retains as the reference path.
+//!
 //! ## Link-level resilience
 //!
 //! Real C2C links run over marginal signaling. Each transmitted word carries
@@ -133,9 +141,10 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 /// CRC-32 of a stream word as serialized on the wire: 320 data bytes followed
 /// by the 20 per-superlane check-bit fields.
 fn crc32_word(word: &StreamWord) -> u32 {
-    let mut bytes = Vec::with_capacity(320 + 2 * word.check.len());
+    let check = word.check();
+    let mut bytes = Vec::with_capacity(320 + 2 * check.len());
     bytes.extend_from_slice(word.data.as_bytes());
-    for c in &word.check {
+    for c in &check {
         bytes.extend_from_slice(&c.to_le_bytes());
     }
     crc32(&bytes)
@@ -225,6 +234,37 @@ impl Fabric {
         order
     }
 
+    /// Kahn levels of the wire graph: level `d` holds every chip whose
+    /// longest wire chain from a source has `d` hops. Chips within a level
+    /// are mutually independent (any wire between them would put its receiver
+    /// a level deeper), so a level can run in parallel; levels are returned
+    /// outermost-first with each level sorted by chip index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire graph is cyclic.
+    fn chip_levels(&self) -> Vec<Vec<usize>> {
+        let order = self.chip_order();
+        let mut depth = vec![0usize; self.chips.len()];
+        for &i in &order {
+            for w in self.wires.iter().filter(|w| w.from_chip == i) {
+                depth[w.to_chip] = depth[w.to_chip].max(depth[i] + 1);
+            }
+        }
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        for &i in &order {
+            let d = depth[i];
+            if levels.len() <= d {
+                levels.resize_with(d + 1, Vec::new);
+            }
+            levels[d].push(i);
+        }
+        for level in &mut levels {
+            level.sort_unstable();
+        }
+        levels
+    }
+
     /// Runs one program per chip (index-aligned) over fault-free wires,
     /// cascading egress vectors in topological order.
     ///
@@ -266,6 +306,103 @@ impl Fabric {
         link_faults: &LinkFaultPlan,
     ) -> Result<FabricReport, SimError> {
         assert_eq!(programs.len(), self.chips.len(), "one program per chip");
+        let levels = self.chip_levels();
+        let mut links: Vec<LinkStats> = (0..self.wires.len())
+            .map(|wire| LinkStats {
+                wire,
+                ..LinkStats::default()
+            })
+            .collect();
+        let mut reports: Vec<Option<RunReport>> = (0..self.chips.len()).map(|_| None).collect();
+        // Pending deliveries per receiving chip.
+        let mut inbox: Inbox = BTreeMap::new();
+        // Chips leave their slots to move into workers and always return,
+        // error or not, so the fabric stays inspectable after a failed run.
+        let mut slots: Vec<Option<Chip>> = self.chips.drain(..).map(Some).collect();
+        let mut failure: Option<SimError> = None;
+
+        for level in &levels {
+            for &i in level {
+                if let Some(deliveries) = inbox.remove(&i) {
+                    let chip = slots[i].as_mut().expect("chip waiting in its slot");
+                    for (link, arrival, word) in deliveries {
+                        chip.inject_ingress(link, arrival, word);
+                    }
+                }
+            }
+            let inputs: Vec<(usize, Chip)> = level
+                .iter()
+                .map(|&i| (i, slots[i].take().expect("chip waiting in its slot")))
+                .collect();
+            let outcomes = tsp_host::fan_out(inputs, |(i, mut chip)| {
+                let result = chip.run(&programs[i], options);
+                (i, chip, result)
+            });
+            // Merge serially in chip-index order (levels are index-sorted),
+            // so link counters and per-wire word sequences are deterministic.
+            for (i, chip, result) in outcomes {
+                slots[i] = Some(chip);
+                if failure.is_some() {
+                    continue;
+                }
+                match result {
+                    Ok(report) => {
+                        if let Err(e) = route_egress(
+                            &self.wires,
+                            i,
+                            &report,
+                            link_faults,
+                            &mut links,
+                            &mut inbox,
+                        ) {
+                            failure = Some(e);
+                        }
+                        reports[i] = Some(report);
+                    }
+                    Err(e) => failure = Some(e),
+                }
+            }
+            if failure.is_some() {
+                break;
+            }
+        }
+        self.chips = slots
+            .into_iter()
+            .map(|s| s.expect("every chip returned to its slot"))
+            .collect();
+        if let Some(e) = failure {
+            return Err(e);
+        }
+        Ok(FabricReport {
+            reports: reports
+                .into_iter()
+                .map(|r| r.expect("every chip ran exactly once"))
+                .collect(),
+            links,
+        })
+    }
+
+    /// The fully serial cascade, retained as the reference implementation
+    /// the level-parallel [`Fabric::run_with_faults`] is verified against:
+    /// both paths must produce bit-identical reports, link counters, and
+    /// chip state on any fault-free or repairable run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from any chip, or
+    /// [`SimError::LinkRetryExhausted`] when one word fails more than
+    /// [`MAX_LINK_RETRIES`] repair attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wire graph is cyclic.
+    pub fn run_serial_with_faults(
+        &mut self,
+        programs: &[Program],
+        options: &RunOptions,
+        link_faults: &LinkFaultPlan,
+    ) -> Result<FabricReport, SimError> {
+        assert_eq!(programs.len(), self.chips.len(), "one program per chip");
         let order = self.chip_order();
         let mut links: Vec<LinkStats> = (0..self.wires.len())
             .map(|wire| LinkStats {
@@ -275,7 +412,7 @@ impl Fabric {
             .collect();
         let mut reports: Vec<Option<RunReport>> = (0..self.chips.len()).map(|_| None).collect();
         // Pending deliveries per receiving chip.
-        let mut inbox: BTreeMap<usize, Vec<(LinkId, Cycle, Arc<StreamWord>)>> = BTreeMap::new();
+        let mut inbox: Inbox = BTreeMap::new();
 
         for &i in &order {
             if let Some(deliveries) = inbox.remove(&i) {
@@ -284,36 +421,7 @@ impl Fabric {
                 }
             }
             let report = self.chips[i].run(&programs[i], options)?;
-            for (link, departed, word) in &report.egress {
-                for (wi, wire) in self
-                    .wires
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, w)| w.from_chip == i && w.from_link.index() == *link)
-                {
-                    let stats = &mut links[wi];
-                    let nth_word = stats.words;
-                    stats.words += 1;
-                    let (delivered, failed_attempts) =
-                        transmit(word, link_faults.faults_for(wi, nth_word), stats).ok_or(
-                            SimError::LinkRetryExhausted {
-                                wire: wi,
-                                nth_word,
-                                retries: MAX_LINK_RETRIES,
-                                cycle: *departed,
-                            },
-                        )?;
-                    let penalty =
-                        failed_attempts * (2 * u64::from(wire.latency) + DESKEW_RESYNC_CYCLES);
-                    stats.retried += failed_attempts;
-                    stats.added_latency += penalty;
-                    inbox.entry(wire.to_chip).or_default().push((
-                        wire.to_link,
-                        departed + Cycle::from(wire.latency) + penalty,
-                        delivered,
-                    ));
-                }
-            }
+            route_egress(&self.wires, i, &report, link_faults, &mut links, &mut inbox)?;
             reports[i] = Some(report);
         }
         Ok(FabricReport {
@@ -334,6 +442,53 @@ impl Fabric {
     }
 }
 
+/// Per-chip pending deliveries: `(ingress link, arrival cycle, word)`.
+type Inbox = BTreeMap<usize, Vec<(LinkId, Cycle, Arc<StreamWord>)>>;
+
+/// Moves one chip's egress onto its outgoing wires: counts each word on its
+/// wire's [`LinkStats`], plays transmission faults, and queues the delivery
+/// on the receiving chip's inbox at its deterministic arrival cycle. Shared
+/// by the serial cascade and the level-parallel merge — called in the same
+/// per-chip order by both, so the per-wire word sequences are identical.
+fn route_egress(
+    wires: &[Wire],
+    chip: usize,
+    report: &RunReport,
+    link_faults: &LinkFaultPlan,
+    links: &mut [LinkStats],
+    inbox: &mut Inbox,
+) -> Result<(), SimError> {
+    for (link, departed, word) in &report.egress {
+        for (wi, wire) in wires
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.from_chip == chip && w.from_link.index() == *link)
+        {
+            let stats = &mut links[wi];
+            let nth_word = stats.words;
+            stats.words += 1;
+            let (delivered, failed_attempts) =
+                transmit(word, link_faults.faults_for(wi, nth_word), stats).ok_or(
+                    SimError::LinkRetryExhausted {
+                        wire: wi,
+                        nth_word,
+                        retries: MAX_LINK_RETRIES,
+                        cycle: *departed,
+                    },
+                )?;
+            let penalty = failed_attempts * (2 * u64::from(wire.latency) + DESKEW_RESYNC_CYCLES);
+            stats.retried += failed_attempts;
+            stats.added_latency += penalty;
+            inbox.entry(wire.to_chip).or_default().push((
+                wire.to_link,
+                departed + Cycle::from(wire.latency) + penalty,
+                delivered,
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Plays out the transmission attempts of one word against its planned
 /// faults. Returns the delivered word and the number of failed attempts, or
 /// `None` when the retry budget is exhausted. Each planned fault kills one
@@ -350,11 +505,15 @@ fn transmit(
         match fault.kind {
             LinkFaultKind::Corrupt { lane, bit } => {
                 // The flipped copy is what crosses the wire; the receiver
-                // recomputes the CRC and compares with the sender's.
-                let mut on_wire = StreamWord::clone(word);
+                // recomputes the CRC and compares with the sender's. The
+                // sender's check bits are materialized *before* the flip —
+                // the wire fault strikes data only, leaving check and data
+                // in genuine disagreement for the end-to-end ECC.
+                let mut data = word.data.clone();
                 let lane = usize::from(lane);
-                let byte = on_wire.data.lane(lane);
-                on_wire.data.set_lane(lane, byte ^ (1 << bit));
+                let byte = data.lane(lane);
+                data.set_lane(lane, byte ^ (1 << bit));
+                let on_wire = StreamWord::with_check(data, word.check());
                 if crc32_word(&on_wire) == crc_sent {
                     // CRC collision (impossible for a single-bit flip): the
                     // corruption passes undetected and is delivered. Any
@@ -664,6 +823,151 @@ mod tests {
             }
             other => panic!("expected LinkRetryExhausted, got {other}"),
         }
+    }
+
+    /// A three-chip fan-in: chips 0 and 1 (one Kahn level, run in parallel)
+    /// each send a distinct payload to chip 2 on separate links; chip 2
+    /// receives both and writes them to memory.
+    fn fan_in_setup() -> (Fabric, Vec<Program>) {
+        let mut fabric = Fabric::new();
+        for _ in 0..3 {
+            fabric.add_chip(Chip::new(ChipConfig::asic()));
+        }
+        for (sender, to_link) in [(0usize, 5u8), (1, 6)] {
+            fabric.connect(Wire {
+                from_chip: sender,
+                from_link: tsp_isa::LinkId::new(3),
+                to_chip: 2,
+                to_link: tsp_isa::LinkId::new(to_link),
+                latency: 21,
+            });
+        }
+        let mem10 = Slice::mem(Hemisphere::East, 10).position();
+        let edge = Slice::Mxm(Hemisphere::East).position();
+        let mem20 = Slice::mem(Hemisphere::East, 20).position();
+        let mut programs = Vec::new();
+        for sender in 0..2u8 {
+            fabric.chip_mut(usize::from(sender)).memory.write(
+                ga(Hemisphere::East, 10, 0),
+                Vector::from_fn(|i| (i as u8).wrapping_mul(3 + sender)),
+            );
+            let mut ps = Program::new();
+            ps.builder(IcuId::Mem {
+                hemisphere: Hemisphere::East,
+                index: 10,
+            })
+            .push(MemOp::Read {
+                addr: MemAddr::new(0),
+                stream: StreamId::east(0),
+            });
+            ps.builder(IcuId::C2c { port: 1 }).push_at(
+                5 + u64::from(edge.0 - mem10.0),
+                C2cOp::Send {
+                    link: tsp_isa::LinkId::new(3),
+                    stream: StreamId::east(0),
+                },
+            );
+            programs.push(ps);
+        }
+        let mut pr = Program::new();
+        for (n, (from_link, addr)) in [(5u8, 9u16), (6, 10)].into_iter().enumerate() {
+            let t_recv = 200 + 20 * n as u64;
+            let stream = StreamId::west(7 + n as u8);
+            pr.builder(IcuId::C2c { port: 1 }).push_at(
+                t_recv,
+                C2cOp::Receive {
+                    link: tsp_isa::LinkId::new(from_link),
+                    stream,
+                },
+            );
+            pr.builder(IcuId::Mem {
+                hemisphere: Hemisphere::East,
+                index: 20,
+            })
+            .push_at(
+                t_recv + 2 + u64::from(edge.0 - mem20.0),
+                MemOp::Write {
+                    addr: MemAddr::new(addr),
+                    stream,
+                },
+            );
+        }
+        programs.push(pr);
+        (fabric, programs)
+    }
+
+    /// The level-parallel cascade and the retained serial reference produce
+    /// bit-identical reports, link counters, and chip memory — with and
+    /// without injected link faults.
+    #[test]
+    fn parallel_run_is_bit_identical_to_serial() {
+        let plans = [
+            LinkFaultPlan::empty(),
+            LinkFaultPlan::from_events(
+                0,
+                vec![LinkFaultEvent {
+                    wire: 1,
+                    nth_word: 0,
+                    kind: LinkFaultKind::Corrupt { lane: 40, bit: 2 },
+                }],
+            ),
+        ];
+        for plan in &plans {
+            let (mut par, programs) = fan_in_setup();
+            let (mut ser, _) = fan_in_setup();
+            let pr = par
+                .run_with_faults(&programs, &RunOptions::default(), plan)
+                .expect("parallel run");
+            let sr = ser
+                .run_serial_with_faults(&programs, &RunOptions::default(), plan)
+                .expect("serial run");
+            assert_eq!(pr.links, sr.links);
+            assert_eq!(
+                format!("{:?}", pr.reports),
+                format!("{:?}", sr.reports),
+                "per-chip reports diverged"
+            );
+            for addr in [9, 10] {
+                assert_eq!(
+                    par.chip(2)
+                        .memory
+                        .read_unchecked(ga(Hemisphere::East, 20, addr)),
+                    ser.chip(2)
+                        .memory
+                        .read_unchecked(ga(Hemisphere::East, 20, addr)),
+                    "chip 2 memory diverged at word {addr}"
+                );
+            }
+        }
+    }
+
+    /// After a failed parallel run every chip is back in the fabric, still
+    /// inspectable.
+    #[test]
+    fn failed_parallel_run_restores_chips() {
+        let payload = Vector::splat(1);
+        let (mut fabric, programs) = send_receive_setup(0, 1, &payload);
+        let events = (0..=MAX_LINK_RETRIES)
+            .map(|_| LinkFaultEvent {
+                wire: 0,
+                nth_word: 0,
+                kind: LinkFaultKind::Drop,
+            })
+            .collect();
+        let plan = LinkFaultPlan::from_events(0, events);
+        let err = fabric
+            .run_with_faults(&programs, &RunOptions::default(), &plan)
+            .unwrap_err();
+        assert!(matches!(err, SimError::LinkRetryExhausted { .. }));
+        // Both chips are still present and readable.
+        let _ = fabric
+            .chip(0)
+            .memory
+            .read_unchecked(ga(Hemisphere::East, 10, 0));
+        let _ = fabric
+            .chip(1)
+            .memory
+            .read_unchecked(ga(Hemisphere::East, 20, 9));
     }
 
     #[test]

@@ -19,28 +19,82 @@ use crate::ecc::{self, ErrorLog, ErrorSite};
 /// Words per bank (the bank bit is address bit 12).
 const WORDS_PER_BANK: usize = 4096;
 
-/// A vector as stored in SRAM: data plus per-superlane ECC check bits.
+/// Check-bit state of a [`StoredVector`] — same lazy scheme as the stream
+/// file's words: a freshly protected word's check bits equal `encode(data)`
+/// by construction, so they are materialized only when a fault path needs
+/// bits that can genuinely disagree with the data.
 #[derive(Debug, Clone, PartialEq, Eq)]
+enum StoredCheck {
+    /// `check == encode(data)` holds by construction.
+    Pristine,
+    /// Explicit bits that may disagree with `data` (fault paths, words that
+    /// travelled with latent errors).
+    Explicit([u16; SUPERLANES]),
+}
+
+/// A vector as stored in SRAM: data plus per-superlane ECC check bits.
+#[derive(Debug, Clone)]
 pub struct StoredVector {
     /// The 320 data bytes.
     pub data: Vector,
-    /// 9 check bits per 16-byte superlane word.
-    pub check: [u16; SUPERLANES],
+    /// 9 check bits per 16-byte superlane word (lazily materialized).
+    check: StoredCheck,
 }
 
 impl StoredVector {
-    /// Protects a vector with freshly computed ECC (producer side).
+    /// Protects a vector with producer-side ECC. The encode is deferred;
+    /// the word is observably identical to one with eager check bits.
     #[must_use]
     pub fn protect(data: Vector) -> StoredVector {
-        let mut check = [0u16; SUPERLANES];
-        for (s, c) in check.iter_mut().enumerate() {
-            let mut word = [0u8; 16];
-            word.copy_from_slice(data.superlane(s));
-            *c = ecc::encode(&word);
+        StoredVector {
+            data,
+            check: StoredCheck::Pristine,
         }
-        StoredVector { data, check }
+    }
+
+    /// A word with explicit check bits that may disagree with the data.
+    #[must_use]
+    pub fn with_check(data: Vector, check: [u16; SUPERLANES]) -> StoredVector {
+        StoredVector {
+            data,
+            check: StoredCheck::Explicit(check),
+        }
+    }
+
+    /// Whether `check == encode(data)` holds by construction (consumer-side
+    /// checks of such a word provably return `Clean`).
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        matches!(self.check, StoredCheck::Pristine)
+    }
+
+    /// The word's per-superlane check bits, materializing them from the data
+    /// for pristine words.
+    #[must_use]
+    pub fn check(&self) -> [u16; SUPERLANES] {
+        match self.check {
+            StoredCheck::Explicit(c) => c,
+            StoredCheck::Pristine => {
+                let mut check = [0u16; SUPERLANES];
+                for (s, c) in check.iter_mut().enumerate() {
+                    let mut word = [0u8; 16];
+                    word.copy_from_slice(self.data.superlane(s));
+                    *c = ecc::encode(&word);
+                }
+                check
+            }
+        }
     }
 }
+
+impl PartialEq for StoredVector {
+    /// Compares *materialized* words: laziness is not observable through `==`.
+    fn eq(&self, other: &StoredVector) -> bool {
+        self.data == other.data && (self.check == other.check || self.check() == other.check())
+    }
+}
+
+impl Eq for StoredVector {}
 
 /// An illegal access the compiler should never have scheduled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +140,12 @@ pub struct MemSlice {
     banks: [Vec<Option<StoredVector>>; 2],
     /// Port-use tracking for the current cycle: (cycle, read_bank, write_bank).
     last_access: Option<(u64, Option<u8>, Option<u8>)>,
+    /// Whether any stored word *may* hold check bits that disagree with its
+    /// data. `poke` always re-encodes, so a slice only becomes suspect
+    /// through fault injection or `poke_stored` (which preserves latent
+    /// errors). While `false`, readers may skip consumer-side ECC checks of
+    /// words forwarded from this slice — the check provably returns `Clean`.
+    suspect: bool,
 }
 
 impl MemSlice {
@@ -95,7 +155,16 @@ impl MemSlice {
         MemSlice {
             banks: [Vec::new(), Vec::new()],
             last_access: None,
+            suspect: false,
         }
+    }
+
+    /// Whether some stored word may carry check bits that disagree with its
+    /// data (see the field docs); `false` guarantees every stored word is
+    /// pristine (`check == encode(data)`).
+    #[must_use]
+    pub fn is_suspect(&self) -> bool {
+        self.suspect
     }
 
     fn slot(&mut self, addr: MemAddr) -> &mut Option<StoredVector> {
@@ -128,18 +197,26 @@ impl MemSlice {
     /// Stores a word that already carries check bits (e.g. travelled on a
     /// stream); preserves any latent error for the eventual consumer.
     pub fn poke_stored(&mut self, addr: MemAddr, word: StoredVector) {
+        // Explicit caller-supplied check bits may disagree with the data, so
+        // the slice loses its pristine guarantee; a pristine word cannot.
+        self.suspect |= !word.is_pristine();
         *self.slot(addr) = Some(word);
     }
 
-    /// Flips a single data bit (fault injection).
+    /// Flips a single data bit (fault injection). The check bits are
+    /// materialized from the clean data *before* the flip, so check and data
+    /// genuinely disagree afterwards and readers really verify.
     pub fn inject_fault(&mut self, addr: MemAddr, lane: usize, bit: u8) {
+        self.suspect = true;
         let slot = self.slot(addr);
-        let mut word = slot
+        let word = slot
             .clone()
             .unwrap_or_else(|| StoredVector::protect(Vector::ZERO));
-        let byte = word.data.lane(lane);
-        word.data.set_lane(lane, byte ^ (1 << bit));
-        *slot = Some(word);
+        let check = word.check();
+        let mut data = word.data;
+        let byte = data.lane(lane);
+        data.set_lane(lane, byte ^ (1 << bit));
+        *slot = Some(StoredVector::with_check(data, check));
     }
 
     /// Flips a single ECC check bit of one superlane's stored word (fault
@@ -150,12 +227,14 @@ impl MemSlice {
             usize::from(bit) < ecc::CHECK_BITS,
             "check bit {bit} out of range"
         );
+        self.suspect = true;
         let slot = self.slot(addr);
-        let mut word = slot
+        let word = slot
             .clone()
             .unwrap_or_else(|| StoredVector::protect(Vector::ZERO));
-        word.check[superlane] ^= 1 << bit;
-        *slot = Some(word);
+        let mut check = word.check();
+        check[superlane] ^= 1 << bit;
+        *slot = Some(StoredVector::with_check(word.data, check));
     }
 
     /// A timed access: registers port/bank usage for `cycle` and returns the
@@ -310,11 +389,17 @@ impl Memory {
         addr: GlobalAddress,
     ) -> Result<Vector, ecc::EccError> {
         let stored = self.slice(addr.hemisphere, addr.slice).peek(addr.word);
+        if stored.is_pristine() {
+            // `check == encode(data)` by construction: the verification
+            // below could only return `Clean` with the data unchanged.
+            return Ok(stored.data);
+        }
+        let check = stored.check();
         let mut data = stored.data.clone();
-        for s in 0..SUPERLANES {
+        for (s, &check_bits) in check.iter().enumerate() {
             let mut word = [0u8; 16];
             word.copy_from_slice(data.superlane(s));
-            match ecc::check_and_correct(&mut word, stored.check[s]) {
+            match ecc::check_and_correct(&mut word, check_bits) {
                 Ok(ecc::EccOutcome::Clean) => {}
                 Ok(ecc::EccOutcome::Corrected { .. }) => {
                     data.superlane_mut(s).copy_from_slice(&word);

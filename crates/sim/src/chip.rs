@@ -592,14 +592,20 @@ impl Chip {
         t: Cycle,
         check: bool,
     ) -> Result<Vector, SimError> {
-        if !check || !self.config.ecc_enabled {
+        if !check || !self.config.ecc_enabled || word.is_pristine() {
+            // A pristine word's check bits equal `encode(data)` by
+            // construction, so the SECDED check below could only return
+            // `Clean` with the data unchanged — skipping it is
+            // observationally identical (and is where the fault-free fast
+            // path earns its keep).
             return Ok(word.data.clone());
         }
+        let check_bits = word.check();
         let mut data = word.data.clone();
-        for s in 0..SUPERLANES {
+        for (s, &cb) in check_bits.iter().enumerate() {
             let mut w = [0u8; 16];
             w.copy_from_slice(data.superlane(s));
-            match ecc::check_and_correct(&mut w, word.check[s]) {
+            match ecc::check_and_correct(&mut w, cb) {
                 Ok(ecc::EccOutcome::Clean) => {}
                 Ok(ecc::EccOutcome::Corrected { .. }) => {
                     data.superlane_mut(s).copy_from_slice(&w);
@@ -681,21 +687,25 @@ impl Chip {
                     .access(t, *addr, false)
                     .map_err(|error| SimError::Memory { error, icu })?;
                 let stored = slice.peek(*addr);
+                let suspect = slice.is_suspect();
                 ctx.bandwidth.record(Traffic::SramRead, 320);
                 ctx.note(t, icu, ActivityKind::MemRead, self.active_lanes());
                 // Forward data with its *stored* check bits: ECC is generated
                 // at the producer and travels with the word (paper §II-D).
+                // A slice no fault path has touched provably stores
+                // `check == encode(data)` for every word (`poke` always
+                // re-encodes), so its forwards stay on the pristine fast
+                // path; a suspect slice forwards explicit bits and the
+                // consumer really verifies them.
+                let word = if suspect && !stored.is_pristine() {
+                    let check = stored.check();
+                    StreamWord::with_check(stored.data, check)
+                } else {
+                    StreamWord::protect(stored.data)
+                };
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
                 ctx.bandwidth.record(Traffic::Stream, 320);
-                self.streams.write(
-                    *stream,
-                    pos,
-                    t + d_func,
-                    Arc::new(StreamWord {
-                        data: stored.data,
-                        check: stored.check,
-                    }),
-                );
+                self.streams.write(*stream, pos, t + d_func, Arc::new(word));
                 ctx.stream_level(self.streams.live_count());
             }
             MemOp::Write { addr, stream } => {
@@ -738,13 +748,28 @@ impl Chip {
                     let a =
                         u16::from_le_bytes([map_vec.lane(2 * s), map_vec.lane(2 * s + 1)]) & 0x1FFF;
                     let addr = tsp_isa::MemAddr::new(a);
-                    let mut word = slice.peek(addr);
-                    word.data
-                        .superlane_mut(s)
-                        .copy_from_slice(data.superlane(s));
-                    let mut raw = [0u8; 16];
-                    raw.copy_from_slice(word.data.superlane(s));
-                    word.check[s] = ecc::encode(&raw);
+                    let stored = slice.peek(addr);
+                    let prior_check = if stored.is_pristine() {
+                        None
+                    } else {
+                        Some(stored.check())
+                    };
+                    let mut merged = stored.data;
+                    merged.superlane_mut(s).copy_from_slice(data.superlane(s));
+                    let word = match prior_check {
+                        // Every other superlane's check already equals its
+                        // encode; re-protecting the merged word (lazily)
+                        // keeps the whole word pristine.
+                        None => tsp_mem::slice::StoredVector::protect(merged),
+                        // Preserve any latent error in the untouched
+                        // superlanes; re-encode only the overwritten one.
+                        Some(mut check) => {
+                            let mut raw = [0u8; 16];
+                            raw.copy_from_slice(merged.superlane(s));
+                            check[s] = ecc::encode(&raw);
+                            tsp_mem::slice::StoredVector::with_check(merged, check)
+                        }
+                    };
                     slice.poke_stored(addr, word);
                 }
                 ctx.bandwidth.record(Traffic::SramWrite, 320);

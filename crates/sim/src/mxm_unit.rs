@@ -7,8 +7,33 @@
 //! multiplies accumulate into int32; fp16 (two byte-planes in tandem)
 //! accumulates into fp32 with a single rounding step at readout — we model
 //! the fp16 path on a plane pair exactly as the paper describes.
+//!
+//! ## Host-performance shape (DESIGN.md §9)
+//!
+//! The int8 data path is the simulator's hottest loop: one activation pass is
+//! 102,400 MACs. Two things keep it fast without changing a single
+//! architectural value:
+//!
+//! * **Wave batching.** `ABC` feeds are queued, not computed; the wave is
+//!   flushed as one blocked `(k×320)·(320×320)` pass the first time an `ACC`
+//!   (or an `IW` reinstall) actually needs a result. Because `ACC` row `i`
+//!   reads the feed from [`tsp_isa::mxm::MXM_ARRAY_DELAY`] cycles earlier,
+//!   the steady-state flush batches ≈33 feeds, so each widened weight row is
+//!   reused across the whole batch. Every queued feed keeps its own cycle
+//!   timestamp, so `pending` availability — and therefore every simulated
+//!   cycle — is identical to feed-by-feed execution.
+//! * **Widening kernels.** The inner product runs over `i16`-widened 16-lane
+//!   chunks accumulating into `i32` — integer sums reassociate freely, and
+//!   the fixed-width chunks autovectorize. The fp16 tandem path instead keeps
+//!   its strict lane-order `f64` accumulation (float sums do *not*
+//!   reassociate; the single-rounding-at-readout contract is bit-exact) and
+//!   gets its speed from caching the planes' decoded `f32` weight matrix per
+//!   install generation instead of decoding two bytes per MAC.
+//!
+//! The pre-optimization scalar loops are retained verbatim in [`reference`]
+//! as the oracle the kernel-equivalence property tests compare against.
 
-use tsp_arch::{Vector, LANES};
+use tsp_arch::{Vector, LANES, LANES_PER_SUPERLANE};
 use tsp_isa::DataType;
 
 use crate::fp16;
@@ -20,6 +45,16 @@ pub enum MxmResult {
     Int32(Vec<i32>),
     /// 320 fp32 dot products.
     Fp32(Vec<f32>),
+}
+
+/// Decoded fp16 tandem weights, valid for one (lo, hi) install-generation
+/// pair.
+#[derive(Debug, Clone)]
+struct Fp16WeightCache {
+    lo_gen: u64,
+    hi_gen: u64,
+    /// Row-major 320×320 decoded weights.
+    weights: Vec<f32>,
 }
 
 /// One 320×320 MACC plane.
@@ -34,11 +69,22 @@ pub struct MxmPlane {
     /// Results awaiting `ACC` readout, oldest first, tagged with the cycle
     /// at which the array has finished computing them.
     pending: std::collections::VecDeque<(u64, MxmResult)>,
+    /// Queued int8 `ABC` feeds not yet computed: `(feed cycle, activation)`,
+    /// oldest first. Every entry is newer than everything in `pending`
+    /// (flushes drain the whole wave), so `pending`'s front stays the oldest
+    /// result overall.
+    wave: Vec<(u64, [u8; LANES])>,
     /// Standing accumulators indexed by `ACC` row ordinal.
     acc: Vec<MxmResult>,
     /// Retired int32 result buffers, recycled by the feed paths so the
     /// feed → accumulate cycle allocates nothing in steady state.
     free: Vec<Vec<i32>>,
+    /// Bumped by every `IW`; tags the fp16 weight cache.
+    install_gen: u64,
+    /// Decoded fp16 tandem weights (held by the low plane of the pair).
+    fp16_cache: Option<Fp16WeightCache>,
+    /// Scratch for the widened activation block, reused across flushes.
+    scratch_acts: Vec<i16>,
 }
 
 impl MxmPlane {
@@ -50,8 +96,12 @@ impl MxmPlane {
             installed: vec![[0; LANES]; LANES],
             dtype: DataType::Int8,
             pending: std::collections::VecDeque::new(),
+            wave: Vec::new(),
             acc: Vec::new(),
             free: Vec::new(),
+            install_gen: 0,
+            fp16_cache: None,
+            scratch_acts: Vec::new(),
         }
     }
 
@@ -80,10 +130,13 @@ impl MxmPlane {
         }
     }
 
-    /// `IW`: install the staged buffer into the array.
+    /// `IW`: install the staged buffer into the array. Queued feeds are
+    /// flushed first — they streamed through the *previous* weights.
     pub fn install(&mut self, dtype: DataType) {
+        self.flush_wave();
         self.installed.clone_from(&self.buffer);
         self.dtype = dtype;
+        self.install_gen += 1;
     }
 
     /// The installed weight at `(row, col)` as a raw byte.
@@ -101,25 +154,19 @@ impl MxmPlane {
     /// `ABC` one cycle's worth: stream one int8 activation vector through the
     /// installed int8 array, queueing a 320-lane int32 dot-product result that
     /// becomes readable [`tsp_isa::mxm::MXM_ARRAY_DELAY`] cycles after `cycle`.
+    ///
+    /// The arithmetic is deferred: the feed joins the current wave and is
+    /// computed in the next blocked flush (`ACC`, `IW`, or an fp16/zero feed
+    /// that must preserve result order). Timestamps are recorded now, so
+    /// nothing observable moves.
     pub fn feed_activation_i8(&mut self, cycle: u64, activation: &Vector) {
-        let a = *activation.as_bytes();
-        let mut out = self.take_buffer();
-        for (o, wrow) in out.iter_mut().zip(&self.installed) {
-            let mut sum = 0i32;
-            for (w, x) in wrow.iter().zip(a.iter()) {
-                sum += i32::from(*w as i8) * i32::from(*x as i8);
-            }
-            *o = sum;
-        }
-        self.pending.push_back((
-            cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
-            MxmResult::Int32(out),
-        ));
+        self.wave.push((cycle, *activation.as_bytes()));
     }
 
     /// Timing-only feed: queues a zero result with the same availability as
     /// a real activation pass (used when functional simulation is disabled).
     pub fn feed_zero(&mut self, cycle: u64) {
+        self.flush_wave(); // keep `pending` in feed order if modes ever mix
         let out = self.take_buffer();
         self.pending.push_back((
             cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
@@ -127,11 +174,60 @@ impl MxmPlane {
         ));
     }
 
+    /// Flushes every queued int8 feed as one blocked `(k×320)·(320×320)`
+    /// pass: each weight row is widened to `i16` once and reused across the
+    /// whole batch. Results enter `pending` in feed order with their original
+    /// per-feed availability cycles.
+    fn flush_wave(&mut self) {
+        if self.wave.is_empty() {
+            return;
+        }
+        let k = self.wave.len();
+        // Widen the activation block once: k rows × 320 i16 lanes.
+        self.scratch_acts.clear();
+        self.scratch_acts.resize(k * LANES, 0);
+        for (dst, (_, act)) in self.scratch_acts.chunks_exact_mut(LANES).zip(&self.wave) {
+            for (d, &s) in dst.iter_mut().zip(act.iter()) {
+                *d = i16::from(s as i8);
+            }
+        }
+        let mut outs: Vec<Vec<i32>> = Vec::with_capacity(k);
+        for _ in 0..k {
+            let buf = {
+                let mut b = self.free.pop().unwrap_or_default();
+                b.clear();
+                b.resize(LANES, 0);
+                b
+            };
+            outs.push(buf);
+        }
+        let mut row16 = [0i16; LANES];
+        for (r, wrow) in self.installed.iter().enumerate() {
+            for (d, &s) in row16.iter_mut().zip(wrow.iter()) {
+                *d = i16::from(s as i8);
+            }
+            for (act, out) in self.scratch_acts.chunks_exact(LANES).zip(&mut outs) {
+                out[r] = dot_i16(&row16, act);
+            }
+        }
+        for ((cycle, _), out) in self.wave.drain(..).zip(outs) {
+            self.pending.push_back((
+                cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
+                MxmResult::Int32(out),
+            ));
+        }
+    }
+
     /// `ABC` for the fp16 path: this plane holds the low bytes and `high`
     /// the high bytes of fp16 weights (two byte-planes in tandem); the
     /// activation arrives as a pair of byte-plane vectors. Produces fp32
     /// dot products with a single rounding step (accumulation in f64,
     /// rounded once to f32 — the paper's "only a single rounding step").
+    ///
+    /// Accumulation stays in strict lane order (float sums do not
+    /// reassociate); the hot-path win is the per-install-generation cache of
+    /// the decoded `f32` weight matrix, replacing two `f16→f32` decodes per
+    /// MAC with one per install.
     pub fn feed_activation_fp16(
         &mut self,
         cycle: u64,
@@ -139,18 +235,42 @@ impl MxmPlane {
         act_lo: &Vector,
         act_hi: &Vector,
     ) {
-        let acts: Vec<f32> = (0..LANES)
-            .map(|l| fp16::f16_to_f32(u16::from_le_bytes([act_lo.lane(l), act_hi.lane(l)])))
-            .collect();
-        let out: Vec<f32> = (0..LANES)
-            .map(|row| {
+        self.flush_wave();
+        let stale = !matches!(
+            &self.fp16_cache,
+            Some(c) if c.lo_gen == self.install_gen && c.hi_gen == high.install_gen
+        );
+        if stale {
+            let mut weights = vec![0f32; LANES * LANES];
+            for (row, dst) in weights.chunks_exact_mut(LANES).enumerate() {
+                let (lo_row, hi_row) = (&self.installed[row], &high.installed[row]);
+                for (l, w) in dst.iter_mut().enumerate() {
+                    *w = fp16::f16_to_f32(u16::from_le_bytes([lo_row[l], hi_row[l]]));
+                }
+            }
+            self.fp16_cache = Some(Fp16WeightCache {
+                lo_gen: self.install_gen,
+                hi_gen: high.install_gen,
+                weights,
+            });
+        }
+        let mut acts = [0f32; LANES];
+        for (l, a) in acts.iter_mut().enumerate() {
+            *a = fp16::f16_to_f32(u16::from_le_bytes([act_lo.lane(l), act_hi.lane(l)]));
+        }
+        let weights = &self
+            .fp16_cache
+            .as_ref()
+            .expect("cache just refreshed")
+            .weights;
+        let out: Vec<f32> = weights
+            .chunks_exact(LANES)
+            .map(|wrow| {
                 let mut sum = 0f64;
-                let weights = self.installed[row].iter().zip(&high.installed[row]);
-                for ((&lo, &hi), &a) in weights.zip(&acts) {
-                    let w = fp16::f16_to_f32(u16::from_le_bytes([lo, hi]));
+                for (&w, &a) in wrow.iter().zip(&acts) {
                     sum += f64::from(w) * f64::from(a);
                 }
-                sum as f32
+                round_fp16_readout(sum)
             })
             .collect();
         self.pending.push_back((
@@ -163,10 +283,16 @@ impl MxmPlane {
     /// overwrite or add to the standing accumulator at `ordinal`, returning
     /// the updated accumulator value for emission onto streams.
     ///
+    /// Flushes the queued wave first when the computed queue has run dry —
+    /// the blocked-execution point of the batching scheme.
+    ///
     /// Returns `None` when no result is pending **or the oldest result is not
     /// yet available at `cycle`** (both are scheduling bugs the chip simulator
     /// reports as [`crate::SimError::AccumulatorEmpty`]).
     pub fn accumulate(&mut self, cycle: u64, ordinal: usize, add: bool) -> Option<&MxmResult> {
+        if self.pending.is_empty() {
+            self.flush_wave();
+        }
         if self.pending.front().is_none_or(|(avail, _)| *avail > cycle) {
             return None;
         }
@@ -204,16 +330,112 @@ impl MxmPlane {
         Some(&self.acc[ordinal])
     }
 
-    /// Number of results awaiting readout.
+    /// Number of results awaiting readout (computed plus still-queued feeds).
     #[must_use]
     pub fn pending_results(&self) -> usize {
-        self.pending.len()
+        self.pending.len() + self.wave.len()
+    }
+}
+
+/// Dot product of two 320-lane `i16` rows, accumulated in `i32` over
+/// fixed 16-lane chunks — the autovectorization unit (`i16×i16 → i32`
+/// multiply-add; 16 lanes is one superlane word, `[u8; 16]` on the wire).
+/// The per-superlane accumulator vector keeps one `i32` per lane position so
+/// the whole loop body is straight-line SIMD; the final horizontal sum is a
+/// reassociation of exact integer adds and so bit-identical to any ordering.
+#[inline]
+fn dot_i16(w: &[i16; LANES], x: &[i16]) -> i32 {
+    debug_assert_eq!(x.len(), LANES);
+    let mut acc = [0i32; LANES_PER_SUPERLANE];
+    for (wc, xc) in w
+        .chunks_exact(LANES_PER_SUPERLANE)
+        .zip(x.chunks_exact(LANES_PER_SUPERLANE))
+    {
+        for j in 0..LANES_PER_SUPERLANE {
+            acc[j] += i32::from(wc[j]) * i32::from(xc[j]);
+        }
+    }
+    acc.iter().sum()
+}
+
+/// The fp16 path's single rounding step, f64 → f32, with NaN results
+/// canonicalized to the quiet NaN. IEEE 754 leaves NaN *payload*
+/// propagation through `a × b` unspecified and LLVM freely commutes the
+/// operands, so payloads are not stable across inlining contexts — the
+/// array's readout squashes them to the one canonical pattern, keeping
+/// "bit-identical" a well-defined contract even on NaN-producing inputs.
+#[inline]
+fn round_fp16_readout(sum: f64) -> f32 {
+    let v = sum as f32;
+    if v.is_nan() {
+        f32::NAN
+    } else {
+        v
     }
 }
 
 impl Default for MxmPlane {
     fn default() -> MxmPlane {
         MxmPlane::new()
+    }
+}
+
+/// The pre-optimization scalar data path, retained as the oracle for the
+/// kernel-equivalence property tests and micro-benchmarks (hence `pub`, not
+/// `#[cfg(test)]`: integration tests and Criterion benches link the library
+/// from outside the crate).
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// One int8 activation pass, element by element — the original
+    /// `feed_activation_i8` inner loop.
+    #[must_use]
+    pub fn matmul_i8(installed: &[[u8; LANES]], activation: &Vector) -> Vec<i32> {
+        let a = *activation.as_bytes();
+        installed
+            .iter()
+            .map(|wrow| {
+                let mut sum = 0i32;
+                for (w, x) in wrow.iter().zip(a.iter()) {
+                    sum += i32::from(*w as i8) * i32::from(*x as i8);
+                }
+                sum
+            })
+            .collect()
+    }
+
+    /// One fp16 tandem activation pass — the original
+    /// `feed_activation_fp16` inner loop: per-MAC weight decode, strict
+    /// lane-order `f64` accumulation, one rounding at readout.
+    #[must_use]
+    pub fn matmul_fp16(
+        lo: &[[u8; LANES]],
+        hi: &[[u8; LANES]],
+        act_lo: &Vector,
+        act_hi: &Vector,
+    ) -> Vec<f32> {
+        let acts: Vec<f32> = (0..LANES)
+            .map(|l| fp16::f16_to_f32(u16::from_le_bytes([act_lo.lane(l), act_hi.lane(l)])))
+            .collect();
+        (0..LANES)
+            .map(|row| {
+                let mut sum = 0f64;
+                let weights = lo[row].iter().zip(&hi[row]);
+                for ((&l, &h), &a) in weights.zip(&acts) {
+                    let w = fp16::f16_to_f32(u16::from_le_bytes([l, h]));
+                    sum += f64::from(w) * f64::from(a);
+                }
+                round_fp16_readout(sum)
+            })
+            .collect()
+    }
+
+    /// The installed weight matrix of a plane (row-major), for driving the
+    /// oracle against live plane state.
+    #[must_use]
+    pub fn installed_rows(plane: &MxmPlane) -> Vec<[u8; LANES]> {
+        plane.installed.clone()
     }
 }
 
@@ -329,6 +551,50 @@ mod tests {
         assert!(p.accumulate(100 + 32, 0, false).is_some());
     }
 
+    /// Feeds queued before an `IW` stream through the *old* weights: the
+    /// reinstall hazard the wave-flush-on-install exists for.
+    #[test]
+    fn reinstall_flushes_queued_feeds_through_old_weights() {
+        let mut p = MxmPlane::new();
+        identity_weights(&mut p);
+        let act = Vector::from_fn(|i| (i % 100) as u8);
+        p.feed_activation_i8(0, &act);
+        // Reinstall all-zero weights before the ACC.
+        let zero_rows: Vec<Vector> = (0..16).map(|_| Vector::ZERO).collect();
+        for g in 0..20u8 {
+            p.load_weight_rows(g, &zero_rows);
+        }
+        p.install(DataType::Int8);
+        let Some(MxmResult::Int32(out)) = p.accumulate(1000, 0, false) else {
+            panic!()
+        };
+        // The feed pre-dates the reinstall, so it saw the identity weights.
+        assert_eq!(out[7], 7);
+    }
+
+    /// The batched wave and feed-by-feed execution retire results in feed
+    /// order with per-feed availability timestamps.
+    #[test]
+    fn batched_wave_preserves_feed_order_and_timestamps() {
+        let mut p = MxmPlane::new();
+        identity_weights(&mut p);
+        for i in 0..5u64 {
+            p.feed_activation_i8(100 + i, &Vector::splat(i as u8 + 1));
+        }
+        assert_eq!(p.pending_results(), 5);
+        // Feed at cycle 100+i is available at 132+i, in order.
+        for i in 0..5u64 {
+            assert!(
+                p.accumulate(131 + i, 0, false).is_none(),
+                "feed {i} available one cycle early"
+            );
+            let Some(MxmResult::Int32(out)) = p.accumulate(132 + i, 0, false) else {
+                panic!("feed {i} missing at its availability cycle")
+            };
+            assert_eq!(out[0], i as i32 + 1, "feed {i} out of order");
+        }
+    }
+
     #[test]
     fn fp16_tandem_matmul() {
         let mut lo = MxmPlane::new();
@@ -359,5 +625,48 @@ mod tests {
         };
         assert_eq!(out[0], 3.0);
         assert_eq!(out[1], 0.0);
+    }
+
+    /// The fp16 weight cache is invalidated by either plane's reinstall.
+    #[test]
+    fn fp16_cache_tracks_both_install_generations() {
+        let mut lo = MxmPlane::new();
+        let mut hi = MxmPlane::new();
+        let bits = fp16::f32_to_f16(1.0);
+        let mut row_lo = Vector::ZERO;
+        let mut row_hi = Vector::ZERO;
+        row_lo.set_lane(0, (bits & 0xFF) as u8);
+        row_hi.set_lane(0, (bits >> 8) as u8);
+        let pad = |first: Vector| {
+            let mut rows = vec![first];
+            rows.extend((1..16).map(|_| Vector::ZERO));
+            rows
+        };
+        lo.load_weight_rows(0, &pad(row_lo));
+        hi.load_weight_rows(0, &pad(row_hi));
+        lo.install(DataType::Fp16);
+        hi.install(DataType::Fp16);
+        let abits = fp16::f32_to_f16(2.0);
+        let mut act_lo = Vector::ZERO;
+        let mut act_hi = Vector::ZERO;
+        act_lo.set_lane(0, (abits & 0xFF) as u8);
+        act_hi.set_lane(0, (abits >> 8) as u8);
+        lo.feed_activation_fp16(0, &hi, &act_lo, &act_hi);
+        let Some(MxmResult::Fp32(first)) = lo.accumulate(1000, 0, false) else {
+            panic!()
+        };
+        assert_eq!(first[0], 2.0);
+        // Reinstall only the HIGH plane with weight 2.0's high byte: the
+        // cached decode must not be reused.
+        let bits2 = fp16::f32_to_f16(2.0);
+        let mut row_hi2 = Vector::ZERO;
+        row_hi2.set_lane(0, (bits2 >> 8) as u8);
+        hi.load_weight_rows(0, &pad(row_hi2));
+        hi.install(DataType::Fp16);
+        lo.feed_activation_fp16(0, &hi, &act_lo, &act_hi);
+        let Some(MxmResult::Fp32(second)) = lo.accumulate(2000, 0, false) else {
+            panic!()
+        };
+        assert_eq!(second[0], 4.0, "stale fp16 weight cache");
     }
 }

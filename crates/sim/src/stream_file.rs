@@ -31,29 +31,94 @@ use std::sync::Arc;
 
 use tsp_arch::{Direction, Position, StreamId, Vector, NUM_POSITIONS, SUPERLANES};
 
+/// Check-bit state of a [`StreamWord`].
+///
+/// A freshly produced word's check bits are *by construction* the SECDED
+/// encoding of its data, so storing them is redundant: `Pristine` defers the
+/// encode until something actually needs the bits (a fault strike, a C2C
+/// CRC, an explicit [`StreamWord::check`] call). Only words that have been
+/// through a corruption path — where check and data may genuinely disagree —
+/// carry `Explicit` bits. This makes the fault-free fast path free of both
+/// the producer encode and the consumer verify while remaining
+/// bit-identical: a consumer check of a pristine word can only ever return
+/// `Clean` with the data unchanged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CheckBits {
+    /// `check == encode(data)` holds by construction; materialize on demand.
+    Pristine,
+    /// Explicit bits that may disagree with `data` (fault-injection paths).
+    Explicit([u16; SUPERLANES]),
+}
+
 /// A vector travelling on a stream, carrying its producer-generated ECC check
 /// bits alongside the data (paper §II-D).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 pub struct StreamWord {
     /// The 320 data bytes.
     pub data: Vector,
-    /// 9 SECDED check bits per superlane word.
-    pub check: [u16; SUPERLANES],
+    /// 9 SECDED check bits per superlane word (lazily materialized).
+    check: CheckBits,
 }
 
 impl StreamWord {
-    /// Protects fresh data with producer-side ECC.
+    /// Protects fresh data with producer-side ECC. The encode is deferred
+    /// (see [`CheckBits`]); the word is observably identical to one carrying
+    /// eagerly computed check bits.
     #[must_use]
     pub fn protect(data: Vector) -> StreamWord {
-        let mut check = [0u16; SUPERLANES];
-        for (s, c) in check.iter_mut().enumerate() {
-            let mut word = [0u8; 16];
-            word.copy_from_slice(data.superlane(s));
-            *c = tsp_mem::ecc::encode(&word);
+        StreamWord {
+            data,
+            check: CheckBits::Pristine,
         }
-        StreamWord { data, check }
+    }
+
+    /// A word with explicit check bits that may disagree with the data —
+    /// the corruption paths (stream upsets, C2C wire faults, faulted SRAM
+    /// forwards) use this so the consumer-side SECDED check really runs.
+    #[must_use]
+    pub fn with_check(data: Vector, check: [u16; SUPERLANES]) -> StreamWord {
+        StreamWord {
+            data,
+            check: CheckBits::Explicit(check),
+        }
+    }
+
+    /// Whether `check == encode(data)` holds by construction, letting the
+    /// consumer-side check be skipped (its outcome — `Clean`, data unchanged
+    /// — is already known).
+    #[must_use]
+    pub fn is_pristine(&self) -> bool {
+        matches!(self.check, CheckBits::Pristine)
+    }
+
+    /// The word's 9 SECDED check bits per superlane, materializing them from
+    /// the data for pristine words.
+    #[must_use]
+    pub fn check(&self) -> [u16; SUPERLANES] {
+        match self.check {
+            CheckBits::Explicit(c) => c,
+            CheckBits::Pristine => {
+                let mut check = [0u16; SUPERLANES];
+                for (s, c) in check.iter_mut().enumerate() {
+                    let mut word = [0u8; 16];
+                    word.copy_from_slice(self.data.superlane(s));
+                    *c = tsp_mem::ecc::encode(&word);
+                }
+                check
+            }
+        }
     }
 }
+
+impl PartialEq for StreamWord {
+    /// Compares *materialized* words: a pristine word equals an explicit one
+    /// carrying `encode(data)` — laziness is not observable through `==`.
+    fn eq(&self, other: &StreamWord) -> bool {
+        self.data == other.data && (self.check == other.check || self.check() == other.check())
+    }
+}
+
+impl Eq for StreamWord {}
 
 /// Key for one logical stream's storage.
 fn stream_key(s: StreamId) -> usize {
@@ -217,11 +282,20 @@ impl StreamFile {
         let Some(word) = self.read(stream, position, cycle) else {
             return false;
         };
-        let mut upset = StreamWord::clone(&word);
+        // Materialize the check bits *before* the flip: the upset strikes the
+        // data register only, so check and data now disagree and the word
+        // must take the explicit (verified) path at its consumer.
+        let check = word.check();
+        let mut data = word.data.clone();
         let lane = usize::from(lane);
-        let byte = upset.data.lane(lane);
-        upset.data.set_lane(lane, byte ^ (1 << bit));
-        self.write(stream, position, cycle, Arc::new(upset));
+        let byte = data.lane(lane);
+        data.set_lane(lane, byte ^ (1 << bit));
+        self.write(
+            stream,
+            position,
+            cycle,
+            Arc::new(StreamWord::with_check(data, check)),
+        );
         true
     }
 
@@ -373,15 +447,24 @@ mod tests {
     fn ecc_travels_with_data() {
         let mut f = StreamFile::new();
         let s = StreamId::east(2);
-        let mut w = StreamWord::protect(Vector::splat(0x5A));
-        // Corrupt one bit in flight; consumer-side check must catch it.
-        let b = w.data.lane(0);
-        w.data.set_lane(0, b ^ 1);
-        f.write(s, Position(0), 0, Arc::new(w));
+        let clean = StreamWord::protect(Vector::splat(0x5A));
+        // Corrupt one bit in flight (materializing the clean word's check
+        // bits first, as the fault paths do); consumer-side check must
+        // catch it.
+        let mut data = clean.data.clone();
+        let b = data.lane(0);
+        data.set_lane(0, b ^ 1);
+        f.write(
+            s,
+            Position(0),
+            0,
+            Arc::new(StreamWord::with_check(data, clean.check())),
+        );
         let got = f.read(s, Position(4), 4).unwrap();
+        assert!(!got.is_pristine());
         let mut word0 = [0u8; 16];
         word0.copy_from_slice(got.data.superlane(0));
-        let outcome = tsp_mem::ecc::check_and_correct(&mut word0, got.check[0]).unwrap();
+        let outcome = tsp_mem::ecc::check_and_correct(&mut word0, got.check()[0]).unwrap();
         assert!(matches!(
             outcome,
             tsp_mem::ecc::EccOutcome::Corrected { data_bit: Some(0) }

@@ -4,6 +4,15 @@
 //! 320-lane permuter, the per-superlane distributor, the n×n rotation fan-out
 //! and the 16×16 transposer. The chip simulator applies these at the SXM's
 //! position with the ISA's timing; tests exercise them directly.
+//!
+//! ## Host-performance shape (DESIGN.md §9)
+//!
+//! Every transform here is a byte rearrangement, so the kernels are block
+//! copies over the `[u8; 320]` planes — contiguous `copy_from_slice` runs for
+//! shifts/select/rotate, and 16-lane superlane words (`[u8; 16]` on the wire)
+//! for distribute/transpose — instead of one closure call per lane. The
+//! original per-lane implementations are retained in [`reference`] as the
+//! oracle for the kernel-equivalence property tests.
 
 use tsp_arch::{Vector, LANES, LANES_PER_SUPERLANE, SUPERLANES};
 use tsp_isa::sxm::DistributeMap;
@@ -13,31 +22,42 @@ use tsp_isa::PermuteMap;
 /// `l + n`; the southern tail zero-fills.
 #[must_use]
 pub fn shift_up(input: &Vector, n: u16) -> Vector {
-    let n = n as usize;
-    Vector::from_fn(|l| if l + n < LANES { input.lane(l + n) } else { 0 })
+    let n = (n as usize).min(LANES);
+    let mut out = Vector::ZERO;
+    out.as_bytes_mut()[..LANES - n].copy_from_slice(&input.as_bytes()[n..]);
+    out
 }
 
 /// Lane-shift `n` southward (toward lane 319): output lane `l` reads input
 /// lane `l − n`; the northern head zero-fills.
 #[must_use]
 pub fn shift_down(input: &Vector, n: u16) -> Vector {
-    let n = n as usize;
-    Vector::from_fn(|l| if l >= n { input.lane(l - n) } else { 0 })
+    let n = (n as usize).min(LANES);
+    let mut out = Vector::ZERO;
+    out.as_bytes_mut()[n..].copy_from_slice(&input.as_bytes()[..LANES - n]);
+    out
 }
 
 /// Combine two (typically opposite-shifted) vectors: lanes `0..boundary` from
 /// `north`, `boundary..320` from `south` (paper Fig. 8's select).
 #[must_use]
 pub fn select(north: &Vector, south: &Vector, boundary: u16) -> Vector {
-    let b = boundary as usize;
-    Vector::from_fn(|l| if l < b { north.lane(l) } else { south.lane(l) })
+    let b = (boundary as usize).min(LANES);
+    let mut out = south.clone();
+    out.as_bytes_mut()[..b].copy_from_slice(&north.as_bytes()[..b]);
+    out
 }
 
 /// Apply a programmed 320-lane bijection: output lane `i` reads input lane
-/// `map[i]`.
+/// `map.source(i)`.
 #[must_use]
 pub fn permute(input: &Vector, map: &PermuteMap) -> Vector {
-    Vector::from_fn(|i| input.lane(map.source(i)))
+    let src = input.as_bytes();
+    let mut out = Vector::ZERO;
+    for (i, o) in out.as_bytes_mut().iter_mut().enumerate() {
+        *o = src[map.source(i)];
+    }
+    out
 }
 
 /// Remap the 16 lanes within every superlane; `None` entries zero-fill
@@ -46,10 +66,11 @@ pub fn permute(input: &Vector, map: &PermuteMap) -> Vector {
 pub fn distribute(input: &Vector, map: &DistributeMap) -> Vector {
     let mut out = Vector::ZERO;
     for s in 0..SUPERLANES {
-        let base = s * LANES_PER_SUPERLANE;
-        for (l, m) in map.iter().enumerate() {
+        let word: [u8; LANES_PER_SUPERLANE] = input.superlane(s).try_into().expect("16-lane word");
+        let dst = out.superlane_mut(s);
+        for (d, m) in dst.iter_mut().zip(map.iter()) {
             if let Some(src) = m {
-                out.set_lane(base + l, input.lane(base + *src as usize));
+                *d = word[*src as usize];
             }
         }
     }
@@ -67,7 +88,10 @@ pub fn rotate(inputs: &[Vector], n: u8) -> Vec<Vector> {
     let mut out = Vec::with_capacity(n * n);
     for row in inputs {
         for j in 0..n {
-            out.push(Vector::from_fn(|l| row.lane((l + j) % LANES)));
+            // `rotate_left(j)` puts input lane `(l + j) % LANES` at lane `l`.
+            let mut v = row.clone();
+            v.as_bytes_mut().rotate_left(j % LANES);
+            out.push(v);
         }
     }
     out
@@ -78,18 +102,99 @@ pub fn rotate(inputs: &[Vector], n: u8) -> Vec<Vector> {
 #[must_use]
 pub fn transpose(inputs: &[Vector]) -> Vec<Vector> {
     assert_eq!(inputs.len(), 16, "transpose is 16 streams wide");
-    (0..16)
-        .map(|i| {
-            let mut out = Vector::ZERO;
-            for s in 0..SUPERLANES {
-                let base = s * LANES_PER_SUPERLANE;
-                for (j, input) in inputs.iter().enumerate() {
-                    out.set_lane(base + j, input.lane(base + i));
+    let mut out = vec![Vector::ZERO; 16];
+    for s in 0..SUPERLANES {
+        let base = s * LANES_PER_SUPERLANE;
+        for (j, input) in inputs.iter().enumerate() {
+            let word = &input.as_bytes()[base..base + LANES_PER_SUPERLANE];
+            for (i, &byte) in word.iter().enumerate() {
+                out[i].as_bytes_mut()[base + j] = byte;
+            }
+        }
+    }
+    out
+}
+
+/// The pre-optimization per-lane transforms, retained as the oracle for the
+/// kernel-equivalence property tests (hence `pub`, not `#[cfg(test)]`: the
+/// integration test suites link the library from outside the crate).
+#[doc(hidden)]
+pub mod reference {
+    use super::*;
+
+    /// Scalar oracle for [`super::shift_up`].
+    #[must_use]
+    pub fn shift_up(input: &Vector, n: u16) -> Vector {
+        let n = n as usize;
+        Vector::from_fn(|l| if l + n < LANES { input.lane(l + n) } else { 0 })
+    }
+
+    /// Scalar oracle for [`super::shift_down`].
+    #[must_use]
+    pub fn shift_down(input: &Vector, n: u16) -> Vector {
+        let n = n as usize;
+        Vector::from_fn(|l| if l >= n { input.lane(l - n) } else { 0 })
+    }
+
+    /// Scalar oracle for [`super::select`].
+    #[must_use]
+    pub fn select(north: &Vector, south: &Vector, boundary: u16) -> Vector {
+        let b = boundary as usize;
+        Vector::from_fn(|l| if l < b { north.lane(l) } else { south.lane(l) })
+    }
+
+    /// Scalar oracle for [`super::permute`].
+    #[must_use]
+    pub fn permute(input: &Vector, map: &PermuteMap) -> Vector {
+        Vector::from_fn(|i| input.lane(map.source(i)))
+    }
+
+    /// Scalar oracle for [`super::distribute`].
+    #[must_use]
+    pub fn distribute(input: &Vector, map: &DistributeMap) -> Vector {
+        let mut out = Vector::ZERO;
+        for s in 0..SUPERLANES {
+            let base = s * LANES_PER_SUPERLANE;
+            for (l, m) in map.iter().enumerate() {
+                if let Some(src) = m {
+                    out.set_lane(base + l, input.lane(base + *src as usize));
                 }
             }
-            out
-        })
-        .collect()
+        }
+        out
+    }
+
+    /// Scalar oracle for [`super::rotate`].
+    #[must_use]
+    pub fn rotate(inputs: &[Vector], n: u8) -> Vec<Vector> {
+        let n = n as usize;
+        assert_eq!(inputs.len(), n, "rotate needs n input rows");
+        let mut out = Vec::with_capacity(n * n);
+        for row in inputs {
+            for j in 0..n {
+                out.push(Vector::from_fn(|l| row.lane((l + j) % LANES)));
+            }
+        }
+        out
+    }
+
+    /// Scalar oracle for [`super::transpose`].
+    #[must_use]
+    pub fn transpose(inputs: &[Vector]) -> Vec<Vector> {
+        assert_eq!(inputs.len(), 16, "transpose is 16 streams wide");
+        (0..16)
+            .map(|i| {
+                let mut out = Vector::ZERO;
+                for s in 0..SUPERLANES {
+                    let base = s * LANES_PER_SUPERLANE;
+                    for (j, input) in inputs.iter().enumerate() {
+                        out.set_lane(base + j, input.lane(base + i));
+                    }
+                }
+                out
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -124,6 +229,19 @@ mod tests {
         for l in 5..315 {
             assert_eq!(v.lane(l), l as u8);
         }
+    }
+
+    #[test]
+    fn oversized_shift_zero_fills_like_reference() {
+        let whole = LANES as u16;
+        assert_eq!(
+            shift_up(&ramp(), whole),
+            reference::shift_up(&ramp(), whole)
+        );
+        assert_eq!(
+            shift_down(&ramp(), whole + 7),
+            reference::shift_down(&ramp(), whole + 7)
+        );
     }
 
     #[test]
