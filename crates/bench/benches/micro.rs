@@ -87,6 +87,47 @@ fn bench_sim_rate(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_dispatch_decoded_vs_interpreted(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dispatch");
+    // A steady-state ICU queue: one long streaming-copy program, simulated
+    // through the pre-decoded op cache vs. the interpreted oracle (which
+    // re-walks the instruction match tree per dispatch). Timing-only mode so
+    // the pair measures dispatch itself rather than data movement. The decode
+    // pass is memoized outside the decoded iteration, exactly as
+    // `CompiledModel::decoded` amortizes it in the harness.
+    let mut sched = Scheduler::new();
+    let n = 2048u32;
+    let x = sched
+        .alloc
+        .alloc_in(Some(Hemisphere::East), n, 320, BankPolicy::Low, 4096)
+        .unwrap();
+    let (_, _) = copy(&mut sched, &x, Hemisphere::West, BankPolicy::High, 0);
+    let program = sched.into_program().unwrap();
+    let decoded = tsp_sim::DecodedProgram::decode(&program);
+    let options = RunOptions {
+        functional: false,
+        ..RunOptions::default()
+    };
+    let cycles = {
+        let mut chip = Chip::new(ChipConfig::asic());
+        chip.run_decoded(&decoded, &options).unwrap().cycles
+    };
+    g.throughput(Throughput::Elements(cycles));
+    g.bench_function("decoded", |b| {
+        b.iter(|| {
+            let mut chip = Chip::new(ChipConfig::asic());
+            std::hint::black_box(chip.run_decoded(&decoded, &options).unwrap().cycles)
+        })
+    });
+    g.bench_function("interpreted", |b| {
+        b.iter(|| {
+            let mut chip = Chip::new(ChipConfig::asic());
+            std::hint::black_box(chip.run_interpreted(&program, &options).unwrap().cycles)
+        })
+    });
+    g.finish();
+}
+
 fn bench_vector_add_end_to_end(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulator");
     // The Fig. 3 stream program (Z = X + Y over 1000 vectors), compiled once
@@ -198,6 +239,7 @@ criterion_group!(
     bench_mxm,
     bench_ecc,
     bench_sim_rate,
+    bench_dispatch_decoded_vs_interpreted,
     bench_vector_add_end_to_end,
     bench_compile
 );

@@ -10,7 +10,7 @@
 //!
 //! `--smoke` runs the small CI configuration and exits non-zero on any SDC
 //! or unrecovered trial; the default is the full sweep for EXPERIMENTS.md.
-//! Results land in `BENCH_FAULTS.json` (schema `tsp-faults-v2`); the report
+//! Results land in `BENCH_FAULTS.json` (schema `tsp-faults-v3`); the report
 //! is bit-identical for a given seed, serial or parallel.
 
 use tsp_bench::campaign::{run_campaign, CampaignConfig, TrialClass};
@@ -59,6 +59,14 @@ fn main() {
             p.classes[3],
             p.classes[4],
         );
+    }
+    println!();
+    match report.fast_path_retention() {
+        Some(r) => println!(
+            "fast-path retention: {:.2}% of MEM reads stayed on the pristine lazy-ECC path",
+            r * 100.0
+        ),
+        None => println!("fast-path retention: n/a (no MEM reads observed)"),
     }
     println!();
 

@@ -9,29 +9,36 @@
 //! * `roofline_point` — the Fig. 9 peak point (4 planes × 4096 rows,
 //!   timing-only: the MXM-heavy fast path);
 //! * `resnet50_functional` — ResNet-50 batch-1 with full data computation
-//!   (the end-to-end worst case).
+//!   (the end-to-end worst case);
+//! * `resnet101_functional` / `resnet152_functional` — the deeper standard
+//!   ResNets (counters variant only): how host throughput scales with model
+//!   depth.
 //!
-//! Each workload runs in three telemetry **variants**: `counters` (the
-//! default configuration), `nocounters` (utilization counters off — the
-//! baseline that prices the counters' host overhead, budgeted ≤ 5%) and
-//! `trace` (full event tracing, the expensive observability ceiling).
+//! Each core workload runs in four **variants**: `counters` (the default
+//! configuration), `nocounters` (utilization counters off — the baseline
+//! that prices the counters' host overhead, budgeted ≤ 5%), `trace` (full
+//! event tracing, the expensive observability ceiling) and `interpreted`
+//! (the pre-decoded op cache bypassed — pricing the decoded dispatch path,
+//! which every other variant uses).
 //!
-//! Results land in `BENCH_SIM.json` (schema `tsp-simspeed-v3`, documented in
-//! DESIGN.md §6/§9) so successive commits can be compared — the point is the
-//! *trajectory*, not any single number. When the output file already exists,
-//! its run is folded into the new report's `history` array and each workload
-//! prints its throughput delta against it.
+//! Results land in `BENCH_SIM.json` (schema `tsp-simspeed-v4`, documented in
+//! DESIGN.md §6/§9/§10) so successive commits can be compared — the point is
+//! the *trajectory*, not any single number. When the output file already
+//! exists, its run is folded into the new report's `history` array and each
+//! workload prints its throughput delta against it.
 //!
 //! Usage: `cargo run -p tsp-bench --bin simspeed [-- out.json] [--gate]`.
 //! With `--gate`, exits nonzero if `resnet50_functional` (counters variant)
-//! regresses more than [`GATE_REGRESSION`] vs the previous report — the CI
-//! perf floor.
+//! regresses more than [`GATE_REGRESSION`] vs the previous report, or drops
+//! below the absolute floor [`GATE_FLOOR_MCYCLES`] — the CI perf floor.
 
 use std::time::Instant;
 
 use tsp::prelude::*;
 use tsp_bench::report::{SimspeedReport, WorkloadSample};
-use tsp_bench::workloads::{resnet50_model, roofline_program, vector_add_program};
+use tsp_bench::workloads::{
+    resnet101_model, resnet152_model, resnet50_model, roofline_program, vector_add_program,
+};
 use tsp_telemetry::Telemetry;
 
 /// The gated workload: the end-to-end worst case, default telemetry.
@@ -40,6 +47,14 @@ const GATE_WORKLOAD: (&str, &str, &str) = ("resnet50_functional", "functional", 
 /// Maximum tolerated `mcycles_per_sec` regression under `--gate`. Generous
 /// because shared CI runners are noisy; real kernel regressions are >2×.
 const GATE_REGRESSION: f64 = 0.20;
+
+/// Absolute `--gate` floor for the gated workload, in simulated Mcycles per
+/// wall-clock second. Set from the pre-decoded execution baseline (~0.29
+/// Mcycles/s on the reference runner) with ~30% headroom for runner noise;
+/// before pre-decoding the same workload ran ~0.14 Mcycles/s, so any
+/// wholesale loss of the decoded path trips this floor even if the committed
+/// baseline regresses along with it.
+const GATE_FLOOR_MCYCLES: f64 = 0.20;
 
 /// Repeats `run` until at least `min_wall` seconds have elapsed (and at
 /// least once), accumulating the reports' cycle/instruction/reliability
@@ -81,8 +96,11 @@ fn bench(
     s
 }
 
-/// The three telemetry variants of one scenario: `(variant, options)`.
-fn variants(base: RunOptions) -> [(&'static str, RunOptions); 3] {
+/// The four variants of one scenario: `(variant, options)` — the three
+/// telemetry configurations (all on the decoded dispatch path, the default)
+/// plus `interpreted`, which reruns the default configuration through the
+/// per-dispatch re-decoding oracle path.
+fn variants(base: RunOptions) -> [(&'static str, RunOptions); 4] {
     [
         ("counters", base.clone()),
         (
@@ -96,6 +114,13 @@ fn variants(base: RunOptions) -> [(&'static str, RunOptions); 3] {
             "trace",
             RunOptions {
                 trace: true,
+                ..base.clone()
+            },
+        ),
+        (
+            "interpreted",
+            RunOptions {
+                decoded: false,
                 ..base
             },
         ),
@@ -162,6 +187,7 @@ fn main() {
     }
 
     let (model, qi) = resnet50_model();
+    let decoded = model.decoded();
     for (variant, options) in variants(RunOptions::default()) {
         report.workloads.push(bench(
             "resnet50_functional",
@@ -172,9 +198,32 @@ fn main() {
                 let mut chip = Chip::new(ChipConfig::asic());
                 model.load_constants(&mut chip);
                 model.write_input(&mut chip, &qi);
-                chip.run(&model.program, &options).unwrap()
+                if options.decoded {
+                    chip.run_decoded(&decoded, &options).unwrap()
+                } else {
+                    chip.run_interpreted(&model.program, &options).unwrap()
+                }
             },
         ));
+    }
+
+    // Depth-scaling rows: the deeper standard ResNets, default configuration
+    // only (the variant matrix on ResNet-50 already prices telemetry and
+    // dispatch; these rows track how throughput scales with model size).
+    for (name, (model, qi)) in [
+        ("resnet101_functional", resnet101_model()),
+        ("resnet152_functional", resnet152_model()),
+    ] {
+        let decoded = model.decoded();
+        let options = RunOptions::default();
+        report
+            .workloads
+            .push(bench(name, "functional", "counters", 1.0, || {
+                let mut chip = Chip::new(ChipConfig::asic());
+                model.load_constants(&mut chip);
+                model.write_input(&mut chip, &qi);
+                chip.run_decoded(&decoded, &options).unwrap()
+            }));
     }
 
     println!(
@@ -222,6 +271,23 @@ fn main() {
         }
     }
 
+    // Decoded dispatch speedup: default (decoded) vs the interpreted oracle.
+    println!();
+    println!("decoded dispatch speedup vs interpreted baseline:");
+    for s in &report.workloads {
+        if s.variant != "counters" {
+            continue;
+        }
+        if let Some(base) = report
+            .workloads
+            .iter()
+            .find(|b| b.variant == "interpreted" && b.name == s.name)
+        {
+            let speedup = s.mcycles_per_sec() / base.mcycles_per_sec();
+            println!("  {:<22} {:>6.2}x", s.name, speedup);
+        }
+    }
+
     // Fold the previous run into the trajectory: its history survives, its
     // workloads become the newest history entry.
     if let Some(prev) = &previous {
@@ -254,7 +320,7 @@ fn main() {
         let ratio = now.mcycles_per_sec() / base.mcycles_per_sec();
         println!();
         println!(
-            "perf gate: {name} {:.2} Mcycles/s vs baseline {:.2} ({:+.1}%, floor {:.0}%)",
+            "perf gate: {name} {:.2} Mcycles/s vs baseline {:.2} ({:+.1}%, floor {:.0}% and {GATE_FLOOR_MCYCLES:.2} Mcycles/s absolute)",
             now.mcycles_per_sec(),
             base.mcycles_per_sec(),
             (ratio - 1.0) * 100.0,
@@ -264,6 +330,12 @@ fn main() {
             eprintln!(
                 "error: perf gate failed — regression exceeds {:.0}%",
                 GATE_REGRESSION * 100.0
+            );
+            std::process::exit(1);
+        }
+        if now.mcycles_per_sec() < GATE_FLOOR_MCYCLES {
+            eprintln!(
+                "error: perf gate failed — below the absolute floor of {GATE_FLOOR_MCYCLES:.2} Mcycles/s"
             );
             std::process::exit(1);
         }

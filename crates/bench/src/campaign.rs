@@ -43,7 +43,7 @@ use tsp_c2c::{Fabric, Wire};
 /// reliability counters, and the document round-trips through
 /// [`CampaignReport::from_json`] so CI artifacts can be compared
 /// programmatically.
-pub const SCHEMA: &str = "tsp-faults-v2";
+pub const SCHEMA: &str = "tsp-faults-v3";
 
 /// The fault sites a campaign sweeps.
 pub const SITES: [&str; 4] = ["sram-data", "sram-check", "stream", "link"];
@@ -104,6 +104,23 @@ pub struct Trial {
     pub wasted_cycles: u64,
     /// Vectors that left on C2C links during the completing attempt.
     pub egress_words: u64,
+    /// MEM `Read`s of the completing attempt whose stored word was still on
+    /// the pristine (lazily-deferred ECC) fast path.
+    pub mem_pristine: u64,
+    /// MEM `Read`s of the completing attempt that needed a full SECDED
+    /// verify (fault-suspect words).
+    pub mem_verified: u64,
+}
+
+impl Trial {
+    /// Fraction of this trial's MEM reads that stayed on the pristine fast
+    /// path — how much of the lazy-ECC speedup survives under this fault
+    /// load. `None` when the trial observed no MEM reads (link trials).
+    #[must_use]
+    pub fn fast_path_retention(&self) -> Option<f64> {
+        let total = self.mem_pristine + self.mem_verified;
+        (total > 0).then(|| self.mem_pristine as f64 / total as f64)
+    }
 }
 
 /// Aggregate of one (site, rate) sweep point.
@@ -237,6 +254,8 @@ fn chip_trial(
         faults_vacant: report.faults_vacant,
         wasted_cycles: report.wasted_cycles,
         egress_words: report.egress_words,
+        mem_pristine: report.telemetry.mem_reads_pristine,
+        mem_verified: report.telemetry.mem_reads_verified,
     }
 }
 
@@ -338,6 +357,8 @@ fn link_trial(rate: u32, index: u32, seed: u64) -> Trial {
         faults_vacant: 0,
         wasted_cycles: 0,
         egress_words: 0,
+        mem_pristine: 0,
+        mem_verified: 0,
     };
     // Attempt 0 with the plan, one clean retry (transient faults don't
     // recur); each attempt rebuilds the fabric from host state.
@@ -454,6 +475,18 @@ impl CampaignReport {
         out
     }
 
+    /// Campaign-wide fast-path retention: the fraction of all MEM reads
+    /// (across every trial's completing attempt) served from the pristine
+    /// lazy-ECC path rather than a full SECDED verify. `None` if no trial
+    /// observed MEM reads.
+    #[must_use]
+    pub fn fast_path_retention(&self) -> Option<f64> {
+        let pristine: u64 = self.trials.iter().map(|t| t.mem_pristine).sum();
+        let verified: u64 = self.trials.iter().map(|t| t.mem_verified).sum();
+        let total = pristine + verified;
+        (total > 0).then(|| pristine as f64 / total as f64)
+    }
+
     /// Silent-data-corruption trials — the number that must be zero.
     #[must_use]
     pub fn sdc_count(&self) -> u64 {
@@ -468,8 +501,16 @@ impl CampaignReport {
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut json = format!(
-            "{{\n  \"schema\": \"{SCHEMA}\",\n  \"seed\": {},\n  \"summary\": [\n",
-            self.seed
+            concat!(
+                "{{\n  \"schema\": \"{schema}\",\n  \"seed\": {seed},\n",
+                "  \"fast_path_retention\": {retention},\n  \"summary\": [\n"
+            ),
+            schema = SCHEMA,
+            seed = self.seed,
+            retention = match self.fast_path_retention() {
+                Some(r) => format!("{r:.6}"),
+                None => "null".to_string(),
+            }
         );
         let summaries = self.summaries();
         for (i, p) in summaries.iter().enumerate() {
@@ -497,7 +538,8 @@ impl CampaignReport {
                     "    {{ \"site\": \"{}\", \"rate\": {}, \"index\": {}, \"seed\": {}, ",
                     "\"class\": \"{}\", \"attempts\": {}, \"corrected\": {}, ",
                     "\"detected\": {}, \"applied\": {}, \"vacant\": {}, ",
-                    "\"wasted_cycles\": {}, \"egress_words\": {} }}{}\n"
+                    "\"wasted_cycles\": {}, \"egress_words\": {}, ",
+                    "\"mem_pristine\": {}, \"mem_verified\": {} }}{}\n"
                 ),
                 t.site,
                 t.rate,
@@ -511,6 +553,8 @@ impl CampaignReport {
                 t.faults_vacant,
                 t.wasted_cycles,
                 t.egress_words,
+                t.mem_pristine,
+                t.mem_verified,
                 if i + 1 < self.trials.len() { "," } else { "" }
             ));
         }
@@ -518,7 +562,7 @@ impl CampaignReport {
         json
     }
 
-    /// Parses a `tsp-faults-v2` document (inverse of
+    /// Parses a `tsp-faults-v3` document (inverse of
     /// [`CampaignReport::to_json`] — the summary section is derived, so only
     /// the trials are read back).
     ///
@@ -589,6 +633,8 @@ impl CampaignReport {
                 faults_vacant: u64_field("vacant")?,
                 wasted_cycles: u64_field("wasted_cycles")?,
                 egress_words: u64_field("egress_words")?,
+                mem_pristine: u64_field("mem_pristine")?,
+                mem_verified: u64_field("mem_verified")?,
             });
         }
         Ok(CampaignReport { seed, trials })

@@ -1,4 +1,4 @@
-//! The `BENCH_SIM.json` report schema (`tsp-simspeed-v3`), with a parser so
+//! The `BENCH_SIM.json` report schema (`tsp-simspeed-v4`), with a parser so
 //! the schema round-trips — CI artifacts from different commits can be
 //! compared programmatically, not just diffed as text.
 //!
@@ -9,17 +9,26 @@
 //!
 //! v3 over v2 (DESIGN.md §9): the report carries a `history` array — compact
 //! per-workload throughput summaries of prior runs, appended by `simspeed`
-//! each time it overwrites an existing report. The parser still accepts a v2
-//! document (history starts empty), so the trajectory survives the schema
-//! bump without rewriting committed artifacts.
+//! each time it overwrites an existing report.
+//!
+//! v4 over v3 (DESIGN.md §10): the variant set gains `interpreted` — the
+//! same scenario with the pre-decoded op cache bypassed, so each report
+//! records the decoded-vs-interpreted dispatch speedup alongside the
+//! telemetry variants (which all execute through the decoded path, the
+//! default since pre-decoding landed). The document shape is unchanged; the
+//! parser still accepts v3 and v2 artifacts, so committed trajectories
+//! survive the bump.
 
 use tsp_telemetry::json::Json;
 use tsp_telemetry::Telemetry;
 
 /// Schema tag of `BENCH_SIM.json`.
-pub const SIMSPEED_SCHEMA: &str = "tsp-simspeed-v3";
+pub const SIMSPEED_SCHEMA: &str = "tsp-simspeed-v4";
 
-/// The previous schema tag, still accepted by [`SimspeedReport::from_json`].
+/// Legacy schema tags still accepted by [`SimspeedReport::from_json`].
+pub const SIMSPEED_SCHEMA_V3: &str = "tsp-simspeed-v3";
+
+/// The oldest accepted legacy schema tag (no `history` array).
 pub const SIMSPEED_SCHEMA_V2: &str = "tsp-simspeed-v2";
 
 /// How many prior runs [`SimspeedReport::push_history`] retains: enough to
@@ -33,8 +42,10 @@ pub struct WorkloadSample {
     pub name: String,
     /// Simulation mode: `functional` or `timing`.
     pub mode: String,
-    /// Telemetry configuration: `counters` (default), `nocounters`
-    /// (counters off — the overhead baseline) or `trace` (full tracing).
+    /// Variant: `counters` (default), `nocounters` (counters off — the
+    /// overhead baseline), `trace` (full tracing) or `interpreted` (the
+    /// pre-decoded op cache bypassed — the dispatch-speed baseline; all
+    /// other variants execute through the decoded path).
     pub variant: String,
     /// Host repetitions accumulated into this sample.
     pub runs: u32,
@@ -226,9 +237,9 @@ impl SimspeedReport {
         json
     }
 
-    /// Parses a `tsp-simspeed-v3` document, or a legacy `tsp-simspeed-v2`
-    /// one (which predates the `history` array — it parses with an empty
-    /// history), inverse of [`SimspeedReport::to_json`].
+    /// Parses a `tsp-simspeed-v4` document, or a legacy `tsp-simspeed-v3`
+    /// / `tsp-simspeed-v2` one (v2 predates the `history` array — it parses
+    /// with an empty history), inverse of [`SimspeedReport::to_json`].
     ///
     /// # Errors
     ///
@@ -240,9 +251,11 @@ impl SimspeedReport {
             .get("schema")
             .and_then(Json::as_str)
             .ok_or("missing schema tag")?;
-        if schema != SIMSPEED_SCHEMA && schema != SIMSPEED_SCHEMA_V2 {
+        if schema != SIMSPEED_SCHEMA && schema != SIMSPEED_SCHEMA_V3 && schema != SIMSPEED_SCHEMA_V2
+        {
             return Err(format!(
-                "schema is '{schema}', expected '{SIMSPEED_SCHEMA}' (or legacy '{SIMSPEED_SCHEMA_V2}')"
+                "schema is '{schema}', expected '{SIMSPEED_SCHEMA}' \
+                 (or legacy '{SIMSPEED_SCHEMA_V3}' / '{SIMSPEED_SCHEMA_V2}')"
             ));
         }
         let items = doc
@@ -316,7 +329,7 @@ impl SimspeedReport {
                     workloads: summaries,
                 });
             }
-        } else if schema == SIMSPEED_SCHEMA {
+        } else if schema != SIMSPEED_SCHEMA_V2 {
             return Err("missing history array".into());
         }
         Ok(SimspeedReport { workloads, history })
@@ -379,7 +392,7 @@ mod tests {
     }
 
     #[test]
-    fn v3_round_trips_exactly() {
+    fn v4_round_trips_exactly() {
         let report = sample_report();
         let text = report.to_json();
         let back = SimspeedReport::from_json(&text).expect("parses");
@@ -414,17 +427,24 @@ mod tests {
         // the old schema tag.
         let text = v2
             .to_json()
-            .replace("-v3", "-v2")
+            .replace("-v4", "-v2")
             .replace(",\n  \"history\": [\n  ]", "");
         let back = SimspeedReport::from_json(&text).expect("v2 parses");
         assert_eq!(back, v2);
     }
 
     #[test]
+    fn legacy_v3_parses() {
+        let text = sample_report().to_json().replace("-v4", "-v3");
+        let back = SimspeedReport::from_json(&text).expect("v3 parses");
+        assert_eq!(back, sample_report());
+    }
+
+    #[test]
     fn wrong_schema_tag_is_rejected() {
-        let text = sample_report().to_json().replace("-v3", "-v1");
+        let text = sample_report().to_json().replace("-v4", "-v1");
         let err = SimspeedReport::from_json(&text).unwrap_err();
-        assert!(err.contains("tsp-simspeed-v3"), "{err}");
+        assert!(err.contains("tsp-simspeed-v4"), "{err}");
     }
 
     #[test]

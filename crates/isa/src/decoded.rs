@@ -1,0 +1,477 @@
+//! Pre-decoded instruction representation for the dispatch hot loop.
+//!
+//! The interpreted simulator re-walks the nested `Instruction`/`IcuOp`/…
+//! match tree, recomputes `time_model()`, and re-validates routing on every
+//! dispatch — including once per folded `Repeat` iteration and once per MXM
+//! burst row. All of that is a pure function of the *program text* and the
+//! queue it sits on, so it can be done once: [`decode_queue`] lowers a
+//! queue's instruction list into a flat [`DecodedOp`] vector with
+//!
+//! * repeat/burst expansions folded into explicit **op spans** (`n`
+//!   iterations, `stride` cycles apart, MEM address auto-increment carried as
+//!   a word offset instead of a rewritten instruction);
+//! * `d_func` and routing/shape validation **pre-resolved** — statically
+//!   detectable errors become [`DecodedOp::Invalid`] ops that raise the
+//!   exact interpreted error when (and only when) they are dispatched;
+//! * a small, shallow enum the simulator dispatches on with a single match —
+//!   no per-dispatch instruction cloning or string formatting.
+//!
+//! Decoding is semantics-preserving by construction: the simulator's decoded
+//! executor is pinned bit-identical to the interpreted oracle (cycles,
+//! results, telemetry, trace bytes, errors) by the `decoded_oracle` test
+//! suite in `tsp-sim`.
+
+use crate::dtype::DataType;
+use crate::icu::IcuOp;
+use crate::instruction::Instruction;
+use crate::mem::MemOp;
+use crate::mxm::{MxmOp, Plane};
+use crate::sxm::SxmOp;
+use crate::vxm::VxmOp;
+use crate::C2cOp;
+use tsp_arch::StreamId;
+
+/// Which functional area's queue an instruction list belongs to. The decoder
+/// needs this (and nothing else about the simulator) to resolve routing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueueClass {
+    /// A MEM-slice queue.
+    Mem,
+    /// A VXM ALU queue.
+    Vxm,
+    /// An MXM port queue of the given plane.
+    Mxm(Plane),
+    /// An SXM sub-unit queue.
+    Sxm,
+    /// A C2C queue.
+    C2c,
+    /// A host-interface queue (no stream position: only pure-ICU
+    /// instructions can execute here).
+    Host,
+}
+
+/// Which [`SimError`](../../tsp_sim/error/enum.SimError.html) variant an
+/// [`InvalidOp`] raises at dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvalidKind {
+    /// Instruction routed to a queue whose slice cannot execute it.
+    WrongSlice,
+    /// Instruction failed shape/ordering validation.
+    InvalidInstruction,
+}
+
+/// A statically detected error, deferred to its dispatch cycle (boxed to keep
+/// [`DecodedOp`] small; the error path is cold by definition).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidOp {
+    /// The error variant to raise.
+    pub kind: InvalidKind,
+    /// Rendered instruction (for `WrongSlice`) or reason (for
+    /// `InvalidInstruction`) — exactly the string the interpreter produces.
+    pub detail: String,
+}
+
+/// One decoded dispatch-queue entry. Exactly one per source [`Instruction`]
+/// (spans fold a `Repeat` or burst's iterations into their one op), so
+/// decoded and interpreted queue depths coincide.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecodedOp {
+    /// `NOP(count)`: advance this queue's dispatch clock.
+    Nop {
+        /// Cycles until the next dispatch (`count.max(1)` pre-applied).
+        advance: u16,
+    },
+    /// Park awaiting the current barrier generation's `Notify`.
+    Sync,
+    /// Release the current barrier generation.
+    Notify,
+    /// Power-gate superlanes.
+    Config {
+        /// Superlanes to keep powered.
+        superlanes: u8,
+    },
+    /// Fetch 640 bytes of instruction text; the simulator decodes the block
+    /// and appends its ops to this queue at runtime.
+    Ifetch {
+        /// Stream carrying the text.
+        stream: StreamId,
+    },
+    /// A `Repeat 0,d`: counts as one dispatched instruction, does nothing.
+    RepeatEmpty,
+    /// A MEM op span: `n` iterations, `stride` cycles apart. Iteration `sub`
+    /// of a `Read`/`Write` accesses word `addr + off + sub` (`off = 1` for
+    /// spans folded from a `Repeat`, whose first iteration already advances
+    /// one word past the base instruction's access).
+    Mem {
+        /// The base operation.
+        op: MemOp,
+        /// Iterations in the span.
+        n: u16,
+        /// Cycles between iterations (`d.max(1)` pre-applied).
+        stride: u16,
+        /// Pre-resolved functional delay.
+        d_func: u32,
+        /// Address offset of iteration 0 (0 = base instruction, 1 = folded
+        /// repeat of a `Read`/`Write`).
+        off: u16,
+    },
+    /// A VXM op span (`Repeat` re-issues the op unchanged).
+    Vxm {
+        /// The operation.
+        op: VxmOp,
+        /// Iterations in the span.
+        n: u16,
+        /// Cycles between iterations.
+        stride: u16,
+        /// Pre-resolved functional delay.
+        d_func: u32,
+    },
+    /// An SXM op span (shape-validated at decode time).
+    Sxm {
+        /// The operation.
+        op: SxmOp,
+        /// Iterations in the span.
+        n: u16,
+        /// Cycles between iterations.
+        stride: u16,
+        /// Pre-resolved functional delay.
+        d_func: u32,
+    },
+    /// A C2C op span.
+    C2c {
+        /// The operation.
+        op: C2cOp,
+        /// Iterations in the span.
+        n: u16,
+        /// Cycles between iterations.
+        stride: u16,
+        /// Pre-resolved functional delay.
+        d_func: u32,
+    },
+    /// A multi-row MXM instruction (`LW`/`ABC`/`ACC`): row `sub` executes at
+    /// dispatch + `sub`, one row per cycle.
+    MxmBurst {
+        /// The operation (row index supplied by the executor).
+        op: MxmOp,
+        /// Rows in the burst (`rows.max(1)` pre-applied: a zero-row burst
+        /// still executes row 0).
+        rows: u16,
+    },
+    /// An `IW` span: install the staged weight buffer `n` times.
+    MxmInstall {
+        /// Plane whose buffer is installed.
+        plane: Plane,
+        /// Element type of the installed weights.
+        dtype: DataType,
+        /// Pre-resolved functional delay.
+        d_func: u32,
+        /// Iterations in the span.
+        n: u16,
+        /// Cycles between iterations.
+        stride: u16,
+    },
+    /// A statically detected error; dispatching it raises the interpreted
+    /// error at the dispatch cycle.
+    Invalid(Box<InvalidOp>),
+}
+
+/// A fully decoded instruction queue.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedQueue {
+    /// One decoded op per source instruction, in dispatch order.
+    pub ops: Vec<DecodedOp>,
+    /// The last source instruction in text order — the `Repeat` predecessor
+    /// for the first instruction of a runtime `Ifetch` extension.
+    pub tail: Option<Instruction>,
+}
+
+fn wrong_slice(instr: &Instruction) -> DecodedOp {
+    DecodedOp::Invalid(Box::new(InvalidOp {
+        kind: InvalidKind::WrongSlice,
+        detail: instr.to_string(),
+    }))
+}
+
+fn invalid(detail: String) -> DecodedOp {
+    DecodedOp::Invalid(Box::new(InvalidOp {
+        kind: InvalidKind::InvalidInstruction,
+        detail,
+    }))
+}
+
+/// Whether `class` can execute `instr` (the static half of the simulator's
+/// routing validation; ICU ops route everywhere).
+fn routes(class: QueueClass, instr: &Instruction) -> bool {
+    match instr {
+        Instruction::Icu(_) => true,
+        Instruction::Mem(_) => class == QueueClass::Mem,
+        Instruction::Vxm(_) => class == QueueClass::Vxm,
+        Instruction::Mxm(op) => class == QueueClass::Mxm(op.plane()),
+        Instruction::Sxm(_) => class == QueueClass::Sxm,
+        Instruction::C2c(_) => class == QueueClass::C2c,
+    }
+}
+
+/// Lowers one *issueable* instruction (anything the interpreter routes
+/// through its single-cycle `issue` path) into a span of `n` iterations.
+/// `off` is the MEM word offset of iteration 0.
+fn decode_issue(
+    class: QueueClass,
+    instr: &Instruction,
+    n: u16,
+    stride: u16,
+    off: u16,
+) -> DecodedOp {
+    // Routing first, then the host position check: both raise `WrongSlice`
+    // with the rendered instruction, so the order is unobservable — but a
+    // host queue can execute nothing issueable either way.
+    if !routes(class, instr) || class == QueueClass::Host {
+        return wrong_slice(instr);
+    }
+    let d_func = instr.time_model().d_func;
+    match instr {
+        Instruction::Mem(op) => DecodedOp::Mem {
+            op: *op,
+            n,
+            stride,
+            d_func,
+            off,
+        },
+        Instruction::Vxm(op) => DecodedOp::Vxm {
+            op: *op,
+            n,
+            stride,
+            d_func,
+        },
+        Instruction::Sxm(op) => match op.validate() {
+            Ok(()) => DecodedOp::Sxm {
+                op: op.clone(),
+                n,
+                stride,
+                d_func,
+            },
+            Err(reason) => invalid(reason),
+        },
+        Instruction::C2c(op) => DecodedOp::C2c {
+            op: *op,
+            n,
+            stride,
+            d_func,
+        },
+        Instruction::Mxm(MxmOp::InstallWeights { plane, dtype }) => DecodedOp::MxmInstall {
+            plane: *plane,
+            dtype: *dtype,
+            d_func,
+            n,
+            stride,
+        },
+        // LW/ABC/ACC are burst instructions, not issueable: reaching the
+        // issue path (only possible via `Repeat`) is a routing error.
+        Instruction::Mxm(_) | Instruction::Icu(_) => wrong_slice(instr),
+    }
+}
+
+/// Lowers `Repeat n,d` of the preceding instruction `prev`.
+fn decode_repeat(class: QueueClass, prev: Option<&Instruction>, n: u16, d: u16) -> DecodedOp {
+    let Some(prev) = prev else {
+        return invalid("Repeat with no previous instruction".into());
+    };
+    if n == 0 {
+        return DecodedOp::RepeatEmpty;
+    }
+    let stride = d.max(1);
+    // Folded iterations of a Read/Write advance one word per iteration,
+    // starting one past the base instruction's own access.
+    let off = match prev {
+        Instruction::Mem(MemOp::Read { .. } | MemOp::Write { .. }) => 1,
+        _ => 0,
+    };
+    decode_issue(class, prev, n, stride, off)
+}
+
+/// Lowers one instruction given its predecessor in text order (`prev` feeds
+/// `Repeat`; pass the previous call's instruction, or the queue tail when
+/// decoding an `Ifetch` extension).
+#[must_use]
+pub fn decode_step(
+    class: QueueClass,
+    prev: Option<&Instruction>,
+    instr: &Instruction,
+) -> DecodedOp {
+    match instr {
+        Instruction::Icu(IcuOp::Nop { count }) => DecodedOp::Nop {
+            advance: (*count).max(1),
+        },
+        Instruction::Icu(IcuOp::Sync) => DecodedOp::Sync,
+        Instruction::Icu(IcuOp::Notify) => DecodedOp::Notify,
+        Instruction::Icu(IcuOp::Config { superlanes }) => DecodedOp::Config {
+            superlanes: *superlanes,
+        },
+        Instruction::Icu(IcuOp::Ifetch { stream }) => {
+            if class == QueueClass::Host {
+                // A host queue has no stream position to fetch through.
+                DecodedOp::Invalid(Box::new(InvalidOp {
+                    kind: InvalidKind::WrongSlice,
+                    detail: "Ifetch".into(),
+                }))
+            } else {
+                DecodedOp::Ifetch { stream: *stream }
+            }
+        }
+        Instruction::Icu(IcuOp::Repeat { n, d }) => decode_repeat(class, prev, *n, *d),
+        Instruction::Mxm(
+            op @ (MxmOp::LoadWeights { .. }
+            | MxmOp::ActivationBuffer { .. }
+            | MxmOp::Accumulate { .. }),
+        ) => {
+            if !routes(class, instr) {
+                return wrong_slice(instr);
+            }
+            if let MxmOp::Accumulate { dst, .. } = op {
+                if dst.width != 4 {
+                    return invalid(format!(
+                        "ACC destination must be a quad-stream group, got {dst}"
+                    ));
+                }
+            }
+            let rows = match op {
+                MxmOp::LoadWeights { rows, .. } => u16::from(*rows),
+                MxmOp::ActivationBuffer { rows, .. } | MxmOp::Accumulate { rows, .. } => *rows,
+                MxmOp::InstallWeights { .. } => unreachable!("matched burst ops only"),
+            };
+            DecodedOp::MxmBurst {
+                op: *op,
+                rows: rows.max(1),
+            }
+        }
+        issueable => decode_issue(class, issueable, 1, 1, 0),
+    }
+}
+
+/// Decodes a whole instruction queue.
+#[must_use]
+pub fn decode_queue(class: QueueClass, instructions: &[Instruction]) -> DecodedQueue {
+    let mut ops = Vec::with_capacity(instructions.len());
+    let mut prev: Option<&Instruction> = None;
+    for instr in instructions {
+        ops.push(decode_step(class, prev, instr));
+        prev = Some(instr);
+    }
+    DecodedQueue {
+        ops,
+        tail: instructions.last().cloned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::MemAddr;
+
+    fn read(addr: u16) -> Instruction {
+        Instruction::Mem(MemOp::Read {
+            addr: MemAddr::new(addr),
+            stream: StreamId::east(1),
+        })
+    }
+
+    #[test]
+    fn one_op_per_instruction() {
+        let instrs = vec![
+            read(0),
+            Instruction::Icu(IcuOp::Repeat { n: 7, d: 2 }),
+            Instruction::Icu(IcuOp::Nop { count: 0 }),
+        ];
+        let q = decode_queue(QueueClass::Mem, &instrs);
+        assert_eq!(q.ops.len(), 3);
+        assert_eq!(
+            q.ops[1],
+            DecodedOp::Mem {
+                op: MemOp::Read {
+                    addr: MemAddr::new(0),
+                    stream: StreamId::east(1),
+                },
+                n: 7,
+                stride: 2,
+                d_func: read(0).time_model().d_func,
+                off: 1,
+            }
+        );
+        // NOP(0) still advances one cycle.
+        assert_eq!(q.ops[2], DecodedOp::Nop { advance: 1 });
+        assert_eq!(q.tail.as_ref(), instrs.last());
+    }
+
+    #[test]
+    fn statically_wrong_routing_becomes_invalid() {
+        let q = decode_queue(QueueClass::Vxm, &[read(4)]);
+        let DecodedOp::Invalid(inv) = &q.ops[0] else {
+            panic!("expected Invalid, got {:?}", q.ops[0]);
+        };
+        assert_eq!(inv.kind, InvalidKind::WrongSlice);
+        assert_eq!(inv.detail, read(4).to_string());
+    }
+
+    #[test]
+    fn repeat_of_icu_op_is_wrong_slice() {
+        let instrs = vec![
+            Instruction::Icu(IcuOp::Nop { count: 1 }),
+            Instruction::Icu(IcuOp::Repeat { n: 2, d: 1 }),
+        ];
+        let q = decode_queue(QueueClass::Mem, &instrs);
+        let DecodedOp::Invalid(inv) = &q.ops[1] else {
+            panic!("expected Invalid");
+        };
+        assert_eq!(inv.kind, InvalidKind::WrongSlice);
+        assert_eq!(inv.detail, "NOP(1)");
+    }
+
+    #[test]
+    fn repeat_first_is_invalid_and_repeat_zero_is_empty() {
+        let q = decode_queue(
+            QueueClass::Mem,
+            &[Instruction::Icu(IcuOp::Repeat { n: 3, d: 1 })],
+        );
+        assert!(matches!(&q.ops[0], DecodedOp::Invalid(i)
+            if i.kind == InvalidKind::InvalidInstruction
+            && i.detail == "Repeat with no previous instruction"));
+        let q = decode_queue(
+            QueueClass::Mem,
+            &[read(0), Instruction::Icu(IcuOp::Repeat { n: 0, d: 1 })],
+        );
+        assert_eq!(q.ops[1], DecodedOp::RepeatEmpty);
+    }
+
+    #[test]
+    fn host_queue_accepts_only_pure_icu_ops() {
+        let q = decode_queue(
+            QueueClass::Host,
+            &[
+                Instruction::Icu(IcuOp::Sync),
+                Instruction::Icu(IcuOp::Notify),
+                Instruction::Icu(IcuOp::Ifetch {
+                    stream: StreamId::east(0),
+                }),
+                read(0),
+            ],
+        );
+        assert_eq!(q.ops[0], DecodedOp::Sync);
+        assert_eq!(q.ops[1], DecodedOp::Notify);
+        assert!(matches!(&q.ops[2], DecodedOp::Invalid(i)
+            if i.kind == InvalidKind::WrongSlice && i.detail == "Ifetch"));
+        assert!(matches!(&q.ops[3], DecodedOp::Invalid(i) if i.kind == InvalidKind::WrongSlice));
+    }
+
+    #[test]
+    fn zero_row_burst_still_runs_one_row() {
+        use tsp_arch::StreamGroup;
+        let acc = Instruction::Mxm(MxmOp::Accumulate {
+            plane: Plane::new(0),
+            dst: StreamGroup::new(StreamId::east(4), 4),
+            rows: 0,
+            mode: crate::mxm::AccumulateMode::Overwrite,
+        });
+        let q = decode_queue(QueueClass::Mxm(Plane::new(0)), &[acc]);
+        assert!(matches!(q.ops[0], DecodedOp::MxmBurst { rows: 1, .. }));
+    }
+}

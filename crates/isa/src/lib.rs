@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 
 pub mod c2c;
+pub mod decoded;
 pub mod dtype;
 pub mod encode;
 pub mod icu;
@@ -43,6 +44,9 @@ pub mod table;
 pub mod vxm;
 
 pub use c2c::{C2cOp, LinkId};
+pub use decoded::{
+    decode_queue, decode_step, DecodedOp, DecodedQueue, InvalidKind, InvalidOp, QueueClass,
+};
 pub use dtype::DataType;
 pub use icu::IcuOp;
 pub use instruction::{FunctionalArea, Instruction};

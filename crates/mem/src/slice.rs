@@ -10,6 +10,7 @@
 //! a stall.
 
 use core::fmt;
+use std::sync::Arc;
 
 use tsp_arch::{Hemisphere, Slice, Vector, MEM_SLICES_PER_HEMISPHERE, SUPERLANES};
 use tsp_isa::MemAddr;
@@ -59,6 +60,25 @@ impl StoredVector {
             data,
             check: StoredCheck::Explicit(check),
         }
+    }
+
+    /// Marks the word pristine again and hands out its data for in-place
+    /// rewriting: pool-recycling producers fill the 320 bytes directly
+    /// instead of building a `Vector` elsewhere and copying it in.
+    pub fn rewrite(&mut self) -> &mut Vector {
+        self.check = StoredCheck::Pristine;
+        &mut self.data
+    }
+
+    /// Reinitializes a word in place (recycling path: lets a pool reuse an
+    /// exclusively-owned allocation instead of allocating a fresh word).
+    /// `check` of `None` means pristine — producer-side ECC deferred.
+    pub fn reset(&mut self, data: Vector, check: Option<[u16; SUPERLANES]>) {
+        self.data = data;
+        self.check = match check {
+            None => StoredCheck::Pristine,
+            Some(c) => StoredCheck::Explicit(c),
+        };
     }
 
     /// Whether `check == encode(data)` holds by construction (consumer-side
@@ -137,15 +157,9 @@ impl std::error::Error for AccessError {}
 /// cheap (88 slices × 8,192 words × 360 B ≈ 250 MB if fully touched).
 #[derive(Debug, Clone)]
 pub struct MemSlice {
-    banks: [Vec<Option<StoredVector>>; 2],
+    banks: [Vec<Option<Arc<StoredVector>>>; 2],
     /// Port-use tracking for the current cycle: (cycle, read_bank, write_bank).
     last_access: Option<(u64, Option<u8>, Option<u8>)>,
-    /// Whether any stored word *may* hold check bits that disagree with its
-    /// data. `poke` always re-encodes, so a slice only becomes suspect
-    /// through fault injection or `poke_stored` (which preserves latent
-    /// errors). While `false`, readers may skip consumer-side ECC checks of
-    /// words forwarded from this slice — the check provably returns `Clean`.
-    suspect: bool,
 }
 
 impl MemSlice {
@@ -155,19 +169,10 @@ impl MemSlice {
         MemSlice {
             banks: [Vec::new(), Vec::new()],
             last_access: None,
-            suspect: false,
         }
     }
 
-    /// Whether some stored word may carry check bits that disagree with its
-    /// data (see the field docs); `false` guarantees every stored word is
-    /// pristine (`check == encode(data)`).
-    #[must_use]
-    pub fn is_suspect(&self) -> bool {
-        self.suspect
-    }
-
-    fn slot(&mut self, addr: MemAddr) -> &mut Option<StoredVector> {
+    fn slot(&mut self, addr: MemAddr) -> &mut Option<Arc<StoredVector>> {
         let bank = addr.bank() as usize;
         let index = (addr.word() as usize) % WORDS_PER_BANK;
         let v = &mut self.banks[bank];
@@ -181,42 +186,64 @@ impl MemSlice {
     /// model ports; use [`MemSlice::access`] from timed code.
     #[must_use]
     pub fn peek(&self, addr: MemAddr) -> StoredVector {
+        self.peek_ref(addr)
+            .map(|w| StoredVector::clone(w))
+            .unwrap_or_else(|| StoredVector::protect(Vector::ZERO))
+    }
+
+    /// Raw borrow of the stored word, `None` if never written — the
+    /// copy-free read path. Per-word suspicion travels with the word itself:
+    /// [`StoredVector::is_pristine`] tells the reader whether a consumer-side
+    /// ECC check can be skipped, at word granularity (a fault strike on one
+    /// address does not evict the fast path for its whole slice).
+    #[must_use]
+    pub fn peek_ref(&self, addr: MemAddr) -> Option<&Arc<StoredVector>> {
         let bank = addr.bank() as usize;
         let index = (addr.word() as usize) % WORDS_PER_BANK;
-        self.banks[bank]
-            .get(index)
-            .and_then(|s| s.clone())
-            .unwrap_or_else(|| StoredVector::protect(Vector::ZERO))
+        self.banks[bank].get(index).and_then(|s| s.as_ref())
     }
 
     /// Raw write (producer-side ECC is computed here).
     pub fn poke(&mut self, addr: MemAddr, data: Vector) {
-        *self.slot(addr) = Some(StoredVector::protect(data));
+        *self.slot(addr) = Some(Arc::new(StoredVector::protect(data)));
     }
 
     /// Stores a word that already carries check bits (e.g. travelled on a
-    /// stream); preserves any latent error for the eventual consumer.
+    /// stream); preserves any latent error — tracked by the word's own
+    /// check-bit state — for the eventual consumer.
     pub fn poke_stored(&mut self, addr: MemAddr, word: StoredVector) {
-        // Explicit caller-supplied check bits may disagree with the data, so
-        // the slice loses its pristine guarantee; a pristine word cannot.
-        self.suspect |= !word.is_pristine();
-        *self.slot(addr) = Some(word);
+        *self.slot(addr) = Some(Arc::new(word));
+    }
+
+    /// Stores an already-shared word without copying its 320 bytes — the
+    /// zero-copy write path. Returns the displaced word (if any) so the
+    /// caller can recycle its allocation. MEM, the stream file and the accumulators all
+    /// speak the same [`StoredVector`] currency, so a vector consumed off a
+    /// stream lands in SRAM as a reference-count bump; later mutations of
+    /// the slot (pokes, fault injections) replace the `Arc` rather than the
+    /// shared word, preserving snapshot semantics for in-flight readers.
+    pub fn poke_shared(
+        &mut self,
+        addr: MemAddr,
+        word: Arc<StoredVector>,
+    ) -> Option<Arc<StoredVector>> {
+        self.slot(addr).replace(word)
     }
 
     /// Flips a single data bit (fault injection). The check bits are
     /// materialized from the clean data *before* the flip, so check and data
     /// genuinely disagree afterwards and readers really verify.
     pub fn inject_fault(&mut self, addr: MemAddr, lane: usize, bit: u8) {
-        self.suspect = true;
         let slot = self.slot(addr);
         let word = slot
-            .clone()
+            .as_deref()
+            .cloned()
             .unwrap_or_else(|| StoredVector::protect(Vector::ZERO));
         let check = word.check();
         let mut data = word.data;
         let byte = data.lane(lane);
         data.set_lane(lane, byte ^ (1 << bit));
-        *slot = Some(StoredVector::with_check(data, check));
+        *slot = Some(Arc::new(StoredVector::with_check(data, check)));
     }
 
     /// Flips a single ECC check bit of one superlane's stored word (fault
@@ -227,14 +254,14 @@ impl MemSlice {
             usize::from(bit) < ecc::CHECK_BITS,
             "check bit {bit} out of range"
         );
-        self.suspect = true;
         let slot = self.slot(addr);
         let word = slot
-            .clone()
+            .as_deref()
+            .cloned()
             .unwrap_or_else(|| StoredVector::protect(Vector::ZERO));
         let mut check = word.check();
         check[superlane] ^= 1 << bit;
-        *slot = Some(StoredVector::with_check(word.data, check));
+        *slot = Some(Arc::new(StoredVector::with_check(word.data, check)));
     }
 
     /// A timed access: registers port/bank usage for `cycle` and returns the
@@ -388,12 +415,13 @@ impl Memory {
         cycle: u64,
         addr: GlobalAddress,
     ) -> Result<Vector, ecc::EccError> {
-        let stored = self.slice(addr.hemisphere, addr.slice).peek(addr.word);
-        if stored.is_pristine() {
+        let stored = match self.slice(addr.hemisphere, addr.slice).peek_ref(addr.word) {
+            None => return Ok(Vector::ZERO),
             // `check == encode(data)` by construction: the verification
             // below could only return `Clean` with the data unchanged.
-            return Ok(stored.data);
-        }
+            Some(w) if w.is_pristine() => return Ok(w.data.clone()),
+            Some(w) => StoredVector::clone(w),
+        };
         let check = stored.check();
         let mut data = stored.data.clone();
         for (s, &check_bits) in check.iter().enumerate() {

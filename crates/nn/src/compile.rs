@@ -122,9 +122,22 @@ pub struct CompiledModel {
     pub layer_spans: Vec<LayerSpan>,
     /// Per-node activation locations (same order as the graph's nodes).
     pub probes: Vec<Probe>,
+    /// Lazily decoded op cache for the program (see [`CompiledModel::decoded`]).
+    decoded: std::sync::OnceLock<Arc<tsp_sim::DecodedProgram>>,
 }
 
 impl CompiledModel {
+    /// The program lowered to the dense decoded-op representation, decoded on
+    /// first use and memoized for the model's lifetime. Running through this
+    /// (`Chip::run_decoded`) skips the per-dispatch instruction re-decode and
+    /// the per-run decode pass that `Chip::run` would otherwise repeat.
+    pub fn decoded(&self) -> Arc<tsp_sim::DecodedProgram> {
+        Arc::clone(
+            self.decoded
+                .get_or_init(|| Arc::new(tsp_sim::DecodedProgram::decode(&self.program))),
+        )
+    }
+
     /// Writes the constants into chip memory (the PCIe DMA model-emplace).
     pub fn load_constants(&self, chip: &mut Chip) {
         for (handle, rows) in &self.constants {
@@ -603,6 +616,7 @@ pub fn compile(q: &QuantGraph, options: &CompileOptions) -> CompiledModel {
         cycles,
         layer_spans: spans,
         probes,
+        decoded: std::sync::OnceLock::new(),
     }
 }
 

@@ -19,6 +19,7 @@ use std::sync::Arc;
 
 use tsp_arch::{vector, ChipConfig, Cycle, Position, StreamId, Vector, SUPERLANES};
 use tsp_faults::{FaultEvent, FaultKind, FaultPlan};
+use tsp_isa::decoded::{decode_step, DecodedOp, InvalidKind, QueueClass};
 use tsp_isa::{
     encode::decode_fetch_block, C2cOp, DataType, IcuOp, Instruction, LinkId, MemOp, MxmOp, SxmOp,
     VxmOp,
@@ -28,6 +29,7 @@ use tsp_mem::{bandwidth::Traffic, BandwidthMeter, Memory};
 
 use tsp_telemetry::Telemetry;
 
+use crate::decoded::DecodedProgram;
 use crate::error::SimError;
 use crate::icu_id::IcuId;
 use crate::mxm_unit::{MxmPlane, MxmResult};
@@ -61,6 +63,12 @@ pub struct RunOptions {
     /// `tsp-faults`): each event strikes before the first dispatch at or
     /// after its cycle. Empty by default — fault-free runs pay nothing.
     pub faults: FaultPlan,
+    /// Execute through the pre-decoded op cache ([`Chip::run_decoded`],
+    /// the default) instead of re-decoding instruction text per dispatch
+    /// ([`Chip::run_interpreted`], kept as the reference oracle). The two
+    /// paths are bit-identical — cycles, results, telemetry, trace and
+    /// errors — pinned by the `decoded_oracle` test suite.
+    pub decoded: bool,
 }
 
 impl Default for RunOptions {
@@ -72,6 +80,7 @@ impl Default for RunOptions {
             cycle_limit: 50_000_000,
             functional: true,
             faults: FaultPlan::empty(),
+            decoded: true,
         }
     }
 }
@@ -131,6 +140,40 @@ struct QueueState {
     barriers: u32,
 }
 
+/// Per-queue cursor over a [`DecodedProgram`]: `pc` indexes decoded ops
+/// (`base`, then the runtime `Ifetch` `overlay`), `sub` the iteration within
+/// the current op span. One decoded op per source instruction, so `pc`
+/// doubles as the interpreted raw-instruction cursor for depth accounting.
+#[derive(Debug)]
+struct DecodedQueueState<'p> {
+    icu: IcuId,
+    position: Option<Position>,
+    class: QueueClass,
+    base: &'p [DecodedOp],
+    /// Ops decoded at runtime from `Ifetch`ed instruction text.
+    overlay: Vec<DecodedOp>,
+    /// Last source instruction in text order — `Repeat` predecessor for the
+    /// first instruction of the next fetched block.
+    tail: Option<Instruction>,
+    pc: usize,
+    sub: u16,
+    barriers: u32,
+}
+
+impl DecodedQueueState<'_> {
+    fn len(&self) -> usize {
+        self.base.len() + self.overlay.len()
+    }
+
+    fn op(&self, i: usize) -> Option<&DecodedOp> {
+        if i < self.base.len() {
+            self.base.get(i)
+        } else {
+            self.overlay.get(i - self.base.len())
+        }
+    }
+}
+
 enum Step {
     NextAt(Cycle),
     Parked,
@@ -182,11 +225,36 @@ impl Chip {
 
     /// Runs a program to completion.
     ///
+    /// Dispatches through the pre-decoded op cache by default
+    /// ([`RunOptions::decoded`]); decoding here is one pass over the program
+    /// text. Callers that run the same program repeatedly should memoize a
+    /// [`DecodedProgram`] and call [`Chip::run_decoded`] directly.
+    ///
     /// # Errors
     ///
     /// Any [`SimError`]: scheduling contract violations, uncorrectable ECC
     /// errors, deadlock, or the cycle budget.
     pub fn run(&mut self, program: &Program, options: &RunOptions) -> Result<RunReport, SimError> {
+        if options.decoded {
+            let decoded = DecodedProgram::decode(program);
+            self.run_decoded(&decoded, options)
+        } else {
+            self.run_interpreted(program, options)
+        }
+    }
+
+    /// Runs a program through the interpreted dispatch path: every dispatch
+    /// re-walks the instruction match tree. Kept as the reference oracle the
+    /// decoded path is pinned against; see [`Chip::run_decoded`].
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], exactly as [`Chip::run`].
+    pub fn run_interpreted(
+        &mut self,
+        program: &Program,
+        options: &RunOptions,
+    ) -> Result<RunReport, SimError> {
         let mut queues: Vec<QueueState> = program
             .queues()
             .map(|(icu, instrs)| QueueState {
@@ -217,11 +285,12 @@ impl Chip {
         // (time, queue index) min-heap; queue index breaks ties, giving a
         // fixed deterministic order (though order within a cycle is
         // immaterial: writes never take effect at their dispatch cycle).
-        let mut heap: BinaryHeap<Reverse<(Cycle, usize)>> = queues
+        debug_assert!(queues.len() <= 256, "heap key packs queue index in 8 bits");
+        let mut heap: BinaryHeap<Reverse<u64>> = queues
             .iter()
             .enumerate()
             .filter(|(_, q)| !q.instructions.is_empty())
-            .map(|(i, _)| Reverse((0, i)))
+            .map(|(i, _)| Reverse(i as u64))
             .collect();
         let mut parked: Vec<(usize, Cycle)> = Vec::new();
 
@@ -236,7 +305,10 @@ impl Chip {
 
         // No periodic stream sweep: the flat stream file reclaims expired
         // diagonals incrementally on write, so memory stays bounded.
-        while let Some(Reverse((t, qi))) = heap.pop() {
+        // Keys pack (cycle, queue) as `t << 8 | qi`: one u64 comparison per
+        // sift step, same (time, queue-index) order as the tuple key.
+        while let Some(Reverse(key)) = heap.pop() {
+            let (t, qi) = (key >> 8, (key & 0xFF) as usize);
             if t > options.cycle_limit {
                 return Err(SimError::CycleLimit {
                     limit: options.cycle_limit,
@@ -256,7 +328,7 @@ impl Chip {
                     // progress is guaranteed because every step advances the
                     // queue's pc or burst cursor.
                     debug_assert!(next >= t, "queue went backwards in time");
-                    heap.push(Reverse((next, qi)));
+                    heap.push(Reverse((next << 8) | qi as u64));
                 }
                 Step::Parked => {
                     // Wake immediately if the matching notify already fired.
@@ -266,7 +338,7 @@ impl Chip {
                         let q = &mut queues[qi];
                         q.pc += 1;
                         q.barriers += 1;
-                        heap.push(Reverse((resume, qi)));
+                        heap.push(Reverse((resume << 8) | qi as u64));
                     } else {
                         parked.push((qi, t));
                     }
@@ -284,7 +356,7 @@ impl Chip {
                         let q = &mut queues[pqi];
                         q.pc += 1;
                         q.barriers += 1;
-                        heap.push(Reverse((resume, pqi)));
+                        heap.push(Reverse((resume << 8) | pqi as u64));
                     } else {
                         still.push((pqi, pt));
                     }
@@ -319,6 +391,410 @@ impl Chip {
             faults_vacant,
             egress: std::mem::take(&mut self.egress),
         })
+    }
+
+    /// Runs a pre-decoded program to completion: the event-driven scheduler
+    /// walks flat decoded op spans, so the hot loop touches no instruction
+    /// text, recomputes no time models, and re-validates no routing. The
+    /// event loop below is a line-for-line twin of
+    /// [`Chip::run_interpreted`]'s — the `decoded_oracle` suite pins the two
+    /// bit-identical, so any edit here must land there too.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`], exactly as [`Chip::run`].
+    pub fn run_decoded(
+        &mut self,
+        program: &DecodedProgram,
+        options: &RunOptions,
+    ) -> Result<RunReport, SimError> {
+        let mut queues: Vec<DecodedQueueState<'_>> = program
+            .queues
+            .iter()
+            .map(|(icu, dq)| DecodedQueueState {
+                icu: *icu,
+                position: icu.position(),
+                class: crate::decoded::class_of(*icu),
+                base: &dq.ops,
+                overlay: Vec::new(),
+                tail: dq.tail.clone(),
+                pc: 0,
+                sub: 0,
+                barriers: 0,
+            })
+            .collect();
+
+        let mut ctx = RunCtx {
+            trace: Trace::with_capacity(options.trace, options.trace_capacity),
+            telemetry: Telemetry::new(),
+            counters: options.counters,
+            bandwidth: BandwidthMeter::new(),
+            last_effect: 0,
+            instructions: 0,
+            nops: 0,
+            notify_times: Vec::new(),
+            functional: options.functional,
+        };
+        for q in &queues {
+            ctx.queue_depth(q.len());
+        }
+
+        debug_assert!(queues.len() <= 256, "heap key packs queue index in 8 bits");
+        let mut heap: BinaryHeap<Reverse<u64>> = queues
+            .iter()
+            .enumerate()
+            .filter(|(_, q)| q.len() > 0)
+            .map(|(i, _)| Reverse(i as u64))
+            .collect();
+        let mut parked: Vec<(usize, Cycle)> = Vec::new();
+
+        let fault_events = options.faults.events();
+        let mut next_fault = 0usize;
+        let (mut faults_applied, mut faults_vacant) = (0u64, 0u64);
+
+        // Keys pack (cycle, queue) as `t << 8 | qi`: one u64 comparison per
+        // sift step, same (time, queue-index) order as the tuple key.
+        while let Some(Reverse(key)) = heap.pop() {
+            let (t, qi) = (key >> 8, (key & 0xFF) as usize);
+            if t > options.cycle_limit {
+                return Err(SimError::CycleLimit {
+                    limit: options.cycle_limit,
+                });
+            }
+            while let Some(event) = fault_events.get(next_fault).filter(|e| e.cycle <= t) {
+                next_fault += 1;
+                if self.apply_fault(event) {
+                    faults_applied += 1;
+                } else {
+                    faults_vacant += 1;
+                }
+            }
+            match self.dstep(&mut queues[qi], t, &mut ctx)? {
+                Step::NextAt(next) => {
+                    debug_assert!(next >= t, "queue went backwards in time");
+                    heap.push(Reverse((next << 8) | qi as u64));
+                }
+                Step::Parked => {
+                    let gen = queues[qi].barriers as usize;
+                    if let Some(&nt) = ctx.notify_times.get(gen) {
+                        let resume = resume_after_barrier(t, nt);
+                        let q = &mut queues[qi];
+                        q.pc += 1;
+                        q.barriers += 1;
+                        heap.push(Reverse((resume << 8) | qi as u64));
+                    } else {
+                        parked.push((qi, t));
+                    }
+                }
+                Step::Done => {}
+            }
+            if !parked.is_empty() {
+                let mut still = Vec::new();
+                for (pqi, pt) in parked.drain(..) {
+                    let gen = queues[pqi].barriers as usize;
+                    if let Some(&nt) = ctx.notify_times.get(gen) {
+                        let resume = resume_after_barrier(pt, nt);
+                        let q = &mut queues[pqi];
+                        q.pc += 1;
+                        q.barriers += 1;
+                        heap.push(Reverse((resume << 8) | pqi as u64));
+                    } else {
+                        still.push((pqi, pt));
+                    }
+                }
+                parked = still;
+            }
+        }
+
+        if !parked.is_empty() {
+            return Err(SimError::Deadlock {
+                parked: parked.len(),
+                sites: parked
+                    .iter()
+                    .map(|&(qi, at)| (queues[qi].icu, at))
+                    .collect(),
+            });
+        }
+
+        faults_vacant += (fault_events.len() - next_fault) as u64;
+
+        ctx.telemetry.dropped_events = ctx.trace.dropped_events();
+        Ok(RunReport {
+            cycles: ctx.last_effect + Cycle::from(tsp_arch::timing::SLICE_TILES),
+            instructions: ctx.instructions,
+            nops: ctx.nops,
+            trace: ctx.trace,
+            telemetry: ctx.telemetry,
+            bandwidth: ctx.bandwidth,
+            ecc_corrected: self.memory.errors.corrected(),
+            faults_applied,
+            faults_vacant,
+            egress: std::mem::take(&mut self.egress),
+        })
+    }
+
+    /// One decoded dispatch. Span ops execute iteration `sub` and re-arm at
+    /// `t + stride`; folded `Repeat` iterations and MXM burst rows therefore
+    /// cost one shallow match each instead of a re-decode. Mirrors the
+    /// timing/counter behaviour of [`Chip::step`] + [`Chip::issue`] exactly:
+    /// a span's first iteration lands at the cycle the interpreted path
+    /// dispatches the `Repeat` (its setup pop re-arms at the same cycle and
+    /// is immediately re-popped, so folding it away is unobservable).
+    fn dstep(
+        &mut self,
+        q: &mut DecodedQueueState<'_>,
+        t: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<Step, SimError> {
+        let Some(op) = q.op(q.pc) else {
+            return Ok(Step::Done);
+        };
+        match op {
+            DecodedOp::Nop { advance } => {
+                let advance = *advance;
+                ctx.nops += 1;
+                q.pc += 1;
+                Ok(Step::NextAt(t + Cycle::from(advance)))
+            }
+            DecodedOp::Sync => {
+                ctx.instructions += 1;
+                Ok(Step::Parked)
+            }
+            DecodedOp::Notify => {
+                ctx.instructions += 1;
+                let gen = q.barriers as usize;
+                if ctx.notify_times.len() != gen {
+                    return Err(SimError::InvalidInstruction {
+                        reason: format!("Notify for barrier generation {gen} out of order"),
+                        icu: q.icu,
+                        cycle: t,
+                    });
+                }
+                ctx.notify_times.push(t);
+                q.pc += 1;
+                q.barriers += 1;
+                Ok(Step::NextAt(resume_after_barrier(t, t)))
+            }
+            DecodedOp::Config { superlanes } => {
+                let superlanes = *superlanes;
+                ctx.instructions += 1;
+                self.config.superlanes_enabled = usize::from(superlanes).clamp(1, SUPERLANES);
+                q.pc += 1;
+                Ok(Step::NextAt(t + 1))
+            }
+            DecodedOp::RepeatEmpty => {
+                ctx.instructions += 1;
+                q.pc += 1;
+                Ok(Step::NextAt(t + 1))
+            }
+            DecodedOp::Ifetch { stream } => {
+                let stream = *stream;
+                ctx.instructions += 1;
+                self.difetch(q, stream, t, ctx)?;
+                q.pc += 1;
+                Ok(Step::NextAt(t + 2))
+            }
+            DecodedOp::Invalid(inv) => {
+                ctx.instructions += 1;
+                Err(match inv.kind {
+                    InvalidKind::WrongSlice => SimError::WrongSlice {
+                        icu: q.icu,
+                        instruction: inv.detail.clone(),
+                        cycle: t,
+                    },
+                    InvalidKind::InvalidInstruction => SimError::InvalidInstruction {
+                        reason: inv.detail.clone(),
+                        icu: q.icu,
+                        cycle: t,
+                    },
+                })
+            }
+            DecodedOp::Mem {
+                op,
+                n,
+                stride,
+                d_func,
+                off,
+            } => {
+                let (op, n, stride, d_func, off) = (*op, *n, *stride, *d_func, *off);
+                let sub = q.sub;
+                if sub == 0 {
+                    ctx.instructions += 1;
+                }
+                if sub + 1 >= n {
+                    q.sub = 0;
+                    q.pc += 1;
+                } else {
+                    q.sub = sub + 1;
+                }
+                let pos = q.position.expect("decode rejects data ops on host queues");
+                // Folded Read/Write iterations walk one word per iteration
+                // (same u16 arithmetic and bound as `repeat_iteration`).
+                let eff = if off == 0 {
+                    op
+                } else {
+                    let bump = |addr: tsp_isa::MemAddr| -> Result<tsp_isa::MemAddr, SimError> {
+                        let w = addr.word() + off + sub;
+                        if w >= 8192 {
+                            return Err(SimError::InvalidInstruction {
+                                reason: format!("Repeat walked address {w:#x} past the slice"),
+                                icu: q.icu,
+                                cycle: t,
+                            });
+                        }
+                        Ok(tsp_isa::MemAddr::new(w))
+                    };
+                    match op {
+                        MemOp::Read { addr, stream } => MemOp::Read {
+                            addr: bump(addr)?,
+                            stream,
+                        },
+                        MemOp::Write { addr, stream } => MemOp::Write {
+                            addr: bump(addr)?,
+                            stream,
+                        },
+                        other => other,
+                    }
+                };
+                self.mem_op(q.icu, &eff, pos, t, Cycle::from(d_func), ctx)?;
+                Ok(Step::NextAt(t + Cycle::from(stride)))
+            }
+            DecodedOp::Vxm {
+                op,
+                n,
+                stride,
+                d_func,
+            } => {
+                let (op, n, stride, d_func) = (*op, *n, *stride, *d_func);
+                if q.sub == 0 {
+                    ctx.instructions += 1;
+                }
+                if q.sub + 1 >= n {
+                    q.sub = 0;
+                    q.pc += 1;
+                } else {
+                    q.sub += 1;
+                }
+                let pos = q.position.expect("decode rejects data ops on host queues");
+                self.vxm_op(q.icu, &op, pos, t, Cycle::from(d_func), ctx)?;
+                Ok(Step::NextAt(t + Cycle::from(stride)))
+            }
+            DecodedOp::Sxm {
+                op,
+                n,
+                stride,
+                d_func,
+            } => {
+                let (op, n, stride, d_func) = (op.clone(), *n, *stride, *d_func);
+                if q.sub == 0 {
+                    ctx.instructions += 1;
+                }
+                if q.sub + 1 >= n {
+                    q.sub = 0;
+                    q.pc += 1;
+                } else {
+                    q.sub += 1;
+                }
+                let pos = q.position.expect("decode rejects data ops on host queues");
+                self.sxm_op(q.icu, &op, pos, t, Cycle::from(d_func), ctx)?;
+                Ok(Step::NextAt(t + Cycle::from(stride)))
+            }
+            DecodedOp::C2c {
+                op,
+                n,
+                stride,
+                d_func,
+            } => {
+                let (op, n, stride, d_func) = (*op, *n, *stride, *d_func);
+                if q.sub == 0 {
+                    ctx.instructions += 1;
+                }
+                if q.sub + 1 >= n {
+                    q.sub = 0;
+                    q.pc += 1;
+                } else {
+                    q.sub += 1;
+                }
+                let pos = q.position.expect("decode rejects data ops on host queues");
+                self.c2c_op(q.icu, &op, pos, t, Cycle::from(d_func), ctx)?;
+                Ok(Step::NextAt(t + Cycle::from(stride)))
+            }
+            DecodedOp::MxmBurst { op, rows } => {
+                let (op, rows) = (*op, *rows);
+                let sub = q.sub;
+                if sub == 0 {
+                    ctx.instructions += 1;
+                }
+                if sub + 1 >= rows {
+                    q.sub = 0;
+                    q.pc += 1;
+                } else {
+                    q.sub = sub + 1;
+                }
+                self.mxm_row(q.icu, &op, sub, t, ctx)?;
+                Ok(Step::NextAt(t + 1))
+            }
+            DecodedOp::MxmInstall {
+                plane,
+                dtype,
+                d_func,
+                n,
+                stride,
+            } => {
+                let (plane, dtype, d_func, n, stride) = (*plane, *dtype, *d_func, *n, *stride);
+                if q.sub == 0 {
+                    ctx.instructions += 1;
+                }
+                if q.sub + 1 >= n {
+                    q.sub = 0;
+                    q.pc += 1;
+                } else {
+                    q.sub += 1;
+                }
+                self.planes[plane.index() as usize].install(dtype);
+                let d_func = Cycle::from(d_func);
+                let dur = u16::try_from(d_func).unwrap_or(1);
+                ctx.note_span(t, dur, q.icu, ActivityKind::MxmInstall, self.active_lanes());
+                ctx.last_effect = ctx.last_effect.max(t + d_func);
+                Ok(Step::NextAt(t + Cycle::from(stride)))
+            }
+        }
+    }
+
+    /// [`Chip::ifetch`] for the decoded path: fetched instruction text is
+    /// decoded immediately (threading the queue's `tail` through as the
+    /// `Repeat` predecessor) and appended to the runtime overlay.
+    fn difetch(
+        &mut self,
+        q: &mut DecodedQueueState<'_>,
+        stream: StreamId,
+        t: Cycle,
+        ctx: &mut RunCtx,
+    ) -> Result<(), SimError> {
+        let pos = q.position.ok_or_else(|| SimError::WrongSlice {
+            icu: q.icu,
+            instruction: "Ifetch".into(),
+            cycle: t,
+        })?;
+        let lo = self.read_consume(q.icu, stream, pos, t, true)?;
+        let hi = self.read_consume(q.icu, stream, pos, t + 1, true)?;
+        let mut text = Vec::with_capacity(640);
+        text.extend_from_slice(lo.as_bytes());
+        text.extend_from_slice(hi.as_bytes());
+        let fetched = decode_fetch_block(&text).map_err(|e| SimError::Decode {
+            reason: e.to_string(),
+            icu: q.icu,
+            cycle: t,
+        })?;
+        ctx.bandwidth.record(Traffic::InstructionFetch, 640);
+        ctx.note_span(t, 2, q.icu, ActivityKind::Ifetch, self.active_lanes());
+        for instr in fetched {
+            q.overlay
+                .push(decode_step(q.class, q.tail.as_ref(), &instr));
+            q.tail = Some(instr);
+        }
+        ctx.queue_depth(q.len() - q.pc);
+        Ok(())
     }
 
     /// Applies one planned fault to live chip state. Returns `false` when the
@@ -641,7 +1117,28 @@ impl Chip {
         self.consume(icu, &word, stream, t, check)
     }
 
-    /// Produces a fresh (re-protected) vector onto a stream at `t_eff`.
+    /// [`Chip::read_consume`] at `Arc` granularity: the pristine fast path
+    /// returns the stream word itself (a reference-count bump, no 320-byte
+    /// copy); a word that really needs its SECDED check verified comes back
+    /// as a freshly protected corrected word.
+    fn read_word(
+        &mut self,
+        icu: IcuId,
+        stream: StreamId,
+        pos: Position,
+        t: Cycle,
+        check: bool,
+    ) -> Result<Arc<StreamWord>, SimError> {
+        let word = self.read_stream(icu, stream, pos, t)?;
+        if !check || !self.config.ecc_enabled || word.is_pristine() {
+            return Ok(word);
+        }
+        let data = self.consume(icu, &word, stream, t, check)?;
+        Ok(Arc::new(StreamWord::protect(data)))
+    }
+
+    /// Produces a fresh (re-protected) vector onto a stream at `t_eff`,
+    /// recycling a retired word from the stream file's pool when possible.
     fn produce(
         &mut self,
         stream: StreamId,
@@ -652,8 +1149,7 @@ impl Chip {
     ) {
         ctx.bandwidth.record(Traffic::Stream, 320);
         ctx.last_effect = ctx.last_effect.max(t_eff);
-        self.streams
-            .write(stream, pos, t_eff, Arc::new(StreamWord::protect(data)));
+        self.streams.write_owned(stream, pos, t_eff, data, None);
         ctx.stream_level(self.streams.live_count());
     }
 
@@ -686,35 +1182,51 @@ impl Chip {
                 slice
                     .access(t, *addr, false)
                     .map_err(|error| SimError::Memory { error, icu })?;
-                let stored = slice.peek(*addr);
-                let suspect = slice.is_suspect();
-                ctx.bandwidth.record(Traffic::SramRead, 320);
-                ctx.note(t, icu, ActivityKind::MemRead, self.active_lanes());
                 // Forward data with its *stored* check bits: ECC is generated
                 // at the producer and travels with the word (paper §II-D).
-                // A slice no fault path has touched provably stores
-                // `check == encode(data)` for every word (`poke` always
-                // re-encodes), so its forwards stay on the pristine fast
-                // path; a suspect slice forwards explicit bits and the
-                // consumer really verifies them.
-                let word = if suspect && !stored.is_pristine() {
-                    let check = stored.check();
-                    StreamWord::with_check(stored.data, check)
-                } else {
-                    StreamWord::protect(stored.data)
+                // Suspicion is per stored word: a pristine word provably has
+                // `check == encode(data)` and forwards on the fast path; one
+                // a fault path touched forwards explicit bits and the
+                // consumer really verifies them. A fault strike on one
+                // address therefore never evicts the fast path for the rest
+                // of its slice.
+                let word = match slice.peek_ref(*addr) {
+                    Some(stored) => Arc::clone(stored),
+                    None => Arc::clone(&self.zero_word),
                 };
+                ctx.bandwidth.record(Traffic::SramRead, 320);
+                ctx.note(t, icu, ActivityKind::MemRead, self.active_lanes());
+                if ctx.counters {
+                    if word.is_pristine() {
+                        ctx.telemetry.mem_reads_pristine += 1;
+                    } else {
+                        ctx.telemetry.mem_reads_verified += 1;
+                    }
+                }
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
                 ctx.bandwidth.record(Traffic::Stream, 320);
-                self.streams.write(*stream, pos, t + d_func, Arc::new(word));
+                self.streams.write(*stream, pos, t + d_func, word);
                 ctx.stream_level(self.streams.live_count());
             }
             MemOp::Write { addr, stream } => {
-                let data = self.read_consume(icu, *stream, pos, t, ctx.functional)?;
+                let word = self.read_word(icu, *stream, pos, t, ctx.functional)?;
                 let slice = self.memory.slice_mut(hemisphere, index);
                 slice
                     .access(t, *addr, true)
                     .map_err(|error| SimError::Memory { error, icu })?;
-                slice.poke(*addr, data);
+                if word.is_pristine() {
+                    // The interpreted-semantics store is `protect(data)`:
+                    // for a pristine word that is this very word — share it.
+                    let displaced = slice.poke_shared(*addr, word);
+                    if let Some(old) = displaced {
+                        self.streams.recycle(old);
+                    }
+                } else {
+                    // Check skipped (timing-only / ECC off): the store
+                    // re-protects the raw data, dropping the latent error,
+                    // exactly as the copying path always did.
+                    slice.poke(*addr, word.data.clone());
+                }
                 ctx.bandwidth.record(Traffic::SramWrite, 320);
                 ctx.note(t, icu, ActivityKind::MemWrite, self.active_lanes());
                 ctx.last_effect = ctx.last_effect.max(t + d_func);
@@ -730,8 +1242,9 @@ impl Chip {
                 for s in 0..SUPERLANES {
                     let a =
                         u16::from_le_bytes([map_vec.lane(2 * s), map_vec.lane(2 * s + 1)]) & 0x1FFF;
-                    let word = slice.peek(tsp_isa::MemAddr::new(a));
-                    out.superlane_mut(s).copy_from_slice(word.data.superlane(s));
+                    if let Some(word) = slice.peek_ref(tsp_isa::MemAddr::new(a)) {
+                        out.superlane_mut(s).copy_from_slice(word.data.superlane(s));
+                    }
                 }
                 ctx.bandwidth.record(Traffic::SramRead, 320);
                 ctx.note(t, icu, ActivityKind::MemGather, self.active_lanes());
@@ -794,10 +1307,10 @@ impl Chip {
         // scheduling-contract violations either way) but skip the ALU
         // arithmetic and produce shared zero words: timing is data-blind.
         let read_group =
-            |chip: &mut Chip, g: tsp_arch::StreamGroup| -> Result<Vec<Vector>, SimError> {
+            |chip: &mut Chip, g: tsp_arch::StreamGroup| -> Result<Vec<Arc<StreamWord>>, SimError> {
                 if functional {
                     g.streams()
-                        .map(|s| chip.read_consume(icu, s, pos, t, true))
+                        .map(|s| chip.read_word(icu, s, pos, t, true))
                         .collect()
                 } else {
                     for s in g.streams() {
@@ -806,6 +1319,10 @@ impl Chip {
                     Ok(Vec::new())
                 }
             };
+        // The ALU reads operands in place — consumed words stay shared.
+        fn borrow(g: &[Arc<StreamWord>]) -> Vec<&Vector> {
+            g.iter().map(|w| &w.data).collect()
+        }
         let (result, dst, transcendental) = match op {
             VxmOp::Unary {
                 op,
@@ -824,7 +1341,7 @@ impl Chip {
                 if !functional {
                     (Vec::new(), *dst, tr)
                 } else {
-                    let r = vxm_unit::apply_unary(*op, *dtype, &x).map_err(|reason| {
+                    let r = vxm_unit::apply_unary(*op, *dtype, &borrow(&x)).map_err(|reason| {
                         SimError::InvalidInstruction {
                             reason,
                             icu,
@@ -847,13 +1364,12 @@ impl Chip {
                 if !functional {
                     (Vec::new(), *dst, false)
                 } else {
-                    let r = vxm_unit::apply_binary(*op, *dtype, &va, &vb).map_err(|reason| {
-                        SimError::InvalidInstruction {
+                    let r = vxm_unit::apply_binary(*op, *dtype, &borrow(&va), &borrow(&vb))
+                        .map_err(|reason| SimError::InvalidInstruction {
                             reason,
                             icu,
                             cycle: t,
-                        }
-                    })?;
+                        })?;
                     (r, *dst, false)
                 }
             }
@@ -869,13 +1385,13 @@ impl Chip {
                 if !functional {
                     (Vec::new(), *dst, false)
                 } else {
-                    let r = vxm_unit::apply_convert(*from, *to, *shift, &x).map_err(|reason| {
-                        SimError::InvalidInstruction {
+                    let r = vxm_unit::apply_convert(*from, *to, *shift, &borrow(&x)).map_err(
+                        |reason| SimError::InvalidInstruction {
                             reason,
                             icu,
                             cycle: t,
-                        }
-                    })?;
+                        },
+                    )?;
                     (r, *dst, false)
                 }
             }
@@ -1106,9 +1622,9 @@ impl Chip {
             MxmOp::ActivationBuffer { plane, stream, .. } => {
                 let idx = plane.index() as usize;
                 if self.planes[idx].dtype() == DataType::Fp16 {
-                    let lo = self.read_consume(icu, *stream, pos, t, ctx.functional)?;
+                    let lo = self.read_word(icu, *stream, pos, t, ctx.functional)?;
                     let hi_stream = StreamId::new(stream.id + 1, stream.direction);
-                    let hi = self.read_consume(icu, hi_stream, pos, t, ctx.functional)?;
+                    let hi = self.read_word(icu, hi_stream, pos, t, ctx.functional)?;
                     if !idx.is_multiple_of(2) || idx + 1 >= self.planes.len() {
                         return Err(SimError::InvalidInstruction {
                             reason: "fp16 ABC must target an even plane (tandem pair)".into(),
@@ -1118,13 +1634,13 @@ impl Chip {
                     }
                     if ctx.functional {
                         let (a, b) = self.planes.split_at_mut(idx + 1);
-                        a[idx].feed_activation_fp16(t, &b[0], &lo, &hi);
+                        a[idx].feed_activation_fp16(t, &b[0], &lo.data, &hi.data);
                     } else {
                         self.planes[idx].feed_zero(t);
                     }
                 } else if ctx.functional {
-                    let act = self.read_consume(icu, *stream, pos, t, true)?;
-                    self.planes[idx].feed_activation_i8(t, &act);
+                    let act = self.read_word(icu, *stream, pos, t, true)?;
+                    self.planes[idx].feed_activation_i8(t, &act.data);
                 } else {
                     self.read_stream(icu, *stream, pos, t)?;
                     self.planes[idx].feed_zero(t);
@@ -1157,24 +1673,47 @@ impl Chip {
                     }
                     return Ok(());
                 }
-                let planes_out = {
-                    let result = self.planes[plane.index() as usize]
+                let fp32_planes = {
+                    let Chip {
+                        planes, streams, ..
+                    } = &mut *self;
+                    let result = planes[plane.index() as usize]
                         .accumulate(t, row as usize, add)
                         .ok_or(SimError::AccumulatorEmpty {
                             plane: plane.index(),
                             cycle: t,
                         })?;
                     match result {
-                        MxmResult::Int32(vals) => vector::split_i32(vals),
+                        // The hot path: each of the four byte planes is
+                        // extracted straight into a pooled stream word —
+                        // no intermediate `split_i32` materialization.
+                        MxmResult::Int32(vals) => {
+                            for i in 0..4u32 {
+                                let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
+                                ctx.bandwidth.record(Traffic::Stream, 320);
+                                ctx.last_effect = ctx.last_effect.max(t + 1);
+                                streams.write_with(s, pos, t + 1, |data| {
+                                    let bytes = data.as_bytes_mut();
+                                    for (b, &v) in bytes.iter_mut().zip(vals.iter()) {
+                                        *b = (v >> (8 * i)) as u8;
+                                    }
+                                    bytes[vals.len()..].fill(0);
+                                });
+                                ctx.stream_level(streams.live_count());
+                            }
+                            None
+                        }
                         MxmResult::Fp32(vals) => {
                             let bits: Vec<i32> = vals.iter().map(|f| f.to_bits() as i32).collect();
-                            vector::split_i32(&bits)
+                            Some(vector::split_i32(&bits))
                         }
                     }
                 };
-                for (i, vec) in planes_out.into_iter().enumerate() {
-                    let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
-                    self.produce(s, pos, t + 1, vec, ctx);
+                if let Some(planes_out) = fp32_planes {
+                    for (i, vec) in planes_out.into_iter().enumerate() {
+                        let s = StreamId::new(dst.base.id + i as u8, dst.base.direction);
+                        self.produce(s, pos, t + 1, vec, ctx);
+                    }
                 }
             }
             MxmOp::InstallWeights { .. } => unreachable!("IW is not a burst"),

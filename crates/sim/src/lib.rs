@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chip;
+pub mod decoded;
 pub mod error;
 pub mod fp16;
 pub mod icu_id;
@@ -40,6 +41,7 @@ pub mod trace;
 pub mod vxm_unit;
 
 pub use chip::{Chip, RunReport};
+pub use decoded::DecodedProgram;
 pub use error::SimError;
 pub use icu_id::IcuId;
 pub use program::{Program, QueueBuilder};

@@ -22,13 +22,19 @@
 //!   reused across the whole batch. Every queued feed keeps its own cycle
 //!   timestamp, so `pending` availability — and therefore every simulated
 //!   cycle — is identical to feed-by-feed execution.
-//! * **Widening kernels.** The inner product runs over `i16`-widened 16-lane
-//!   chunks accumulating into `i32` — integer sums reassociate freely, and
-//!   the fixed-width chunks autovectorize. The fp16 tandem path instead keeps
-//!   its strict lane-order `f64` accumulation (float sums do *not*
-//!   reassociate; the single-rounding-at-readout contract is bit-exact) and
-//!   gets its speed from caching the planes' decoded `f32` weight matrix per
-//!   install generation instead of decoding two bytes per MAC.
+//! * **Widening kernels on the nonzero support.** The int8 inner product
+//!   runs over `i16`-widened 16-lane chunks accumulating into `i32` —
+//!   integer sums reassociate freely, and the fixed-width chunks
+//!   autovectorize. A per-install-generation cache restricts the pass to
+//!   weight rows with any nonzero element and to the chip-wide nonzero
+//!   column ceiling: integer adds of zero are exact no-ops, so skipping them
+//!   is bit-invisible (ResNet tiles rarely fill the 320×320 array). The fp16
+//!   tandem path keeps its strict lane-order `f64` accumulation (float sums
+//!   do *not* reassociate; the single-rounding-at-readout contract is
+//!   bit-exact) and gets its speed from caching the planes' decoded `f32`
+//!   weight matrix per install generation instead of decoding two bytes per
+//!   MAC — and, as of the pre-decode PR, from joining the same wave-batched
+//!   flush as the int8 path.
 //!
 //! The pre-optimization scalar loops are retained verbatim in [`reference`]
 //! as the oracle the kernel-equivalence property tests compare against.
@@ -57,6 +63,25 @@ struct Fp16WeightCache {
     weights: Vec<f32>,
 }
 
+/// Widened int8 weights restricted to their nonzero support, valid for one
+/// install generation. Zero weight rows contribute exactly zero to every
+/// dot product (integer adds of zero are exact no-ops), so the flush skips
+/// them outright; likewise columns past the last nonzero one chip-wide.
+/// ResNet tiles rarely fill the full 320×320 array, so this trims most of
+/// the blocked pass without moving a single architectural bit.
+#[derive(Debug, Clone)]
+struct I8WeightCache {
+    gen: u64,
+    /// Rows with at least one nonzero weight, ascending.
+    support: Vec<u16>,
+    /// Column ceiling: max nonzero column + 1 over all rows, rounded up to a
+    /// whole superlane so the chunked kernel stays fixed-width. Zero when the
+    /// installed array is entirely zero.
+    cols: usize,
+    /// `support.len() × cols` row-major widened weights.
+    w16: Vec<i16>,
+}
+
 /// One 320×320 MACC plane.
 #[derive(Debug, Clone)]
 pub struct MxmPlane {
@@ -72,17 +97,25 @@ pub struct MxmPlane {
     /// Queued int8 `ABC` feeds not yet computed: `(feed cycle, activation)`,
     /// oldest first. Every entry is newer than everything in `pending`
     /// (flushes drain the whole wave), so `pending`'s front stays the oldest
-    /// result overall.
+    /// result overall. At most one of `wave` / `wave_fp16` is non-empty at a
+    /// time: each feed path flushes the other first.
     wave: Vec<(u64, [u8; LANES])>,
+    /// Queued fp16 tandem feed cycles not yet computed, oldest first.
+    wave_fp16: Vec<u64>,
+    /// Activations for `wave_fp16`, decoded to `f32` at feed time (flat,
+    /// `LANES` lanes per feed).
+    wave_fp16_acts: Vec<f32>,
     /// Standing accumulators indexed by `ACC` row ordinal.
     acc: Vec<MxmResult>,
     /// Retired int32 result buffers, recycled by the feed paths so the
     /// feed → accumulate cycle allocates nothing in steady state.
     free: Vec<Vec<i32>>,
-    /// Bumped by every `IW`; tags the fp16 weight cache.
+    /// Bumped by every `IW`; tags the weight caches.
     install_gen: u64,
     /// Decoded fp16 tandem weights (held by the low plane of the pair).
     fp16_cache: Option<Fp16WeightCache>,
+    /// Widened int8 weights on their nonzero support.
+    i8_cache: Option<I8WeightCache>,
     /// Scratch for the widened activation block, reused across flushes.
     scratch_acts: Vec<i16>,
 }
@@ -97,10 +130,13 @@ impl MxmPlane {
             dtype: DataType::Int8,
             pending: std::collections::VecDeque::new(),
             wave: Vec::new(),
+            wave_fp16: Vec::new(),
+            wave_fp16_acts: Vec::new(),
             acc: Vec::new(),
             free: Vec::new(),
             install_gen: 0,
             fp16_cache: None,
+            i8_cache: None,
             scratch_acts: Vec::new(),
         }
     }
@@ -134,6 +170,7 @@ impl MxmPlane {
     /// flushed first — they streamed through the *previous* weights.
     pub fn install(&mut self, dtype: DataType) {
         self.flush_wave();
+        self.flush_fp16_wave();
         self.installed.clone_from(&self.buffer);
         self.dtype = dtype;
         self.install_gen += 1;
@@ -160,6 +197,7 @@ impl MxmPlane {
     /// that must preserve result order). Timestamps are recorded now, so
     /// nothing observable moves.
     pub fn feed_activation_i8(&mut self, cycle: u64, activation: &Vector) {
+        self.flush_fp16_wave(); // keep `pending` in feed order if dtypes mix
         self.wave.push((cycle, *activation.as_bytes()));
     }
 
@@ -167,6 +205,7 @@ impl MxmPlane {
     /// a real activation pass (used when functional simulation is disabled).
     pub fn feed_zero(&mut self, cycle: u64) {
         self.flush_wave(); // keep `pending` in feed order if modes ever mix
+        self.flush_fp16_wave();
         let out = self.take_buffer();
         self.pending.push_back((
             cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
@@ -174,23 +213,48 @@ impl MxmPlane {
         ));
     }
 
-    /// Flushes every queued int8 feed as one blocked `(k×320)·(320×320)`
-    /// pass: each weight row is widened to `i16` once and reused across the
-    /// whole batch. Results enter `pending` in feed order with their original
-    /// per-feed availability cycles.
+    /// Rebuilds the widened int8 weight cache for the current install
+    /// generation: nonzero support rows, the chip-wide column ceiling, and
+    /// the `i16`-widened weight block the flush kernel runs over.
+    fn refresh_i8_cache(&mut self) {
+        if matches!(&self.i8_cache, Some(c) if c.gen == self.install_gen) {
+            return;
+        }
+        let mut support = Vec::new();
+        let mut max_col = 0usize; // exclusive
+        for (r, row) in self.installed.iter().enumerate() {
+            if let Some(last) = row.iter().rposition(|&b| b != 0) {
+                support.push(r as u16);
+                max_col = max_col.max(last + 1);
+            }
+        }
+        let cols = max_col.div_ceil(LANES_PER_SUPERLANE) * LANES_PER_SUPERLANE;
+        let mut w16 = Vec::with_capacity(support.len() * cols);
+        for &r in &support {
+            let row = &self.installed[r as usize];
+            w16.extend(row[..cols].iter().map(|&b| i16::from(b as i8)));
+        }
+        self.i8_cache = Some(I8WeightCache {
+            gen: self.install_gen,
+            support,
+            cols,
+            w16,
+        });
+    }
+
+    /// Flushes every queued int8 feed as one blocked `(k×cols)·(cols×|S|)`
+    /// pass over the cached support rows `S`: each widened weight row is
+    /// reused across the whole batch, and rows/columns that are all-zero are
+    /// never touched (their outputs stay the zeros the buffers start as).
+    /// Results enter `pending` in feed order with their original per-feed
+    /// availability cycles.
     fn flush_wave(&mut self) {
         if self.wave.is_empty() {
             return;
         }
+        self.refresh_i8_cache();
+        let cache = self.i8_cache.take().expect("refreshed above");
         let k = self.wave.len();
-        // Widen the activation block once: k rows × 320 i16 lanes.
-        self.scratch_acts.clear();
-        self.scratch_acts.resize(k * LANES, 0);
-        for (dst, (_, act)) in self.scratch_acts.chunks_exact_mut(LANES).zip(&self.wave) {
-            for (d, &s) in dst.iter_mut().zip(act.iter()) {
-                *d = i16::from(s as i8);
-            }
-        }
         let mut outs: Vec<Vec<i32>> = Vec::with_capacity(k);
         for _ in 0..k {
             let buf = {
@@ -201,19 +265,63 @@ impl MxmPlane {
             };
             outs.push(buf);
         }
-        let mut row16 = [0i16; LANES];
-        for (r, wrow) in self.installed.iter().enumerate() {
-            for (d, &s) in row16.iter_mut().zip(wrow.iter()) {
-                *d = i16::from(s as i8);
+        let cols = cache.cols;
+        if cols > 0 {
+            // Widen the activation block once: k rows × cols i16 lanes.
+            self.scratch_acts.clear();
+            self.scratch_acts.resize(k * cols, 0);
+            for (dst, (_, act)) in self.scratch_acts.chunks_exact_mut(cols).zip(&self.wave) {
+                for (d, &s) in dst.iter_mut().zip(act[..cols].iter()) {
+                    *d = i16::from(s as i8);
+                }
             }
-            for (act, out) in self.scratch_acts.chunks_exact(LANES).zip(&mut outs) {
-                out[r] = dot_i16(&row16, act);
-            }
+            block_pass_dispatch(
+                &cache.support,
+                &cache.w16,
+                &self.scratch_acts,
+                &mut outs,
+                cols,
+            );
         }
+        self.i8_cache = Some(cache);
         for ((cycle, _), out) in self.wave.drain(..).zip(outs) {
             self.pending.push_back((
                 cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
                 MxmResult::Int32(out),
+            ));
+        }
+    }
+
+    /// Flushes every queued fp16 tandem feed through the cached decoded
+    /// weight matrix as one blocked pass. Each dot product keeps the strict
+    /// lane-order `f64` accumulation and single rounding of feed-by-feed
+    /// execution — batching only reorders *which dot runs when*, never the
+    /// adds inside one — so results are bit-identical.
+    fn flush_fp16_wave(&mut self) {
+        if self.wave_fp16.is_empty() {
+            return;
+        }
+        let cache = self
+            .fp16_cache
+            .take()
+            .expect("fp16 feeds always populate the cache");
+        let k = self.wave_fp16.len();
+        let mut outs: Vec<Vec<f32>> = vec![vec![0f32; LANES]; k];
+        for (row, wrow) in cache.weights.chunks_exact(LANES).enumerate() {
+            for (acts, out) in self.wave_fp16_acts.chunks_exact(LANES).zip(&mut outs) {
+                let mut sum = 0f64;
+                for (&w, &a) in wrow.iter().zip(acts) {
+                    sum += f64::from(w) * f64::from(a);
+                }
+                out[row] = round_fp16_readout(sum);
+            }
+        }
+        self.fp16_cache = Some(cache);
+        self.wave_fp16_acts.clear();
+        for (cycle, out) in self.wave_fp16.drain(..).zip(outs) {
+            self.pending.push_back((
+                cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
+                MxmResult::Fp32(out),
             ));
         }
     }
@@ -225,9 +333,11 @@ impl MxmPlane {
     /// rounded once to f32 — the paper's "only a single rounding step").
     ///
     /// Accumulation stays in strict lane order (float sums do not
-    /// reassociate); the hot-path win is the per-install-generation cache of
-    /// the decoded `f32` weight matrix, replacing two `f16→f32` decodes per
-    /// MAC with one per install.
+    /// reassociate); the speed comes from the per-install-generation cache of
+    /// the decoded `f32` weight matrix (one decode per install instead of two
+    /// per MAC) and from wave batching: the feed decodes its activations and
+    /// queues, and the dots run in the next blocked flush alongside the int8
+    /// path's.
     pub fn feed_activation_fp16(
         &mut self,
         cycle: u64,
@@ -235,12 +345,16 @@ impl MxmPlane {
         act_lo: &Vector,
         act_hi: &Vector,
     ) {
-        self.flush_wave();
+        self.flush_wave(); // keep `pending` in feed order if dtypes mix
         let stale = !matches!(
             &self.fp16_cache,
             Some(c) if c.lo_gen == self.install_gen && c.hi_gen == high.install_gen
         );
         if stale {
+            // Queued feeds pre-date whichever reinstall invalidated the
+            // cache (the *high* plane's — our own install flushes), so they
+            // must stream through the cached weights before replacement.
+            self.flush_fp16_wave();
             let mut weights = vec![0f32; LANES * LANES];
             for (row, dst) in weights.chunks_exact_mut(LANES).enumerate() {
                 let (lo_row, hi_row) = (&self.installed[row], &high.installed[row]);
@@ -254,29 +368,12 @@ impl MxmPlane {
                 weights,
             });
         }
-        let mut acts = [0f32; LANES];
-        for (l, a) in acts.iter_mut().enumerate() {
+        self.wave_fp16.push(cycle);
+        let base = self.wave_fp16_acts.len();
+        self.wave_fp16_acts.resize(base + LANES, 0.0);
+        for (l, a) in self.wave_fp16_acts[base..].iter_mut().enumerate() {
             *a = fp16::f16_to_f32(u16::from_le_bytes([act_lo.lane(l), act_hi.lane(l)]));
         }
-        let weights = &self
-            .fp16_cache
-            .as_ref()
-            .expect("cache just refreshed")
-            .weights;
-        let out: Vec<f32> = weights
-            .chunks_exact(LANES)
-            .map(|wrow| {
-                let mut sum = 0f64;
-                for (&w, &a) in wrow.iter().zip(&acts) {
-                    sum += f64::from(w) * f64::from(a);
-                }
-                round_fp16_readout(sum)
-            })
-            .collect();
-        self.pending.push_back((
-            cycle + u64::from(tsp_isa::mxm::MXM_ARRAY_DELAY),
-            MxmResult::Fp32(out),
-        ));
     }
 
     /// `ACC` one cycle's worth: pop the oldest pending result; either
@@ -291,7 +388,10 @@ impl MxmPlane {
     /// reports as [`crate::SimError::AccumulatorEmpty`]).
     pub fn accumulate(&mut self, cycle: u64, ordinal: usize, add: bool) -> Option<&MxmResult> {
         if self.pending.is_empty() {
+            // At most one wave is non-empty (each feed path flushes the
+            // other), so the flush order here cannot reorder results.
             self.flush_wave();
+            self.flush_fp16_wave();
         }
         if self.pending.front().is_none_or(|(avail, _)| *avail > cycle) {
             return None;
@@ -333,19 +433,91 @@ impl MxmPlane {
     /// Number of results awaiting readout (computed plus still-queued feeds).
     #[must_use]
     pub fn pending_results(&self) -> usize {
-        self.pending.len() + self.wave.len()
+        self.pending.len() + self.wave.len() + self.wave_fp16.len()
     }
 }
 
-/// Dot product of two 320-lane `i16` rows, accumulated in `i32` over
-/// fixed 16-lane chunks — the autovectorization unit (`i16×i16 → i32`
-/// multiply-add; 16 lanes is one superlane word, `[u8; 16]` on the wire).
-/// The per-superlane accumulator vector keeps one `i32` per lane position so
-/// the whole loop body is straight-line SIMD; the final horizontal sum is a
-/// reassociation of exact integer adds and so bit-identical to any ordering.
+/// Dot product of two equal-length `i16` rows (a whole number of superlanes),
+/// accumulated in `i32` over fixed 16-lane chunks — the autovectorization
+/// unit (`i16×i16 → i32` multiply-add; 16 lanes is one superlane word,
+/// `[u8; 16]` on the wire). The per-superlane accumulator vector keeps one
+/// `i32` per lane position so the whole loop body is straight-line SIMD; the
+/// final horizontal sum is a reassociation of exact integer adds and so
+/// bit-identical to any ordering.
 #[inline]
-fn dot_i16(w: &[i16; LANES], x: &[i16]) -> i32 {
-    debug_assert_eq!(x.len(), LANES);
+/// One `(support rows) x (acts)` blocked pass with the column count fixed at
+/// monomorphization time: `NC` 16-lane chunks per row. The constant trip
+/// count lets LLVM fully unroll the dot-product loop into straight-line
+/// `pmaddwd` code — about 3x the throughput of the runtime-width loop, which
+/// pays loop control and a branchy epilogue per short dot.
+fn block_pass<const NC: usize>(support: &[u16], w16: &[i16], acts: &[i16], outs: &mut [Vec<i32>]) {
+    let cols = NC * LANES_PER_SUPERLANE;
+    for (si, &row) in support.iter().enumerate() {
+        let wrow = &w16[si * cols..(si + 1) * cols];
+        for (act, out) in acts.chunks_exact(cols).zip(outs.iter_mut()) {
+            out[row as usize] = dot_i16_c::<NC>(wrow, act);
+        }
+    }
+}
+
+/// Dispatches [`block_pass`] on the runtime column count (always a whole
+/// number of superlanes, at most 320 columns = 20 chunks).
+fn block_pass_dispatch(
+    support: &[u16],
+    w16: &[i16],
+    acts: &[i16],
+    outs: &mut [Vec<i32>],
+    cols: usize,
+) {
+    match cols / LANES_PER_SUPERLANE {
+        1 => block_pass::<1>(support, w16, acts, outs),
+        2 => block_pass::<2>(support, w16, acts, outs),
+        3 => block_pass::<3>(support, w16, acts, outs),
+        4 => block_pass::<4>(support, w16, acts, outs),
+        5 => block_pass::<5>(support, w16, acts, outs),
+        6 => block_pass::<6>(support, w16, acts, outs),
+        7 => block_pass::<7>(support, w16, acts, outs),
+        8 => block_pass::<8>(support, w16, acts, outs),
+        9 => block_pass::<9>(support, w16, acts, outs),
+        10 => block_pass::<10>(support, w16, acts, outs),
+        11 => block_pass::<11>(support, w16, acts, outs),
+        12 => block_pass::<12>(support, w16, acts, outs),
+        13 => block_pass::<13>(support, w16, acts, outs),
+        14 => block_pass::<14>(support, w16, acts, outs),
+        15 => block_pass::<15>(support, w16, acts, outs),
+        16 => block_pass::<16>(support, w16, acts, outs),
+        17 => block_pass::<17>(support, w16, acts, outs),
+        18 => block_pass::<18>(support, w16, acts, outs),
+        19 => block_pass::<19>(support, w16, acts, outs),
+        20 => block_pass::<20>(support, w16, acts, outs),
+        _ => {
+            for (si, &row) in support.iter().enumerate() {
+                let wrow = &w16[si * cols..(si + 1) * cols];
+                for (act, out) in acts.chunks_exact(cols).zip(outs.iter_mut()) {
+                    out[row as usize] = dot_i16_chunks(wrow, act);
+                }
+            }
+        }
+    }
+}
+
+/// [`dot_i16_chunks`] with the chunk count known at compile time.
+fn dot_i16_c<const NC: usize>(w: &[i16], x: &[i16]) -> i32 {
+    const L: usize = LANES_PER_SUPERLANE;
+    let mut acc = [0i32; L];
+    for c in 0..NC {
+        let wc = &w[c * L..(c + 1) * L];
+        let xc = &x[c * L..(c + 1) * L];
+        for j in 0..L {
+            acc[j] += i32::from(wc[j]) * i32::from(xc[j]);
+        }
+    }
+    acc.iter().sum()
+}
+
+fn dot_i16_chunks(w: &[i16], x: &[i16]) -> i32 {
+    debug_assert_eq!(x.len(), w.len());
+    debug_assert_eq!(w.len() % LANES_PER_SUPERLANE, 0);
     let mut acc = [0i32; LANES_PER_SUPERLANE];
     for (wc, xc) in w
         .chunks_exact(LANES_PER_SUPERLANE)

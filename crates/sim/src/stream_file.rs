@@ -31,94 +31,18 @@ use std::sync::Arc;
 
 use tsp_arch::{Direction, Position, StreamId, Vector, NUM_POSITIONS, SUPERLANES};
 
-/// Check-bit state of a [`StreamWord`].
+/// A vector travelling on a stream, carrying its producer-generated ECC
+/// check bits alongside the data (paper §II-D).
 ///
-/// A freshly produced word's check bits are *by construction* the SECDED
-/// encoding of its data, so storing them is redundant: `Pristine` defers the
-/// encode until something actually needs the bits (a fault strike, a C2C
-/// CRC, an explicit [`StreamWord::check`] call). Only words that have been
-/// through a corruption path — where check and data may genuinely disagree —
-/// carry `Explicit` bits. This makes the fault-free fast path free of both
-/// the producer encode and the consumer verify while remaining
-/// bit-identical: a consumer check of a pristine word can only ever return
-/// `Clean` with the data unchanged.
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum CheckBits {
-    /// `check == encode(data)` holds by construction; materialize on demand.
-    Pristine,
-    /// Explicit bits that may disagree with `data` (fault-injection paths).
-    Explicit([u16; SUPERLANES]),
-}
-
-/// A vector travelling on a stream, carrying its producer-generated ECC check
-/// bits alongside the data (paper §II-D).
-#[derive(Debug, Clone)]
-pub struct StreamWord {
-    /// The 320 data bytes.
-    pub data: Vector,
-    /// 9 SECDED check bits per superlane word (lazily materialized).
-    check: CheckBits,
-}
-
-impl StreamWord {
-    /// Protects fresh data with producer-side ECC. The encode is deferred
-    /// (see [`CheckBits`]); the word is observably identical to one carrying
-    /// eagerly computed check bits.
-    #[must_use]
-    pub fn protect(data: Vector) -> StreamWord {
-        StreamWord {
-            data,
-            check: CheckBits::Pristine,
-        }
-    }
-
-    /// A word with explicit check bits that may disagree with the data —
-    /// the corruption paths (stream upsets, C2C wire faults, faulted SRAM
-    /// forwards) use this so the consumer-side SECDED check really runs.
-    #[must_use]
-    pub fn with_check(data: Vector, check: [u16; SUPERLANES]) -> StreamWord {
-        StreamWord {
-            data,
-            check: CheckBits::Explicit(check),
-        }
-    }
-
-    /// Whether `check == encode(data)` holds by construction, letting the
-    /// consumer-side check be skipped (its outcome — `Clean`, data unchanged
-    /// — is already known).
-    #[must_use]
-    pub fn is_pristine(&self) -> bool {
-        matches!(self.check, CheckBits::Pristine)
-    }
-
-    /// The word's 9 SECDED check bits per superlane, materializing them from
-    /// the data for pristine words.
-    #[must_use]
-    pub fn check(&self) -> [u16; SUPERLANES] {
-        match self.check {
-            CheckBits::Explicit(c) => c,
-            CheckBits::Pristine => {
-                let mut check = [0u16; SUPERLANES];
-                for (s, c) in check.iter_mut().enumerate() {
-                    let mut word = [0u8; 16];
-                    word.copy_from_slice(self.data.superlane(s));
-                    *c = tsp_mem::ecc::encode(&word);
-                }
-                check
-            }
-        }
-    }
-}
-
-impl PartialEq for StreamWord {
-    /// Compares *materialized* words: a pristine word equals an explicit one
-    /// carrying `encode(data)` — laziness is not observable through `==`.
-    fn eq(&self, other: &StreamWord) -> bool {
-        self.data == other.data && (self.check == other.check || self.check() == other.check())
-    }
-}
-
-impl Eq for StreamWord {}
+/// This is the *same type* as the word stored in MEM SRAM
+/// ([`tsp_mem::slice::StoredVector`]): MEM, the stream file and the C2C
+/// links all share one currency, so a vector read out of SRAM is forwarded
+/// onto its stream — and a vector consumed off a stream is written back into
+/// SRAM — as an `Arc` reference-count bump, never a 320-byte copy. The lazy
+/// check-bit scheme (pristine words defer `encode(data)` until a fault path
+/// needs bits that can genuinely disagree) therefore applies uniformly from
+/// producer to consumer.
+pub type StreamWord = tsp_mem::slice::StoredVector;
 
 /// Key for one logical stream's storage.
 fn stream_key(s: StreamId) -> usize {
@@ -137,12 +61,24 @@ const SLOTS: usize = 256;
 pub const STREAM_CAPACITY: usize = 64 * SLOTS;
 
 /// One diagonal of one stream: the writes on it, ordered by producing
-/// position in flow order. `writes.is_empty()` means the slot is vacant.
+/// position in flow order. `first.is_none()` means the slot is vacant.
+///
+/// The single write (the overwhelmingly common case — one producer per
+/// flowing value) is stored inline in `first`, so the hot write/read paths
+/// touch only this slot entry and never chase a heap pointer; downstream
+/// interceptor writes overflow into `rest`, kept sorted in flow order after
+/// `first`.
 #[derive(Debug, Clone, Default)]
 struct Slot {
     diagonal: i64,
-    writes: Vec<(u8, Arc<StreamWord>)>,
+    first: Option<(u8, Arc<StreamWord>)>,
+    rest: Vec<(u8, Arc<StreamWord>)>,
 }
+
+/// Cap on the retired-word recycling pool (~1.5 MB of `StreamWord`s): large
+/// enough that steady-state producers never allocate, small enough that a
+/// burst of expiries does not pin memory forever.
+const WORD_POOL_CAP: usize = 4096;
 
 /// The streaming register file for all 64 logical streams.
 #[derive(Debug, Clone)]
@@ -153,6 +89,11 @@ pub struct StreamFile {
     /// transition so occupancy telemetry is O(1) per sample instead of an
     /// O(`64 × SLOTS`) rescan.
     live: usize,
+    /// Retired words recycled by [`StreamFile::write_owned`] so steady-state
+    /// production allocates nothing. Entries still referenced elsewhere
+    /// (a consumer kept the `Arc`, or the chip was cloned) fail the
+    /// uniqueness check at reuse time and are simply dropped.
+    free: Vec<Arc<StreamWord>>,
 }
 
 impl Default for StreamFile {
@@ -160,6 +101,7 @@ impl Default for StreamFile {
         StreamFile {
             slots: vec![Slot::default(); 64 * SLOTS],
             live: 0,
+            free: Vec::new(),
         }
     }
 }
@@ -194,12 +136,15 @@ impl StreamFile {
     ) {
         let d = StreamFile::diagonal(stream, position, cycle);
         let slot = &mut self.slots[StreamFile::slot_index(stream, d)];
+        let pos = position.0;
         if slot.diagonal != d {
             // The previous tenant aliases this slot from ≥ SLOTS cycles ago
-            // and has flowed off the chip: reclaim in place. (The Vec keeps
-            // its allocation, so steady-state writes allocate nothing.)
+            // and has flowed off the chip: reclaim in place. Only
+            // exclusively-owned words are worth pooling — one still
+            // referenced elsewhere (stored in SRAM, held by an egress
+            // consumer) would just fail the uniqueness check at reuse.
             debug_assert!(
-                slot.writes.is_empty()
+                slot.first.is_none()
                     || match stream.direction {
                         // Newer diagonals are smaller (east) / larger (west).
                         Direction::East => slot.diagonal > d,
@@ -207,29 +152,133 @@ impl StreamFile {
                     },
                 "slot reclaim evicted a live diagonal"
             );
-            if !slot.writes.is_empty() {
+            if let Some((_, retired)) = slot.first.take() {
                 self.live -= 1;
+                if self.free.len() < WORD_POOL_CAP && Arc::strong_count(&retired) == 1 {
+                    self.free.push(retired);
+                }
+                for (_, retired) in slot.rest.drain(..) {
+                    if self.free.len() < WORD_POOL_CAP && Arc::strong_count(&retired) == 1 {
+                        self.free.push(retired);
+                    }
+                }
             }
-            slot.writes.clear();
             slot.diagonal = d;
         }
-        if slot.writes.is_empty() {
+        let Some(first) = slot.first.as_mut() else {
+            // Vacant slot — the hot path: the write lands inline.
+            slot.first = Some((pos, word));
             self.live += 1;
-        }
-        // Keep entries sorted by flow order of the producing position.
-        let pos = position.0;
+            return;
+        };
+        // Multi-writer (or overwrite) path: keep first + rest sorted by flow
+        // order of the producing position.
         let ordinal = |p: u8| -> i16 {
             match stream.direction {
                 Direction::East => i16::from(p),
                 Direction::West => -i16::from(p),
             }
         };
-        match slot
-            .writes
-            .binary_search_by_key(&ordinal(pos), |(p, _)| ordinal(*p))
-        {
-            Ok(i) => slot.writes[i] = (pos, word),
-            Err(i) => slot.writes.insert(i, (pos, word)),
+        let o = ordinal(pos);
+        if o == ordinal(first.0) {
+            let retired = std::mem::replace(&mut first.1, word);
+            if self.free.len() < WORD_POOL_CAP && Arc::strong_count(&retired) == 1 {
+                self.free.push(retired);
+            }
+        } else if o < ordinal(first.0) {
+            // New most-upstream producer: demote the old head into `rest`.
+            let old = std::mem::replace(first, (pos, word));
+            slot.rest.insert(0, old);
+        } else {
+            match slot.rest.binary_search_by_key(&o, |(p, _)| ordinal(*p)) {
+                Ok(i) => {
+                    let retired = std::mem::replace(&mut slot.rest[i], (pos, word)).1;
+                    if self.free.len() < WORD_POOL_CAP && Arc::strong_count(&retired) == 1 {
+                        self.free.push(retired);
+                    }
+                }
+                Err(i) => slot.rest.insert(i, (pos, word)),
+            }
+        }
+    }
+
+    /// [`StreamFile::write`] without the caller allocating: the word is
+    /// assembled in a recycled `Arc` from the retired-word pool when one is
+    /// exclusively ours, falling back to a fresh allocation. `check` of
+    /// `None` means pristine (producer-side ECC deferred);
+    /// `Some` carries explicit bits that may disagree with the data.
+    pub fn write_owned(
+        &mut self,
+        stream: StreamId,
+        position: Position,
+        cycle: u64,
+        data: Vector,
+        check: Option<[u16; SUPERLANES]>,
+    ) {
+        let word = loop {
+            let Some(mut arc) = self.free.pop() else {
+                break Arc::new(match check {
+                    None => StreamWord::protect(data),
+                    Some(c) => StreamWord::with_check(data, c),
+                });
+            };
+            if let Some(w) = Arc::get_mut(&mut arc) {
+                w.reset(data, check);
+                break arc;
+            }
+            // Still referenced outside the file: drop and try the next.
+        };
+        self.write(stream, position, cycle, word);
+    }
+
+    /// [`StreamFile::write_owned`] with the data produced *in place*: `fill`
+    /// writes the 320 bytes directly into the recycled word (or a fresh
+    /// zeroed one), so freshly computed results reach the stream without an
+    /// intermediate `Vector` copy. The word is pristine — producer-side ECC
+    /// deferred, like every fresh produce.
+    pub fn write_with(
+        &mut self,
+        stream: StreamId,
+        position: Position,
+        cycle: u64,
+        fill: impl FnOnce(&mut Vector),
+    ) {
+        let recycled = loop {
+            match self.free.pop() {
+                None => break None,
+                Some(mut arc) => {
+                    if Arc::get_mut(&mut arc).is_some() {
+                        break Some(arc);
+                    }
+                    // Still referenced outside the file: drop and retry.
+                }
+            }
+        };
+        let word = match recycled {
+            Some(mut arc) => {
+                fill(
+                    Arc::get_mut(&mut arc)
+                        .expect("checked unique above")
+                        .rewrite(),
+                );
+                arc
+            }
+            None => {
+                let mut w = StreamWord::protect(Vector::ZERO);
+                fill(&mut w.data);
+                Arc::new(w)
+            }
+        };
+        self.write(stream, position, cycle, word);
+    }
+
+    /// Offers a retired word from outside the stream file (e.g. one
+    /// displaced from SRAM by an overwrite) to the recycling pool. Words
+    /// still shared elsewhere are dropped — only exclusively-owned
+    /// allocations are worth keeping.
+    pub fn recycle(&mut self, word: Arc<StreamWord>) {
+        if self.free.len() < WORD_POOL_CAP && Arc::strong_count(&word) == 1 {
+            self.free.push(word);
         }
     }
 
@@ -249,19 +298,23 @@ impl StreamFile {
             return None;
         }
         // Latest producer whose position is at-or-upstream of `position`.
-        let mut best: Option<&Arc<StreamWord>> = None;
-        for (p, w) in &slot.writes {
-            let upstream = match stream.direction {
-                Direction::East => *p <= position.0,
-                Direction::West => *p >= position.0,
-            };
-            if upstream {
-                best = Some(w);
+        let upstream = |p: u8| match stream.direction {
+            Direction::East => p <= position.0,
+            Direction::West => p >= position.0,
+        };
+        let (p0, w0) = slot.first.as_ref()?;
+        if !upstream(*p0) {
+            return None;
+        }
+        let mut best = w0;
+        for (p, w) in &slot.rest {
+            if upstream(*p) {
+                best = w;
             } else {
                 break;
             }
         }
-        best.cloned()
+        Some(Arc::clone(best))
     }
 
     /// Flips one data bit of the value occupying `stream`'s register at
@@ -306,7 +359,7 @@ impl StreamFile {
         let t = cycle as i64;
         let max = i64::from(NUM_POSITIONS - 1);
         for (i, slot) in self.slots.iter_mut().enumerate() {
-            if slot.writes.is_empty() {
+            if slot.first.is_none() {
                 continue;
             }
             let live = if i < 32 * SLOTS {
@@ -317,7 +370,8 @@ impl StreamFile {
                 slot.diagonal - t >= 0
             };
             if !live {
-                slot.writes.clear();
+                slot.first = None;
+                slot.rest.clear();
                 self.live -= 1;
             }
         }
@@ -327,7 +381,7 @@ impl StreamFile {
     /// tests to cross-check the maintained [`StreamFile::live_count`].
     #[must_use]
     pub fn live_values(&self) -> usize {
-        self.slots.iter().filter(|s| !s.writes.is_empty()).count()
+        self.slots.iter().filter(|s| s.first.is_some()).count()
     }
 
     /// Number of live diagonals, O(1) (maintained incrementally): sampled

@@ -18,12 +18,14 @@
 //! The original tagged-lane implementation is retained in [`reference`] as
 //! the oracle the kernel-equivalence property tests compare against.
 
+use std::borrow::Borrow;
+
 use tsp_arch::{Vector, LANES, LANES_PER_SUPERLANE};
 use tsp_isa::{BinaryAluOp, DataType, UnaryAluOp};
 
 use crate::fp16;
 
-fn check_width(dtype: DataType, planes: &[Vector]) {
+fn check_width(dtype: DataType, planes: &[impl Borrow<Vector>]) {
     assert_eq!(
         planes.len(),
         dtype.stream_width() as usize,
@@ -68,8 +70,12 @@ fn sat_f64_to_i32(f: f64) -> i32 {
 // ---------------------------------------------------------------------------
 
 #[inline]
-fn map_i8(a: &[Vector], b: &[Vector], f: impl Fn(i32, i32) -> i32) -> Vec<Vector> {
-    let (pa, pb) = (a[0].as_bytes(), b[0].as_bytes());
+fn map_i8(
+    a: &[impl Borrow<Vector>],
+    b: &[impl Borrow<Vector>],
+    f: impl Fn(i32, i32) -> i32,
+) -> Vec<Vector> {
+    let (pa, pb) = (a[0].borrow().as_bytes(), b[0].borrow().as_bytes());
     let mut out = Vector::ZERO;
     let ob = out.as_bytes_mut();
     for ((oc, ac), bc) in ob
@@ -85,8 +91,8 @@ fn map_i8(a: &[Vector], b: &[Vector], f: impl Fn(i32, i32) -> i32) -> Vec<Vector
 }
 
 #[inline]
-fn map1_i8(x: &[Vector], f: impl Fn(i32) -> i32) -> Vec<Vector> {
-    let px = x[0].as_bytes();
+fn map1_i8(x: &[impl Borrow<Vector>], f: impl Fn(i32) -> i32) -> Vec<Vector> {
+    let px = x[0].borrow().as_bytes();
     let mut out = Vector::ZERO;
     let ob = out.as_bytes_mut();
     for (oc, xc) in ob
@@ -101,9 +107,13 @@ fn map1_i8(x: &[Vector], f: impl Fn(i32) -> i32) -> Vec<Vector> {
 }
 
 #[inline]
-fn map_i16(a: &[Vector], b: &[Vector], f: impl Fn(i32, i32) -> i32) -> Vec<Vector> {
-    let (a0, a1) = (a[0].as_bytes(), a[1].as_bytes());
-    let (b0, b1) = (b[0].as_bytes(), b[1].as_bytes());
+fn map_i16(
+    a: &[impl Borrow<Vector>],
+    b: &[impl Borrow<Vector>],
+    f: impl Fn(i32, i32) -> i32,
+) -> Vec<Vector> {
+    let (a0, a1) = (a[0].borrow().as_bytes(), a[1].borrow().as_bytes());
+    let (b0, b1) = (b[0].borrow().as_bytes(), b[1].borrow().as_bytes());
     let mut lo = [0u8; LANES];
     let mut hi = [0u8; LANES];
     for l in 0..LANES {
@@ -117,8 +127,8 @@ fn map_i16(a: &[Vector], b: &[Vector], f: impl Fn(i32, i32) -> i32) -> Vec<Vecto
 }
 
 #[inline]
-fn map1_i16(x: &[Vector], f: impl Fn(i32) -> i32) -> Vec<Vector> {
-    let (x0, x1) = (x[0].as_bytes(), x[1].as_bytes());
+fn map1_i16(x: &[impl Borrow<Vector>], f: impl Fn(i32) -> i32) -> Vec<Vector> {
+    let (x0, x1) = (x[0].borrow().as_bytes(), x[1].borrow().as_bytes());
     let mut lo = [0u8; LANES];
     let mut hi = [0u8; LANES];
     for l in 0..LANES {
@@ -131,18 +141,22 @@ fn map1_i16(x: &[Vector], f: impl Fn(i32) -> i32) -> Vec<Vector> {
 }
 
 #[inline]
-fn map_i32(a: &[Vector], b: &[Vector], f: impl Fn(i64, i64) -> i64) -> Vec<Vector> {
+fn map_i32(
+    a: &[impl Borrow<Vector>],
+    b: &[impl Borrow<Vector>],
+    f: impl Fn(i64, i64) -> i64,
+) -> Vec<Vector> {
     let pa = [
-        a[0].as_bytes(),
-        a[1].as_bytes(),
-        a[2].as_bytes(),
-        a[3].as_bytes(),
+        a[0].borrow().as_bytes(),
+        a[1].borrow().as_bytes(),
+        a[2].borrow().as_bytes(),
+        a[3].borrow().as_bytes(),
     ];
     let pb = [
-        b[0].as_bytes(),
-        b[1].as_bytes(),
-        b[2].as_bytes(),
-        b[3].as_bytes(),
+        b[0].borrow().as_bytes(),
+        b[1].borrow().as_bytes(),
+        b[2].borrow().as_bytes(),
+        b[3].borrow().as_bytes(),
     ];
     let mut out = [[0u8; LANES]; 4];
     for l in 0..LANES {
@@ -157,12 +171,12 @@ fn map_i32(a: &[Vector], b: &[Vector], f: impl Fn(i64, i64) -> i64) -> Vec<Vecto
 }
 
 #[inline]
-fn map1_i32(x: &[Vector], f: impl Fn(i64) -> i64) -> Vec<Vector> {
+fn map1_i32(x: &[impl Borrow<Vector>], f: impl Fn(i64) -> i64) -> Vec<Vector> {
     let px = [
-        x[0].as_bytes(),
-        x[1].as_bytes(),
-        x[2].as_bytes(),
-        x[3].as_bytes(),
+        x[0].borrow().as_bytes(),
+        x[1].borrow().as_bytes(),
+        x[2].borrow().as_bytes(),
+        x[3].borrow().as_bytes(),
     ];
     let mut out = [[0u8; LANES]; 4];
     for l in 0..LANES {
@@ -176,18 +190,22 @@ fn map1_i32(x: &[Vector], f: impl Fn(i64) -> i64) -> Vec<Vector> {
 }
 
 #[inline]
-fn map_f32(a: &[Vector], b: &[Vector], f: impl Fn(f64, f64) -> f64) -> Vec<Vector> {
+fn map_f32(
+    a: &[impl Borrow<Vector>],
+    b: &[impl Borrow<Vector>],
+    f: impl Fn(f64, f64) -> f64,
+) -> Vec<Vector> {
     let pa = [
-        a[0].as_bytes(),
-        a[1].as_bytes(),
-        a[2].as_bytes(),
-        a[3].as_bytes(),
+        a[0].borrow().as_bytes(),
+        a[1].borrow().as_bytes(),
+        a[2].borrow().as_bytes(),
+        a[3].borrow().as_bytes(),
     ];
     let pb = [
-        b[0].as_bytes(),
-        b[1].as_bytes(),
-        b[2].as_bytes(),
-        b[3].as_bytes(),
+        b[0].borrow().as_bytes(),
+        b[1].borrow().as_bytes(),
+        b[2].borrow().as_bytes(),
+        b[3].borrow().as_bytes(),
     ];
     let mut out = [[0u8; LANES]; 4];
     for l in 0..LANES {
@@ -202,12 +220,12 @@ fn map_f32(a: &[Vector], b: &[Vector], f: impl Fn(f64, f64) -> f64) -> Vec<Vecto
 }
 
 #[inline]
-fn map1_f32(x: &[Vector], f: impl Fn(f64) -> f64) -> Vec<Vector> {
+fn map1_f32(x: &[impl Borrow<Vector>], f: impl Fn(f64) -> f64) -> Vec<Vector> {
     let px = [
-        x[0].as_bytes(),
-        x[1].as_bytes(),
-        x[2].as_bytes(),
-        x[3].as_bytes(),
+        x[0].borrow().as_bytes(),
+        x[1].borrow().as_bytes(),
+        x[2].borrow().as_bytes(),
+        x[3].borrow().as_bytes(),
     ];
     let mut out = [[0u8; LANES]; 4];
     for l in 0..LANES {
@@ -221,9 +239,13 @@ fn map1_f32(x: &[Vector], f: impl Fn(f64) -> f64) -> Vec<Vector> {
 }
 
 #[inline]
-fn map_f16(a: &[Vector], b: &[Vector], f: impl Fn(f64, f64) -> f64) -> Vec<Vector> {
-    let (a0, a1) = (a[0].as_bytes(), a[1].as_bytes());
-    let (b0, b1) = (b[0].as_bytes(), b[1].as_bytes());
+fn map_f16(
+    a: &[impl Borrow<Vector>],
+    b: &[impl Borrow<Vector>],
+    f: impl Fn(f64, f64) -> f64,
+) -> Vec<Vector> {
+    let (a0, a1) = (a[0].borrow().as_bytes(), a[1].borrow().as_bytes());
+    let (b0, b1) = (b[0].borrow().as_bytes(), b[1].borrow().as_bytes());
     let mut lo = [0u8; LANES];
     let mut hi = [0u8; LANES];
     for l in 0..LANES {
@@ -237,8 +259,8 @@ fn map_f16(a: &[Vector], b: &[Vector], f: impl Fn(f64, f64) -> f64) -> Vec<Vecto
 }
 
 #[inline]
-fn map1_f16(x: &[Vector], f: impl Fn(f64) -> f64) -> Vec<Vector> {
-    let (x0, x1) = (x[0].as_bytes(), x[1].as_bytes());
+fn map1_f16(x: &[impl Borrow<Vector>], f: impl Fn(f64) -> f64) -> Vec<Vector> {
+    let (x0, x1) = (x[0].borrow().as_bytes(), x[1].borrow().as_bytes());
     let mut lo = [0u8; LANES];
     let mut hi = [0u8; LANES];
     for l in 0..LANES {
@@ -271,8 +293,8 @@ fn float_binary(op: BinaryAluOp, x: f64, y: f64) -> f64 {
 pub fn apply_binary(
     op: BinaryAluOp,
     dtype: DataType,
-    a: &[Vector],
-    b: &[Vector],
+    a: &[impl Borrow<Vector>],
+    b: &[impl Borrow<Vector>],
 ) -> Result<Vec<Vector>, String> {
     check_width(dtype, a);
     check_width(dtype, b);
@@ -331,7 +353,11 @@ pub fn apply_binary(
 ///
 /// Returns a description if the op/type combination is unsupported (the
 /// transcendental units are floating-point only).
-pub fn apply_unary(op: UnaryAluOp, dtype: DataType, x: &[Vector]) -> Result<Vec<Vector>, String> {
+pub fn apply_unary(
+    op: UnaryAluOp,
+    dtype: DataType,
+    x: &[impl Borrow<Vector>],
+) -> Result<Vec<Vector>, String> {
     check_width(dtype, x);
     use UnaryAluOp as Op;
     if matches!(op, Op::Tanh | Op::Exp | Op::Rsqrt) && !dtype.is_float() {
@@ -396,25 +422,25 @@ fn float_unary(op: UnaryAluOp, v: f64) -> f64 {
 // Conversions.
 // ---------------------------------------------------------------------------
 
-fn decode_i64(from: DataType, x: &[Vector], out: &mut [i64; LANES]) {
+fn decode_i64(from: DataType, x: &[impl Borrow<Vector>], out: &mut [i64; LANES]) {
     match from {
         DataType::Int8 => {
-            for (o, &b) in out.iter_mut().zip(x[0].as_bytes()) {
+            for (o, &b) in out.iter_mut().zip(x[0].borrow().as_bytes()) {
                 *o = i64::from(b as i8);
             }
         }
         DataType::Int16 => {
-            let (x0, x1) = (x[0].as_bytes(), x[1].as_bytes());
+            let (x0, x1) = (x[0].borrow().as_bytes(), x[1].borrow().as_bytes());
             for l in 0..LANES {
                 out[l] = i64::from(i16::from_le_bytes([x0[l], x1[l]]));
             }
         }
         DataType::Int32 => {
             let px = [
-                x[0].as_bytes(),
-                x[1].as_bytes(),
-                x[2].as_bytes(),
-                x[3].as_bytes(),
+                x[0].borrow().as_bytes(),
+                x[1].borrow().as_bytes(),
+                x[2].borrow().as_bytes(),
+                x[3].borrow().as_bytes(),
             ];
             for l in 0..LANES {
                 out[l] = i64::from(i32::from_le_bytes([px[0][l], px[1][l], px[2][l], px[3][l]]));
@@ -424,20 +450,20 @@ fn decode_i64(from: DataType, x: &[Vector], out: &mut [i64; LANES]) {
     }
 }
 
-fn decode_f64(from: DataType, x: &[Vector], out: &mut [f64; LANES]) {
+fn decode_f64(from: DataType, x: &[impl Borrow<Vector>], out: &mut [f64; LANES]) {
     match from {
         DataType::Fp16 => {
-            let (x0, x1) = (x[0].as_bytes(), x[1].as_bytes());
+            let (x0, x1) = (x[0].borrow().as_bytes(), x[1].borrow().as_bytes());
             for l in 0..LANES {
                 out[l] = f64::from(fp16::f16_to_f32(u16::from_le_bytes([x0[l], x1[l]])));
             }
         }
         DataType::Fp32 => {
             let px = [
-                x[0].as_bytes(),
-                x[1].as_bytes(),
-                x[2].as_bytes(),
-                x[3].as_bytes(),
+                x[0].borrow().as_bytes(),
+                x[1].borrow().as_bytes(),
+                x[2].borrow().as_bytes(),
+                x[3].borrow().as_bytes(),
             ];
             for l in 0..LANES {
                 out[l] = f64::from(f32::from_le_bytes([px[0][l], px[1][l], px[2][l], px[3][l]]));
@@ -543,7 +569,7 @@ pub fn apply_convert(
     from: DataType,
     to: DataType,
     shift: i8,
-    x: &[Vector],
+    x: &[impl Borrow<Vector>],
 ) -> Result<Vec<Vector>, String> {
     check_width(from, x);
     if from.is_float() {

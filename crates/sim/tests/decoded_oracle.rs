@@ -1,0 +1,403 @@
+//! Decoded-vs-interpreted equivalence: the pre-decoded dispatch path
+//! ([`Chip::run_decoded`]) must be bit-identical to the interpreted
+//! reference oracle ([`Chip::run_interpreted`]) — cycles, result vectors,
+//! telemetry counters, trace bytes, bandwidth meters, fault accounting, and
+//! errors — on hand-built programs, under seeded fault plans, and on random
+//! programs (valid or not: invalid schedules must raise the *same* error at
+//! the same point on both paths).
+
+use proptest::prelude::*;
+use tsp_arch::{ChipConfig, Hemisphere, StreamGroup, StreamId, Vector};
+use tsp_isa::{AluIndex, BinaryAluOp, DataType, IcuOp, MemAddr, MemOp, UnaryAluOp, VxmOp};
+use tsp_mem::GlobalAddress;
+use tsp_sim::chip::{RunOptions, RunReport};
+use tsp_sim::faults::{FaultPlan, PlanSpec};
+use tsp_sim::{perfetto_json, Chip, DecodedProgram, IcuId, Program, SimError};
+
+fn mem_icu(h: Hemisphere, i: u8) -> IcuId {
+    IcuId::Mem {
+        hemisphere: h,
+        index: i,
+    }
+}
+
+fn ga(h: Hemisphere, slice: u8, word: u16) -> GlobalAddress {
+    GlobalAddress::new(h, slice, MemAddr::new(word))
+}
+
+fn sg1(s: StreamId) -> StreamGroup {
+    StreamGroup::new(s, 1)
+}
+
+/// Asserts two run outcomes are bit-identical in every observable dimension.
+fn assert_reports_identical(
+    decoded: &Result<RunReport, SimError>,
+    interpreted: &Result<RunReport, SimError>,
+) {
+    match (decoded, interpreted) {
+        (Ok(d), Ok(i)) => {
+            assert_eq!(d.cycles, i.cycles, "completion cycle");
+            assert_eq!(d.instructions, i.instructions, "instruction count");
+            assert_eq!(d.nops, i.nops, "NOP count");
+            assert_eq!(d.telemetry, i.telemetry, "telemetry counters");
+            assert_eq!(
+                d.telemetry.to_json(0),
+                i.telemetry.to_json(0),
+                "telemetry serialization"
+            );
+            assert_eq!(d.trace.events(), i.trace.events(), "trace events");
+            assert_eq!(
+                d.trace.total_recorded(),
+                i.trace.total_recorded(),
+                "trace totals"
+            );
+            assert_eq!(
+                d.trace.dropped_events(),
+                i.trace.dropped_events(),
+                "trace overflow"
+            );
+            assert_eq!(
+                perfetto_json(&d.trace),
+                perfetto_json(&i.trace),
+                "trace bytes"
+            );
+            assert_eq!(d.bandwidth, i.bandwidth, "bandwidth meters");
+            assert_eq!(d.ecc_corrected, i.ecc_corrected, "ECC corrections");
+            assert_eq!(d.faults_applied, i.faults_applied, "faults applied");
+            assert_eq!(d.faults_vacant, i.faults_vacant, "faults vacant");
+            assert_eq!(d.egress.len(), i.egress.len(), "egress count");
+            for (dw, iw) in d.egress.iter().zip(&i.egress) {
+                assert_eq!(dw.0, iw.0, "egress link");
+                assert_eq!(dw.1, iw.1, "egress cycle");
+                assert_eq!(*dw.2, *iw.2, "egress word");
+            }
+        }
+        (Err(d), Err(i)) => {
+            assert_eq!(format!("{d:?}"), format!("{i:?}"), "error");
+        }
+        (d, i) => panic!("outcome mismatch: decoded {d:?} vs interpreted {i:?}"),
+    }
+}
+
+/// Runs `program` twice from identical initial state (seeded by `seed_mem`)
+/// — once decoded, once interpreted — asserts bit-identical outcomes, and
+/// returns both chips for memory-state comparison.
+fn run_both(
+    program: &Program,
+    options: &RunOptions,
+    seed_mem: impl Fn(&mut Chip),
+) -> (Chip, Chip, Result<RunReport, SimError>) {
+    let decoded = DecodedProgram::decode(program);
+    assert_eq!(
+        decoded.len(),
+        decoded
+            .queues()
+            .iter()
+            .map(|(_, q)| q.ops.len())
+            .sum::<usize>()
+    );
+
+    let mut chip_d = Chip::new(ChipConfig::asic());
+    seed_mem(&mut chip_d);
+    let rd = chip_d.run_decoded(&decoded, options);
+
+    let mut chip_i = Chip::new(ChipConfig::asic());
+    seed_mem(&mut chip_i);
+    let ri = chip_i.run_interpreted(program, options);
+
+    assert_reports_identical(&rd, &ri);
+    (chip_d, chip_i, rd)
+}
+
+/// The Fig. 3 vector-add: Z = X + Y through MEM_E4/E5 → VXM → MEM_E6.
+fn vector_add_program() -> Program {
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 4)).push_at(
+        2,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 5)).push_at(
+        1,
+        MemOp::Read {
+            addr: MemAddr::new(0),
+            stream: StreamId::west(1),
+        },
+    );
+    p.builder(IcuId::Vxm {
+        alu: AluIndex::new(0),
+    })
+    .push_at(
+        12,
+        VxmOp::Binary {
+            op: BinaryAluOp::AddSat,
+            dtype: DataType::Int8,
+            a: sg1(StreamId::west(0)),
+            b: sg1(StreamId::west(1)),
+            dst: sg1(StreamId::east(2)),
+            alu: AluIndex::new(0),
+        },
+    );
+    p.builder(mem_icu(Hemisphere::East, 6)).push_at(
+        23,
+        MemOp::Write {
+            addr: MemAddr::new(0),
+            stream: StreamId::east(2),
+        },
+    );
+    p
+}
+
+fn seed_xy(chip: &mut Chip) {
+    chip.memory.write(
+        ga(Hemisphere::East, 4, 0),
+        Vector::from_fn(|i| (i % 100) as u8),
+    );
+    chip.memory.write(
+        ga(Hemisphere::East, 5, 0),
+        Vector::from_fn(|i| (i % 27) as u8),
+    );
+}
+
+#[test]
+fn vector_add_equivalent_with_trace() {
+    let options = RunOptions {
+        trace: true,
+        ..RunOptions::default()
+    };
+    let (chip_d, chip_i, report) = run_both(&vector_add_program(), &options, seed_xy);
+    let report = report.expect("valid schedule");
+    assert!(report.instructions > 0);
+    // Result vectors: same Z in both chips' memory.
+    let zd = chip_d.memory.read_unchecked(ga(Hemisphere::East, 6, 0));
+    let zi = chip_i.memory.read_unchecked(ga(Hemisphere::East, 6, 0));
+    assert_eq!(zd, zi, "result vector");
+}
+
+/// A seeded fault plan drawn over the vector-add window: both dispatch paths
+/// must strike the same sites at the same cycles and account identically.
+#[test]
+fn vector_add_equivalent_under_seeded_fault_plan() {
+    for seed in [7u64, 1234, 0xDEAD_BEEF] {
+        let plan = FaultPlan::generate(
+            seed,
+            &PlanSpec {
+                cycles: 0..40,
+                sram_data: 3,
+                sram_check: 2,
+                stream_upsets: 3,
+                sram_words: 2,
+            },
+        );
+        assert!(!plan.is_empty());
+        let options = RunOptions {
+            trace: true,
+            faults: plan,
+            ..RunOptions::default()
+        };
+        let (chip_d, chip_i, _) = run_both(&vector_add_program(), &options, seed_xy);
+        let zd = chip_d.memory.read_unchecked(ga(Hemisphere::East, 6, 0));
+        let zi = chip_i.memory.read_unchecked(ga(Hemisphere::East, 6, 0));
+        assert_eq!(zd, zi, "result vector under faults, seed {seed}");
+    }
+}
+
+/// Timing-only (non-functional) sweeps take a different data-path shortcut;
+/// the two dispatch paths must still agree bit-for-bit.
+#[test]
+fn vector_add_equivalent_timing_only() {
+    let options = RunOptions {
+        functional: false,
+        trace: true,
+        ..RunOptions::default()
+    };
+    let _ = run_both(&vector_add_program(), &options, seed_xy);
+}
+
+/// A mistimed consumer raises the same scheduling error on both paths.
+#[test]
+fn mistimed_consumer_same_error() {
+    let mut p = Program::new();
+    p.builder(mem_icu(Hemisphere::East, 4)).push(MemOp::Read {
+        addr: MemAddr::new(0),
+        stream: StreamId::west(0),
+    });
+    p.builder(IcuId::Vxm {
+        alu: AluIndex::new(0),
+    })
+    .push_at(
+        11, // correct arrival is 10
+        VxmOp::Unary {
+            op: UnaryAluOp::Mask,
+            dtype: DataType::Int8,
+            src: sg1(StreamId::west(0)),
+            dst: sg1(StreamId::east(1)),
+            alu: AluIndex::new(0),
+        },
+    );
+    let (_, _, outcome) = run_both(&p, &RunOptions::default(), |chip| {
+        chip.memory
+            .write(ga(Hemisphere::East, 4, 0), Vector::splat(1));
+    });
+    assert!(outcome.is_err(), "mistimed consumer must fault");
+}
+
+/// One pseudo-random instruction drawn from a small pool. The schedule is
+/// *not* guaranteed valid — that is the point: valid programs must produce
+/// identical reports, invalid ones identical errors.
+#[derive(Debug, Clone)]
+enum Pick {
+    Nop { count: u16 },
+    Read { slice: u8, word: u16, stream: u8 },
+    Write { slice: u8, word: u16, stream: u8 },
+    Unary { op: UnaryAluOp, src: u8, dst: u8 },
+}
+
+fn arb_pick() -> impl Strategy<Value = Pick> {
+    prop_oneof![
+        (1u16..4).prop_map(|count| Pick::Nop { count }),
+        (4u8..8, 0u16..4, 0u8..4).prop_map(|(slice, word, stream)| Pick::Read {
+            slice,
+            word,
+            stream
+        }),
+        (4u8..8, 0u16..4, 0u8..4).prop_map(|(slice, word, stream)| Pick::Write {
+            slice,
+            word,
+            stream
+        }),
+        (any::<bool>(), 0u8..4, 0u8..4).prop_map(|(relu, src, dst)| Pick::Unary {
+            op: if relu {
+                UnaryAluOp::Relu
+            } else {
+                UnaryAluOp::Mask
+            },
+            src,
+            dst,
+        }),
+    ]
+}
+
+/// Builds a program from random picks, spread over random dispatch cycles
+/// across a handful of MEM queues and one VXM queue. Requested cycles are
+/// clamped forward to the queue's current time (a queue cannot pad into its
+/// own past), so any pick sequence is constructible.
+fn build_random_program(picks: &[(Pick, u8, u64)]) -> Program {
+    let mut p = Program::new();
+    for (pick, queue_sel, at) in picks {
+        match pick {
+            Pick::Nop { count } => {
+                let mut b = p.builder(mem_icu(Hemisphere::East, 4 + queue_sel % 4));
+                b.push_at((*at).max(b.time()), IcuOp::Nop { count: *count });
+            }
+            Pick::Read {
+                slice,
+                word,
+                stream,
+            } => {
+                let mut b = p.builder(mem_icu(Hemisphere::East, *slice));
+                b.push_at(
+                    (*at).max(b.time()),
+                    MemOp::Read {
+                        addr: MemAddr::new(*word),
+                        stream: StreamId::west(*stream),
+                    },
+                );
+            }
+            Pick::Write {
+                slice,
+                word,
+                stream,
+            } => {
+                let mut b = p.builder(mem_icu(Hemisphere::East, *slice));
+                b.push_at(
+                    (*at).max(b.time()),
+                    MemOp::Write {
+                        addr: MemAddr::new(*word),
+                        stream: StreamId::west(*stream),
+                    },
+                );
+            }
+            Pick::Unary { op, src, dst } => {
+                let mut b = p.builder(IcuId::Vxm {
+                    alu: AluIndex::new(0),
+                });
+                b.push_at(
+                    (*at).max(b.time()),
+                    VxmOp::Unary {
+                        op: *op,
+                        dtype: DataType::Int8,
+                        src: sg1(StreamId::west(*src)),
+                        dst: sg1(StreamId::east(*dst)),
+                        alu: AluIndex::new(0),
+                    },
+                );
+            }
+        }
+    }
+    p
+}
+
+proptest! {
+    /// Random small programs — valid or not — produce bit-identical outcomes
+    /// on the decoded and interpreted paths.
+    #[test]
+    fn random_programs_equivalent(
+        picks in proptest::collection::vec((arb_pick(), 0u8..4, 0u64..48), 1..12),
+        tag in any::<u8>(),
+    ) {
+        let p = build_random_program(&picks);
+        let options = RunOptions {
+            trace: true,
+            cycle_limit: 10_000,
+            ..RunOptions::default()
+        };
+        let _ = run_both(&p, &options, |chip| {
+            for slice in 4..8u8 {
+                for word in 0..4u16 {
+                    chip.memory.write(
+                        ga(Hemisphere::East, slice, word),
+                        Vector::from_fn(|i| (i as u8).wrapping_mul(tag).wrapping_add(slice)),
+                    );
+                }
+            }
+        });
+    }
+
+    /// Random programs under random seeded fault plans stay equivalent.
+    #[test]
+    fn random_programs_equivalent_under_faults(
+        picks in proptest::collection::vec((arb_pick(), 0u8..4, 0u64..48), 1..10),
+        seed in any::<u64>(),
+    ) {
+        let p = build_random_program(&picks);
+        let plan = FaultPlan::generate(
+            seed,
+            &PlanSpec {
+                cycles: 0..64,
+                sram_data: 2,
+                sram_check: 1,
+                stream_upsets: 2,
+                sram_words: 4,
+            },
+        );
+        let options = RunOptions {
+            trace: true,
+            cycle_limit: 10_000,
+            faults: plan,
+            ..RunOptions::default()
+        };
+        let _ = run_both(&p, &options, |chip| {
+            for slice in 4..8u8 {
+                for word in 0..4u16 {
+                    chip.memory.write(
+                        ga(Hemisphere::East, slice, word),
+                        Vector::splat(slice ^ word as u8),
+                    );
+                }
+            }
+        });
+    }
+}

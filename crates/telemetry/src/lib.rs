@@ -55,6 +55,14 @@ pub struct Telemetry {
     pub vxm_alu_issue: [u64; VXM_ALUS],
     /// SRAM read accesses per hemisphere (gathers count as reads).
     pub sram_reads: [u64; HEMISPHERES],
+    /// MEM `Read`s whose stored word was pristine (`check == encode(data)`
+    /// by construction), forwarded without a consumer-side ECC verify — the
+    /// fault-free fast path. With `mem_reads_verified` this yields the
+    /// fast-path retention rate the fault campaigns report.
+    pub mem_reads_pristine: u64,
+    /// MEM `Read`s whose stored word carried explicit check bits (touched by
+    /// a fault path), forwarded for real consumer-side verification.
+    pub mem_reads_verified: u64,
     /// SRAM write accesses per hemisphere (scatters count as writes).
     pub sram_writes: [u64; HEMISPHERES],
     /// SXM vector transforms per hemisphere.
@@ -99,6 +107,8 @@ impl Telemetry {
         for (a, b) in self.sram_reads.iter_mut().zip(&other.sram_reads) {
             *a += b;
         }
+        self.mem_reads_pristine += other.mem_reads_pristine;
+        self.mem_reads_verified += other.mem_reads_verified;
         for (a, b) in self.sram_writes.iter_mut().zip(&other.sram_writes) {
             *a += b;
         }
@@ -179,6 +189,8 @@ impl Telemetry {
                 "{p}  \"mxm_macc_waves\": {},\n",
                 "{p}  \"vxm_alu_issue\": {},\n",
                 "{p}  \"sram_reads\": {},\n",
+                "{p}  \"mem_reads_pristine\": {},\n",
+                "{p}  \"mem_reads_verified\": {},\n",
                 "{p}  \"sram_writes\": {},\n",
                 "{p}  \"sxm_ops\": {},\n",
                 "{p}  \"c2c_sends\": {},\n",
@@ -193,6 +205,8 @@ impl Telemetry {
             arr(&self.mxm_macc_waves),
             arr(&self.vxm_alu_issue),
             arr(&self.sram_reads),
+            self.mem_reads_pristine,
+            self.mem_reads_verified,
             arr(&self.sram_writes),
             arr(&self.sxm_ops),
             self.c2c_sends,
@@ -225,6 +239,16 @@ impl Telemetry {
             mxm_macc_waves: arr(v, "mxm_macc_waves")?,
             vxm_alu_issue: arr(v, "vxm_alu_issue")?,
             sram_reads: arr(v, "sram_reads")?,
+            // Added by the pre-decode PR; absent in older reports, so they
+            // default to zero instead of failing the parse.
+            mem_reads_pristine: v
+                .get("mem_reads_pristine")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
+            mem_reads_verified: v
+                .get("mem_reads_verified")
+                .and_then(Json::as_u64)
+                .unwrap_or(0),
             sram_writes: arr(v, "sram_writes")?,
             sxm_ops: arr(v, "sxm_ops")?,
             c2c_sends: v.get("c2c_sends")?.as_u64()?,
@@ -247,6 +271,8 @@ mod tests {
             mxm_macc_waves: [8, 16, 24, 32],
             vxm_alu_issue: core::array::from_fn(|i| i as u64),
             sram_reads: [100, 200],
+            mem_reads_pristine: 290,
+            mem_reads_verified: 10,
             sram_writes: [50, 60],
             sxm_ops: [7, 9],
             c2c_sends: 3,
@@ -272,6 +298,8 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.mxm_plane_busy, [20, 40, 60, 80]);
         assert_eq!(a.sram_reads, [200, 400]);
+        assert_eq!(a.mem_reads_pristine, 580);
+        assert_eq!(a.mem_reads_verified, 20);
         assert_eq!(a.c2c_sends, 6);
         // High-water marks take the max, not the sum.
         assert_eq!(a.stream_high_water, 77);

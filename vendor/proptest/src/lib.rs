@@ -3,8 +3,8 @@
 //! The build environment has no crates.io access; this crate provides the
 //! subset of the proptest 1.x surface the workspace's property tests use:
 //! the [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`/`prop_assume!`,
-//! [`strategy::Strategy`] with `prop_map`, `any::<T>()`, and range
-//! strategies. No shrinking — a failing case panics with its inputs, which
+//! [`strategy::Strategy`] with `prop_map`, `any::<T>()`, range strategies,
+//! [`prop_oneof!`] unions and [`collection::vec`]. No shrinking — a failing case panics with its inputs, which
 //! is enough for CI. Each test runs 256 random cases from a fixed seed, so
 //! failures are reproducible.
 
@@ -119,6 +119,66 @@ pub mod strategy {
     pub fn any<T: Arbitrary>() -> Any<T> {
         Any(std::marker::PhantomData)
     }
+
+    /// Uniform choice between boxed alternative strategies of one value
+    /// type — the engine behind [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    /// Builds a [`Union`] from its arms (used by `prop_oneof!`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    #[must_use]
+    pub fn union<T>(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.len.end - self.len.start).max(1) as u64;
+            let n = self.len.start + (rng.next_u64() % span) as usize;
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A `Vec` of values from `element`, with a length drawn from `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+/// Picks one of several strategies (all generating the same type) uniformly
+/// per case. Unlike real proptest there are no weights.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::union(vec![$(Box::new($arm)),+])
+    };
 }
 
 /// Test execution machinery used by the [`proptest!`] expansion.
@@ -161,7 +221,7 @@ pub mod test_runner {
 pub mod prelude {
     pub use crate::strategy::{any, Strategy};
     pub use crate::test_runner::{TestCaseError, TestRng, CASES};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
 }
 
 /// Asserts a condition inside a property, reporting the inputs on failure.
