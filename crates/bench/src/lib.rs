@@ -14,6 +14,7 @@
 
 pub mod campaign;
 pub mod report;
+pub mod serve_report;
 pub mod workloads;
 
 // The harness's one concurrency primitive now lives in `tsp-host` (shared

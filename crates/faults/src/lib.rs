@@ -338,6 +338,158 @@ impl LinkFaultPlan {
     }
 }
 
+/// SplitMix64-style finalizer: decorrelates seeds derived from coordinates.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    x ^ (x >> 33)
+}
+
+/// What a chaos draw decided for one dispatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChaosStrike {
+    /// This dispatch runs clean.
+    None,
+    /// A transient upset: the plan strikes the first attempt only; a
+    /// retry-from-weights outruns it.
+    Transient(FaultPlan),
+    /// A permanent fault (stuck cell): the plan recurs on *every* attempt,
+    /// so bounded retry deterministically exhausts — the case a serving
+    /// layer must degrade around rather than retry through.
+    Persistent(FaultPlan),
+}
+
+/// Seeded chaos-mode configuration: which chips of a serving pool get
+/// struck, how often, and how hard. Probabilities are per-mille integers so
+/// every decision is exact integer arithmetic — a chaos campaign is
+/// reproducible bit for bit from `seed` alone.
+#[derive(Debug, Clone)]
+pub struct ChaosSpec {
+    /// Master seed; each dispatch's draw derives from it and the
+    /// `(chip, ordinal)` coordinates, so decisions are independent of host
+    /// threading and dispatch interleaving.
+    pub seed: u64,
+    /// Pool members subjected to strikes (empty = nobody; a typical
+    /// campaign strikes 1 of N).
+    pub chips: Vec<usize>,
+    /// Probability (‰) that a dispatch on a targeted chip draws a strike.
+    pub strike_per_mille: u32,
+    /// Of the strikes drawn, the fraction (‰) that are *persistent* (recur
+    /// every attempt) rather than transient (first attempt only).
+    pub persistent_per_mille: u32,
+    /// Random single-bit SRAM data strikes per drawn plan (mostly corrected
+    /// or masked — background radiation).
+    pub sram_data: u32,
+    /// Random in-flight stream-register upsets per drawn plan.
+    pub stream_upsets: u32,
+    /// Aim an additional double-bit (guaranteed-uncorrectable) strike at
+    /// the target word supplied to [`ChaosPlanner::strike`] — the hammer
+    /// that reliably drives the detect→retry→quarantine path.
+    pub targeted_double: bool,
+    /// SRAM word-address domain for the random strikes.
+    pub sram_words: u16,
+}
+
+impl ChaosSpec {
+    /// A quiet default: nobody struck until fields are filled in.
+    #[must_use]
+    pub fn off(seed: u64) -> ChaosSpec {
+        ChaosSpec {
+            seed,
+            chips: Vec::new(),
+            strike_per_mille: 0,
+            persistent_per_mille: 0,
+            sram_data: 0,
+            stream_upsets: 0,
+            targeted_double: false,
+            sram_words: 64,
+        }
+    }
+}
+
+/// Draws per-dispatch fault plans for live serving (`tsp-serve`'s chaos
+/// mode): deterministic in `(spec.seed, chip, ordinal)`, so the same sweep
+/// configuration always injects the same faults into the same dispatches.
+#[derive(Debug, Clone)]
+pub struct ChaosPlanner {
+    spec: ChaosSpec,
+}
+
+impl ChaosPlanner {
+    /// Wraps a spec.
+    #[must_use]
+    pub fn new(spec: ChaosSpec) -> ChaosPlanner {
+        ChaosPlanner { spec }
+    }
+
+    /// The spec being replayed.
+    #[must_use]
+    pub fn spec(&self) -> &ChaosSpec {
+        &self.spec
+    }
+
+    /// The chaos decision for dispatch `ordinal` on `chip`: strikes land in
+    /// `cycles`, and `target` (an SRAM word the workload is known to
+    /// consume, e.g. the model input) receives the guaranteed double-bit
+    /// strike when `targeted_double` is set.
+    #[must_use]
+    pub fn strike(
+        &self,
+        chip: usize,
+        ordinal: u64,
+        cycles: std::ops::Range<u64>,
+        target: Option<(Hemisphere, u8, u16)>,
+    ) -> ChaosStrike {
+        let spec = &self.spec;
+        if !spec.chips.contains(&chip) || spec.strike_per_mille == 0 {
+            return ChaosStrike::None;
+        }
+        let seed = mix(spec.seed ^ mix(chip as u64 + 1) ^ mix(ordinal.wrapping_add(1)));
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        if rng.gen_range(0u32..1000) >= spec.strike_per_mille {
+            return ChaosStrike::None;
+        }
+        let persistent = rng.gen_range(0u32..1000) < spec.persistent_per_mille;
+        let mut plan = FaultPlan::generate(
+            mix(seed),
+            &PlanSpec {
+                cycles: cycles.clone(),
+                sram_data: spec.sram_data,
+                sram_check: 0,
+                stream_upsets: spec.stream_upsets,
+                sram_words: spec.sram_words,
+            },
+        );
+        if spec.targeted_double {
+            if let Some((hemisphere, slice, word)) = target {
+                let flip = |lane, bit| FaultEvent {
+                    cycle: cycles.start,
+                    kind: FaultKind::SramData {
+                        hemisphere,
+                        slice,
+                        word,
+                        lane,
+                        bit,
+                    },
+                };
+                // Two flips in one 16-byte superlane codeword: beyond SECDED
+                // correction, guaranteed detected when the word streams.
+                let mut events = plan.events().to_vec();
+                events.push(flip(0, 1));
+                events.push(flip(3, 6));
+                plan = FaultPlan::from_events(seed, events);
+            }
+        }
+        if persistent {
+            ChaosStrike::Persistent(plan)
+        } else {
+            ChaosStrike::Transient(plan)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -436,6 +588,49 @@ mod tests {
         assert_eq!(p.faults_for(1, 5).len(), 2);
         assert!(p.faults_for(0, 4).is_empty());
         assert!(p.faults_for(2, 0).is_empty());
+    }
+
+    #[test]
+    fn chaos_draws_are_deterministic_and_respect_targeting() {
+        let chaos = ChaosPlanner::new(ChaosSpec {
+            chips: vec![0],
+            strike_per_mille: 1000,
+            persistent_per_mille: 0,
+            sram_data: 2,
+            targeted_double: true,
+            ..ChaosSpec::off(99)
+        });
+        let target = Some((Hemisphere::East, 3u8, 7u16));
+        let a = chaos.strike(0, 5, 0..1000, target);
+        let b = chaos.strike(0, 5, 0..1000, target);
+        assert_eq!(a, b, "same coordinates, same decision");
+        let ChaosStrike::Transient(plan) = a else {
+            panic!("strike_per_mille 1000 must draw: {a:?}")
+        };
+        // 2 random single-bit strikes + the targeted double-bit pair.
+        assert_eq!(plan.events().len(), 4);
+        assert_eq!(
+            chaos.strike(1, 5, 0..1000, target),
+            ChaosStrike::None,
+            "untargeted chips run clean"
+        );
+    }
+
+    #[test]
+    fn chaos_persistence_draw_is_seeded() {
+        let chaos = ChaosPlanner::new(ChaosSpec {
+            chips: vec![0],
+            strike_per_mille: 1000,
+            persistent_per_mille: 1000,
+            sram_data: 1,
+            ..ChaosSpec::off(7)
+        });
+        assert!(matches!(
+            chaos.strike(0, 0, 0..100, None),
+            ChaosStrike::Persistent(_)
+        ));
+        let off = ChaosPlanner::new(ChaosSpec::off(7));
+        assert_eq!(off.strike(0, 0, 0..100, None), ChaosStrike::None);
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! * [`resilient`] — host-level graceful degradation: bounded
 //!   retry-from-weights on transient chip faults (uncorrectable ECC, link
 //!   retry exhaustion), reporting recovery overhead in a `ResilienceReport`;
+//! * [`batch`] — the serving surface: a cached compile plus a batch bound
+//!   ([`batch::BatchModel`]), weights-resident emplace accounting, and
+//!   back-to-back batch execution through the resilient layer;
 //! * [`resnet`] — ResNet-50/101/152 graph builders (plus reduced variants
 //!   for fast tests and the paper's §IV-E wide-320 variant);
 //! * [`data`] / [`train`] — a deterministic synthetic classification dataset
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod compile;
 pub mod data;
 pub mod graph;
@@ -34,6 +38,7 @@ pub mod resilient;
 pub mod resnet;
 pub mod train;
 
+pub use batch::{compile_batch_cached, BatchModel};
 pub use compile::{compile, compile_cached, CompileOptions, CompiledModel};
 pub use graph::{ConvSpec, Graph, Op, Params};
 pub use quant::{quantize, QuantGraph};

@@ -29,10 +29,19 @@ pub const DEFAULT_MAX_ATTEMPTS: u32 = 3;
 pub struct ResilientOptions {
     /// Total run budget (first attempt included), ≥ 1.
     pub max_attempts: u32,
-    /// Fault plan injected into attempt `i` (`attempt_faults[i]`); attempts
-    /// past the end run fault-free. Transient upsets do not recur on retry,
-    /// so a campaign puts its plan at index 0 only.
+    /// Fault plan injected into attempt `i` (`attempt_faults[i]`). Attempts
+    /// past the end run fault-free — transient upsets do not recur on retry,
+    /// so a campaign puts its plan at index 0 only — unless [`sticky`] is
+    /// set, in which case the *last* plan recurs on every further attempt.
+    ///
+    /// [`sticky`]: ResilientOptions::sticky
     pub attempt_faults: Vec<FaultPlan>,
+    /// Model a *permanent* fault (a stuck SRAM cell, a dead link lane):
+    /// attempts past the end of `attempt_faults` replay its last plan
+    /// instead of running fault-free. Retry-from-weights cannot outrun such
+    /// a fault, so the run deterministically exhausts its budget — the case
+    /// the serving layer's circuit breaker exists for.
+    pub sticky: bool,
     /// Base run options (trace / cycle limit / functional). The `faults`
     /// field is overridden per attempt from `attempt_faults`.
     pub base: RunOptions,
@@ -43,6 +52,7 @@ impl Default for ResilientOptions {
         ResilientOptions {
             max_attempts: DEFAULT_MAX_ATTEMPTS,
             attempt_faults: Vec::new(),
+            sticky: false,
             base: RunOptions::default(),
         }
     }
@@ -63,6 +73,67 @@ pub enum RunOutcome {
         /// The last attempt's error.
         last_error: SimError,
     },
+}
+
+/// The coarse *site class* of a transient error — what kind of hardware the
+/// fault lives in. The serving layer's circuit breaker keys off this: link
+/// errors are weather (transient signaling margin), repeated SRAM
+/// detections on one chip smell like a failing part.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransientKind {
+    /// Uncorrectable SECDED detection — SRAM-shaped (a stored word or an
+    /// in-flight stream register took more damage than one bit).
+    Ecc,
+    /// A C2C `Receive` with nothing arrived (word lost beyond the timeout).
+    LinkEmpty,
+    /// A C2C wire exhausted its retransmission budget on one word.
+    LinkRetryExhausted,
+}
+
+impl TransientKind {
+    /// Stable identifier used in reports and serving telemetry.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TransientKind::Ecc => "ecc",
+            TransientKind::LinkEmpty => "link_empty",
+            TransientKind::LinkRetryExhausted => "link_retry_exhausted",
+        }
+    }
+
+    /// Is this a link-level (inter-chip signaling) fault rather than an
+    /// on-chip memory/stream one?
+    #[must_use]
+    pub fn is_link(self) -> bool {
+        matches!(
+            self,
+            TransientKind::LinkEmpty | TransientKind::LinkRetryExhausted
+        )
+    }
+}
+
+/// The [`TransientKind`] of an error, if it is transient at all.
+#[must_use]
+pub fn transient_kind(error: &SimError) -> Option<TransientKind> {
+    match error {
+        SimError::Ecc { .. } => Some(TransientKind::Ecc),
+        SimError::LinkEmpty { .. } => Some(TransientKind::LinkEmpty),
+        SimError::LinkRetryExhausted { .. } => Some(TransientKind::LinkRetryExhausted),
+        _ => None,
+    }
+}
+
+/// Why one attempt of a resilient run died — the structured form of
+/// [`ResilienceReport::transient_errors`], one entry per retry-triggering
+/// failure, in attempt order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryCause {
+    /// Zero-based index of the attempt that died.
+    pub attempt: u32,
+    /// Simulated cycle the error struck at.
+    pub cycle: u64,
+    /// Site class of the fault (SRAM-shaped vs link-shaped).
+    pub kind: TransientKind,
 }
 
 /// What the host observed across all attempts of one inference.
@@ -98,6 +169,11 @@ pub struct ResilienceReport {
     pub recovery_wall: Duration,
     /// Display strings of each transient error, in attempt order.
     pub transient_errors: Vec<String>,
+    /// Structured cause of each retry-triggering failure, in attempt order
+    /// (same length as `transient_errors`): the site class and strike cycle,
+    /// so a circuit breaker can tell link weather from SRAM rot without
+    /// parsing display strings.
+    pub retry_causes: Vec<RetryCause>,
     /// Final outcome.
     pub outcome: RunOutcome,
 }
@@ -148,7 +224,8 @@ fn error_cycle(error: &SimError) -> u64 {
 /// Each attempt rebuilds the chip from scratch — `Chip::new`, constants
 /// reload (the PCIe model-emplace), input rewrite — so a retry observes no
 /// state damaged by the previous attempt. Attempt `i` is injected with
-/// `options.attempt_faults[i]` (fault-free past the end).
+/// `options.attempt_faults[i]` (fault-free past the end, unless
+/// [`ResilientOptions::sticky`] makes the last plan permanent).
 ///
 /// Returns `Err` only for non-transient errors (see [`is_transient`]);
 /// transient exhaustion is reported as [`RunOutcome::Exhausted`].
@@ -175,6 +252,7 @@ pub fn run_resilient(
         telemetry: Telemetry::new(),
         recovery_wall: Duration::ZERO,
         transient_errors: Vec::new(),
+        retry_causes: Vec::new(),
         outcome: RunOutcome::Exhausted {
             last_error: SimError::CycleLimit { limit: 0 }, // replaced below
         },
@@ -187,6 +265,12 @@ pub fn run_resilient(
         let faults = options
             .attempt_faults
             .get(attempt as usize)
+            .or_else(|| {
+                options
+                    .sticky
+                    .then(|| options.attempt_faults.last())
+                    .flatten()
+            })
             .cloned()
             .unwrap_or_else(FaultPlan::empty);
         let run_options = RunOptions {
@@ -222,6 +306,11 @@ pub fn run_resilient(
                 report.wasted_cycles += error_cycle(&error);
                 report.recovery_wall += start.elapsed();
                 report.transient_errors.push(error.to_string());
+                report.retry_causes.push(RetryCause {
+                    attempt,
+                    cycle: error_cycle(&error),
+                    kind: transient_kind(&error).expect("is_transient guarded above"),
+                });
                 report.outcome = RunOutcome::Exhausted { last_error: error };
             }
             Err(error) => return Err(error),

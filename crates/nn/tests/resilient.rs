@@ -7,7 +7,7 @@ use tsp_arch::ChipConfig;
 use tsp_nn::compile::{compile, CompileOptions, CompiledModel, InputKind};
 use tsp_nn::data::synthetic;
 use tsp_nn::quant::quantize;
-use tsp_nn::resilient::{is_transient, run_resilient, ResilientOptions, RunOutcome};
+use tsp_nn::resilient::{is_transient, run_resilient, ResilientOptions, RunOutcome, TransientKind};
 use tsp_nn::train::small_cnn;
 use tsp_sim::chip::RunOptions;
 use tsp_sim::faults::{FaultEvent, FaultKind, FaultPlan};
@@ -118,6 +118,42 @@ fn retry_budget_exhaustion_is_reported_not_panicked() {
             assert!(is_transient(last_error), "{last_error}");
         }
         RunOutcome::Completed { .. } => panic!("must not complete"),
+    }
+}
+
+#[test]
+fn permanent_fault_exhausts_its_bound_with_structured_causes() {
+    // A *permanent* strike (sticky: the plan recurs on every attempt) must
+    // make `run_resilient` give up after exactly `max_attempts` runs — no
+    // loop, no panic — and say why in `retry_causes`, one entry per dead
+    // attempt, so a circuit breaker can act on the site class.
+    let (model, image) = model_and_image();
+    let options = ResilientOptions {
+        max_attempts: 4,
+        attempt_faults: vec![uncorrectable_input_fault(&model)],
+        sticky: true,
+        ..ResilientOptions::default()
+    };
+    let report = run_resilient(&model, &ChipConfig::asic(), &image, &options)
+        .expect("give-up is a structured report, not an Err");
+    assert!(!report.completed());
+    assert_eq!(report.attempts, 4, "attempts == bound");
+    assert_eq!(report.retried, 3);
+    assert_eq!(
+        report.retry_causes.len(),
+        4,
+        "every dead attempt attributed"
+    );
+    for (k, cause) in report.retry_causes.iter().enumerate() {
+        assert_eq!(cause.attempt, k as u32, "causes in attempt order");
+        assert_eq!(cause.kind, TransientKind::Ecc, "SRAM-shaped, not link");
+        assert!(!cause.kind.is_link());
+        assert_eq!(cause.kind.name(), "ecc");
+    }
+    assert!(report.logits().is_none());
+    match &report.outcome {
+        RunOutcome::Exhausted { last_error } => assert!(is_transient(last_error)),
+        RunOutcome::Completed { .. } => panic!("sticky fault must never complete"),
     }
 }
 

@@ -1,0 +1,717 @@
+//! The serving event loop: admission → batch → dispatch → retry/quarantine.
+//!
+//! [`serve`] is a deterministic discrete-event simulation of a serving host
+//! in front of a pool of TSP chips. Virtual time is a cycle counter; the
+//! loop advances it from scheduling instant to scheduling instant (a
+//! request arrival, or a chip coming free), and at each instant:
+//!
+//! 1. **admits** arrivals into a bounded queue, shedding
+//!    [`Rejected::QueueFull`] when the bound is hit;
+//! 2. **expires** queued requests that have already out-waited their
+//!    deadline ([`Rejected::Expired`]) — dispatching them would only burn a
+//!    chip on an answer nobody is waiting for;
+//! 3. **dispatches** one batch of up to `max_batch` requests to every free,
+//!    healthy chip (all of a wave's batches run concurrently on host
+//!    threads via [`tsp_host::try_fan_out`]; results are merged in chip
+//!    order, so the outcome is independent of host threading);
+//! 4. **accounts** each batch on the virtual clock: one model emplace per
+//!    batch, each request's attempts back to back, capped exponential
+//!    backoff plus a re-emplace per retry — every completion cycle is
+//!    re-derivable from the [`BatchRecord`] alone, which is what
+//!    [`crate::verify::verify_accounting`] checks.
+//!
+//! Failure handling is layered: transient faults retry inside
+//! [`run_resilient`]; a request that exhausts its budget is a structured
+//! [`ServeOutcome::Failed`], never a wrong answer; and every verdict feeds
+//! the per-chip circuit breaker ([`crate::health`]), which quarantines a
+//! chip that keeps drawing faults and drains its work to the healthy rest.
+//! Chaos mode ([`ChaosSpec`]) injects seeded fault plans into live
+//! dispatches so all of the above runs under test, not in theory.
+//!
+//! [`run_resilient`]: tsp_nn::resilient::run_resilient
+
+use std::collections::VecDeque;
+
+use tsp_arch::ChipConfig;
+use tsp_host::{try_fan_out, WorkerPanic};
+use tsp_nn::batch::BatchModel;
+use tsp_nn::resilient::{ResilienceReport, ResilientOptions, RunOutcome, DEFAULT_MAX_ATTEMPTS};
+use tsp_sim::chip::RunOptions;
+use tsp_sim::{SimError, Telemetry};
+
+use tsp_faults::{ChaosPlanner, ChaosSpec, ChaosStrike};
+
+use crate::health::{ChipHealth, HealthConfig};
+use crate::request::{Rejected, Request, Response, ServeOutcome};
+
+/// Configuration of one serving run.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Chip configuration every pool member runs.
+    pub chip: ChipConfig,
+    /// Pool size (chips), ≥ 1.
+    pub pool: usize,
+    /// Admission-queue bound, ≥ 1: arrivals past it shed
+    /// [`Rejected::QueueFull`].
+    pub queue_depth: usize,
+    /// Per-request retry budget handed to `run_resilient` (first attempt
+    /// included), ≥ 1.
+    pub max_attempts: u32,
+    /// Base of the capped exponential backoff: retry `k` (zero-based)
+    /// charges `min(backoff_base << k, backoff_cap)` virtual cycles before
+    /// its re-emplace.
+    pub backoff_base: u64,
+    /// Cap of the exponential backoff, in cycles.
+    pub backoff_cap: u64,
+    /// Chaos strikes land in the first `chaos_window` cycles of an attempt
+    /// (the targeted double-bit strike lands at cycle 0, which the schedule
+    /// always consumes). Irrelevant when `chaos` is `None`.
+    pub chaos_window: u64,
+    /// Circuit-breaker thresholds.
+    pub health: HealthConfig,
+    /// Seeded chaos mode: `Some` injects fault plans into live dispatches.
+    pub chaos: Option<ChaosSpec>,
+    /// Collect utilization counters into [`ChipStats::telemetry`].
+    pub counters: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            chip: ChipConfig::asic(),
+            pool: 4,
+            queue_depth: 64,
+            max_attempts: DEFAULT_MAX_ATTEMPTS,
+            backoff_base: 256,
+            backoff_cap: 2048,
+            chaos_window: 2048,
+            health: HealthConfig::default(),
+            chaos: None,
+            counters: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Backoff charged before retry `k` (zero-based): capped exponential.
+    #[must_use]
+    pub fn backoff(&self, retry: u32) -> u64 {
+        self.backoff_base
+            .checked_shl(retry)
+            .map_or(self.backoff_cap, |b| b.min(self.backoff_cap))
+    }
+}
+
+/// Why [`serve`] could not run at all (request-level failures are
+/// [`ServeOutcome`]s, not errors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// `pool`, `queue_depth` or `max_attempts` was zero.
+    BadConfig(&'static str),
+    /// Requests must arrive sorted by `(arrival, id)` with unique ids; the
+    /// payload is the index of the first offender.
+    BadRequestOrder(usize),
+    /// A request's `input` index is outside the shared input set.
+    InputOutOfRange {
+        /// The offending request's id.
+        id: u64,
+        /// Its out-of-range input index.
+        input: usize,
+    },
+    /// A pool worker panicked (attributed to its wave slot by `tsp-host`).
+    WorkerPanic(WorkerPanic),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::BadConfig(what) => write!(f, "bad serve config: {what}"),
+            ServeError::BadRequestOrder(index) => {
+                write!(f, "request {index} breaks (arrival, id) order")
+            }
+            ServeError::InputOutOfRange { id, input } => {
+                write!(f, "request {id}: input index {input} out of range")
+            }
+            ServeError::WorkerPanic(p) => write!(f, "serve pool: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// One request's row in a [`BatchRecord`] — everything needed to re-derive
+/// its completion cycle from the batch's dispatch cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServedRequest {
+    /// The request's id.
+    pub id: u64,
+    /// Chip runs performed.
+    pub attempts: u32,
+    /// Simulated cycles each *failed* attempt burned before its transient
+    /// error (in attempt order; length `attempts` when the budget
+    /// exhausted, `attempts − 1` when some attempt completed, empty when
+    /// the failure was non-transient).
+    pub failed_attempt_cycles: Vec<u64>,
+    /// The completing attempt's run cycles (`None` if no attempt
+    /// completed).
+    pub final_cycles: Option<u64>,
+    /// Total backoff cycles charged between attempts.
+    pub backoff: u64,
+    /// Total re-emplace cycles charged (one model emplace per retry).
+    pub reemplace: u64,
+    /// Completion cycle: the batch's `dispatched + emplace`, plus every
+    /// earlier row's service, plus this row's service.
+    pub completed: u64,
+}
+
+impl ServedRequest {
+    /// This row's service cycles: failed attempts + backoff + re-emplaces
+    /// + the completing run.
+    #[must_use]
+    pub fn service(&self) -> u64 {
+        self.failed_attempt_cycles.iter().sum::<u64>()
+            + self.backoff
+            + self.reemplace
+            + self.final_cycles.unwrap_or(0)
+    }
+}
+
+/// One dispatched batch: the unit of accounting (and of chaos).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Pool member that ran it.
+    pub chip: usize,
+    /// Per-chip dispatch ordinal (the chaos draw coordinate).
+    pub ordinal: u64,
+    /// Cycle the batch left the queue.
+    pub dispatched: u64,
+    /// Model-emplace cycles charged once up front.
+    pub emplace: u64,
+    /// What the chaos draw decided: `"none"`, `"transient"` or
+    /// `"persistent"`.
+    pub chaos: &'static str,
+    /// Member rows, in dispatch order.
+    pub served: Vec<ServedRequest>,
+    /// Cycle the chip came free again:
+    /// `dispatched + emplace + Σ served.service()`.
+    pub finished: u64,
+}
+
+/// Per-chip serving statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChipStats {
+    /// Batches dispatched to this chip.
+    pub batches: u64,
+    /// Requests carried by those batches.
+    pub requests: u64,
+    /// Requests that completed (logits produced).
+    pub completed: u64,
+    /// Requests that failed (budget exhausted or non-transient error).
+    pub failed: u64,
+    /// Busy cycles (dispatch to finish, summed over batches).
+    pub busy_cycles: u64,
+    /// Retries caused by link-shaped transients on this chip.
+    pub retries_link: u64,
+    /// Retries caused by SRAM-shaped transients on this chip.
+    pub retries_sram: u64,
+    /// Cycle the circuit breaker quarantined the chip, if it did.
+    pub quarantined_at: Option<u64>,
+    /// Utilization counters merged over the chip's completing attempts
+    /// (zeroed when [`ServeConfig::counters`] is off).
+    pub telemetry: Telemetry,
+}
+
+/// Everything one serving run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeResult {
+    /// One response per request, sorted by id.
+    pub responses: Vec<Response>,
+    /// Every dispatched batch, in dispatch order (ties broken by chip
+    /// index — the wave merge order).
+    pub batches: Vec<BatchRecord>,
+    /// Per-chip statistics, indexed by pool position.
+    pub chips: Vec<ChipStats>,
+    /// Cycle the last batch finished (0 when nothing dispatched).
+    pub horizon: u64,
+}
+
+impl ServeResult {
+    /// Requests that produced logits.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| matches!(r.outcome, ServeOutcome::Completed { .. }))
+            .count()
+    }
+
+    /// Requests that produced logits within their deadline — goodput.
+    #[must_use]
+    pub fn good(&self) -> usize {
+        self.responses.iter().filter(|r| r.good()).count()
+    }
+
+    /// Requests shed at admission (queue full).
+    #[must_use]
+    pub fn shed_queue_full(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| matches!(r.outcome, ServeOutcome::Shed(Rejected::QueueFull { .. })))
+            .count()
+    }
+
+    /// Requests shed after out-waiting their deadline in the queue.
+    #[must_use]
+    pub fn shed_expired(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| matches!(r.outcome, ServeOutcome::Shed(Rejected::Expired { .. })))
+            .count()
+    }
+
+    /// Requests dispatched but never completed.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.responses
+            .iter()
+            .filter(|r| matches!(r.outcome, ServeOutcome::Failed { .. }))
+            .count()
+    }
+
+    /// Requests that completed but past their deadline.
+    #[must_use]
+    pub fn deadline_missed(&self) -> usize {
+        self.completed() - self.good()
+    }
+
+    /// Sorted end-to-end latencies (cycles) of completed requests.
+    #[must_use]
+    pub fn latencies(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .responses
+            .iter()
+            .filter(|r| matches!(r.outcome, ServeOutcome::Completed { .. }))
+            .filter_map(Response::latency)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Mutable per-chip serving state.
+struct ChipState {
+    free_at: u64,
+    dispatches: u64,
+    health: ChipHealth,
+    stats: ChipStats,
+}
+
+/// A wave slot: one batch bound for one chip, chaos already drawn.
+struct Assignment {
+    chip: usize,
+    ordinal: u64,
+    batch_index: usize,
+    dispatched: u64,
+    requests: Vec<Request>,
+    strike: ChaosStrike,
+}
+
+/// Runs the serving loop over `requests` (sorted by `(arrival, id)`, ids
+/// unique) against the shared quantized `inputs` set.
+///
+/// Deterministic: virtual time only — the same model, config, inputs and
+/// requests produce an identical [`ServeResult`] regardless of host
+/// threading or wall-clock conditions.
+///
+/// # Errors
+///
+/// [`ServeError`] on structural problems (bad config, unsorted requests,
+/// out-of-range input indices, worker panics). Per-request failures are
+/// [`ServeOutcome`]s inside the result, never errors.
+pub fn serve(
+    model: &BatchModel,
+    config: &ServeConfig,
+    inputs: &[Vec<i8>],
+    requests: &[Request],
+) -> Result<ServeResult, ServeError> {
+    if config.pool == 0 {
+        return Err(ServeError::BadConfig("pool must hold at least one chip"));
+    }
+    if config.queue_depth == 0 {
+        return Err(ServeError::BadConfig("queue_depth must be at least 1"));
+    }
+    if config.max_attempts == 0 {
+        return Err(ServeError::BadConfig("max_attempts must be at least 1"));
+    }
+    for (i, pair) in requests.windows(2).enumerate() {
+        if (pair[1].arrival, pair[1].id) <= (pair[0].arrival, pair[0].id) {
+            return Err(ServeError::BadRequestOrder(i + 1));
+        }
+    }
+    for r in requests {
+        if r.input >= inputs.len() {
+            return Err(ServeError::InputOutOfRange {
+                id: r.id,
+                input: r.input,
+            });
+        }
+    }
+
+    let planner = config.chaos.clone().map(ChaosPlanner::new);
+    let emplace = model.emplace_cycles();
+    let target = model.input_site();
+    let base = RunOptions {
+        counters: config.counters,
+        ..RunOptions::default()
+    };
+
+    let mut chips: Vec<ChipState> = (0..config.pool)
+        .map(|_| ChipState {
+            free_at: 0,
+            dispatches: 0,
+            health: ChipHealth::new(config.health.clone()),
+            stats: ChipStats {
+                batches: 0,
+                requests: 0,
+                completed: 0,
+                failed: 0,
+                busy_cycles: 0,
+                retries_link: 0,
+                retries_sram: 0,
+                quarantined_at: None,
+                telemetry: Telemetry::new(),
+            },
+        })
+        .collect();
+    let mut queue: VecDeque<Request> = VecDeque::new();
+    let mut arrivals = requests.iter().cloned().peekable();
+    let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
+    let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut now: u64 = 0;
+
+    loop {
+        // 1. Admission: arrivals up to the current instant, in order.
+        while arrivals.peek().is_some_and(|r| r.arrival <= now) {
+            let r = arrivals.next().expect("peeked");
+            if queue.len() >= config.queue_depth {
+                responses.push(shed(
+                    &r,
+                    Rejected::QueueFull {
+                        queue_depth: config.queue_depth,
+                    },
+                ));
+            } else {
+                queue.push_back(r);
+            }
+        }
+
+        // 2. Expiry: queued requests already past their deadline are shed
+        //    at this scheduling instant rather than wasting a chip.
+        let expired: Vec<Request> = {
+            let mut kept = VecDeque::with_capacity(queue.len());
+            let mut out = Vec::new();
+            for r in queue.drain(..) {
+                if r.arrival + r.deadline < now {
+                    out.push(r);
+                } else {
+                    kept.push_back(r);
+                }
+            }
+            queue = kept;
+            out
+        };
+        for r in &expired {
+            responses.push(shed(r, Rejected::Expired { at: now }));
+        }
+
+        // 3. Dispatch wave: one batch per free eligible chip, in chip
+        //    order. Quarantined chips are skipped — unless every chip is
+        //    quarantined, in which case the breaker fails open (degraded
+        //    service beats no service; correctness never depends on it).
+        if !queue.is_empty() {
+            let all_tripped = chips.iter().all(|c| c.health.tripped());
+            let mut wave: Vec<Assignment> = Vec::new();
+            for (ci, chip) in chips.iter_mut().enumerate() {
+                if queue.is_empty() || chip.free_at > now {
+                    continue;
+                }
+                if chip.health.tripped() && !all_tripped {
+                    continue;
+                }
+                let take = queue.len().min(model.max_batch);
+                let batch_requests: Vec<Request> = queue.drain(..take).collect();
+                let ordinal = chip.dispatches;
+                chip.dispatches += 1;
+                let strike = planner.as_ref().map_or(ChaosStrike::None, |p| {
+                    p.strike(ci, ordinal, 0..config.chaos_window.max(1), Some(target))
+                });
+                wave.push(Assignment {
+                    chip: ci,
+                    ordinal,
+                    batch_index: batches.len() + wave.len(),
+                    dispatched: now,
+                    requests: batch_requests,
+                    strike,
+                });
+            }
+            if !wave.is_empty() {
+                // All of the wave's batches run concurrently; results come
+                // back in wave (chip) order, so accounting is
+                // threading-independent.
+                let outcomes = try_fan_out(wave, |a| {
+                    let reports = run_assignment(model, config, inputs, &a, &base);
+                    (a, reports)
+                })
+                .map_err(ServeError::WorkerPanic)?;
+                for (a, reports) in outcomes {
+                    account(
+                        &a,
+                        reports,
+                        emplace,
+                        config,
+                        &mut chips[a.chip],
+                        &mut responses,
+                        &mut batches,
+                    );
+                }
+                continue; // re-evaluate at the same instant (drains queue)
+            }
+        }
+
+        // 4. Advance the clock to the next scheduling instant.
+        let next_arrival = arrivals.peek().map(|r| r.arrival);
+        let next_free = if queue.is_empty() {
+            None
+        } else {
+            let all_tripped = chips.iter().all(|c| c.health.tripped());
+            chips
+                .iter()
+                .filter(|c| all_tripped || !c.health.tripped())
+                .map(|c| c.free_at)
+                .filter(|&f| f > now)
+                .min()
+        };
+        now = match (next_arrival, next_free) {
+            (Some(a), Some(f)) => a.min(f),
+            (Some(a), None) => a,
+            (None, Some(f)) => f,
+            (None, None) => break, // no arrivals, empty queue: done
+        };
+    }
+
+    responses.sort_by_key(|r| r.id);
+    let horizon = batches.iter().map(|b| b.finished).max().unwrap_or(0);
+    Ok(ServeResult {
+        responses,
+        batches,
+        chips: chips.into_iter().map(|c| c.stats).collect(),
+        horizon,
+    })
+}
+
+fn shed(r: &Request, why: Rejected) -> Response {
+    Response {
+        id: r.id,
+        input: r.input,
+        arrival: r.arrival,
+        deadline: r.deadline,
+        outcome: ServeOutcome::Shed(why),
+    }
+}
+
+/// Executes one assignment's batch on the simulator (worker-thread side).
+///
+/// The chaos draw maps onto `run_resilient` fault plans: a *transient*
+/// strike hits the first attempt of the batch's head request only (a retry
+/// outruns it); a *persistent* strike recurs on every attempt of **every**
+/// request in the batch (a stuck cell survives the per-attempt chip
+/// rebuild), so the budget deterministically exhausts.
+fn run_assignment(
+    model: &BatchModel,
+    config: &ServeConfig,
+    inputs: &[Vec<i8>],
+    a: &Assignment,
+    base: &RunOptions,
+) -> Vec<Result<ResilienceReport, SimError>> {
+    let images: Vec<&[i8]> = a
+        .requests
+        .iter()
+        .map(|r| inputs[r.input].as_slice())
+        .collect();
+    let clean = ResilientOptions {
+        max_attempts: config.max_attempts,
+        attempt_faults: Vec::new(),
+        sticky: false,
+        base: base.clone(),
+    };
+    let per_request: Vec<ResilientOptions> = match &a.strike {
+        ChaosStrike::None => vec![clean; images.len()],
+        ChaosStrike::Transient(plan) => {
+            let mut options = vec![clean; images.len()];
+            options[0].attempt_faults = vec![plan.clone()];
+            options
+        }
+        ChaosStrike::Persistent(plan) => {
+            let struck = ResilientOptions {
+                attempt_faults: vec![plan.clone()],
+                sticky: true,
+                ..clean
+            };
+            vec![struck; images.len()]
+        }
+    };
+    model.run_batch(&config.chip, &images, &per_request)
+}
+
+/// Folds one finished assignment into the serving state (main-loop side,
+/// in wave order).
+fn account(
+    a: &Assignment,
+    reports: Vec<Result<ResilienceReport, SimError>>,
+    emplace: u64,
+    config: &ServeConfig,
+    chip: &mut ChipState,
+    responses: &mut Vec<Response>,
+    batches: &mut Vec<BatchRecord>,
+) {
+    let mut cursor = a.dispatched + emplace;
+    let mut served = Vec::with_capacity(a.requests.len());
+    for (request, result) in a.requests.iter().zip(reports) {
+        let row = match result {
+            Ok(report) => {
+                let failed_attempt_cycles: Vec<u64> =
+                    report.retry_causes.iter().map(|c| c.cycle).collect();
+                let transitions = report.attempts.saturating_sub(1);
+                let backoff: u64 = (0..transitions).map(|k| config.backoff(k)).sum();
+                let reemplace = u64::from(transitions) * emplace;
+                let final_cycles = match &report.outcome {
+                    RunOutcome::Completed { cycles, .. } => Some(*cycles),
+                    RunOutcome::Exhausted { .. } => None,
+                };
+                let (mut link, mut sram) = (0u64, 0u64);
+                for cause in &report.retry_causes {
+                    if cause.kind.is_link() {
+                        link += 1;
+                    } else {
+                        sram += 1;
+                    }
+                    chip.health.record_retry(cause.kind);
+                }
+                chip.stats.retries_link += link;
+                chip.stats.retries_sram += sram;
+                let service = failed_attempt_cycles.iter().sum::<u64>()
+                    + backoff
+                    + reemplace
+                    + final_cycles.unwrap_or(0);
+                let completed_at = cursor + service;
+                let row = ServedRequest {
+                    id: request.id,
+                    attempts: report.attempts,
+                    failed_attempt_cycles,
+                    final_cycles,
+                    backoff,
+                    reemplace,
+                    completed: completed_at,
+                };
+                match &report.outcome {
+                    RunOutcome::Completed { logits, .. } => {
+                        if report.retried == 0 {
+                            chip.health.record_success();
+                        }
+                        chip.stats.completed += 1;
+                        chip.stats.telemetry.merge(&report.telemetry);
+                        responses.push(Response {
+                            id: request.id,
+                            input: request.input,
+                            arrival: request.arrival,
+                            deadline: request.deadline,
+                            outcome: ServeOutcome::Completed {
+                                logits: logits.clone(),
+                                chip: a.chip,
+                                batch: a.batch_index,
+                                dispatched: a.dispatched,
+                                completed: completed_at,
+                                deadline_met: completed_at <= request.arrival + request.deadline,
+                                attempts: report.attempts,
+                                retried_link: link as u32,
+                                retried_sram: sram as u32,
+                            },
+                        });
+                    }
+                    RunOutcome::Exhausted { last_error } => {
+                        chip.health.record_exhausted();
+                        chip.stats.failed += 1;
+                        responses.push(Response {
+                            id: request.id,
+                            input: request.input,
+                            arrival: request.arrival,
+                            deadline: request.deadline,
+                            outcome: ServeOutcome::Failed {
+                                chip: a.chip,
+                                batch: a.batch_index,
+                                dispatched: a.dispatched,
+                                completed: completed_at,
+                                attempts: report.attempts,
+                                error: last_error.to_string(),
+                            },
+                        });
+                    }
+                }
+                row
+            }
+            Err(error) => {
+                // Non-transient: the simulator aborted deterministically
+                // (a compiler bug, not chip weather). No chip time is
+                // modeled; the request fails in place.
+                chip.health.record_exhausted();
+                chip.stats.failed += 1;
+                responses.push(Response {
+                    id: request.id,
+                    input: request.input,
+                    arrival: request.arrival,
+                    deadline: request.deadline,
+                    outcome: ServeOutcome::Failed {
+                        chip: a.chip,
+                        batch: a.batch_index,
+                        dispatched: a.dispatched,
+                        completed: cursor,
+                        attempts: 1,
+                        error: error.to_string(),
+                    },
+                });
+                ServedRequest {
+                    id: request.id,
+                    attempts: 1,
+                    failed_attempt_cycles: Vec::new(),
+                    final_cycles: None,
+                    backoff: 0,
+                    reemplace: 0,
+                    completed: cursor,
+                }
+            }
+        };
+        cursor = row.completed;
+        served.push(row);
+    }
+    let finished = cursor;
+    chip.free_at = finished;
+    chip.stats.batches += 1;
+    chip.stats.requests += a.requests.len() as u64;
+    chip.stats.busy_cycles += finished - a.dispatched;
+    if chip.health.tripped() && chip.stats.quarantined_at.is_none() {
+        chip.stats.quarantined_at = Some(finished);
+    }
+    batches.push(BatchRecord {
+        chip: a.chip,
+        ordinal: a.ordinal,
+        dispatched: a.dispatched,
+        emplace,
+        chaos: match a.strike {
+            ChaosStrike::None => "none",
+            ChaosStrike::Transient(_) => "transient",
+            ChaosStrike::Persistent(_) => "persistent",
+        },
+        served,
+        finished,
+    });
+}

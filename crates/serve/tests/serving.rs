@@ -1,0 +1,382 @@
+//! End-to-end serving-layer behavior: admission control sheds structurally,
+//! deadlines are enforced on the virtual clock, chaos-injected faults
+//! degrade throughput without ever degrading answers (logits bit-identical
+//! to a fault-free serial oracle), the circuit breaker quarantines a chip
+//! drawing persistent faults, and the whole accounting re-derives cleanly.
+
+use std::collections::HashMap;
+
+use tsp_arch::ChipConfig;
+use tsp_nn::batch::{compile_batch_cached, BatchModel};
+use tsp_nn::compile::CompileOptions;
+use tsp_nn::data::synthetic;
+use tsp_nn::quant::quantize;
+use tsp_nn::resilient::{run_resilient, ResilientOptions, RunOutcome};
+use tsp_nn::train::small_cnn;
+use tsp_serve::{
+    serve, verify_accounting, HealthConfig, Rejected, Request, ServeConfig, ServeError,
+    ServeOutcome,
+};
+use tsp_sim::faults::ChaosSpec;
+
+/// The shared workload: a small CNN with a handful of quantized inputs.
+fn workload(max_batch: usize) -> (BatchModel, Vec<Vec<i8>>) {
+    let data = synthetic(11, 12, 12, 2, 4, 6);
+    let (g, params) = small_cnn(12, 16, 4, 5);
+    let q = quantize(&g, &params, &data.images[..2]);
+    let model = compile_batch_cached(&q, &CompileOptions::default(), max_batch);
+    let images = data.images.iter().map(|i| q.quantize_image(i)).collect();
+    (model, images)
+}
+
+/// Fault-free serial oracle logits per input index.
+fn oracle(model: &BatchModel, inputs: &[Vec<i8>]) -> HashMap<usize, Vec<i8>> {
+    inputs
+        .iter()
+        .enumerate()
+        .map(|(i, image)| {
+            let report = run_resilient(
+                &model.model,
+                &ChipConfig::asic(),
+                image,
+                &ResilientOptions::default(),
+            )
+            .expect("oracle run");
+            (i, report.logits().expect("oracle completes").to_vec())
+        })
+        .collect()
+}
+
+/// One fault-free run's cycles — the natural time unit for deadlines.
+fn service_cycles(model: &BatchModel, image: &[i8]) -> u64 {
+    let report = run_resilient(
+        &model.model,
+        &ChipConfig::asic(),
+        image,
+        &ResilientOptions::default(),
+    )
+    .expect("calibration run");
+    match report.outcome {
+        RunOutcome::Completed { cycles, .. } => cycles,
+        RunOutcome::Exhausted { .. } => unreachable!("fault-free"),
+    }
+}
+
+fn requests_at(arrivals: &[(u64, usize)], deadline: u64) -> Vec<Request> {
+    arrivals
+        .iter()
+        .enumerate()
+        .map(|(id, &(arrival, input))| Request {
+            id: id as u64,
+            arrival,
+            deadline,
+            input,
+        })
+        .collect()
+}
+
+#[test]
+fn fault_free_serving_is_bit_identical_to_the_oracle_and_verifies() {
+    let (model, inputs) = workload(3);
+    let golden = oracle(&model, &inputs);
+    let s = service_cycles(&model, &inputs[0]);
+    let e = model.emplace_cycles();
+    // 9 requests over 2 chips, arriving fast enough to queue and batch.
+    let arrivals: Vec<(u64, usize)> = (0..9).map(|i| (i * s / 4, (i % 3) as usize)).collect();
+    let requests = requests_at(&arrivals, 40 * (e + 3 * s));
+    let config = ServeConfig {
+        pool: 2,
+        ..ServeConfig::default()
+    };
+    let result = serve(&model, &config, &inputs, &requests).expect("serves");
+
+    assert_eq!(result.completed(), requests.len(), "everything completes");
+    assert_eq!(result.good(), requests.len(), "generous deadlines all met");
+    for response in &result.responses {
+        let ServeOutcome::Completed {
+            logits, attempts, ..
+        } = &response.outcome
+        else {
+            panic!("fault-free must complete: {response:?}")
+        };
+        assert_eq!(*attempts, 1);
+        assert_eq!(logits, &golden[&response.input], "oracle bit-identity");
+    }
+    // Responses come back sorted by id, and both chips saw work.
+    for pair in result.responses.windows(2) {
+        assert!(pair[0].id < pair[1].id);
+    }
+    assert!(result.chips.iter().all(|c| c.requests > 0), "pool balanced");
+    assert!(result.chips.iter().all(|c| c.quarantined_at.is_none()));
+    verify_accounting(&requests, &result, &model, &config).expect("accounting re-derives");
+}
+
+#[test]
+fn admission_queue_sheds_queue_full_structurally() {
+    let (model, inputs) = workload(1);
+    // Four simultaneous arrivals against a depth-1 queue on one chip.
+    let requests = requests_at(&[(0, 0), (0, 1), (0, 0), (0, 1)], 1_000_000);
+    let config = ServeConfig {
+        pool: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+    let result = serve(&model, &config, &inputs, &requests).expect("serves");
+    assert_eq!(result.completed(), 1, "one admitted, one served");
+    assert_eq!(result.shed_queue_full(), 3, "the burst sheds");
+    for response in &result.responses[1..] {
+        assert_eq!(
+            response.outcome,
+            ServeOutcome::Shed(Rejected::QueueFull { queue_depth: 1 }),
+            "structured rejection"
+        );
+    }
+    verify_accounting(&requests, &result, &model, &config).expect("accounting re-derives");
+}
+
+#[test]
+fn deadlines_expire_in_queue_and_misses_are_accounted() {
+    let (model, inputs) = workload(1);
+    let s = service_cycles(&model, &inputs[0]);
+    let e = model.emplace_cycles();
+    // Impossible deadline: even the unqueued head request (emplace + one
+    // service) must blow it; the ones queued behind expire before dispatch.
+    let requests = requests_at(&[(0, 0), (1, 0), (2, 0)], 2);
+    let config = ServeConfig {
+        pool: 1,
+        ..ServeConfig::default()
+    };
+    let result = serve(&model, &config, &inputs, &requests).expect("serves");
+    assert_eq!(result.completed(), 1, "head request still runs");
+    assert_eq!(result.good(), 0, "but misses its deadline");
+    assert_eq!(result.deadline_missed(), 1);
+    assert_eq!(result.shed_expired(), 2, "queued requests expire unserved");
+    let head = &result.responses[0].outcome;
+    let ServeOutcome::Completed {
+        deadline_met,
+        completed,
+        ..
+    } = head
+    else {
+        panic!("head completes: {head:?}")
+    };
+    assert!(!deadline_met);
+    assert!(*completed >= e + s, "completion includes emplace + service");
+    for response in &result.responses[1..] {
+        let ServeOutcome::Shed(Rejected::Expired { at }) = response.outcome else {
+            panic!("queued requests expire: {response:?}")
+        };
+        assert!(at > response.arrival + response.deadline);
+    }
+    verify_accounting(&requests, &result, &model, &config).expect("accounting re-derives");
+}
+
+#[test]
+fn chaos_transient_strikes_retry_to_bit_identical_logits() {
+    let (model, inputs) = workload(2);
+    let golden = oracle(&model, &inputs);
+    let requests = requests_at(
+        &[(0, 0), (0, 1), (0, 2), (0, 0), (0, 1), (0, 2)],
+        100_000_000,
+    );
+    let config = ServeConfig {
+        pool: 2,
+        chaos: Some(ChaosSpec {
+            chips: vec![0],
+            strike_per_mille: 1000,
+            targeted_double: true,
+            ..ChaosSpec::off(0xC0FFEE)
+        }),
+        // Keep the breaker out of this test's way: every chip-0 dispatch
+        // draws a strike, and we want them all served anyway.
+        health: HealthConfig {
+            trip_score: 1_000_000,
+            ..HealthConfig::default()
+        },
+        ..ServeConfig::default()
+    };
+    let result = serve(&model, &config, &inputs, &requests).expect("serves");
+    assert_eq!(result.completed(), requests.len(), "transients all recover");
+    let mut retried = 0u32;
+    for response in &result.responses {
+        let ServeOutcome::Completed {
+            logits,
+            attempts,
+            retried_sram,
+            ..
+        } = &response.outcome
+        else {
+            panic!("must complete: {response:?}")
+        };
+        retried += retried_sram;
+        assert!(*attempts <= config.max_attempts);
+        assert_eq!(
+            logits, &golden[&response.input],
+            "recovered logits bit-identical to the fault-free oracle"
+        );
+    }
+    assert!(retried > 0, "the chaos strikes actually caused retries");
+    assert!(result.chips[0].retries_sram > 0, "attributed to chip 0");
+    assert_eq!(result.chips[1].retries_sram, 0, "chip 1 ran clean");
+    verify_accounting(&requests, &result, &model, &config).expect("accounting re-derives");
+}
+
+#[test]
+fn persistent_faults_quarantine_the_chip_and_drain_to_healthy_ones() {
+    let (model, inputs) = workload(2);
+    let golden = oracle(&model, &inputs);
+    let requests = requests_at(
+        &[
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+        ],
+        100_000_000,
+    );
+    let config = ServeConfig {
+        pool: 3,
+        max_attempts: 2,
+        chaos: Some(ChaosSpec {
+            chips: vec![0],
+            strike_per_mille: 1000,
+            persistent_per_mille: 1000,
+            targeted_double: true,
+            ..ChaosSpec::off(0xDEAD)
+        }),
+        ..ServeConfig::default()
+    };
+    let result = serve(&model, &config, &inputs, &requests).expect("serves");
+
+    // Chip 0's first batch exhausts its retry budget and trips the breaker.
+    assert!(
+        result.chips[0].quarantined_at.is_some(),
+        "chip 0 quarantined: {:?}",
+        result.chips[0]
+    );
+    assert_eq!(result.chips[0].batches, 1, "no work offered after the trip");
+    assert_eq!(result.failed(), 2, "exactly the struck batch's members");
+    assert_eq!(
+        result.completed(),
+        requests.len() - 2,
+        "everything else drains to the healthy chips"
+    );
+    for response in &result.responses {
+        match &response.outcome {
+            ServeOutcome::Completed { logits, chip, .. } => {
+                assert_ne!(*chip, 0, "completions never ran on the struck chip");
+                assert_eq!(logits, &golden[&response.input], "never a wrong answer");
+            }
+            ServeOutcome::Failed {
+                chip,
+                attempts,
+                error,
+                ..
+            } => {
+                assert_eq!(*chip, 0);
+                assert_eq!(*attempts, 2, "budget exhausted at its bound");
+                assert!(!error.is_empty());
+            }
+            ServeOutcome::Shed(_) => panic!("nothing sheds here: {response:?}"),
+        }
+    }
+    assert!(result.chips[1].requests + result.chips[2].requests >= 10);
+    verify_accounting(&requests, &result, &model, &config).expect("accounting re-derives");
+
+    // The whole run — chaos, quarantine, drain — is deterministic.
+    let again = serve(&model, &config, &inputs, &requests).expect("serves again");
+    assert_eq!(result, again, "same config + requests, same result");
+}
+
+#[test]
+fn verify_accounting_detects_tampering() {
+    let (model, inputs) = workload(2);
+    let requests = requests_at(&[(0, 0), (10, 1), (20, 2)], 100_000_000);
+    let config = ServeConfig {
+        pool: 2,
+        ..ServeConfig::default()
+    };
+    let result = serve(&model, &config, &inputs, &requests).expect("serves");
+    verify_accounting(&requests, &result, &model, &config).expect("clean result verifies");
+
+    let mut forged = result.clone();
+    forged.horizon += 1;
+    let violations = verify_accounting(&requests, &forged, &model, &config)
+        .expect_err("forged horizon must be caught");
+    assert!(
+        violations.iter().any(|v| v.contains("horizon")),
+        "{violations:?}"
+    );
+
+    let mut forged = result.clone();
+    forged.batches[0].served[0].completed += 1;
+    assert!(
+        verify_accounting(&requests, &forged, &model, &config).is_err(),
+        "forged completion cycle must be caught"
+    );
+
+    let mut forged = result;
+    if let ServeOutcome::Completed { deadline_met, .. } = &mut forged.responses[0].outcome {
+        *deadline_met = !*deadline_met;
+    }
+    assert!(
+        verify_accounting(&requests, &forged, &model, &config).is_err(),
+        "forged deadline verdict must be caught"
+    );
+}
+
+#[test]
+fn structural_errors_are_rejected_up_front() {
+    let (model, inputs) = workload(2);
+    let config = ServeConfig {
+        pool: 2,
+        ..ServeConfig::default()
+    };
+    let unsorted = vec![
+        Request {
+            id: 0,
+            arrival: 10,
+            deadline: 100,
+            input: 0,
+        },
+        Request {
+            id: 1,
+            arrival: 5,
+            deadline: 100,
+            input: 0,
+        },
+    ];
+    assert_eq!(
+        serve(&model, &config, &inputs, &unsorted).unwrap_err(),
+        ServeError::BadRequestOrder(1)
+    );
+    let out_of_range = vec![Request {
+        id: 7,
+        arrival: 0,
+        deadline: 100,
+        input: inputs.len(),
+    }];
+    assert_eq!(
+        serve(&model, &config, &inputs, &out_of_range).unwrap_err(),
+        ServeError::InputOutOfRange {
+            id: 7,
+            input: inputs.len()
+        }
+    );
+    let empty_pool = ServeConfig {
+        pool: 0,
+        ..ServeConfig::default()
+    };
+    assert!(matches!(
+        serve(&model, &empty_pool, &inputs, &[]).unwrap_err(),
+        ServeError::BadConfig(_)
+    ));
+}
