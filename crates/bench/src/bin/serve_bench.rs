@@ -15,21 +15,35 @@
 //!   (`verify_accounting`).
 //!
 //! Both must be zero; the bin exits non-zero otherwise, which is the CI
-//! smoke gate. Results land in `BENCH_SERVE.json` (schema `tsp-serve-v1`),
-//! bit-identical for a given configuration.
+//! smoke gate. Results land in `BENCH_SERVE.json` (schema `tsp-serve-v2`:
+//! latency percentiles come from the mergeable log-bucketed
+//! [`Histogram`] whose full distribution is persisted per point — see
+//! `serve_report` for the exact quantile semantics), bit-identical for a
+//! given configuration.
 //!
-//! Usage: `cargo run -p tsp-bench --bin serve_bench [-- out.json] [--smoke]`
+//! Request tracing runs with spans on: the final sweep point's span trees
+//! are exported as a Perfetto document (validated in-process — structural
+//! breakage fails the bench, not a human squinting at a viewer) and its
+//! flight-recorder dump of non-success requests is printed.
+//!
+//! Usage: `cargo run -p tsp-bench --bin serve_bench
+//!         [-- out.json] [--smoke] [--trace trace.json]`
 
 use tsp_arch::ChipConfig;
-use tsp_bench::serve_report::{percentile, ServeBenchReport, ServeChipRow, ServePoint};
+use tsp_bench::serve_report::{ServeBenchReport, ServeChipRow, ServePoint};
 use tsp_nn::batch::{compile_batch_cached, BatchModel};
 use tsp_nn::compile::CompileOptions;
 use tsp_nn::data::synthetic;
 use tsp_nn::quant::quantize;
 use tsp_nn::resilient::{run_resilient, ResilientOptions, RunOutcome};
 use tsp_nn::train::small_cnn;
-use tsp_serve::{open_loop, serve, verify_accounting, LoadSpec, ServeConfig, ServeOutcome};
+use tsp_serve::{
+    open_loop, render_flight, serve, serve_trace_json, verify_accounting, LoadSpec, ServeConfig,
+    ServeOutcome,
+};
 use tsp_sim::faults::ChaosSpec;
+use tsp_telemetry::hist::Histogram;
+use tsp_telemetry::perfetto;
 
 const POOL: usize = 4;
 const MAX_BATCH: usize = 4;
@@ -75,12 +89,19 @@ fn workload() -> (BatchModel, Vec<Vec<i8>>) {
 
 fn main() {
     let mut out_path = String::from("BENCH_SERVE.json");
+    let mut trace_path = String::from("serve_trace.json");
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
-        if arg == "--smoke" {
-            smoke = true;
-        } else {
-            out_path = arg;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--trace" => {
+                trace_path = args.next().unwrap_or_else(|| {
+                    eprintln!("error: --trace needs a path");
+                    std::process::exit(2);
+                });
+            }
+            _ => out_path = arg,
         }
     }
 
@@ -132,6 +153,8 @@ fn main() {
     );
 
     let mut report = ServeBenchReport::default();
+    let mut trace_doc = String::new();
+    let mut flight_dump = String::new();
     for (li, (load_name, factor)) in loads.iter().enumerate() {
         for (ci, column) in columns.iter().enumerate() {
             let mean_interarrival = capacity_gap * factor;
@@ -146,6 +169,7 @@ fn main() {
             let config = ServeConfig {
                 pool: POOL,
                 queue_depth: 32,
+                spans: true,
                 chaos: (column.strike_per_mille > 0).then(|| ChaosSpec {
                     chips: vec![0],
                     strike_per_mille: column.strike_per_mille,
@@ -174,7 +198,10 @@ fn main() {
                     violations.len() as u64
                 }
             };
-            let latencies = result.latencies();
+            let mut latency = Histogram::new();
+            for l in result.latencies() {
+                latency.record(l);
+            }
             let label = format!("{load_name}/{}", column.name);
             let quarantined: Vec<usize> = result
                 .chips
@@ -198,9 +225,10 @@ fn main() {
                 sdc,
                 accounting_violations,
                 horizon: result.horizon,
-                p50: percentile(&latencies, 0.50),
-                p99: percentile(&latencies, 0.99),
-                p999: percentile(&latencies, 0.999),
+                p50: latency.quantile(0.50),
+                p99: latency.quantile(0.99),
+                p999: latency.quantile(0.999),
+                latency,
                 chips: result
                     .chips
                     .iter()
@@ -234,6 +262,10 @@ fn main() {
                 quarantined,
             );
             report.points.push(point);
+            // Last point wins: the sweep ends on the heaviest chaos column,
+            // which is the trace worth looking at.
+            trace_doc = serve_trace_json(&result);
+            flight_dump = render_flight(&result.flight);
         }
     }
 
@@ -242,6 +274,26 @@ fn main() {
         std::process::exit(1);
     }
     println!("\nwrote {out_path}");
+
+    // Request-trace export of the final sweep point, structurally validated
+    // in-process so a broken document fails the bench rather than a viewer.
+    match perfetto::validate(&trace_doc) {
+        Ok(stats) => println!(
+            "wrote {trace_path}: {} spans on {} tracks, horizon {}",
+            stats.span_events,
+            stats.tracks.len(),
+            stats.max_ts
+        ),
+        Err(e) => {
+            eprintln!("invalid serve trace: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Err(e) = std::fs::write(&trace_path, &trace_doc) {
+        eprintln!("error: cannot write {trace_path}: {e}");
+        std::process::exit(1);
+    }
+    print!("{flight_dump}");
 
     // Degradation shape: under chaos at non-overload, goodput should track
     // the healthy chips' share, not collapse.

@@ -71,6 +71,12 @@ fn main() {
             let (model, image) = resnet50_model();
             model.load_constants(&mut chip);
             model.write_input(&mut chip, &image);
+            // Layer-boundary marks from the compiler's layer spans: the run
+            // report comes back with per-layer telemetry slices.
+            let options = RunOptions {
+                layers: model.layer_marks(),
+                ..options.clone()
+            };
             chip.run(&model.program, &options)
         }
         _ => usage(),
@@ -159,6 +165,41 @@ fn main() {
     ];
     println!("{}", render_utilization(&rows));
 
+    // Per-layer attribution: each row is one compiler layer's exact share
+    // of the whole-run counters (they sum bit-exactly; pinned by
+    // `crates/sim/tests/layers.rs`), rendered against the same roofline
+    // capacities as the whole-run table above.
+    if !report.layers.is_empty() {
+        println!("# per-layer attribution");
+        println!(
+            "{:<22} {:>9} {:>6} {:>8} {:>9} {:>6} {:>10} {:>10}",
+            "layer", "cycles", "cyc%", "waves", "waves/cyc", "mxm%", "vxm-issue", "sram"
+        );
+        for s in &report.layers {
+            let t = &s.telemetry;
+            let lc = s.cycles().max(1);
+            println!(
+                "{:<22} {:>9} {:>6.1} {:>8} {:>9.3} {:>6.1} {:>10} {:>10}",
+                s.name,
+                s.cycles(),
+                100.0 * s.cycles() as f64 / cycles.max(1) as f64,
+                t.macc_waves(),
+                t.macc_waves() as f64 / lc as f64,
+                100.0 * t.macc_waves() as f64 / (4 * lc) as f64,
+                t.vxm_issue_total(),
+                t.sram_accesses(),
+            );
+        }
+        let covered: u64 = report.layers.iter().map(|s| s.cycles()).sum();
+        println!(
+            "{:<22} {:>9} {:>6.1} (marked-region share of {} run cycles)\n",
+            "= layers",
+            covered,
+            100.0 * covered as f64 / cycles.max(1) as f64,
+            cycles
+        );
+    }
+
     // Idle-gap analysis on the busiest tracks: where does the critical
     // resource wait?
     let mut ranked: Vec<&tsp_sim::IcuTimeline> = tracks.iter().collect();
@@ -176,8 +217,9 @@ fn main() {
         );
     }
 
-    // Emit and smoke-validate the Perfetto trace.
-    let text = tsp_sim::perfetto_json(&report.trace);
+    // Emit and smoke-validate the Perfetto trace (layer track included
+    // when the workload carries layer marks).
+    let text = tsp_sim::perfetto_json_with_layers(&report.trace, &report.layers);
     if let Err(e) = std::fs::write(&out_path, &text) {
         eprintln!("error: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -185,8 +227,10 @@ fn main() {
     match perfetto::validate(&text) {
         Ok(s) => {
             assert!(
-                s.tracks.iter().all(|n| n.starts_with("icu.")),
-                "non-ICU track in trace"
+                s.tracks
+                    .iter()
+                    .all(|n| n.starts_with("icu.") || n == "layers"),
+                "unexpected track in trace"
             );
             println!(
                 "wrote {out_path}: {} span events on {} tracks in {} processes, timeline end {} cycles",

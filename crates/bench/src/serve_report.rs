@@ -1,17 +1,31 @@
-//! The `BENCH_SERVE.json` report schema (`tsp-serve-v1`), with a parser so
+//! The `BENCH_SERVE.json` report schema (`tsp-serve-v2`), with a parser so
 //! the schema round-trips — serving sweeps from different commits can be
 //! compared programmatically, like the simspeed and fault artifacts.
 //!
 //! One [`ServePoint`] per sweep point (offered load × chaos configuration):
-//! goodput, shed and deadline-miss rates, latency percentiles in cycles,
-//! the two gate counters (`sdc`, `accounting_violations` — CI fails on
-//! either being nonzero), and per-chip utilization derived from the serving
-//! layer's merged telemetry.
+//! goodput, shed and deadline-miss rates, the full end-to-end latency
+//! [`Histogram`], the two gate counters (`sdc`, `accounting_violations` —
+//! CI fails on either being nonzero), and per-chip utilization derived from
+//! the serving layer's merged telemetry.
+//!
+//! # Percentile semantics (v2)
+//!
+//! `p50`/`p99`/`p999` are [`Histogram::quantile`] values: the rank is the
+//! same `⌈q·n⌉`-th smallest the old sorted-vec picked (the [`percentile`]
+//! helper below remains as the exact-rank reference), but the reported value
+//! is the **upper bound of the log bucket** holding that rank, clamped to
+//! the observed maximum. Below 32 cycles buckets are exact; above, the
+//! value is within 3.125% of (and never below) the true order statistic.
+//! In exchange the histogram is mergeable across sweep shards and O(1) per
+//! record, so v2 reports carry the *whole* distribution, not three samples
+//! of it — `min`/`max`/`mean` are exact, and any other quantile can be
+//! re-derived from the persisted buckets.
 
+use tsp_telemetry::hist::Histogram;
 use tsp_telemetry::json::Json;
 
 /// Schema tag of `BENCH_SERVE.json`.
-pub const SERVE_SCHEMA: &str = "tsp-serve-v1";
+pub const SERVE_SCHEMA: &str = "tsp-serve-v2";
 
 /// One chip's share of a sweep point.
 #[derive(Debug, Clone, PartialEq)]
@@ -68,11 +82,16 @@ pub struct ServePoint {
     /// Cycle the last batch finished.
     pub horizon: u64,
     /// Median end-to-end latency in cycles (0 when nothing completed).
+    /// See the module docs for the v2 bucket-upper-bound semantics.
     pub p50: u64,
-    /// 99th-percentile latency in cycles.
+    /// 99th-percentile latency in cycles (bucket upper bound, ≤ max).
     pub p99: u64,
-    /// 99.9th-percentile latency in cycles.
+    /// 99.9th-percentile latency in cycles (bucket upper bound, ≤ max).
     pub p999: u64,
+    /// The full end-to-end latency distribution (completed requests only,
+    /// arrival → completion in cycles). `p50`/`p99`/`p999` above are its
+    /// [`Histogram::quantile`] values, persisted for grep-ability.
+    pub latency: Histogram,
     /// Per-chip rows, by pool position.
     pub chips: Vec<ServeChipRow>,
 }
@@ -141,6 +160,7 @@ impl ServeBenchReport {
                     "      \"p50\": {},\n",
                     "      \"p99\": {},\n",
                     "      \"p999\": {},\n",
+                    "      \"latency\": {},\n",
                     "      \"chips\": [\n"
                 ),
                 escape_free(&p.label),
@@ -160,6 +180,7 @@ impl ServeBenchReport {
                 p.p50,
                 p.p99,
                 p.p999,
+                p.latency.to_json(6),
             ));
             for (j, c) in p.chips.iter().enumerate() {
                 json.push_str(&format!(
@@ -268,6 +289,10 @@ impl ServeBenchReport {
                 p50: u64_field("p50")?,
                 p99: u64_field("p99")?,
                 p999: u64_field("p999")?,
+                latency: p
+                    .get("latency")
+                    .and_then(Histogram::from_json)
+                    .ok_or(format!("point {i}: missing latency histogram"))?,
                 chips,
             });
         }
@@ -275,7 +300,12 @@ impl ServeBenchReport {
     }
 }
 
-/// Percentile helper over sorted latencies: index `ceil(q·n) − 1`.
+/// Exact-rank percentile over sorted latencies: index `ceil(q·n) − 1`.
+///
+/// Kept as the **reference semantics** for [`Histogram::quantile`] (same
+/// rank selection; the histogram reports that rank's bucket upper bound) and
+/// for tests that cross-check the two. `serve_bench` itself records into a
+/// [`Histogram`] — O(1) per request, mergeable, whole distribution persisted.
 #[must_use]
 pub fn percentile(sorted: &[u64], q: f64) -> u64 {
     if sorted.is_empty() {
@@ -290,6 +320,10 @@ mod tests {
     use super::*;
 
     fn sample() -> ServeBenchReport {
+        let mut latency = Histogram::new();
+        for v in [880, 901, 944, 4_150, 6_000] {
+            latency.record(v);
+        }
         ServeBenchReport {
             points: vec![ServePoint {
                 label: "underload/chaos-persistent".into(),
@@ -309,6 +343,7 @@ mod tests {
                 p50: 900,
                 p99: 4_200,
                 p999: 6_000,
+                latency,
                 chips: vec![
                     ServeChipRow {
                         chip: 0,
@@ -344,10 +379,22 @@ mod tests {
 
     #[test]
     fn wrong_schema_is_rejected() {
-        let text = sample().to_json().replace("-v1", "-v0");
+        let text = sample().to_json().replace("-v2", "-v0");
         assert!(ServeBenchReport::from_json(&text)
             .unwrap_err()
             .contains(SERVE_SCHEMA));
+    }
+
+    #[test]
+    fn latency_histogram_survives_the_round_trip() {
+        let report = sample();
+        let text = report.to_json();
+        let back = ServeBenchReport::from_json(&text).expect("parses");
+        let (a, b) = (&report.points[0].latency, &back.points[0].latency);
+        assert_eq!(a, b);
+        for q in [0.5, 0.99, 0.999] {
+            assert_eq!(a.quantile(q), b.quantile(q));
+        }
     }
 
     #[test]

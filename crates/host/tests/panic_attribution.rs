@@ -1,0 +1,108 @@
+//! Panic attribution through the host fan-out: a worker panic surfaces as a
+//! structured [`WorkerPanic`] naming the *lowest* panicking input index with
+//! the original payload preserved — deterministically, regardless of which
+//! host thread hit it first — and never poisons the results of other inputs.
+
+use tsp_host::{fan_out, try_fan_out, WorkerPanic};
+
+/// Quiet the default panic hook's stderr spam for intentional panics; the
+/// closures below still unwind normally. The hook is process-global, so a
+/// lock keeps concurrently running tests from clobbering each other's swap.
+fn hushed<T>(f: impl FnOnce() -> T) -> T {
+    static HOOK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = HOOK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(hook);
+    out
+}
+
+#[test]
+fn clean_runs_return_every_result_in_input_order() {
+    let out = try_fan_out((0..64).collect(), |i: usize| i * i).expect("no panics");
+    assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>());
+}
+
+#[test]
+fn str_payload_is_attributed_with_message_preserved() {
+    let err = hushed(|| {
+        try_fan_out((0..8).collect(), |i: usize| {
+            if i == 5 {
+                panic!("boom on five");
+            }
+            i
+        })
+    })
+    .expect_err("worker 5 panicked");
+    assert_eq!(
+        err,
+        WorkerPanic {
+            index: 5,
+            message: "boom on five".into(),
+        }
+    );
+    assert_eq!(err.to_string(), "worker panicked on input 5: boom on five");
+}
+
+#[test]
+fn formatted_string_payload_survives_verbatim() {
+    let err = hushed(|| {
+        try_fan_out(vec![0u64, 1, 2], |i| {
+            if i == 2 {
+                panic!("stream S{i} overflow at cycle {}", 40 + i);
+            }
+            i
+        })
+    })
+    .expect_err("worker 2 panicked");
+    assert_eq!(err.index, 2);
+    assert_eq!(err.message, "stream S2 overflow at cycle 42");
+}
+
+#[test]
+fn lowest_panicking_index_wins_when_several_panic() {
+    // Panics on 1, 3, 5, 7: attribution must deterministically pick 1, no
+    // matter which worker thread finishes first.
+    for _ in 0..16 {
+        let err = hushed(|| {
+            try_fan_out((0..8).collect(), |i: usize| {
+                if i % 2 == 1 {
+                    panic!("odd {i}");
+                }
+                i
+            })
+        })
+        .expect_err("odd inputs panicked");
+        assert_eq!(err.index, 1, "lowest index wins");
+        assert_eq!(err.message, "odd 1", "message matches the chosen index");
+    }
+}
+
+#[test]
+fn single_input_fan_out_attributes_index_zero() {
+    let err = hushed(|| try_fan_out(vec![()], |()| -> u8 { panic!("solo") }))
+        .expect_err("the only worker panicked");
+    assert_eq!((err.index, err.message.as_str()), (0, "solo"));
+}
+
+#[test]
+fn fan_out_repanics_with_the_same_attribution() {
+    let payload = hushed(|| {
+        std::panic::catch_unwind(|| {
+            fan_out((0..4).collect(), |i: usize| {
+                if i >= 2 {
+                    panic!("late worker {i}");
+                }
+                i
+            })
+        })
+    })
+    .expect_err("fan_out re-panics");
+    let message = payload
+        .downcast_ref::<String>()
+        .expect("string panic message");
+    assert_eq!(message, "fan_out worker panicked on input 2: late worker 2");
+}

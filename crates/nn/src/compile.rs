@@ -138,6 +138,24 @@ impl CompiledModel {
         )
     }
 
+    /// Layer-boundary markers for `RunOptions::layers`: one mark per graph
+    /// node, in schedule order, carrying the node's name and completion
+    /// cycle. Handing these to the simulator turns on per-layer counter
+    /// slicing — `RunReport::layers` then attributes every MXM wave, VXM
+    /// issue and SRAM access to the layer whose `[start, end)` cycle range
+    /// contains its dispatch (spans are contiguous by construction, so the
+    /// attribution is total).
+    #[must_use]
+    pub fn layer_marks(&self) -> Vec<tsp_sim::LayerMark> {
+        self.layer_spans
+            .iter()
+            .map(|s| tsp_sim::LayerMark {
+                name: s.name.as_str().into(),
+                end: s.end,
+            })
+            .collect()
+    }
+
     /// Writes the constants into chip memory (the PCIe DMA model-emplace).
     pub fn load_constants(&self, chip: &mut Chip) {
         for (handle, rows) in &self.constants {

@@ -1,0 +1,69 @@
+//! Model-level layer attribution: the compiler's layer spans become run
+//! marks, the simulator slices its counters at those boundaries, and the
+//! per-layer slices name every compiled layer in order and sum bit-exactly
+//! to the whole-run telemetry — on a real compiled CNN, not a toy program.
+
+use tsp_arch::ChipConfig;
+use tsp_nn::compile::{compile, CompileOptions};
+use tsp_nn::data::synthetic;
+use tsp_nn::quant::quantize;
+use tsp_nn::train::small_cnn;
+use tsp_sim::chip::RunOptions;
+use tsp_sim::{Chip, Telemetry};
+
+#[test]
+fn compiled_model_layers_slice_the_run_exactly() {
+    let data = synthetic(11, 12, 12, 2, 4, 6);
+    let (g, params) = small_cnn(12, 16, 4, 5);
+    let q = quantize(&g, &params, &data.images[..2]);
+    let model = compile(&q, &CompileOptions::default());
+    let qi = q.quantize_image(&data.images[0]);
+
+    let run = |options: &RunOptions| {
+        let mut chip = Chip::new(ChipConfig::asic());
+        model.load_constants(&mut chip);
+        model.write_input(&mut chip, &qi);
+        let report = chip.run(&model.program, options).expect("model runs");
+        (report, model.read_logits(&chip))
+    };
+
+    let (baseline, logits0) = run(&RunOptions::default());
+    let (report, logits) = run(&RunOptions {
+        layers: model.layer_marks(),
+        ..RunOptions::default()
+    });
+
+    // Observation, not simulation: marks change nothing the chip computes.
+    assert_eq!(report.cycles, baseline.cycles);
+    assert_eq!(report.telemetry, baseline.telemetry);
+    assert_eq!(logits, logits0);
+
+    // One slice per compiled layer, in schedule order, named after it.
+    assert_eq!(report.layers.len(), model.layer_spans.len());
+    for (slice, span) in report.layers.iter().zip(&model.layer_spans) {
+        assert_eq!(slice.name.as_ref(), span.name.as_str());
+        assert_eq!(slice.end, span.end, "layer {}", span.name);
+    }
+    // Slices are contiguous from cycle 0 and sum bit-exactly.
+    let mut at = 0;
+    let mut total = Telemetry::new();
+    for slice in &report.layers {
+        assert_eq!(slice.start, at, "layer {} start", slice.name);
+        at = slice.end;
+        total.merge(&slice.telemetry);
+    }
+    assert_eq!(total, report.telemetry, "partition sums bit-exactly");
+
+    // The attribution is meaningful: the conv layer did MXM work, and at
+    // least one layer other than the first did too (work is spread out).
+    let waves: Vec<u64> = report
+        .layers
+        .iter()
+        .map(|s| s.telemetry.macc_waves())
+        .collect();
+    assert_eq!(waves.iter().sum::<u64>(), report.telemetry.macc_waves());
+    assert!(
+        waves.iter().filter(|&&w| w > 0).count() >= 1,
+        "some layer carries MXM waves: {waves:?}"
+    );
+}

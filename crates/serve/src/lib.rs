@@ -43,16 +43,20 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod flight;
 pub mod health;
 pub mod load;
 pub mod request;
 pub mod server;
+pub mod trace;
 pub mod verify;
 
+pub use flight::{FlightRecorder, RequestTrace, TraceOutcome};
 pub use health::{ChipHealth, HealthConfig};
 pub use load::{open_loop, LoadSpec};
 pub use request::{Rejected, Request, Response, ServeOutcome};
 pub use server::{
     serve, BatchRecord, ChipStats, ServeConfig, ServeError, ServeResult, ServedRequest,
 };
+pub use trace::{render_flight, serve_trace_json};
 pub use verify::verify_accounting;

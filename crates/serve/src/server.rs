@@ -35,12 +35,15 @@ use std::collections::VecDeque;
 use tsp_arch::ChipConfig;
 use tsp_host::{try_fan_out, WorkerPanic};
 use tsp_nn::batch::BatchModel;
-use tsp_nn::resilient::{ResilienceReport, ResilientOptions, RunOutcome, DEFAULT_MAX_ATTEMPTS};
+use tsp_nn::resilient::{
+    ResilienceReport, ResilientOptions, RetryCause, RunOutcome, DEFAULT_MAX_ATTEMPTS,
+};
 use tsp_sim::chip::RunOptions;
 use tsp_sim::{SimError, Telemetry};
 
 use tsp_faults::{ChaosPlanner, ChaosSpec, ChaosStrike};
 
+use crate::flight::{FlightRecorder, RequestTrace, SpanNode, TraceOutcome};
 use crate::health::{ChipHealth, HealthConfig};
 use crate::request::{Rejected, Request, Response, ServeOutcome};
 
@@ -73,6 +76,15 @@ pub struct ServeConfig {
     pub chaos: Option<ChaosSpec>,
     /// Collect utilization counters into [`ChipStats::telemetry`].
     pub counters: bool,
+    /// Build a lifecycle span tree per request ([`ServeResult::traces`]) and
+    /// feed the flight recorder. Spans are assembled from the accounting the
+    /// loop already does on the virtual clock, so turning them on changes
+    /// **no** simulated cycle or outcome (pinned by the tracing tests) and
+    /// they stay byte-identical across host threading.
+    pub spans: bool,
+    /// Flight-recorder retention bound: how many non-success request traces
+    /// to keep, oldest evicted first. Irrelevant when `spans` is off.
+    pub flight_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -88,6 +100,8 @@ impl Default for ServeConfig {
             health: HealthConfig::default(),
             chaos: None,
             counters: true,
+            spans: false,
+            flight_capacity: 64,
         }
     }
 }
@@ -233,6 +247,12 @@ pub struct ServeResult {
     pub chips: Vec<ChipStats>,
     /// Cycle the last batch finished (0 when nothing dispatched).
     pub horizon: u64,
+    /// One lifecycle span tree per request, sorted by id (empty unless
+    /// [`ServeConfig::spans`]).
+    pub traces: Vec<RequestTrace>,
+    /// The bounded ring buffer of non-success request traces, in event
+    /// order (empty unless [`ServeConfig::spans`]).
+    pub flight: FlightRecorder,
 }
 
 impl ServeResult {
@@ -316,6 +336,140 @@ struct Assignment {
     strike: ChaosStrike,
 }
 
+/// Span-tree collection state: inert (no allocation, no work) unless
+/// [`ServeConfig::spans`] is on.
+struct Tracer {
+    enabled: bool,
+    traces: Vec<RequestTrace>,
+    flight: FlightRecorder,
+}
+
+impl Tracer {
+    fn new(config: &ServeConfig) -> Tracer {
+        Tracer {
+            enabled: config.spans,
+            traces: Vec::new(),
+            flight: FlightRecorder::new(config.flight_capacity),
+        }
+    }
+
+    /// Records one finished request's trace (callers guard on `enabled` to
+    /// skip tree construction entirely when tracing is off).
+    fn record(&mut self, trace: RequestTrace) {
+        self.flight.offer(&trace);
+        self.traces.push(trace);
+    }
+}
+
+/// Lifecycle tree of a request shed before dispatch: `request → queue →
+/// shed marker`, all on the virtual clock.
+fn shed_trace(r: &Request, why: &Rejected, at: u64) -> RequestTrace {
+    let outcome = match why {
+        Rejected::QueueFull { .. } => TraceOutcome::ShedQueueFull,
+        Rejected::Expired { .. } => TraceOutcome::ShedExpired,
+    };
+    let mut root = SpanNode::span(format!("request {}", r.id), r.arrival, at)
+        .with_arg("input", r.input as u64)
+        .with_text("outcome", outcome.name());
+    root.push(SpanNode::span("queue", r.arrival, at));
+    root.push(match why {
+        Rejected::QueueFull { queue_depth } => {
+            SpanNode::new("shed:queue-full", at).with_arg("queue_depth", *queue_depth as u64)
+        }
+        Rejected::Expired { .. } => {
+            SpanNode::new("shed:expired", at).with_arg("deadline", r.arrival + r.deadline)
+        }
+    });
+    RequestTrace {
+        id: r.id,
+        outcome,
+        root,
+    }
+}
+
+/// Lifecycle tree of a dispatched request, reconstructed from the same
+/// accounting that produced its [`ServedRequest`] row: `request → queue →
+/// batch (emplace → wait → attempt/backoff/re-emplace… → final attempt)`.
+/// Every fault/retry cause lands as span args on the attempt it killed.
+#[allow(clippy::too_many_arguments)]
+fn dispatched_trace(
+    request: &Request,
+    a: &Assignment,
+    emplace: u64,
+    row_start: u64,
+    row: &ServedRequest,
+    causes: &[RetryCause],
+    config: &ServeConfig,
+    outcome: TraceOutcome,
+    error: Option<&str>,
+) -> RequestTrace {
+    let mut root = SpanNode::span(
+        format!("request {}", request.id),
+        request.arrival,
+        row.completed,
+    )
+    .with_arg("input", request.input as u64)
+    .with_arg("attempts", u64::from(row.attempts))
+    .with_text("outcome", outcome.name());
+    if let Some(e) = error {
+        root = root.with_text("error", e);
+    }
+    root.push(SpanNode::span("queue", request.arrival, a.dispatched));
+    let mut batch = SpanNode::span("batch", a.dispatched, row.completed)
+        .with_arg("chip", a.chip as u64)
+        .with_arg("batch", a.batch_index as u64);
+    batch.push(SpanNode::span(
+        "emplace",
+        a.dispatched,
+        a.dispatched + emplace,
+    ));
+    if row_start > a.dispatched + emplace {
+        // Earlier rows of the batch ran first; this request waited its turn.
+        batch.push(SpanNode::span(
+            "wait:earlier-rows",
+            a.dispatched + emplace,
+            row_start,
+        ));
+    }
+    let transitions = row.attempts.saturating_sub(1);
+    let mut at = row_start;
+    for (i, &burned) in row.failed_attempt_cycles.iter().enumerate() {
+        let mut attempt = SpanNode::span(format!("attempt {}", i + 1), at, at + burned);
+        if let Some(cause) = causes.get(i) {
+            attempt = attempt
+                .with_text("cause", cause.kind.name())
+                .with_arg("fault_cycle", cause.cycle);
+        }
+        batch.push(attempt);
+        at += burned;
+        if (i as u32) < transitions {
+            let backoff = config.backoff(i as u32);
+            batch.push(SpanNode::span("backoff", at, at + backoff));
+            at += backoff;
+            batch.push(SpanNode::span("re-emplace", at, at + emplace));
+            at += emplace;
+        }
+    }
+    match row.final_cycles {
+        Some(final_cycles) => {
+            batch.push(SpanNode::span(
+                format!("attempt {}", row.attempts),
+                at,
+                at + final_cycles,
+            ));
+            at += final_cycles;
+        }
+        None => batch.push(SpanNode::new("failed", at)),
+    }
+    debug_assert_eq!(at, row.completed, "span timeline must match accounting");
+    root.push(batch);
+    RequestTrace {
+        id: request.id,
+        outcome,
+        root,
+    }
+}
+
 /// Runs the serving loop over `requests` (sorted by `(arrival, id)`, ids
 /// unique) against the shared quantized `inputs` set.
 ///
@@ -387,6 +541,7 @@ pub fn serve(
     let mut arrivals = requests.iter().cloned().peekable();
     let mut responses: Vec<Response> = Vec::with_capacity(requests.len());
     let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut tracer = Tracer::new(config);
     let mut now: u64 = 0;
 
     loop {
@@ -394,12 +549,13 @@ pub fn serve(
         while arrivals.peek().is_some_and(|r| r.arrival <= now) {
             let r = arrivals.next().expect("peeked");
             if queue.len() >= config.queue_depth {
-                responses.push(shed(
-                    &r,
-                    Rejected::QueueFull {
-                        queue_depth: config.queue_depth,
-                    },
-                ));
+                let why = Rejected::QueueFull {
+                    queue_depth: config.queue_depth,
+                };
+                if tracer.enabled {
+                    tracer.record(shed_trace(&r, &why, now));
+                }
+                responses.push(shed(&r, why));
             } else {
                 queue.push_back(r);
             }
@@ -421,7 +577,11 @@ pub fn serve(
             out
         };
         for r in &expired {
-            responses.push(shed(r, Rejected::Expired { at: now }));
+            let why = Rejected::Expired { at: now };
+            if tracer.enabled {
+                tracer.record(shed_trace(r, &why, now));
+            }
+            responses.push(shed(r, why));
         }
 
         // 3. Dispatch wave: one batch per free eligible chip, in chip
@@ -472,6 +632,7 @@ pub fn serve(
                         &mut chips[a.chip],
                         &mut responses,
                         &mut batches,
+                        &mut tracer,
                     );
                 }
                 continue; // re-evaluate at the same instant (drains queue)
@@ -500,12 +661,15 @@ pub fn serve(
     }
 
     responses.sort_by_key(|r| r.id);
+    tracer.traces.sort_by_key(|t| t.id);
     let horizon = batches.iter().map(|b| b.finished).max().unwrap_or(0);
     Ok(ServeResult {
         responses,
         batches,
         chips: chips.into_iter().map(|c| c.stats).collect(),
         horizon,
+        traces: tracer.traces,
+        flight: tracer.flight,
     })
 }
 
@@ -565,6 +729,7 @@ fn run_assignment(
 
 /// Folds one finished assignment into the serving state (main-loop side,
 /// in wave order).
+#[allow(clippy::too_many_arguments)]
 fn account(
     a: &Assignment,
     reports: Vec<Result<ResilienceReport, SimError>>,
@@ -573,6 +738,7 @@ fn account(
     chip: &mut ChipState,
     responses: &mut Vec<Response>,
     batches: &mut Vec<BatchRecord>,
+    tracer: &mut Tracer,
 ) {
     let mut cursor = a.dispatched + emplace;
     let mut served = Vec::with_capacity(a.requests.len());
@@ -620,6 +786,7 @@ fn account(
                         }
                         chip.stats.completed += 1;
                         chip.stats.telemetry.merge(&report.telemetry);
+                        let deadline_met = completed_at <= request.arrival + request.deadline;
                         responses.push(Response {
                             id: request.id,
                             input: request.input,
@@ -631,12 +798,30 @@ fn account(
                                 batch: a.batch_index,
                                 dispatched: a.dispatched,
                                 completed: completed_at,
-                                deadline_met: completed_at <= request.arrival + request.deadline,
+                                deadline_met,
                                 attempts: report.attempts,
                                 retried_link: link as u32,
                                 retried_sram: sram as u32,
                             },
                         });
+                        if tracer.enabled {
+                            let outcome = if deadline_met {
+                                TraceOutcome::Complete
+                            } else {
+                                TraceOutcome::DeadlineMiss
+                            };
+                            tracer.record(dispatched_trace(
+                                request,
+                                a,
+                                emplace,
+                                cursor,
+                                &row,
+                                &report.retry_causes,
+                                config,
+                                outcome,
+                                None,
+                            ));
+                        }
                     }
                     RunOutcome::Exhausted { last_error } => {
                         chip.health.record_exhausted();
@@ -655,6 +840,19 @@ fn account(
                                 error: last_error.to_string(),
                             },
                         });
+                        if tracer.enabled {
+                            tracer.record(dispatched_trace(
+                                request,
+                                a,
+                                emplace,
+                                cursor,
+                                &row,
+                                &report.retry_causes,
+                                config,
+                                TraceOutcome::Failed,
+                                Some(&last_error.to_string()),
+                            ));
+                        }
                     }
                 }
                 row
@@ -679,7 +877,7 @@ fn account(
                         error: error.to_string(),
                     },
                 });
-                ServedRequest {
+                let row = ServedRequest {
                     id: request.id,
                     attempts: 1,
                     failed_attempt_cycles: Vec::new(),
@@ -687,7 +885,21 @@ fn account(
                     backoff: 0,
                     reemplace: 0,
                     completed: cursor,
+                };
+                if tracer.enabled {
+                    tracer.record(dispatched_trace(
+                        request,
+                        a,
+                        emplace,
+                        cursor,
+                        &row,
+                        &[],
+                        config,
+                        TraceOutcome::Failed,
+                        Some(&error.to_string()),
+                    ));
                 }
+                row
             }
         };
         cursor = row.completed;

@@ -27,7 +27,7 @@ use tsp_isa::{
 use tsp_mem::ecc::{self, ErrorSite};
 use tsp_mem::{bandwidth::Traffic, BandwidthMeter, Memory};
 
-use tsp_telemetry::Telemetry;
+use tsp_telemetry::{LayerMark, LayerSlice, Telemetry};
 
 use crate::decoded::DecodedProgram;
 use crate::error::SimError;
@@ -69,6 +69,13 @@ pub struct RunOptions {
     /// paths are bit-identical — cycles, results, telemetry, trace and
     /// errors — pinned by the `decoded_oracle` test suite.
     pub decoded: bool,
+    /// Layer-boundary markers (sorted by `end`, as the compiler emits them —
+    /// `CompiledModel::layer_marks`). Non-empty turns on per-layer counter
+    /// slicing: [`RunReport::layers`] gets one [`LayerSlice`] per mark whose
+    /// merge reproduces [`RunReport::telemetry`] bit-exactly. Slicing is pure
+    /// observation — one integer compare per dispatch plus one counter
+    /// snapshot per boundary — and never changes simulated results.
+    pub layers: Vec<LayerMark>,
 }
 
 impl Default for RunOptions {
@@ -81,6 +88,7 @@ impl Default for RunOptions {
             functional: true,
             faults: FaultPlan::empty(),
             decoded: true,
+            layers: Vec::new(),
         }
     }
 }
@@ -114,6 +122,12 @@ pub struct RunReport {
     pub faults_vacant: u64,
     /// Vectors that left on each C2C link: `(link, departure cycle, word)`.
     pub egress: Vec<(u8, Cycle, Arc<StreamWord>)>,
+    /// Per-layer counter slices (one per [`RunOptions::layers`] mark, in
+    /// mark order; empty when no marks were given). Events are attributed to
+    /// the layer whose `[start, end)` cycle range contains their dispatch
+    /// cycle; folding every slice with `Telemetry::merge` reproduces
+    /// [`RunReport::telemetry`] bit-exactly.
+    pub layers: Vec<LayerSlice>,
 }
 
 #[derive(Debug)]
@@ -277,6 +291,7 @@ impl Chip {
             nops: 0,
             notify_times: Vec::new(),
             functional: options.functional,
+            slicer: LayerSlicer::new(options.layers.clone()),
         };
         for q in &queues {
             ctx.queue_depth(q.instructions.len());
@@ -313,6 +328,11 @@ impl Chip {
                 return Err(SimError::CycleLimit {
                     limit: options.cycle_limit,
                 });
+            }
+            // Layer slicing: prior pops all had cycle <= t, so crossing a
+            // boundary here means the ending layer's events are complete.
+            if t >= ctx.slicer.next_end {
+                ctx.slicer.seal_to(t, &ctx.telemetry);
             }
             while let Some(event) = fault_events.get(next_fault).filter(|e| e.cycle <= t) {
                 next_fault += 1;
@@ -379,6 +399,7 @@ impl Chip {
         faults_vacant += (fault_events.len() - next_fault) as u64;
 
         ctx.telemetry.dropped_events = ctx.trace.dropped_events();
+        let layers = ctx.slicer.finish(&ctx.telemetry);
         Ok(RunReport {
             cycles: ctx.last_effect + Cycle::from(tsp_arch::timing::SLICE_TILES),
             instructions: ctx.instructions,
@@ -390,6 +411,7 @@ impl Chip {
             faults_applied,
             faults_vacant,
             egress: std::mem::take(&mut self.egress),
+            layers,
         })
     }
 
@@ -434,6 +456,7 @@ impl Chip {
             nops: 0,
             notify_times: Vec::new(),
             functional: options.functional,
+            slicer: LayerSlicer::new(options.layers.clone()),
         };
         for q in &queues {
             ctx.queue_depth(q.len());
@@ -460,6 +483,11 @@ impl Chip {
                 return Err(SimError::CycleLimit {
                     limit: options.cycle_limit,
                 });
+            }
+            // Layer slicing: prior pops all had cycle <= t, so crossing a
+            // boundary here means the ending layer's events are complete.
+            if t >= ctx.slicer.next_end {
+                ctx.slicer.seal_to(t, &ctx.telemetry);
             }
             while let Some(event) = fault_events.get(next_fault).filter(|e| e.cycle <= t) {
                 next_fault += 1;
@@ -519,6 +547,7 @@ impl Chip {
         faults_vacant += (fault_events.len() - next_fault) as u64;
 
         ctx.telemetry.dropped_events = ctx.trace.dropped_events();
+        let layers = ctx.slicer.finish(&ctx.telemetry);
         Ok(RunReport {
             cycles: ctx.last_effect + Cycle::from(tsp_arch::timing::SLICE_TILES),
             instructions: ctx.instructions,
@@ -530,6 +559,7 @@ impl Chip {
             faults_applied,
             faults_vacant,
             egress: std::mem::take(&mut self.egress),
+            layers,
         })
     }
 
@@ -1818,6 +1848,79 @@ fn validate_routing(icu: IcuId, instr: &Instruction, cycle: Cycle) -> Result<(),
     }
 }
 
+/// Slices the running [`Telemetry`] at compiler-emitted layer boundaries.
+///
+/// Correctness rides the event loop's dispatch order: the heap pops in
+/// nondecreasing cycle order, so when a pop at cycle `t` observes
+/// `t >= marks[next].end`, every event of the layer ending there has already
+/// been counted and none of the next layer's have — a snapshot delta at that
+/// instant is exactly the layer's share. Cost: one `u64` compare per
+/// dispatch (`next_end` is `u64::MAX` with no marks), one counter snapshot
+/// per boundary.
+struct LayerSlicer {
+    marks: Vec<LayerMark>,
+    next: usize,
+    /// `marks[next].end`, or `u64::MAX` when all marks are sealed.
+    next_end: u64,
+    /// Start cycle of the layer being accumulated.
+    start: u64,
+    /// Counter state at the last sealed boundary.
+    snapshot: Telemetry,
+    slices: Vec<LayerSlice>,
+}
+
+impl LayerSlicer {
+    fn new(marks: Vec<LayerMark>) -> LayerSlicer {
+        let next_end = marks.first().map_or(u64::MAX, |m| m.end);
+        LayerSlicer {
+            marks,
+            next: 0,
+            next_end,
+            start: 0,
+            snapshot: Telemetry::new(),
+            slices: Vec::new(),
+        }
+    }
+
+    /// Seals every layer whose boundary is at or before `t` (called when the
+    /// loop's `t >= next_end` fast check fires).
+    #[cold]
+    fn seal_to(&mut self, t: Cycle, telemetry: &Telemetry) {
+        while self.next_end <= t {
+            self.seal_one(telemetry);
+        }
+    }
+
+    fn seal_one(&mut self, telemetry: &Telemetry) {
+        let mark = &self.marks[self.next];
+        self.slices.push(LayerSlice {
+            name: mark.name.clone(),
+            start: self.start,
+            end: mark.end,
+            telemetry: telemetry.delta_since(&self.snapshot),
+        });
+        self.snapshot = telemetry.clone();
+        self.start = mark.end;
+        self.next += 1;
+        self.next_end = self.marks.get(self.next).map_or(u64::MAX, |m| m.end);
+    }
+
+    /// Seals all remaining marks at run end and folds any residual counts
+    /// (tail events past the last sealed boundary, `dropped_events` — which
+    /// only lands in the counters after the loop) into the **last** slice,
+    /// preserving the slices-merge-to-whole-run bit-exactness.
+    fn finish(&mut self, telemetry: &Telemetry) -> Vec<LayerSlice> {
+        while self.next < self.marks.len() {
+            self.seal_one(telemetry);
+        }
+        let mut slices = std::mem::take(&mut self.slices);
+        if let Some(last) = slices.last_mut() {
+            last.telemetry.merge(&telemetry.delta_since(&self.snapshot));
+        }
+        slices
+    }
+}
+
 struct RunCtx {
     trace: Trace,
     telemetry: Telemetry,
@@ -1828,6 +1931,7 @@ struct RunCtx {
     nops: u64,
     notify_times: Vec<Cycle>,
     functional: bool,
+    slicer: LayerSlicer,
 }
 
 impl RunCtx {

@@ -46,7 +46,7 @@ pub use error::SimError;
 pub use icu_id::IcuId;
 pub use program::{Program, QueueBuilder};
 pub use stream_file::{StreamFile, StreamWord};
-pub use telemetry::{perfetto_json, timeline, IcuTimeline, Span};
+pub use telemetry::{perfetto_json, perfetto_json_with_layers, timeline, IcuTimeline, Span};
 pub use trace::{Activity, ActivityKind, Trace};
 pub use tsp_faults as faults;
-pub use tsp_telemetry::Telemetry;
+pub use tsp_telemetry::{LayerMark, LayerSlice, Telemetry};

@@ -11,7 +11,7 @@
 use std::collections::BTreeMap;
 
 use tsp_telemetry::perfetto::TraceBuilder;
-use tsp_telemetry::Telemetry;
+use tsp_telemetry::{LayerSlice, Telemetry};
 
 use crate::icu_id::IcuId;
 use crate::trace::{ActivityKind, Trace};
@@ -171,9 +171,25 @@ fn perfetto_track(icu: IcuId) -> (u32, u32, &'static str) {
 /// same bytes.
 #[must_use]
 pub fn perfetto_json(trace: &Trace) -> String {
+    perfetto_json_with_layers(trace, &[])
+}
+
+/// Process id of the layer-attribution track group (ICU groups use 1–11).
+pub const LAYERS_PID: u32 = 12;
+
+/// [`perfetto_json`] plus a `layers` track: one span per [`LayerSlice`]
+/// (from `RunReport::layers`), carrying that layer's MACC waves, VXM issues
+/// and SRAM accesses as span args — the model's schedule rendered over the
+/// same timeline as the ICU activity below it.
+#[must_use]
+pub fn perfetto_json_with_layers(trace: &Trace, layers: &[LayerSlice]) -> String {
     let tracks = timeline(trace);
     let mut b = TraceBuilder::new();
     let mut named_pids: Vec<u32> = Vec::new();
+    if !layers.is_empty() {
+        b.process(LAYERS_PID, "Layers");
+        b.thread(LAYERS_PID, 1, "layers");
+    }
     for t in &tracks {
         let (pid, tid, pname) = perfetto_track(t.icu);
         if !named_pids.contains(&pid) {
@@ -181,6 +197,20 @@ pub fn perfetto_json(trace: &Trace) -> String {
             b.process(pid, pname);
         }
         b.thread(pid, tid, &t.icu.to_string());
+    }
+    for l in layers {
+        b.span(
+            LAYERS_PID,
+            1,
+            &l.name,
+            l.start,
+            l.cycles(),
+            &[
+                ("macc_waves", l.telemetry.macc_waves()),
+                ("vxm_issue", l.telemetry.vxm_issue_total()),
+                ("sram_accesses", l.telemetry.sram_accesses()),
+            ],
+        );
     }
     for t in &tracks {
         let (pid, tid, _) = perfetto_track(t.icu);

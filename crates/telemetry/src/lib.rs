@@ -15,6 +15,16 @@
 //! * [`json`] — a minimal JSON value parser (the build environment has no
 //!   crates.io access, hence no serde) used to round-trip the `BENCH_*.json`
 //!   report schemas and to validate emitted traces.
+//! * [`span`] — virtual-cycle-clock span trees (request/layer tracing, no
+//!   wall time anywhere) that render onto Perfetto tracks.
+//! * [`hist`] — an HDR-style log-bucketed [`hist::Histogram`] for latency
+//!   distributions with deterministic, mergeable quantiles.
+//!
+//! Per-layer attribution rides the same counters: the compiler emits
+//! [`LayerMark`] boundaries, the simulator snapshots [`Telemetry`] at each
+//! boundary crossing, and [`Telemetry::delta_since`] turns consecutive
+//! snapshots into [`LayerSlice`]s whose merge reproduces the whole-run
+//! counters **bit-exactly**.
 //!
 //! This crate is a leaf on purpose: the simulator, the fabric, and the bench
 //! harness all depend on it, so it cannot know about any of them. Identity
@@ -23,11 +33,53 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod hist;
 pub mod json;
 pub mod perfetto;
 pub mod profile;
+pub mod span;
+
+use std::sync::Arc;
 
 use json::Json;
+
+/// A compiler-emitted layer boundary: work dispatched at cycles `< end` (and
+/// at or after the previous mark's `end`) belongs to the named layer. Marks
+/// are contiguous and sorted by `end`; the simulator slices its counters at
+/// these boundaries (`RunOptions::layers` in `tsp-sim`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerMark {
+    /// Layer name (shared, so per-run clones are cheap).
+    pub name: Arc<str>,
+    /// First cycle **past** the layer: the boundary.
+    pub end: u64,
+}
+
+/// One layer's slice of a run's counters: the [`Telemetry`] delta between
+/// two consecutive boundary snapshots. Count fields hold only this layer's
+/// events; high-water fields hold the running maximum *up to* the layer's
+/// end, so folding every slice of a run with [`Telemetry::merge`] reproduces
+/// the whole-run counters bit-exactly (counts sum, running maxima max to the
+/// final maximum).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerSlice {
+    /// Layer name.
+    pub name: Arc<str>,
+    /// First cycle of the layer (the previous mark's `end`, 0 for the first).
+    pub start: u64,
+    /// The layer's boundary cycle.
+    pub end: u64,
+    /// This layer's share of the run counters.
+    pub telemetry: Telemetry,
+}
+
+impl LayerSlice {
+    /// Layer length in cycles.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.end - self.start
+    }
+}
 
 /// Number of MXM planes contributing busy-cycle counters.
 pub const MXM_PLANES: usize = 4;
@@ -121,6 +173,42 @@ impl Telemetry {
         self.stream_high_water = self.stream_high_water.max(other.stream_high_water);
         self.icu_queue_high_water = self.icu_queue_high_water.max(other.icu_queue_high_water);
         self.dropped_events += other.dropped_events;
+    }
+
+    /// The counter delta since `baseline`, where `baseline` is an earlier
+    /// snapshot of *this* counter stream (every count field of `self` must be
+    /// ≥ its `baseline` value — snapshots are monotone prefixes).
+    ///
+    /// Count fields subtract; high-water fields (and `dropped_events`' peers
+    /// among them: `stream_high_water`, `icu_queue_high_water`) carry the
+    /// **running** maximum from `self`, not a windowed one — maxima are not
+    /// invertible, and carrying the running value is exactly what makes a
+    /// fold of consecutive deltas with [`Telemetry::merge`] reproduce the
+    /// final counter set bit-exactly.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &Telemetry) -> Telemetry {
+        let sub_arr =
+            |a: &[u64], b: &[u64]| -> Vec<u64> { a.iter().zip(b).map(|(x, y)| x - y).collect() };
+        let fixed = |v: Vec<u64>| -> [u64; MXM_PLANES] { v.try_into().expect("length") };
+        let fixed2 = |v: Vec<u64>| -> [u64; HEMISPHERES] { v.try_into().expect("length") };
+        Telemetry {
+            mxm_plane_busy: fixed(sub_arr(&self.mxm_plane_busy, &baseline.mxm_plane_busy)),
+            mxm_macc_waves: fixed(sub_arr(&self.mxm_macc_waves, &baseline.mxm_macc_waves)),
+            vxm_alu_issue: sub_arr(&self.vxm_alu_issue, &baseline.vxm_alu_issue)
+                .try_into()
+                .expect("length"),
+            sram_reads: fixed2(sub_arr(&self.sram_reads, &baseline.sram_reads)),
+            mem_reads_pristine: self.mem_reads_pristine - baseline.mem_reads_pristine,
+            mem_reads_verified: self.mem_reads_verified - baseline.mem_reads_verified,
+            sram_writes: fixed2(sub_arr(&self.sram_writes, &baseline.sram_writes)),
+            sxm_ops: fixed2(sub_arr(&self.sxm_ops, &baseline.sxm_ops)),
+            c2c_sends: self.c2c_sends - baseline.c2c_sends,
+            c2c_receives: self.c2c_receives - baseline.c2c_receives,
+            ifetches: self.ifetches - baseline.ifetches,
+            stream_high_water: self.stream_high_water,
+            icu_queue_high_water: self.icu_queue_high_water,
+            dropped_events: self.dropped_events - baseline.dropped_events,
+        }
     }
 
     /// Total MXM busy cycles across the four planes.
@@ -305,6 +393,22 @@ mod tests {
         assert_eq!(a.stream_high_water, 77);
         assert_eq!(a.icu_queue_high_water, 12);
         assert_eq!(a.dropped_events, 2);
+    }
+
+    #[test]
+    fn deltas_fold_back_to_the_final_snapshot() {
+        // Three monotone snapshots of one counter stream: zero, mid, final.
+        let mid = sample();
+        let mut fin = sample();
+        fin.merge(&sample()); // counts double, high-waters stay
+        fin.stream_high_water = 90; // high-water rose after the mid snapshot
+        let d1 = mid.delta_since(&Telemetry::new());
+        let d2 = fin.delta_since(&mid);
+        assert_eq!(d1, mid, "delta from zero is the snapshot itself");
+        assert_eq!(d2.stream_high_water, 90, "running max, not windowed");
+        let mut folded = d1;
+        folded.merge(&d2);
+        assert_eq!(folded, fin, "slices merge back bit-exactly");
     }
 
     #[test]

@@ -57,9 +57,28 @@ impl TraceBuilder {
         dur: u64,
         args: &[(&str, u64)],
     ) {
+        self.span_with_text(pid, tid, name, ts, dur, args, &[]);
+    }
+
+    /// [`TraceBuilder::span`] with additional string-valued args (`text`),
+    /// e.g. retry-cause kinds or outcome labels on request spans.
+    #[allow(clippy::too_many_arguments)]
+    pub fn span_with_text(
+        &mut self,
+        pid: u32,
+        tid: u32,
+        name: &str,
+        ts: u64,
+        dur: u64,
+        args: &[(&str, u64)],
+        text: &[(&str, &str)],
+    ) {
         let mut extra = String::new();
         for (k, v) in args {
             extra.push_str(&format!(",\"{}\":{v}", escape(k)));
+        }
+        for (k, v) in text {
+            extra.push_str(&format!(",\"{}\":\"{}\"", escape(k), escape(v)));
         }
         self.events.push(format!(
             "{{\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\

@@ -1,0 +1,200 @@
+//! Virtual-cycle-clock span trees — the request/layer tracing vocabulary.
+//!
+//! A [`SpanNode`] is one named interval `[start, end]` on the simulator's
+//! virtual cycle clock, with typed key/value arguments and ordered children.
+//! There is deliberately **no wall time** anywhere: spans are built from the
+//! same deterministic cycle accounting the simulator and the serving layer
+//! already do, so the same run always produces byte-identical span trees
+//! regardless of host threading — the property the serving layer's trace
+//! determinism tests pin.
+//!
+//! Trees render onto Chrome/Perfetto tracks via [`SpanNode::emit`]: the
+//! parent is emitted before its children (pre-order), and children are
+//! expected in chronological order, which keeps every track's timestamps
+//! monotonic — exactly what [`crate::perfetto::validate`] checks. Perfetto
+//! nests same-track spans by interval containment, so a request's lifecycle
+//! renders as a collapsible flame-graph row.
+
+use crate::perfetto::TraceBuilder;
+
+/// One span argument value: numeric (cycles, counts) or text (cause kinds,
+/// outcome labels).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpanArg {
+    /// A numeric argument.
+    U64(u64),
+    /// A text argument (e.g. a retry-cause kind).
+    Str(String),
+}
+
+/// One node of a span tree: a named `[start, end]` cycle interval with
+/// arguments and chronologically ordered children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span name (e.g. `request 17`, `attempt 2`, `backoff`).
+    pub name: String,
+    /// First cycle of the span.
+    pub start: u64,
+    /// End cycle (inclusive interval end on the virtual clock; a zero-width
+    /// marker has `end == start`).
+    pub end: u64,
+    /// Typed key/value arguments, in insertion order.
+    pub args: Vec<(String, SpanArg)>,
+    /// Child spans, in chronological order.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A new open span starting at `start` (close it with [`SpanNode::close`]
+    /// or construct children first — `end` defaults to `start`).
+    #[must_use]
+    pub fn new(name: impl Into<String>, start: u64) -> SpanNode {
+        SpanNode {
+            name: name.into(),
+            start,
+            end: start,
+            args: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// A closed span covering `[start, end]`.
+    #[must_use]
+    pub fn span(name: impl Into<String>, start: u64, end: u64) -> SpanNode {
+        let mut s = SpanNode::new(name, start);
+        s.end = end;
+        s
+    }
+
+    /// Sets the end cycle.
+    pub fn close(&mut self, end: u64) {
+        self.end = end;
+    }
+
+    /// Attaches a numeric argument (builder style).
+    #[must_use]
+    pub fn with_arg(mut self, key: &str, value: u64) -> SpanNode {
+        self.args.push((key.to_string(), SpanArg::U64(value)));
+        self
+    }
+
+    /// Attaches a text argument (builder style).
+    #[must_use]
+    pub fn with_text(mut self, key: &str, value: &str) -> SpanNode {
+        self.args
+            .push((key.to_string(), SpanArg::Str(value.to_string())));
+        self
+    }
+
+    /// Appends a child span (children must be appended in chronological
+    /// order for Perfetto emission to stay monotonic).
+    pub fn push(&mut self, child: SpanNode) {
+        debug_assert!(
+            self.children.last().is_none_or(|c| c.start <= child.start),
+            "children must be chronological"
+        );
+        self.children.push(child);
+    }
+
+    /// Span duration in cycles.
+    #[must_use]
+    pub fn duration(&self) -> u64 {
+        self.end - self.start
+    }
+
+    /// Nodes in this tree (self included).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(SpanNode::node_count)
+            .sum::<usize>()
+    }
+
+    /// Emits the tree onto one Perfetto track, pre-order (parent first, then
+    /// children in order), so per-track timestamps stay monotonic.
+    pub fn emit(&self, b: &mut TraceBuilder, pid: u32, tid: u32) {
+        let mut nums: Vec<(&str, u64)> = Vec::new();
+        let mut texts: Vec<(&str, &str)> = Vec::new();
+        for (k, v) in &self.args {
+            match v {
+                SpanArg::U64(n) => nums.push((k, *n)),
+                SpanArg::Str(s) => texts.push((k, s)),
+            }
+        }
+        b.span_with_text(
+            pid,
+            tid,
+            &self.name,
+            self.start,
+            self.duration(),
+            &nums,
+            &texts,
+        );
+        for c in &self.children {
+            c.emit(b, pid, tid);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perfetto::validate;
+
+    fn lifecycle() -> SpanNode {
+        let mut root = SpanNode::span("request 7", 100, 900)
+            .with_arg("input", 3)
+            .with_text("outcome", "complete");
+        root.push(SpanNode::span("queue", 100, 200));
+        let mut batch = SpanNode::span("batch", 200, 900).with_arg("chip", 1);
+        batch.push(SpanNode::span("emplace", 200, 260));
+        batch.push(
+            SpanNode::span("attempt 1", 260, 500)
+                .with_text("cause", "ecc")
+                .with_arg("fault_cycle", 311),
+        );
+        batch.push(SpanNode::span("backoff", 500, 756));
+        batch.push(SpanNode::span("attempt 2", 756, 900));
+        root.push(batch);
+        root
+    }
+
+    #[test]
+    fn tree_shape_and_duration() {
+        let t = lifecycle();
+        assert_eq!(t.duration(), 800);
+        assert_eq!(t.node_count(), 7);
+        assert_eq!(t.children[1].children[2].name, "backoff");
+    }
+
+    #[test]
+    fn emitted_tree_validates_and_is_deterministic() {
+        let t = lifecycle();
+        let render = || {
+            let mut b = TraceBuilder::new();
+            b.process(20, "requests");
+            b.thread(20, 8, "request 7");
+            t.emit(&mut b, 20, 8);
+            b.finish()
+        };
+        let text = render();
+        let stats = validate(&text).expect("valid trace");
+        assert_eq!(stats.span_events, 7);
+        assert_eq!(stats.max_ts, 900);
+        assert_eq!(text, render(), "same tree, same bytes");
+        assert!(text.contains("\"cause\":\"ecc\""));
+        assert!(text.contains("\"fault_cycle\":311"));
+    }
+
+    #[test]
+    fn zero_width_markers_are_renderable() {
+        let t = SpanNode::new("shed:queue-full", 42);
+        assert_eq!(t.duration(), 0);
+        let mut b = TraceBuilder::new();
+        b.thread(20, 1, "request 0");
+        t.emit(&mut b, 20, 1);
+        validate(&b.finish()).expect("zero-width span renders as dur 1");
+    }
+}
